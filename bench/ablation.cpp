@@ -1,0 +1,137 @@
+// Reproduces the Sec. VI-E ablation: starting from SNAPPIX-S on the SSV2
+// stand-in (AR task), remove components one at a time:
+//  - no pre-training          (paper: -11.39%)
+//  - random instead of decorrelated pattern (further -3.43%)
+//  - global (non-tile-repetitive) pattern   (-23.74%)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ce/encode.h"
+#include "core/snappix.h"
+#include "data/dataset.h"
+#include "models/vit.h"
+#include "train/pattern_trainer.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+using bench::kFrames;
+using bench::kImage;
+using bench::kTile;
+
+// All configurations get the same fine-tune budget; pre-training happens on
+// a larger unlabeled corpus (the paper's K710 analogue) beforehand. The
+// paper's halved-fine-tune recipe under-trains at our step-bound scale (see
+// EXPERIMENTS.md).
+constexpr int kTaskEpochs = 14;
+constexpr int kPretrainEpochs = 3;
+
+float run_snappix(const data::VideoDataset& dataset, const data::VideoDataset& corpus,
+                  const ce::CePattern& pattern, bool pretrain) {
+  core::SnapPixConfig sc;
+  sc.image = kImage;
+  sc.frames = kFrames;
+  sc.tile = kTile;
+  sc.backbone = core::Backbone::kSnapPixS;
+  sc.num_classes = dataset.num_classes();
+  sc.seed = 42;
+  core::SnapPixSystem system(sc);
+  system.set_pattern(pattern);
+  if (pretrain) {
+    system.pretrain(corpus, kPretrainEpochs, 1e-3F, 16);
+  }
+  train::TrainConfig tc;
+  tc.epochs = kTaskEpochs;
+  tc.batch_size = 16;
+  tc.lr = 2e-3F;
+  return system.train_action_recognition(dataset, tc).test_metric;
+}
+
+// Global (non-tile-repetitive) pattern: the exposure varies across the whole
+// frame, so within-ViT-patch variation differs per patch and the patch-wise
+// MLPs cannot specialize (the tile-repetition ablation of Sec. VI-E).
+float run_global_pattern(const data::VideoDataset& dataset) {
+  Rng rng(7);
+  // A full-frame random pattern == tile of size kImage.
+  const auto global = ce::CePattern::random(kFrames, kImage, rng, 0.5F);
+  models::ViTConfig cfg = models::ViTConfig::snappix_s(kImage, dataset.num_classes());
+  models::SnapPixClassifier model(cfg, rng);
+  auto transform = [&](const Tensor& videos) {
+    return ce::normalize_by_exposure(ce::ce_encode(videos, global), global);
+  };
+  auto forward = [&](const Tensor& input) { return model.forward(input); };
+  train::TrainConfig tc;
+  tc.epochs = kTaskEpochs;
+  tc.batch_size = 16;
+  tc.lr = 2e-3F;
+  return train::fit_classifier(model.parameters(), forward, dataset, transform, tc).test_metric;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Sec. VI-E - Ablation study (SNAPPIX-S, SSV2-like, AR)");
+
+  const data::VideoDataset dataset(
+      bench::bench_dataset(data::ssv2_like(kFrames, kImage), /*train=*/24, /*test=*/8));
+  auto corpus_cfg = bench::bench_dataset(data::ssv2_like(kFrames, kImage), 80, 1);
+  corpus_cfg.seed = 777;
+  corpus_cfg.name = "pretrain-corpus";
+  const data::VideoDataset corpus(corpus_cfg);
+
+  std::printf("[learning decorrelated pattern]\n");
+  std::fflush(stdout);
+  train::PatternTrainConfig pc;
+  pc.tile = kTile;
+  pc.steps = 120;
+  pc.batch_size = 8;
+  const auto learned = train::learn_decorrelated_pattern(corpus, pc);
+
+  Rng rng(3);
+  const auto random_pattern = ce::CePattern::random(kFrames, kTile, rng, 0.5F);
+
+  struct Row {
+    std::string name;
+    float accuracy;
+  };
+  std::vector<Row> rows;
+
+  std::printf("[full system: pretrain + decorrelated + tile-repetitive]\n");
+  std::fflush(stdout);
+  rows.push_back(
+      {"full SNAPPIX-S", run_snappix(dataset, corpus, learned.pattern, /*pretrain=*/true)});
+
+  std::printf("[- pre-training]\n");
+  std::fflush(stdout);
+  rows.push_back(
+      {"- pre-training", run_snappix(dataset, corpus, learned.pattern, /*pretrain=*/false)});
+
+  std::printf("[- decorrelated pattern (random instead)]\n");
+  std::fflush(stdout);
+  rows.push_back(
+      {"- decorrelation (random)", run_snappix(dataset, corpus, random_pattern,
+                                               /*pretrain=*/false)});
+
+  std::printf("[- tile repetition (global pattern)]\n");
+  std::fflush(stdout);
+  rows.push_back({"- tile repetition (global)", run_global_pattern(dataset)});
+
+  bench::print_rule();
+  std::printf("%-30s %14s %18s\n", "configuration", "AR acc (%)", "delta vs full (%)");
+  bench::print_rule();
+  const float full = rows.front().accuracy;
+  for (const auto& row : rows) {
+    std::printf("%-30s %14.2f %18.2f\n", row.name.c_str(),
+                static_cast<double>(row.accuracy * 100.0F),
+                static_cast<double>((row.accuracy - full) * 100.0F));
+  }
+  bench::print_rule();
+  std::printf(
+      "paper: -11.39%% w/o pre-training; further -3.43%% with a random pattern;\n"
+      "-23.74%% with a global (non-tile-repetitive) pattern.\n");
+  return 0;
+}

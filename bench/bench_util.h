@@ -1,0 +1,44 @@
+// Shared helpers for the benchmark harnesses: table formatting and the
+// scaled-down experiment geometry used across all paper reproductions.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snappix::bench {
+
+// Experiment geometry: 32x32 frames, T = 16 slots, 8x8 CE tile == ViT patch.
+// (The paper uses 112x112; the geometry ratio patch:image is preserved at
+// at 1:4 of the paper's 1:14 to keep CPU training tractable.)
+inline constexpr int kImage = 32;
+inline constexpr int kFrames = 16;
+inline constexpr int kTile = 8;
+
+inline data::DatasetConfig bench_dataset(data::DatasetConfig base, int train_per_class,
+                                         int test_per_class) {
+  base.scene.frames = kFrames;
+  base.scene.height = kImage;
+  base.scene.width = kImage;
+  base.train_per_class = train_per_class;
+  base.test_per_class = test_per_class;
+  return base;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace snappix::bench

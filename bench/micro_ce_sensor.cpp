@@ -1,0 +1,101 @@
+// google-benchmark micro-benchmarks for CE encoding and the cycle-level
+// sensor simulator (Fig. 5 protocol throughput).
+#include <benchmark/benchmark.h>
+
+#include "ce/encode.h"
+#include "ce/pattern.h"
+#include "ce/stats.h"
+#include "sensor/sensor.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+
+void BM_CeEncode(benchmark::State& state) {
+  const auto image = state.range(0);
+  Rng rng(1);
+  NoGradGuard guard;
+  const auto pattern = ce::CePattern::random(16, 8, rng, 0.5F);
+  const Tensor videos = Tensor::rand_uniform(Shape{4, 16, image, image}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ce::ce_encode(videos, pattern).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 16 * image * image);
+}
+BENCHMARK(BM_CeEncode)->Arg(32)->Arg(64)->Arg(112);
+
+void BM_CeEncodeDiffTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  Tensor weights = Tensor::rand_uniform(Shape{16, 8, 8}, rng, 0.3F, 0.7F, true);
+  const Tensor videos = Tensor::rand_uniform(Shape{4, 16, 32, 32}, rng);
+  for (auto _ : state) {
+    weights.zero_grad();
+    Tensor loss = ce::decorrelation_loss(ce::ce_encode_diff(videos, weights), 8);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_CeEncodeDiffTrainStep);
+
+void BM_SensorCapture(benchmark::State& state) {
+  const auto image = state.range(0);
+  Rng rng(3);
+  const auto pattern = ce::CePattern::random(16, 8, rng, 0.5F);
+  sensor::SensorConfig cfg;
+  cfg.height = image;
+  cfg.width = image;
+  cfg.adc.full_scale = cfg.electrons_per_unit * 16;
+  cfg.pixel.full_well_electrons = cfg.adc.full_scale;
+  sensor::StackedSensor sensor(cfg, pattern);
+  const Tensor scene = Tensor::rand_uniform(Shape{16, image, image}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.capture(scene, rng).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * image * image);
+}
+BENCHMARK(BM_SensorCapture)->Arg(32)->Arg(64)->Arg(112);
+
+void BM_SensorCaptureWithNoise(benchmark::State& state) {
+  Rng rng(4);
+  const auto pattern = ce::CePattern::random(16, 8, rng, 0.5F);
+  sensor::SensorConfig cfg;
+  cfg.height = 64;
+  cfg.width = 64;
+  cfg.adc.full_scale = cfg.electrons_per_unit * 16;
+  cfg.pixel.full_well_electrons = cfg.adc.full_scale;
+  cfg.noise.enabled = true;
+  sensor::StackedSensor sensor(cfg, pattern);
+  const Tensor scene = Tensor::rand_uniform(Shape{16, 64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.capture(scene, rng).data().data());
+  }
+}
+BENCHMARK(BM_SensorCaptureWithNoise);
+
+void BM_DffChainStreaming(benchmark::State& state) {
+  const int tile = static_cast<int>(state.range(0));
+  sensor::DffShiftChain chain(tile * tile);
+  const std::vector<std::uint8_t> bits(static_cast<std::size_t>(tile) * tile, 1);
+  for (auto _ : state) {
+    chain.load_slot(bits);
+    benchmark::DoNotOptimize(chain.bit_at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * tile * tile);
+}
+BENCHMARK(BM_DffChainStreaming)->Arg(4)->Arg(8)->Arg(14);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  Rng rng(5);
+  NoGradGuard guard;
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ce::mean_correlation(coded, 8));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// google-benchmark micro-benchmarks for model inference latency — the
+// relative speeds behind Table I's inference/sec column (CE single-image
+// models must beat video-input models).
+#include <benchmark/benchmark.h>
+
+#include "models/baselines.h"
+#include "models/vit.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+
+constexpr int kImage = 32;
+constexpr int kFrames = 16;
+constexpr int kBatch = 8;
+
+void BM_SnapPixS(benchmark::State& state) {
+  Rng rng(1);
+  NoGradGuard guard;
+  models::SnapPixClassifier model(models::ViTConfig::snappix_s(kImage, 10), rng);
+  const Tensor coded = Tensor::rand_uniform(Shape{kBatch, kImage, kImage}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SnapPixS);
+
+void BM_SnapPixB(benchmark::State& state) {
+  Rng rng(2);
+  NoGradGuard guard;
+  models::SnapPixClassifier model(models::ViTConfig::snappix_b(kImage, 10), rng);
+  const Tensor coded = Tensor::rand_uniform(Shape{kBatch, kImage, kImage}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SnapPixB);
+
+void BM_Svc2d(benchmark::State& state) {
+  Rng rng(3);
+  NoGradGuard guard;
+  models::Svc2dModel model(kImage, 8, 10, rng);
+  const Tensor coded = Tensor::rand_uniform(Shape{kBatch, kImage, kImage}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_Svc2d);
+
+void BM_C3d(benchmark::State& state) {
+  Rng rng(4);
+  NoGradGuard guard;
+  models::C3dModel model(kImage, kFrames, 10, rng);
+  const Tensor video = Tensor::rand_uniform(Shape{kBatch, kFrames, kImage, kImage}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(video).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_C3d);
+
+void BM_VideoViT(benchmark::State& state) {
+  Rng rng(5);
+  NoGradGuard guard;
+  models::VideoViTConfig cfg;
+  cfg.image_h = kImage;
+  cfg.image_w = kImage;
+  cfg.frames = kFrames;
+  cfg.dim = 48;
+  cfg.depth = 2;
+  cfg.heads = 4;
+  cfg.num_classes = 10;
+  models::VideoViT model(cfg, rng);
+  const Tensor video = Tensor::rand_uniform(Shape{kBatch, kFrames, kImage, kImage}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(video).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_VideoViT);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// google-benchmark micro-benchmarks for the tensor/autograd hot paths.
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+
+void BM_MatmulForward(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  NoGradGuard guard;
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulForward)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTrainStep(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{n, n}, rng, 1.0F, true);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    a.zero_grad();
+    Tensor loss = mean_all(square(matmul(a, b)));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_MatmulTrainStep)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxForward(benchmark::State& state) {
+  Rng rng(3);
+  NoGradGuard guard;
+  const Tensor a = Tensor::randn(Shape{64, state.range(0)}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax(a, -1).data().data());
+  }
+}
+BENCHMARK(BM_SoftmaxForward)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(4);
+  NoGradGuard guard;
+  const Tensor x = Tensor::randn(Shape{1, 8, state.range(0), state.range(0)}, rng);
+  const Tensor w = Tensor::randn(Shape{16, 8, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d(x, w, Tensor(), 1, 1).data().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TransformerBlockForward(benchmark::State& state) {
+  Rng rng(5);
+  NoGradGuard guard;
+  nn::TransformerBlock block(64, 4, 2.0F, rng);
+  const Tensor x = Tensor::randn(Shape{8, state.range(0), 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.forward(x).data().data());
+  }
+}
+BENCHMARK(BM_TransformerBlockForward)->Arg(16)->Arg(64)->Arg(196);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  Rng rng(6);
+  NoGradGuard guard;
+  const Tensor a = Tensor::randn(Shape{64, state.range(0)}, rng);
+  const Tensor b = Tensor::randn(Shape{state.range(0)}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(add(a, b).data().data());
+  }
+}
+BENCHMARK(BM_BroadcastAdd)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+// Reproduces Table I: SNAPPIX-S/B vs SVC2D [17], C3D [37], VideoMAEv2-ST
+// [26] on three datasets (UCF-101 / SSV2 / K400 stand-ins) plus inference
+// throughput. Expected shape: SNAPPIX variants lead in accuracy, CE-input
+// models are faster than video-input models, SVC2D trails badly.
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ce/encode.h"
+#include "core/snappix.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/baselines.h"
+#include "train/pattern_trainer.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+using bench::kFrames;
+using bench::kImage;
+using bench::kTile;
+
+struct SystemRow {
+  std::string name;
+  std::string input;
+  std::vector<float> accuracy;  // per dataset
+  double inferences_per_sec = 0.0;
+};
+
+constexpr int kScratchEpochs = 12;
+// The paper halves fine-tune epochs after pre-training; at our step-bound
+// scale that under-trains, so pre-trained models get the same budget (see
+// EXPERIMENTS.md).
+constexpr int kFinetuneEpochs = 12;
+constexpr int kPretrainEpochs = 3;
+constexpr int kSpeedBatch = 32;
+
+double measure_speed(const std::function<void()>& fn) {
+  NoGradGuard guard;
+  return eval::measure_per_second(fn, /*warmup=*/1, /*iters=*/5) * kSpeedBatch;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table I - System comparison: accuracy + inference throughput");
+
+  const std::vector<data::DatasetConfig> dataset_configs = {
+      bench::bench_dataset(data::ucf101_like(kFrames, kImage), 24, 8),
+      bench::bench_dataset(data::ssv2_like(kFrames, kImage), 24, 8),
+      bench::bench_dataset(data::k400_like(kFrames, kImage), 24, 8),
+  };
+  std::vector<std::unique_ptr<data::VideoDataset>> datasets;
+  for (const auto& cfg : dataset_configs) {
+    datasets.push_back(std::make_unique<data::VideoDataset>(cfg));
+  }
+
+  // The paper's pipeline: the decorrelated pattern AND the MAE pre-training
+  // both use a large unlabeled corpus (K710 in the paper; a bigger synthetic
+  // pool here), then the encoder is fine-tuned per downstream dataset.
+  auto corpus_cfg = bench::bench_dataset(data::ssv2_like(kFrames, kImage), 80, 1);
+  corpus_cfg.seed = 777;
+  corpus_cfg.name = "pretrain-corpus";
+  const data::VideoDataset corpus(corpus_cfg);
+
+  train::PatternTrainConfig pc;
+  pc.tile = kTile;
+  pc.steps = 120;
+  pc.batch_size = 8;
+  std::printf("[learning decorrelated CE pattern on %s (%lld clips)]\n", corpus.name().c_str(),
+              static_cast<long long>(corpus.train_size()));
+  std::fflush(stdout);
+  const auto learned = train::learn_decorrelated_pattern(corpus, pc);
+  const ce::CePattern& pattern = learned.pattern;
+  auto encode_transform = [&pattern](const Tensor& videos) {
+    return ce::normalize_by_exposure(ce::ce_encode(videos, pattern), pattern);
+  };
+
+  std::vector<SystemRow> rows;
+
+  // --- SNAPPIX-S and SNAPPIX-B: pre-train once on the corpus, then fine-tune
+  // a fresh head per dataset from the saved encoder checkpoint. ---
+  for (const auto backbone : {core::Backbone::kSnapPixS, core::Backbone::kSnapPixB}) {
+    SystemRow row;
+    row.name = backbone == core::Backbone::kSnapPixS ? "SNAPPIX-S (ours)" : "SNAPPIX-B (ours)";
+    row.input = "CE";
+    core::SnapPixConfig sc;
+    sc.image = kImage;
+    sc.frames = kFrames;
+    sc.tile = kTile;
+    sc.backbone = backbone;
+    sc.num_classes = corpus.num_classes();
+    sc.seed = 100;
+    core::SnapPixSystem pre_system(sc);
+    pre_system.set_pattern(pattern);
+    std::printf("[%s: pre-training %d epochs on %s]\n", row.name.c_str(), kPretrainEpochs,
+                corpus.name().c_str());
+    std::fflush(stdout);
+    pre_system.pretrain(corpus, kPretrainEpochs, 1e-3F, 16);
+    const std::string checkpoint =
+        (std::filesystem::temp_directory_path() / "snappix_table1_encoder.bin").string();
+    pre_system.encoder()->save(checkpoint);
+
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      Rng rng(110 + d);
+      auto vit_cfg =
+          core::backbone_config(backbone, kImage, datasets[d]->num_classes());
+      auto encoder = std::make_shared<models::ViTEncoder>(vit_cfg, rng);
+      encoder->load(checkpoint);
+      models::SnapPixClassifier classifier(encoder, rng);
+      std::printf("[%s on %s: fine-tune %d epochs]\n", row.name.c_str(),
+                  datasets[d]->name().c_str(), kFinetuneEpochs);
+      std::fflush(stdout);
+      auto forward = [&](const Tensor& input) { return classifier.forward(input); };
+      train::TrainConfig tc;
+      tc.epochs = kFinetuneEpochs;
+      tc.batch_size = 16;
+      tc.lr = 2e-3F;
+      const auto fit = train::fit_classifier(classifier.parameters(), forward, *datasets[d],
+                                             encode_transform, tc);
+      row.accuracy.push_back(fit.test_metric);
+      if (d == 0) {
+        Rng srng(1);
+        const Tensor coded = Tensor::rand_uniform(Shape{kSpeedBatch, kImage, kImage}, srng);
+        row.inferences_per_sec =
+            measure_speed([&classifier, &coded] { (void)classifier.forward(coded); });
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- SVC2D: end-to-end learned pattern + SVC model, trained from scratch --
+  {
+    SystemRow row;
+    row.name = "SVC2D [17]";
+    row.input = "CE";
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      Rng rng(200 + d);
+      models::Svc2dModel model(kImage, kTile, datasets[d]->num_classes(), rng);
+      std::printf("[%s on %s: joint pattern+model %d epochs]\n", row.name.c_str(),
+                  datasets[d]->name().c_str(), kScratchEpochs);
+      std::fflush(stdout);
+      train::PatternTrainConfig spc;
+      spc.tile = kTile;
+      spc.batch_size = 16;
+      spc.lr = 2e-3F;
+      spc.seed = 300 + d;
+      const auto task = train::learn_task_pattern(
+          *datasets[d], model.parameters(),
+          [&](const Tensor& coded) { return model.forward(coded); }, spc, kScratchEpochs);
+      // Evaluate with the jointly learned (now frozen) pattern.
+      auto transform = [&](const Tensor& videos) {
+        return ce::ce_encode(videos, task.pattern);
+      };
+      auto forward = [&](const Tensor& input) { return model.forward(input); };
+      row.accuracy.push_back(
+          train::evaluate_classifier(forward, *datasets[d], transform, 16));
+      if (d == 0) {
+        Rng srng(2);
+        const Tensor coded = Tensor::rand_uniform(Shape{kSpeedBatch, kImage, kImage}, srng);
+        row.inferences_per_sec =
+            measure_speed([&model, &coded] { (void)model.forward(coded); });
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- C3D: video model trained from scratch ---------------------------------
+  {
+    SystemRow row;
+    row.name = "C3D [37]";
+    row.input = "Video";
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      Rng rng(400 + d);
+      models::C3dModel model(kImage, kFrames, datasets[d]->num_classes(), rng);
+      std::printf("[%s on %s: scratch %d epochs]\n", row.name.c_str(),
+                  datasets[d]->name().c_str(), kScratchEpochs);
+      std::fflush(stdout);
+      auto transform = [](const Tensor& videos) { return videos; };
+      auto forward = [&](const Tensor& input) { return model.forward(input); };
+      train::TrainConfig tc;
+      tc.epochs = kScratchEpochs;
+      tc.batch_size = 16;
+      tc.lr = 2e-3F;
+      const auto fit =
+          train::fit_classifier(model.parameters(), forward, *datasets[d], transform, tc);
+      row.accuracy.push_back(fit.test_metric);
+      if (d == 0) {
+        Rng srng(3);
+        const Tensor video =
+            Tensor::rand_uniform(Shape{kSpeedBatch, kFrames, kImage, kImage}, srng);
+        row.inferences_per_sec =
+            measure_speed([&model, &video] { (void)model.forward(video); });
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- VideoMAEv2-ST stand-in: VideoViT sized near SNAPPIX-B's speed ---------
+  {
+    SystemRow row;
+    row.name = "VideoMAEv2-ST [26]";
+    row.input = "Video";
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      Rng rng(500 + d);
+      models::VideoViTConfig vc;
+      vc.image_h = kImage;
+      vc.image_w = kImage;
+      vc.frames = kFrames;
+      vc.tubelet_t = 2;
+      vc.patch = kTile;
+      vc.dim = 48;
+      vc.depth = 2;
+      vc.heads = 4;
+      vc.num_classes = datasets[d]->num_classes();
+      models::VideoViT model(vc, rng);
+      std::printf("[%s on %s: scratch %d epochs]\n", row.name.c_str(),
+                  datasets[d]->name().c_str(), kScratchEpochs);
+      std::fflush(stdout);
+      auto transform = [](const Tensor& videos) { return videos; };
+      auto forward = [&](const Tensor& input) { return model.forward(input); };
+      train::TrainConfig tc;
+      tc.epochs = kScratchEpochs;
+      tc.batch_size = 16;
+      tc.lr = 2e-3F;
+      const auto fit =
+          train::fit_classifier(model.parameters(), forward, *datasets[d], transform, tc);
+      row.accuracy.push_back(fit.test_metric);
+      if (d == 0) {
+        Rng srng(4);
+        const Tensor video =
+            Tensor::rand_uniform(Shape{kSpeedBatch, kFrames, kImage, kImage}, srng);
+        row.inferences_per_sec =
+            measure_speed([&model, &video] { (void)model.forward(video); });
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  bench::print_rule();
+  std::printf("%-20s %6s %12s %12s %12s %12s\n", "model", "input", "ucf101-like", "ssv2-like",
+              "k400-like", "inf/sec");
+  bench::print_rule();
+  for (const auto& row : rows) {
+    std::printf("%-20s %6s %11.2f%% %11.2f%% %11.2f%% %12.0f\n", row.name.c_str(),
+                row.input.c_str(), static_cast<double>(row.accuracy[0] * 100.0F),
+                static_cast<double>(row.accuracy[1] * 100.0F),
+                static_cast<double>(row.accuracy[2] * 100.0F), row.inferences_per_sec);
+  }
+  bench::print_rule();
+  std::printf(
+      "paper (112x112, RTX 4090): SNAPPIX-S 74.65/42.38/47.58 @2282, SNAPPIX-B\n"
+      "79.14/45.21/54.11 @760, SVC2D 41.16/23.05/26.09 @2135, C3D 62.70/33.48/41.66\n"
+      "@541, VideoMAEv2-ST 72.54/39.84/41.99 @750.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Remote-sensing cubesat scenario (paper intro, ref [2]): a LoRa-connected
+// satellite/ground sensor where the wireless link utterly dominates the
+// energy budget. This example sweeps the number of exposure slots T and the
+// wireless technology, and converts the savings into battery-life terms —
+// the deployment question a remote-sensing engineer actually asks.
+#include <cstdio>
+
+#include "energy/model.h"
+#include "energy/scenario.h"
+#include "hw/area.h"
+
+int main() {
+  using namespace snappix;
+  using energy::WirelessTech;
+
+  const energy::EnergyModel model;
+  constexpr std::int64_t kPixels = 112 * 112;
+  constexpr double kBatteryJ = 3.7 * 3600.0 * 2.0;  // 2 Ah single-cell LiPo
+
+  std::printf("== remote sensing node: energy per captured window vs T ==\n\n");
+  std::printf("%-6s %24s %24s\n", "T", "passive wi-fi saving", "lora backscatter saving");
+  for (const int slots : {2, 4, 8, 16, 32}) {
+    const auto wifi = energy::offload_scenario(model, kPixels, slots,
+                                               WirelessTech::kPassiveWifi);
+    const auto lora = energy::offload_scenario(model, kPixels, slots,
+                                               WirelessTech::kLoraBackscatter);
+    std::printf("%-6d %23.2fx %23.2fx\n", slots, wifi.saving_factor, lora.saving_factor);
+  }
+
+  std::printf("\n== battery life on a 2 Ah cell, one 16-frame window per minute ==\n\n");
+  for (const auto tech : {WirelessTech::kPassiveWifi, WirelessTech::kLoraBackscatter}) {
+    const auto scenario = energy::offload_scenario(model, kPixels, 16, tech);
+    const double conventional_days =
+        kBatteryJ / scenario.baseline_j / (60.0 * 24.0);
+    const double snappix_days = kBatteryJ / scenario.snappix_j / (60.0 * 24.0);
+    std::printf("%-32s conventional %10.1f days   snappix %10.1f days\n",
+                energy::wireless_tech_name(tech), conventional_days, snappix_days);
+  }
+
+  std::printf("\n== sensor augmentation cost at candidate process nodes ==\n\n");
+  const hw::PixelAreaModel area;
+  for (const int node : {65, 45, 28, 22}) {
+    std::printf("  %2d nm: CE logic %5.2f um^2 per pixel -> %s\n", node,
+                area.logic_area_um2(node),
+                area.logic_hidden_under_aps(node) ? "hidden beneath the APS (free)"
+                                                  : "exceeds the APS footprint");
+  }
+  std::printf("\nthe CE augmentation is area-free at <=32 nm while cutting the\n"
+              "dominant LoRa transmission energy by the full compression factor.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Hardware walkthrough of the CE pixel (paper Fig. 5 / Sec. V): traces the
+// per-slot protocol on a tiny sensor so each phase — pattern streaming into
+// the DFF shift chains, the pattern_reset pulse (M6/M1), exposure, the
+// pattern_transfer pulse (M7/M3), and power gating — is visible, then shows
+// that the captured coded image equals Eqn. 1 and reports the capture's
+// cycle/energy accounting.
+#include <cstdio>
+
+#include "ce/encode.h"
+#include "ce/pattern.h"
+#include "sensor/pattern_memory.h"
+#include "sensor/sensor.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace snappix;
+
+  std::printf("== 1. the tile-repetitive CE pattern (T=4 slots, 2x2 tile) ==\n\n");
+  Rng rng(7);
+  ce::CePattern pattern = ce::CePattern::sparse_random(4, 2, rng);
+  std::printf("%s\n", pattern.to_string().c_str());
+
+  std::printf("== 2. streaming slot 0 into a tile's DFF shift chain ==\n\n");
+  sensor::DffShiftChain chain(4);
+  const auto bits = pattern.slot_bits(0);
+  std::printf("slot 0 bits (raster order): %d %d %d %d\n", bits[0], bits[1], bits[2], bits[3]);
+  chain.load_slot(bits);
+  std::printf("after %llu pattern-clk cycles, DFF outputs: %d %d %d %d\n",
+              static_cast<unsigned long long>(chain.cycles()), chain.bit_at(0), chain.bit_at(1),
+              chain.bit_at(2), chain.bit_at(3));
+  chain.power_gate();
+  std::printf("chain power-gated until the transfer phase "
+              "(4 wires total: in/clk/reset/transfer)\n\n");
+
+  std::printf("== 3. full capture on an 8x8 sensor ==\n\n");
+  sensor::SensorConfig config;
+  config.height = 8;
+  config.width = 8;
+  config.adc.full_scale = config.electrons_per_unit * 4;
+  config.pixel.full_well_electrons = config.adc.full_scale;
+  sensor::StackedSensor sensor(config, pattern);
+  const Tensor scene = Tensor::rand_uniform(Shape{4, 8, 8}, rng);
+  Rng capture_rng(11);
+  const Tensor captured = sensor.capture(scene, capture_rng);
+  const Tensor ideal = sensor.ideal_codes(scene);
+  float max_err = 0.0F;
+  for (std::size_t i = 0; i < captured.data().size(); ++i) {
+    max_err = std::max(max_err, std::abs(captured.data()[i] - ideal.data()[i]));
+  }
+  std::printf("captured coded image vs Eqn. 1 prediction: max |error| = %.1f LSB\n\n",
+              static_cast<double>(max_err));
+
+  const auto& stats = sensor.stats();
+  std::printf("capture accounting:\n");
+  std::printf("  pattern clk cycles per chain : %llu (2 streams x 4 slots x 4 bits)\n",
+              static_cast<unsigned long long>(stats.pattern_clk_cycles));
+  std::printf("  total pattern bits streamed  : %llu across %lld tile chains\n",
+              static_cast<unsigned long long>(stats.pattern_bits_streamed),
+              static_cast<long long>(sensor.tiles()));
+  std::printf("  pd resets (M1 via M6)        : %llu\n",
+              static_cast<unsigned long long>(stats.pd_resets));
+  std::printf("  charge transfers (M3 via M7) : %llu\n",
+              static_cast<unsigned long long>(stats.charge_transfers));
+  std::printf("  adc conversions              : %llu\n",
+              static_cast<unsigned long long>(stats.adc_conversions));
+  std::printf("  mipi bytes (with packet hdrs): %llu\n",
+              static_cast<unsigned long long>(stats.mipi_bytes));
+  std::printf("  frame time                   : %.3f ms\n", stats.frame_time_s * 1e3);
+
+  std::printf("\n== 4. noise study: same scene, noise enabled ==\n\n");
+  sensor::SensorConfig noisy = config;
+  noisy.noise.enabled = true;
+  sensor::StackedSensor noisy_sensor(noisy, pattern);
+  Rng noisy_rng(13);
+  const Tensor noisy_capture = noisy_sensor.capture(scene, noisy_rng);
+  double mean_abs = 0.0;
+  for (std::size_t i = 0; i < noisy_capture.data().size(); ++i) {
+    mean_abs += std::abs(noisy_capture.data()[i] - ideal.data()[i]);
+  }
+  mean_abs /= static_cast<double>(noisy_capture.data().size());
+  std::printf("with shot/read/fixed-pattern noise: mean |error| = %.2f LSB\n", mean_abs);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Smart-city traffic camera scenario (the paper's motivating deployment):
+// a pole-mounted sensor node with no meaningful compute must stream to a
+// server over passive Wi-Fi. This example runs the full hardware-in-the-loop
+// pipeline — cycle-level sensor capture -> coded image -> server-side ViT —
+// and accounts the edge energy per classified event against a conventional
+// 16-frame camera.
+#include <cstdio>
+
+#include "core/snappix.h"
+#include "data/dataset.h"
+#include "energy/model.h"
+#include "energy/scenario.h"
+#include "sensor/sensor.h"
+
+int main() {
+  using namespace snappix;
+
+  // Scene model: multi-object motion over textured background, like traffic
+  // viewed from a pole camera. Labels = motion direction of the objects.
+  auto data_cfg = data::k400_like(/*frames=*/16, /*size=*/32);
+  data_cfg.scene.num_classes = 5;  // static + 4 travel directions
+  data_cfg.scene.max_shapes = 3;
+  data_cfg.train_per_class = 24;
+  data_cfg.test_per_class = 8;
+  const data::VideoDataset dataset(data_cfg);
+
+  core::SnapPixConfig config;
+  config.image = 32;
+  config.frames = 16;
+  config.tile = 8;
+  config.num_classes = dataset.num_classes();
+  core::SnapPixSystem system(config);
+
+  std::printf("== smart-city camera: training the deployment ==\n");
+  train::PatternTrainConfig pattern_cfg;
+  pattern_cfg.steps = 100;
+  pattern_cfg.batch_size = 8;
+  system.learn_pattern(dataset, pattern_cfg);
+  train::TrainConfig train_cfg;
+  train_cfg.epochs = 14;
+  train_cfg.batch_size = 16;
+  train_cfg.lr = 3e-3F;
+  const auto fit = system.train_action_recognition(dataset, train_cfg);
+  std::printf("server-side model accuracy: %.1f%% (chance %.1f%%)\n\n",
+              static_cast<double>(fit.test_metric * 100.0F), 100.0 / dataset.num_classes());
+
+  // Hardware-in-the-loop: the pattern is streamed into the per-pixel DFFs of
+  // the simulated stacked sensor, and classification runs on its ADC output.
+  sensor::SensorConfig sensor_cfg = system.default_sensor_config();
+  sensor_cfg.noise.enabled = true;  // realistic capture
+  sensor::StackedSensor camera(sensor_cfg, system.pattern());
+  Rng rng(1234);
+  int correct = 0;
+  const int events = 10;
+  std::printf("== capturing %d traffic events on the simulated sensor ==\n", events);
+  for (int i = 0; i < events; ++i) {
+    const auto& sample = dataset.test_sample(i);
+    const auto predicted = system.classify_via_sensor(sample.video, camera, rng);
+    correct += predicted == sample.label ? 1 : 0;
+  }
+  std::printf("hardware-in-the-loop accuracy: %d/%d\n", correct, events);
+
+  const auto& stats = camera.stats();
+  std::printf("\nper-capture sensor activity (32x32, T=16):\n");
+  std::printf("  pattern bits streamed : %llu (2 streams x 16 slots x 64 bits x %lld tiles)\n",
+              static_cast<unsigned long long>(stats.pattern_bits_streamed),
+              static_cast<long long>(camera.tiles()));
+  std::printf("  pd resets / transfers : %llu / %llu\n",
+              static_cast<unsigned long long>(stats.pd_resets),
+              static_cast<unsigned long long>(stats.charge_transfers));
+  std::printf("  adc conversions       : %llu (vs %llu for a 16-frame capture)\n",
+              static_cast<unsigned long long>(stats.adc_conversions),
+              static_cast<unsigned long long>(stats.adc_conversions * 16));
+  std::printf("  mipi bytes            : %llu\n",
+              static_cast<unsigned long long>(stats.mipi_bytes));
+  std::printf("  frame time            : %.2f ms (%.1f%% exposure)\n",
+              stats.frame_time_s * 1e3, 100.0 * stats.exposure_time_s / stats.frame_time_s);
+
+  // Edge energy budget, paper Sec. VI-D constants.
+  const energy::EnergyModel energy_model;
+  const auto scenario = energy::offload_scenario(
+      energy_model, config.image * config.image, config.frames,
+      energy::WirelessTech::kPassiveWifi);
+  std::printf("\nedge energy per event (sensing + passive Wi-Fi):\n");
+  std::printf("  conventional 16-frame camera : %.3f uJ\n", scenario.baseline_j * 1e6);
+  std::printf("  snappix coded camera         : %.3f uJ\n", scenario.snappix_j * 1e6);
+  std::printf("  saving                       : %.2fx\n", scenario.saving_factor);
+  return 0;
+}

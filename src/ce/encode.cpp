@@ -1,0 +1,101 @@
+#include "ce/encode.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace snappix::ce {
+
+Tensor ce_encode(const Tensor& videos, const CePattern& pattern) {
+  SNAPPIX_CHECK(videos.ndim() == 4, "ce_encode expects (B, T, H, W), got "
+                                        << videos.shape().to_string());
+  const std::int64_t batch = videos.shape()[0];
+  const std::int64_t frames = videos.shape()[1];
+  const std::int64_t h = videos.shape()[2];
+  const std::int64_t w = videos.shape()[3];
+  SNAPPIX_CHECK(frames == pattern.slots(), "video has " << frames << " frames but pattern has "
+                                                        << pattern.slots() << " slots");
+  const int tile = pattern.tile();
+  SNAPPIX_CHECK(h % tile == 0 && w % tile == 0,
+                "frame " << h << "x" << w << " not divisible by tile " << tile);
+
+  std::vector<float> out(static_cast<std::size_t>(batch * h * w), 0.0F);
+  const auto& dv = videos.data();
+  const Tensor mask = pattern.to_tensor();  // (T, tile, tile)
+  const auto& dm = mask.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < frames; ++t) {
+      const float* frame = dv.data() + (b * frames + t) * h * w;
+      const float* mslot = dm.data() + t * tile * tile;
+      float* dst = out.data() + b * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        const float* mrow = mslot + (y % tile) * tile;
+        for (std::int64_t x = 0; x < w; ++x) {
+          dst[y * w + x] += mrow[x % tile] * frame[y * w + x];
+        }
+      }
+    }
+  }
+  return Tensor::from_vector(std::move(out), Shape{batch, h, w});
+}
+
+Tensor ce_encode_single(const Tensor& video, const CePattern& pattern) {
+  SNAPPIX_CHECK(video.ndim() == 3, "ce_encode_single expects (T, H, W), got "
+                                       << video.shape().to_string());
+  const Tensor batched = Tensor::from_vector(
+      video.data(), Shape{1, video.shape()[0], video.shape()[1], video.shape()[2]});
+  const Tensor coded = ce_encode(batched, pattern);
+  return Tensor::from_vector(coded.data(), Shape{video.shape()[1], video.shape()[2]});
+}
+
+Tensor ce_encode_diff(const Tensor& videos, const Tensor& weights) {
+  SNAPPIX_CHECK(videos.ndim() == 4, "ce_encode_diff expects (B, T, H, W) videos, got "
+                                        << videos.shape().to_string());
+  SNAPPIX_CHECK(weights.ndim() == 3 && weights.shape()[1] == weights.shape()[2],
+                "ce_encode_diff expects (T, tile, tile) weights, got "
+                    << weights.shape().to_string());
+  const std::int64_t frames = videos.shape()[1];
+  const std::int64_t h = videos.shape()[2];
+  const std::int64_t w = videos.shape()[3];
+  const std::int64_t tile = weights.shape()[1];
+  SNAPPIX_CHECK(weights.shape()[0] == frames, "weights slots " << weights.shape()[0]
+                                                               << " != video frames " << frames);
+  SNAPPIX_CHECK(h % tile == 0 && w % tile == 0,
+                "frame " << h << "x" << w << " not divisible by tile " << tile);
+  // Binary mask with straight-through gradients, repeated across tiles.
+  const Tensor mask = binarize_ste(weights);                // (T, tile, tile)
+  const Tensor full = tile_2d(mask, h / tile, w / tile);    // (T, H, W)
+  const Tensor masked = mul(videos, full);                  // broadcast over batch
+  return sum(masked, /*axis=*/1);                           // (B, H, W)
+}
+
+Tensor normalize_by_exposure(const Tensor& coded, const CePattern& pattern) {
+  SNAPPIX_CHECK(coded.ndim() == 3, "normalize_by_exposure expects (B, H, W), got "
+                                       << coded.shape().to_string());
+  const std::int64_t batch = coded.shape()[0];
+  const std::int64_t h = coded.shape()[1];
+  const std::int64_t w = coded.shape()[2];
+  const int tile = pattern.tile();
+  SNAPPIX_CHECK(h % tile == 0 && w % tile == 0,
+                "frame " << h << "x" << w << " not divisible by tile " << tile);
+  const auto counts = pattern.exposure_counts();
+  std::vector<float> inv(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    inv[i] = counts[i] > 0 ? 1.0F / static_cast<float>(counts[i]) : 0.0F;
+  }
+  std::vector<float> out(coded.data().size());
+  const auto& dc = coded.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* src = dc.data() + b * h * w;
+    float* dst = out.data() + b * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float* irow = inv.data() + (y % tile) * tile;
+      for (std::int64_t x = 0; x < w; ++x) {
+        dst[y * w + x] = src[y * w + x] * irow[x % tile];
+      }
+    }
+  }
+  return Tensor::from_vector(std::move(out), coded.shape());
+}
+
+}  // namespace snappix::ce

@@ -1,0 +1,31 @@
+// Coded-exposure encoding (paper Eqn. 1): X(i,j) = sum_t M(i,j,t) * Y(i,j,t).
+//
+// Two paths are provided:
+//  - ce_encode: fast, tape-free encoding for inference and data preparation.
+//  - ce_encode_diff: differentiable encoding through continuous mask weights
+//    with a straight-through estimator, used to *learn* patterns (Sec. III).
+#pragma once
+
+#include "ce/pattern.h"
+#include "tensor/tensor.h"
+
+namespace snappix::ce {
+
+// Encodes a batch of videos (B, T, H, W) into coded images (B, H, W).
+// No autograd tape is recorded.
+Tensor ce_encode(const Tensor& videos, const CePattern& pattern);
+
+// Single-video convenience: (T, H, W) -> (H, W).
+Tensor ce_encode_single(const Tensor& video, const CePattern& pattern);
+
+// Differentiable encoding for pattern learning. `weights` is a continuous
+// (T, tile, tile) tensor; the binary mask is binarize_ste(weights) tiled over
+// the frame, so gradients flow back into `weights` straight-through.
+Tensor ce_encode_diff(const Tensor& videos, const Tensor& weights);
+
+// Divides each coded pixel by its exposure-slot count (paper Sec. IV: "each
+// pixel value is normalized by the number of exposure slots"). Pixels that
+// are never exposed stay zero. Input (B, H, W), tape-free.
+Tensor normalize_by_exposure(const Tensor& coded, const CePattern& pattern);
+
+}  // namespace snappix::ce

@@ -1,0 +1,178 @@
+#include "ce/pattern.h"
+
+#include <fstream>
+
+#include "util/common.h"
+
+namespace snappix::ce {
+
+CePattern::CePattern(int slots, int tile) : slots_(slots), tile_(tile) {
+  SNAPPIX_CHECK(slots > 0 && tile > 0, "CePattern: slots and tile must be positive, got "
+                                           << slots << ", " << tile);
+  bits_.assign(static_cast<std::size_t>(bits_per_tile()), 0);
+}
+
+std::int64_t CePattern::index(int slot, int y, int x) const {
+  SNAPPIX_CHECK(slot >= 0 && slot < slots_, "slot " << slot << " out of range [0, " << slots_
+                                                    << ")");
+  SNAPPIX_CHECK(y >= 0 && y < tile_ && x >= 0 && x < tile_,
+                "pixel (" << y << ", " << x << ") out of tile " << tile_ << "x" << tile_);
+  return (static_cast<std::int64_t>(slot) * tile_ + y) * tile_ + x;
+}
+
+bool CePattern::bit(int slot, int y, int x) const {
+  return bits_[static_cast<std::size_t>(index(slot, y, x))] != 0;
+}
+
+void CePattern::set_bit(int slot, int y, int x, bool value) {
+  bits_[static_cast<std::size_t>(index(slot, y, x))] = value ? 1 : 0;
+}
+
+CePattern CePattern::long_exposure(int slots, int tile) {
+  CePattern p(slots, tile);
+  for (auto& b : p.bits_) {
+    b = 1;
+  }
+  return p;
+}
+
+CePattern CePattern::short_exposure(int slots, int tile, int period) {
+  SNAPPIX_CHECK(period > 0, "short_exposure: period must be positive");
+  CePattern p(slots, tile);
+  for (int t = 0; t < slots; t += period) {
+    for (int y = 0; y < tile; ++y) {
+      for (int x = 0; x < tile; ++x) {
+        p.set_bit(t, y, x, true);
+      }
+    }
+  }
+  return p;
+}
+
+CePattern CePattern::random(int slots, int tile, Rng& rng, float p) {
+  SNAPPIX_CHECK(p >= 0.0F && p <= 1.0F, "random pattern probability " << p << " out of [0,1]");
+  CePattern pat(slots, tile);
+  for (auto& b : pat.bits_) {
+    b = rng.bernoulli(p) ? 1 : 0;
+  }
+  return pat;
+}
+
+CePattern CePattern::sparse_random(int slots, int tile, Rng& rng) {
+  CePattern pat(slots, tile);
+  for (int y = 0; y < tile; ++y) {
+    for (int x = 0; x < tile; ++x) {
+      const int slot = static_cast<int>(rng.uniform_int(0, slots - 1));
+      pat.set_bit(slot, y, x, true);
+    }
+  }
+  return pat;
+}
+
+CePattern CePattern::from_weights(const Tensor& weights, float threshold) {
+  SNAPPIX_CHECK(weights.ndim() == 3 && weights.shape()[1] == weights.shape()[2],
+                "from_weights expects (T, tile, tile), got " << weights.shape().to_string());
+  const int slots = static_cast<int>(weights.shape()[0]);
+  const int tile = static_cast<int>(weights.shape()[1]);
+  CePattern pat(slots, tile);
+  const auto& data = weights.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    pat.bits_[i] = data[i] > threshold ? 1 : 0;
+  }
+  return pat;
+}
+
+std::vector<int> CePattern::exposure_counts() const {
+  std::vector<int> counts(static_cast<std::size_t>(tile_) * tile_, 0);
+  for (int t = 0; t < slots_; ++t) {
+    for (int y = 0; y < tile_; ++y) {
+      for (int x = 0; x < tile_; ++x) {
+        counts[static_cast<std::size_t>(y * tile_ + x)] += bit(t, y, x) ? 1 : 0;
+      }
+    }
+  }
+  return counts;
+}
+
+int CePattern::total_exposed() const {
+  int total = 0;
+  for (const auto b : bits_) {
+    total += b;
+  }
+  return total;
+}
+
+float CePattern::exposure_fraction() const {
+  return static_cast<float>(total_exposed()) / static_cast<float>(bits_per_tile());
+}
+
+Tensor CePattern::to_tensor() const {
+  std::vector<float> values(bits_.size());
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    values[i] = static_cast<float>(bits_[i]);
+  }
+  return Tensor::from_vector(std::move(values), Shape{slots_, tile_, tile_});
+}
+
+Tensor CePattern::full_mask(std::int64_t height, std::int64_t width) const {
+  SNAPPIX_CHECK(height % tile_ == 0 && width % tile_ == 0,
+                "frame " << height << "x" << width << " not divisible by tile " << tile_);
+  NoGradGuard guard;
+  return tile_2d(to_tensor(), height / tile_, width / tile_);
+}
+
+std::vector<std::uint8_t> CePattern::slot_bits(int slot) const {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(tile_) * tile_);
+  for (int y = 0; y < tile_; ++y) {
+    for (int x = 0; x < tile_; ++x) {
+      out[static_cast<std::size_t>(y * tile_ + x)] = bit(slot, y, x) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+void CePattern::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  SNAPPIX_CHECK(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(&slots_), sizeof(slots_));
+  out.write(reinterpret_cast<const char*>(&tile_), sizeof(tile_));
+  out.write(reinterpret_cast<const char*>(bits_.data()),
+            static_cast<std::streamsize>(bits_.size()));
+  SNAPPIX_CHECK(out.good(), "write failure on " << path);
+}
+
+CePattern CePattern::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SNAPPIX_CHECK(in.good(), "cannot open " << path << " for reading");
+  int slots = 0;
+  int tile = 0;
+  in.read(reinterpret_cast<char*>(&slots), sizeof(slots));
+  in.read(reinterpret_cast<char*>(&tile), sizeof(tile));
+  SNAPPIX_CHECK(in.good() && slots > 0 && tile > 0, path << " is not a valid CE pattern file");
+  CePattern pat(slots, tile);
+  in.read(reinterpret_cast<char*>(pat.bits_.data()),
+          static_cast<std::streamsize>(pat.bits_.size()));
+  SNAPPIX_CHECK(in.good(), "read failure on " << path);
+  return pat;
+}
+
+bool CePattern::operator==(const CePattern& other) const {
+  return slots_ == other.slots_ && tile_ == other.tile_ && bits_ == other.bits_;
+}
+
+std::string CePattern::to_string() const {
+  std::string out;
+  for (int t = 0; t < slots_; ++t) {
+    out += "slot " + std::to_string(t) + ":\n";
+    for (int y = 0; y < tile_; ++y) {
+      out += "  ";
+      for (int x = 0; x < tile_; ++x) {
+        out += bit(t, y, x) ? '#' : '.';
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace snappix::ce

@@ -1,0 +1,74 @@
+// CePattern: a tile-repetitive coded-exposure pattern (paper Sec. II-B/IV).
+//
+// The pattern is a binary mask over (T slots, tile x tile pixels). Pixels
+// within a tile may differ; the pattern repeats across tiles (tile-repetitive
+// constraint that lets the ViT handle all within-tile variation, Sec. IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix::ce {
+
+class CePattern {
+ public:
+  // All-zero pattern with `slots` exposure slots and a `tile` x `tile` tile.
+  CePattern(int slots, int tile);
+
+  // --- factories matching the paper's task-agnostic baselines (Sec. VI-A) ---
+  // LONG EXPOSURE: all pixels exposed in all slots.
+  static CePattern long_exposure(int slots, int tile);
+  // SHORT EXPOSURE: all pixels exposed every `period`-th slot (paper: 8).
+  static CePattern short_exposure(int slots, int tile, int period = 8);
+  // RANDOM: each pixel/slot exposed independently with probability `p`.
+  static CePattern random(int slots, int tile, Rng& rng, float p = 0.5F);
+  // SPARSE RANDOM: each pixel exposed in exactly one uniformly random slot.
+  static CePattern sparse_random(int slots, int tile, Rng& rng);
+  // Binarizes learned continuous weights (T, tile, tile) at `threshold`.
+  static CePattern from_weights(const Tensor& weights, float threshold = 0.5F);
+
+  int slots() const { return slots_; }
+  int tile() const { return tile_; }
+  std::int64_t bits_per_tile() const {
+    return static_cast<std::int64_t>(slots_) * tile_ * tile_;
+  }
+
+  bool bit(int slot, int y, int x) const;
+  void set_bit(int slot, int y, int x, bool value);
+
+  // Number of exposed slots for each within-tile pixel; shape (tile, tile).
+  std::vector<int> exposure_counts() const;
+  // Total exposed (pixel, slot) pairs; the "exposure budget".
+  int total_exposed() const;
+  // Fraction of (pixel, slot) pairs exposed.
+  float exposure_fraction() const;
+
+  // Dense float tensor of shape (T, tile, tile) with 0/1 entries.
+  Tensor to_tensor() const;
+  // Pattern tiled over a full frame: (T, height, width).
+  Tensor full_mask(std::int64_t height, std::int64_t width) const;
+
+  // Bit order used to stream the pattern into the per-pixel DFF chain
+  // (sensor Sec. V): raster order within the tile for a given slot.
+  std::vector<std::uint8_t> slot_bits(int slot) const;
+
+  void save(const std::string& path) const;
+  static CePattern load(const std::string& path);
+
+  bool operator==(const CePattern& other) const;
+
+  std::string to_string() const;  // human-readable per-slot bitmap
+
+ private:
+  std::int64_t index(int slot, int y, int x) const;
+
+  int slots_;
+  int tile_;
+  std::vector<std::uint8_t> bits_;  // layout (T, tile, tile)
+};
+
+}  // namespace snappix::ce

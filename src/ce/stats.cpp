@@ -1,0 +1,73 @@
+#include "ce/stats.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace snappix::ce {
+
+Tensor tile_samples(const Tensor& coded, int tile) {
+  SNAPPIX_CHECK(coded.ndim() == 3, "tile_samples expects (B, H, W), got "
+                                       << coded.shape().to_string());
+  const std::int64_t batch = coded.shape()[0];
+  const std::int64_t h = coded.shape()[1];
+  const std::int64_t w = coded.shape()[2];
+  SNAPPIX_CHECK(tile > 0 && h % tile == 0 && w % tile == 0,
+                "frame " << h << "x" << w << " not divisible by tile " << tile);
+  const std::int64_t gh = h / tile;
+  const std::int64_t gw = w / tile;
+  Tensor t = reshape(coded, Shape{batch, gh, tile, gw, tile});
+  t = permute(t, {0, 1, 3, 2, 4});  // (B, gh, gw, tile, tile)
+  return reshape(t, Shape{batch * gh * gw, static_cast<std::int64_t>(tile) * tile});
+}
+
+Tensor zero_mean_contrast(const Tensor& samples) {
+  SNAPPIX_CHECK(samples.ndim() == 2, "zero_mean_contrast expects (S, P), got "
+                                         << samples.shape().to_string());
+  const Tensor tile_mean = mean(samples, -1, /*keepdim=*/true);  // (S, 1)
+  return sub(samples, tile_mean);
+}
+
+Tensor pearson_matrix(const Tensor& samples, float eps) {
+  SNAPPIX_CHECK(samples.ndim() == 2, "pearson_matrix expects (S, P), got "
+                                         << samples.shape().to_string());
+  const std::int64_t s = samples.shape()[0];
+  SNAPPIX_CHECK(s >= 2, "pearson_matrix needs at least 2 samples, got " << s);
+  // Standardize each pixel-position column over the sample axis.
+  const Tensor mu = mean(samples, 0, /*keepdim=*/true);               // (1, P)
+  const Tensor centered = sub(samples, mu);                           // (S, P)
+  const Tensor var = mean(square(centered), 0, /*keepdim=*/true);     // (1, P)
+  const Tensor z = div(centered, snappix::sqrt(add_scalar(var, eps)));
+  // C = Z^T Z / S.
+  return mul_scalar(matmul(transpose(z, 0, 1), z), 1.0F / static_cast<float>(s));
+}
+
+Tensor decorrelation_loss(const Tensor& coded, int tile, float eps) {
+  const Tensor samples = zero_mean_contrast(tile_samples(coded, tile));
+  const Tensor corr = pearson_matrix(samples, eps);
+  const std::int64_t p = corr.shape()[0];
+  SNAPPIX_CHECK(p >= 2, "decorrelation_loss needs a tile with at least 2 pixels");
+  // Mean of squared off-diagonal entries. Rather than materializing a mask,
+  // subtract the diagonal contribution: diagonal entries of a correlation
+  // matrix of standardized variables are var/(var+eps) <= 1; we compute them
+  // exactly by extracting the diagonal with index_select on the flattened
+  // matrix.
+  const Tensor sq = square(corr);
+  Tensor total = sum_all(sq);
+  std::vector<std::int64_t> diag_idx(static_cast<std::size_t>(p));
+  for (std::int64_t i = 0; i < p; ++i) {
+    diag_idx[static_cast<std::size_t>(i)] = i * p + i;
+  }
+  const Tensor flat = reshape(sq, Shape{p * p});
+  const Tensor diag = sum_all(index_select(flat, 0, diag_idx));
+  const float denom = static_cast<float>(p) * static_cast<float>(p - 1);
+  return mul_scalar(sub(total, diag), 1.0F / denom);
+}
+
+float mean_correlation(const Tensor& coded, int tile) {
+  NoGradGuard guard;
+  const float l_cor = decorrelation_loss(coded.detach(), tile).item();
+  return std::sqrt(std::max(l_cor, 0.0F));
+}
+
+}  // namespace snappix::ce

@@ -1,0 +1,36 @@
+// Within-tile pixel-correlation statistics (paper Sec. III, Fig. 3).
+//
+// Coded images are divided into tiles of P = tile*tile pixels; each within-
+// tile pixel position becomes an S-dimensional sample vector (S = B * number
+// of tiles). After zero-mean contrast encoding, the Pearson correlation
+// matrix between positions quantifies redundancy; the decorrelation loss
+// L_Cor (Eqn. 2) is the mean of squared off-diagonal coefficients.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace snappix::ce {
+
+// Rearranges coded images (B, H, W) into per-tile sample rows (S, P) with
+// S = B*(H/tile)*(W/tile) and P = tile*tile. Differentiable.
+Tensor tile_samples(const Tensor& coded, int tile);
+
+// Zero-mean contrast encoding: subtracts each tile instance's mean pixel
+// value from all pixels of that tile (Fig. 3: "ensuring the mean pixel value
+// of each tile is zero"). Input/output shape (S, P). Differentiable.
+Tensor zero_mean_contrast(const Tensor& samples);
+
+// Pearson correlation matrix (P, P) between within-tile pixel positions from
+// samples (S, P). Differentiable.
+Tensor pearson_matrix(const Tensor& samples, float eps = 1e-6F);
+
+// L_Cor (Eqn. 2): mean of squared off-diagonal Pearson coefficients.
+// Differentiable; `coded` is (B, H, W).
+Tensor decorrelation_loss(const Tensor& coded, int tile, float eps = 1e-6F);
+
+// Scalar summary used in Fig. 6's legend: sqrt of the mean squared
+// off-diagonal Pearson coefficient (reported as "the correlation
+// coefficient" of a pattern). Tape-free.
+float mean_correlation(const Tensor& coded, int tile);
+
+}  // namespace snappix::ce

@@ -1,0 +1,186 @@
+#include "codec/dct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/common.h"
+
+namespace snappix::codec {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846F;
+
+// Standard JPEG luminance quantization table (Annex K).
+constexpr int kQuantTable[kBlock * kBlock] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+// Zigzag scan order of an 8x8 block.
+constexpr int kZigzag[kBlock * kBlock] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// DCT basis cache: cos((2x+1) u pi / 16) with orthonormal scale factors.
+struct DctBasis {
+  float c[kBlock][kBlock];  // c[u][x]
+  DctBasis() {
+    for (int u = 0; u < kBlock; ++u) {
+      const float alpha =
+          u == 0 ? std::sqrt(1.0F / kBlock) : std::sqrt(2.0F / kBlock);
+      for (int x = 0; x < kBlock; ++x) {
+        c[u][x] = alpha * std::cos((2.0F * x + 1.0F) * u * kPi / (2.0F * kBlock));
+      }
+    }
+  }
+};
+const DctBasis& basis() {
+  static const DctBasis b;
+  return b;
+}
+
+// Bits to encode a quantized coefficient magnitude (JPEG size category).
+int magnitude_bits(int value) {
+  int v = std::abs(value);
+  int bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+int scaled_quant(int index, int quality) {
+  // libjpeg quality scaling.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  const int q = (kQuantTable[index] * scale + 50) / 100;
+  return std::clamp(q, 1, 255);
+}
+
+}  // namespace
+
+void dct_8x8(const float* input, float* output) {
+  const auto& b = basis();
+  // Separable: rows then columns.
+  float tmp[kBlock * kBlock];
+  for (int y = 0; y < kBlock; ++y) {
+    for (int u = 0; u < kBlock; ++u) {
+      float acc = 0.0F;
+      for (int x = 0; x < kBlock; ++x) {
+        acc += input[y * kBlock + x] * b.c[u][x];
+      }
+      tmp[y * kBlock + u] = acc;
+    }
+  }
+  for (int u = 0; u < kBlock; ++u) {
+    for (int v = 0; v < kBlock; ++v) {
+      float acc = 0.0F;
+      for (int y = 0; y < kBlock; ++y) {
+        acc += tmp[y * kBlock + u] * b.c[v][y];
+      }
+      output[v * kBlock + u] = acc;
+    }
+  }
+}
+
+void idct_8x8(const float* input, float* output) {
+  const auto& b = basis();
+  float tmp[kBlock * kBlock];
+  for (int u = 0; u < kBlock; ++u) {
+    for (int y = 0; y < kBlock; ++y) {
+      float acc = 0.0F;
+      for (int v = 0; v < kBlock; ++v) {
+        acc += input[v * kBlock + u] * b.c[v][y];
+      }
+      tmp[y * kBlock + u] = acc;
+    }
+  }
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      float acc = 0.0F;
+      for (int u = 0; u < kBlock; ++u) {
+        acc += tmp[y * kBlock + u] * b.c[u][x];
+      }
+      output[y * kBlock + x] = acc;
+    }
+  }
+}
+
+CodecResult jpeg_like_compress(const Tensor& image, const JpegLikeConfig& config) {
+  SNAPPIX_CHECK(image.ndim() == 2, "jpeg_like_compress expects (H, W), got "
+                                       << image.shape().to_string());
+  SNAPPIX_CHECK(config.quality >= 1 && config.quality <= 100,
+                "quality " << config.quality << " out of [1, 100]");
+  const std::int64_t h = image.shape()[0];
+  const std::int64_t w = image.shape()[1];
+  SNAPPIX_CHECK(h % kBlock == 0 && w % kBlock == 0,
+                "image " << h << "x" << w << " not divisible by " << kBlock);
+
+  std::vector<float> recon(image.data().size());
+  std::int64_t bits = 0;
+  float block_in[kBlock * kBlock];
+  float coeffs[kBlock * kBlock];
+  int quantized[kBlock * kBlock];
+  float dequant[kBlock * kBlock];
+  float block_out[kBlock * kBlock];
+  const auto& src = image.data();
+
+  for (std::int64_t by = 0; by < h; by += kBlock) {
+    for (std::int64_t bx = 0; bx < w; bx += kBlock) {
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          // Level-shift to [-128, 127] like JPEG.
+          block_in[y * kBlock + x] =
+              src[static_cast<std::size_t>((by + y) * w + bx + x)] * 255.0F - 128.0F;
+        }
+      }
+      dct_8x8(block_in, coeffs);
+      for (int i = 0; i < kBlock * kBlock; ++i) {
+        const int q = scaled_quant(i, config.quality);
+        quantized[i] = static_cast<int>(std::lround(coeffs[i] / static_cast<float>(q)));
+        dequant[i] = static_cast<float>(quantized[i] * q);
+      }
+      // Size estimate: JPEG-style zigzag run-length. Each nonzero coefficient
+      // costs ~4 bits of run/size huffman code plus its magnitude bits; a
+      // trailing end-of-block costs 4 bits.
+      for (int i = 0; i < kBlock * kBlock; ++i) {
+        const int v = quantized[kZigzag[i]];
+        if (v != 0) {
+          bits += 4 + magnitude_bits(v);
+        }
+      }
+      bits += 4;  // EOB
+      idct_8x8(dequant, block_out);
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          recon[static_cast<std::size_t>((by + y) * w + bx + x)] =
+              std::clamp((block_out[y * kBlock + x] + 128.0F) / 255.0F, 0.0F, 1.0F);
+        }
+      }
+    }
+  }
+
+  CodecResult result;
+  result.reconstruction = Tensor::from_vector(std::move(recon), image.shape());
+  result.compressed_bits = bits;
+  result.compression_ratio =
+      static_cast<double>(h * w * 8) / static_cast<double>(std::max<std::int64_t>(bits, 1));
+  result.psnr_db = eval::psnr_db(result.reconstruction, image);
+  return result;
+}
+
+double digital_compression_energy_j(std::int64_t pixels, double nj_per_pixel) {
+  SNAPPIX_CHECK(pixels > 0 && nj_per_pixel > 0.0, "bad digital compression parameters");
+  return static_cast<double>(pixels) * nj_per_pixel * 1e-9;
+}
+
+}  // namespace snappix::codec

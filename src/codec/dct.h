@@ -1,0 +1,46 @@
+// Digital-domain image compression baseline (paper Sec. VII, Related Work).
+//
+// The paper's argument for in-sensor compression: classic digital
+// compression (JPEG-style DCT coding) achieves high ratios but runs AFTER
+// read-out — so it saves no sensing energy — and costs ~nJ/pixel even with
+// dedicated hardware [42], orders of magnitude above the 220 pJ/pixel of
+// sensing itself. This module implements a JPEG-like 8x8 DCT codec so that
+// trade-off can be measured rather than asserted.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace snappix::codec {
+
+inline constexpr int kBlock = 8;
+
+// 2-D type-II DCT of one 8x8 block (orthonormal scaling) and its inverse.
+void dct_8x8(const float* input, float* output);
+void idct_8x8(const float* input, float* output);
+
+struct JpegLikeConfig {
+  // libjpeg-style quality in [1, 100]; scales the standard luminance
+  // quantization table.
+  int quality = 50;
+};
+
+struct CodecResult {
+  Tensor reconstruction;            // same shape as input, values in [0, 1]
+  std::int64_t compressed_bits = 0; // entropy-coded size estimate
+  double compression_ratio = 0.0;   // raw 8-bit size / compressed size
+  float psnr_db = 0.0F;
+};
+
+// Compresses a grayscale image (H, W) with values in [0, 1]: 8x8 DCT,
+// quantization, zigzag run-length size estimate, and reconstruction.
+// H and W must be multiples of 8.
+CodecResult jpeg_like_compress(const Tensor& image, const JpegLikeConfig& config = {});
+
+// Energy of digital compression at `nj_per_pixel` (default from the paper's
+// reference [42]: an energy-optimized JPEG encoder on a parallel ULP
+// platform still costs on the order of a nanojoule per pixel).
+double digital_compression_energy_j(std::int64_t pixels, double nj_per_pixel = 1.2);
+
+}  // namespace snappix::codec

@@ -1,0 +1,108 @@
+// SnapPixSystem: the end-to-end SNAPPIX pipeline (paper Fig. 4).
+//
+//   sensor side: tile-repetitive CE pattern learned by decorrelation
+//                (Sec. III) applied in the analog domain (Sec. V simulator)
+//   server side: CE-optimized ViT (Sec. IV) pre-trained coded-image-to-video
+//                and fine-tuned per task (AR classification / REC).
+//
+// This facade owns the pattern, the encoder, and the task heads, and exposes
+// the full train/infer lifecycle plus a sensor-in-the-loop path that runs the
+// cycle-level hardware simulator instead of the mathematical encoder.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ce/encode.h"
+#include "ce/pattern.h"
+#include "data/dataset.h"
+#include "models/mae.h"
+#include "models/vit.h"
+#include "sensor/sensor.h"
+#include "train/pattern_trainer.h"
+#include "train/trainer.h"
+
+namespace snappix::core {
+
+enum class Backbone { kSnapPixS, kSnapPixB };
+
+struct SnapPixConfig {
+  std::int64_t image = 32;
+  int frames = 16;
+  int tile = 8;  // CE tile == ViT patch (Sec. IV)
+  Backbone backbone = Backbone::kSnapPixS;
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 1;
+};
+
+class SnapPixSystem {
+ public:
+  explicit SnapPixSystem(const SnapPixConfig& config);
+
+  // --- pattern (Sec. III) ----------------------------------------------------
+  // Learns the decorrelated task-agnostic pattern on `dataset`.
+  train::PatternTrainResult learn_pattern(const data::VideoDataset& dataset,
+                                          train::PatternTrainConfig pattern_config = {});
+  void set_pattern(const ce::CePattern& pattern);
+  const ce::CePattern& pattern() const { return pattern_; }
+
+  // --- encoding ---------------------------------------------------------------
+  // (B, T, H, W) videos -> exposure-normalized coded images (B, H, W).
+  Tensor encode(const Tensor& videos) const;
+
+  // --- training (Sec. IV) -----------------------------------------------------
+  // MAE-style coded-image-to-video pre-training; returns final loss. The
+  // paper masks 85% of tiles at 196 tokens; at small token counts the mask
+  // ratio must leave enough visible context (default keeps half the tiles).
+  float pretrain(const data::VideoDataset& dataset, int epochs, float lr = 1e-3F,
+                 int batch_size = 16, bool verbose = false,
+                 models::MaeConfig mae_config = default_mae_config());
+
+  // Mask ratio 0.5 at our 16-token geometry ~ the paper's 85% at 196 tokens
+  // in terms of visible-context tokens.
+  static models::MaeConfig default_mae_config() {
+    models::MaeConfig config;
+    config.mask_ratio = 0.5F;
+    return config;
+  }
+  // Fine-tunes (or trains from scratch) the AR head; returns fit metrics.
+  train::FitResult train_action_recognition(const data::VideoDataset& dataset,
+                                            const train::TrainConfig& config);
+  // Trains the REC head; test metric is PSNR (dB).
+  train::FitResult train_reconstruction(const data::VideoDataset& dataset,
+                                        const train::TrainConfig& config);
+
+  // --- inference ----------------------------------------------------------------
+  std::vector<std::int64_t> classify(const Tensor& videos) const;
+  Tensor classify_logits(const Tensor& videos) const;
+  Tensor reconstruct(const Tensor& videos) const;
+
+  // Sensor-in-the-loop: captures one (T, H, W) scene on the cycle-level
+  // simulator, then classifies the captured coded image.
+  std::int64_t classify_via_sensor(const Tensor& scene, sensor::StackedSensor& sensor,
+                                   Rng& rng) const;
+
+  const SnapPixConfig& config() const { return config_; }
+  std::shared_ptr<models::ViTEncoder> encoder() { return encoder_; }
+  std::shared_ptr<models::SnapPixClassifier> classifier() { return classifier_; }
+  std::shared_ptr<models::SnapPixReconstructor> reconstructor() { return reconstructor_; }
+
+  // A sensor configuration matched to this system's geometry.
+  sensor::SensorConfig default_sensor_config() const;
+
+ private:
+  Tensor normalized_input(const Tensor& coded) const;
+
+  SnapPixConfig config_;
+  Rng rng_;
+  ce::CePattern pattern_;
+  std::shared_ptr<models::ViTEncoder> encoder_;
+  std::shared_ptr<models::SnapPixClassifier> classifier_;
+  std::shared_ptr<models::SnapPixReconstructor> reconstructor_;
+};
+
+// The ViT configuration used by a backbone choice.
+models::ViTConfig backbone_config(Backbone backbone, std::int64_t image,
+                                  std::int64_t num_classes);
+
+}  // namespace snappix::core

@@ -1,0 +1,131 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/common.h"
+
+namespace snappix::data {
+
+VideoDataset::VideoDataset(const DatasetConfig& config) : config_(config) {
+  SNAPPIX_CHECK(config.train_per_class > 0 && config.test_per_class >= 0,
+                "DatasetConfig: bad split sizes");
+  const SyntheticVideoGenerator generator(config.scene);
+  Rng rng(config.seed);
+  for (int c = 0; c < config.scene.num_classes; ++c) {
+    for (int i = 0; i < config.train_per_class; ++i) {
+      train_.push_back(generator.sample(rng, c));
+    }
+    for (int i = 0; i < config.test_per_class; ++i) {
+      test_.push_back(generator.sample(rng, c));
+    }
+  }
+}
+
+const VideoSample& VideoDataset::train_sample(std::int64_t i) const {
+  SNAPPIX_CHECK(i >= 0 && i < train_size(), "train index " << i << " out of range");
+  return train_[static_cast<std::size_t>(i)];
+}
+
+const VideoSample& VideoDataset::test_sample(std::int64_t i) const {
+  SNAPPIX_CHECK(i >= 0 && i < test_size(), "test index " << i << " out of range");
+  return test_[static_cast<std::size_t>(i)];
+}
+
+Tensor VideoDataset::stack(const std::vector<VideoSample>& pool,
+                           const std::vector<std::int64_t>& indices,
+                           std::vector<std::int64_t>& labels_out) {
+  SNAPPIX_CHECK(!indices.empty(), "empty batch");
+  const Shape& clip_shape = pool.front().video.shape();
+  const std::int64_t clip_numel = clip_shape.numel();
+  std::vector<float> out(static_cast<std::size_t>(clip_numel) * indices.size());
+  labels_out.clear();
+  labels_out.reserve(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::int64_t i = indices[b];
+    SNAPPIX_CHECK(i >= 0 && i < static_cast<std::int64_t>(pool.size()),
+                  "batch index " << i << " out of range");
+    const auto& sample = pool[static_cast<std::size_t>(i)];
+    std::copy(sample.video.data().begin(), sample.video.data().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(b) * clip_numel);
+    labels_out.push_back(sample.label);
+  }
+  return Tensor::from_vector(std::move(out),
+                             Shape{static_cast<std::int64_t>(indices.size()), clip_shape[0],
+                                   clip_shape[1], clip_shape[2]});
+}
+
+Tensor VideoDataset::train_batch(const std::vector<std::int64_t>& indices,
+                                 std::vector<std::int64_t>& labels_out) const {
+  return stack(train_, indices, labels_out);
+}
+
+Tensor VideoDataset::test_batch(const std::vector<std::int64_t>& indices,
+                                std::vector<std::int64_t>& labels_out) const {
+  return stack(test_, indices, labels_out);
+}
+
+std::vector<std::int64_t> VideoDataset::shuffled_train_indices(Rng& rng) const {
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(train_size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  std::shuffle(indices.begin(), indices.end(), rng.engine());
+  return indices;
+}
+
+DatasetConfig ucf101_like(int frames, int size) {
+  DatasetConfig cfg;
+  cfg.name = "ucf101-like";
+  cfg.scene.frames = frames;
+  cfg.scene.height = size;
+  cfg.scene.width = size;
+  cfg.scene.num_classes = 6;
+  cfg.scene.background_texture = 0.25F;
+  cfg.scene.pixel_noise = 0.0F;
+  cfg.seed = 101;
+  return cfg;
+}
+
+DatasetConfig ssv2_like(int frames, int size) {
+  DatasetConfig cfg;
+  cfg.name = "ssv2-like";
+  cfg.scene.frames = frames;
+  cfg.scene.height = size;
+  cfg.scene.width = size;
+  cfg.scene.num_classes = 10;
+  cfg.scene.background_texture = 0.45F;
+  cfg.scene.pixel_noise = 0.02F;
+  cfg.seed = 202;
+  return cfg;
+}
+
+DatasetConfig k400_like(int frames, int size) {
+  DatasetConfig cfg;
+  cfg.name = "k400-like";
+  cfg.scene.frames = frames;
+  cfg.scene.height = size;
+  cfg.scene.width = size;
+  cfg.scene.num_classes = 8;
+  cfg.scene.background_texture = 0.35F;
+  cfg.scene.pixel_noise = 0.01F;
+  cfg.seed = 400;
+  return cfg;
+}
+
+Tensor downsample_videos(const Tensor& videos, int factor) {
+  SNAPPIX_CHECK(videos.ndim() == 4, "downsample_videos expects (B, T, H, W), got "
+                                        << videos.shape().to_string());
+  SNAPPIX_CHECK(factor >= 1, "downsample factor must be >= 1");
+  const std::int64_t batch = videos.shape()[0];
+  const std::int64_t frames = videos.shape()[1];
+  const std::int64_t h = videos.shape()[2];
+  const std::int64_t w = videos.shape()[3];
+  SNAPPIX_CHECK(h % factor == 0 && w % factor == 0,
+                "video " << h << "x" << w << " not divisible by factor " << factor);
+  NoGradGuard guard;
+  // Reuse avg_pool2d by folding (B, T) into the channel axis.
+  const Tensor folded = Tensor::from_vector(videos.data(), Shape{batch * frames, 1, h, w});
+  const Tensor pooled = avg_pool2d(folded, factor, factor);
+  return Tensor::from_vector(pooled.data(), Shape{batch, frames, h / factor, w / factor});
+}
+
+}  // namespace snappix::data

@@ -1,0 +1,67 @@
+// In-memory labelled video datasets with train/test splits and batching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix::data {
+
+struct DatasetConfig {
+  SceneConfig scene;
+  int train_per_class = 32;
+  int test_per_class = 8;
+  std::uint64_t seed = 1234;
+  std::string name = "synthetic";
+};
+
+// Materialized dataset of synthetic clips, balanced across classes.
+class VideoDataset {
+ public:
+  explicit VideoDataset(const DatasetConfig& config);
+
+  const std::string& name() const { return config_.name; }
+  int num_classes() const { return config_.scene.num_classes; }
+  const SceneConfig& scene() const { return config_.scene; }
+
+  std::int64_t train_size() const { return static_cast<std::int64_t>(train_.size()); }
+  std::int64_t test_size() const { return static_cast<std::int64_t>(test_.size()); }
+  const VideoSample& train_sample(std::int64_t i) const;
+  const VideoSample& test_sample(std::int64_t i) const;
+
+  // Stacks the given train samples into (B, T, H, W) plus labels.
+  Tensor train_batch(const std::vector<std::int64_t>& indices,
+                     std::vector<std::int64_t>& labels_out) const;
+  Tensor test_batch(const std::vector<std::int64_t>& indices,
+                    std::vector<std::int64_t>& labels_out) const;
+
+  // A shuffled epoch's worth of train indices.
+  std::vector<std::int64_t> shuffled_train_indices(Rng& rng) const;
+
+ private:
+  static Tensor stack(const std::vector<VideoSample>& pool,
+                      const std::vector<std::int64_t>& indices,
+                      std::vector<std::int64_t>& labels_out);
+
+  DatasetConfig config_;
+  std::vector<VideoSample> train_;
+  std::vector<VideoSample> test_;
+};
+
+// Dataset presets standing in for the paper's three benchmarks. They differ
+// in class count and nuisance factors so the systems rank the same way the
+// paper's Table I ranks them across UCF-101 / SSV2 / K400.
+DatasetConfig ucf101_like(int frames = 16, int size = 32);   // easiest: 6 classes, clean
+DatasetConfig ssv2_like(int frames = 16, int size = 32);     // hardest: 10 classes, noisy
+DatasetConfig k400_like(int frames = 16, int size = 32);     // medium: 8 classes
+
+// 4x4 (or `factor`^2) average-filter spatial downsampling of a video batch
+// (B, T, H, W) -> (B, T, H/factor, W/factor); the paper's simple compression
+// baseline in Sec. VI-D. Tape-free.
+Tensor downsample_videos(const Tensor& videos, int factor);
+
+}  // namespace snappix::data

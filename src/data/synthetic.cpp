@@ -1,0 +1,189 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace snappix::data {
+
+namespace {
+
+constexpr float kTwoPi = 6.28318530717958647692F;
+
+const char* kMotionNames[kMotionClassCount] = {
+    "static",       "translate_left", "translate_right", "translate_up", "translate_down",
+    "rotate_cw",    "rotate_ccw",     "zoom_in",         "zoom_out",     "oscillate"};
+
+// A soft-edged foreground primitive. `kind` 0 = disk, 1 = axis-aligned box.
+struct ShapeSpec {
+  int kind = 0;
+  float cx = 0.0F;   // offset from image centre, pixels
+  float cy = 0.0F;
+  float size = 4.0F;       // radius / half-extent
+  float aspect = 1.0F;     // box height/width ratio
+  float intensity = 0.4F;  // signed contrast against the background
+};
+
+// Coarse-grid value noise with bilinear interpolation; used for backgrounds.
+std::vector<float> make_background(int height, int width, float amplitude, Rng& rng) {
+  constexpr int kGrid = 5;
+  std::vector<float> grid(static_cast<std::size_t>(kGrid * kGrid));
+  for (auto& g : grid) {
+    g = rng.uniform(-1.0F, 1.0F);
+  }
+  std::vector<float> bg(static_cast<std::size_t>(height) * width);
+  for (int y = 0; y < height; ++y) {
+    const float gy = static_cast<float>(y) / static_cast<float>(height - 1) * (kGrid - 1);
+    const int y0 = std::min(static_cast<int>(gy), kGrid - 2);
+    const float fy = gy - static_cast<float>(y0);
+    for (int x = 0; x < width; ++x) {
+      const float gx = static_cast<float>(x) / static_cast<float>(width - 1) * (kGrid - 1);
+      const int x0 = std::min(static_cast<int>(gx), kGrid - 2);
+      const float fx = gx - static_cast<float>(x0);
+      const float v00 = grid[static_cast<std::size_t>(y0 * kGrid + x0)];
+      const float v01 = grid[static_cast<std::size_t>(y0 * kGrid + x0 + 1)];
+      const float v10 = grid[static_cast<std::size_t>((y0 + 1) * kGrid + x0)];
+      const float v11 = grid[static_cast<std::size_t>((y0 + 1) * kGrid + x0 + 1)];
+      const float v = (1 - fy) * ((1 - fx) * v00 + fx * v01) + fy * ((1 - fx) * v10 + fx * v11);
+      bg[static_cast<std::size_t>(y * width + x)] = 0.5F + 0.5F * amplitude * v;
+    }
+  }
+  return bg;
+}
+
+// Soft coverage of a shape at pixel (px, py) given its transformed pose.
+float shape_alpha(const ShapeSpec& shape, float px, float py, float scale, float angle,
+                  float shift_x, float shift_y, float cx0, float cy0) {
+  // Rotate the shape's centre offset around the image centre, then translate.
+  const float cosr = std::cos(angle);
+  const float sinr = std::sin(angle);
+  const float rx = shape.cx * cosr - shape.cy * sinr;
+  const float ry = shape.cx * sinr + shape.cy * cosr;
+  const float cx = cx0 + rx * scale + shift_x;
+  const float cy = cy0 + ry * scale + shift_y;
+  const float dx = px - cx;
+  const float dy = py - cy;
+  const float size = shape.size * scale;
+  float signed_dist = 0.0F;
+  if (shape.kind == 0) {
+    signed_dist = std::sqrt(dx * dx + dy * dy) - size;
+  } else {
+    // Rotate the query point into the box frame so boxes spin visibly.
+    const float bx = dx * cosr + dy * sinr;
+    const float by = -dx * sinr + dy * cosr;
+    const float half_w = size;
+    const float half_h = size * shape.aspect;
+    signed_dist = std::max(std::fabs(bx) - half_w, std::fabs(by) - half_h);
+  }
+  // 1-pixel soft edge.
+  return std::clamp(0.5F - signed_dist, 0.0F, 1.0F);
+}
+
+}  // namespace
+
+const char* motion_class_name(MotionClass motion) {
+  const int idx = static_cast<int>(motion);
+  SNAPPIX_CHECK(idx >= 0 && idx < kMotionClassCount, "invalid motion class " << idx);
+  return kMotionNames[idx];
+}
+
+SyntheticVideoGenerator::SyntheticVideoGenerator(const SceneConfig& config) : config_(config) {
+  SNAPPIX_CHECK(config.frames > 0 && config.height > 0 && config.width > 0,
+                "SceneConfig: non-positive dimensions");
+  SNAPPIX_CHECK(config.num_classes >= 2 && config.num_classes <= kMotionClassCount,
+                "SceneConfig: num_classes " << config.num_classes << " out of [2, "
+                                            << kMotionClassCount << "]");
+  SNAPPIX_CHECK(config.min_shapes >= 1 && config.max_shapes >= config.min_shapes,
+                "SceneConfig: bad shape-count range");
+}
+
+VideoSample SyntheticVideoGenerator::sample(Rng& rng, int label) const {
+  const auto& cfg = config_;
+  if (label < 0) {
+    label = static_cast<int>(rng.uniform_int(0, cfg.num_classes - 1));
+  }
+  SNAPPIX_CHECK(label < cfg.num_classes, "label " << label << " out of range");
+  const auto motion = static_cast<MotionClass>(label);
+
+  const auto bg = make_background(cfg.height, cfg.width, cfg.background_texture, rng);
+  const int shape_count =
+      static_cast<int>(rng.uniform_int(cfg.min_shapes, cfg.max_shapes));
+  std::vector<ShapeSpec> shapes(static_cast<std::size_t>(shape_count));
+  const float extent = 0.30F * static_cast<float>(std::min(cfg.height, cfg.width));
+  for (auto& s : shapes) {
+    s.kind = rng.bernoulli(0.5F) ? 0 : 1;
+    s.cx = rng.uniform(-extent, extent);
+    s.cy = rng.uniform(-extent, extent);
+    s.size = rng.uniform(2.5F, 5.5F);
+    s.aspect = rng.uniform(0.6F, 1.6F);
+    s.intensity = rng.bernoulli(0.5F) ? rng.uniform(0.25F, 0.5F) : rng.uniform(-0.5F, -0.25F);
+  }
+
+  const float cx0 = static_cast<float>(cfg.width) * 0.5F;
+  const float cy0 = static_cast<float>(cfg.height) * 0.5F;
+  const float omega = 0.10F * cfg.speed;   // radians/frame for rotation classes
+  const float zoom_rate = 0.035F * cfg.speed;
+  const float osc_amp = 2.2F * cfg.speed;
+
+  std::vector<float> out(static_cast<std::size_t>(cfg.frames) * cfg.height * cfg.width);
+  for (int t = 0; t < cfg.frames; ++t) {
+    const auto ft = static_cast<float>(t);
+    float shift_x = 0.0F;
+    float shift_y = 0.0F;
+    float angle = 0.0F;
+    float scale = 1.0F;
+    switch (motion) {
+      case MotionClass::kStatic:
+        break;
+      case MotionClass::kTranslateLeft:
+        shift_x = -cfg.speed * ft;
+        break;
+      case MotionClass::kTranslateRight:
+        shift_x = cfg.speed * ft;
+        break;
+      case MotionClass::kTranslateUp:
+        shift_y = -cfg.speed * ft;
+        break;
+      case MotionClass::kTranslateDown:
+        shift_y = cfg.speed * ft;
+        break;
+      case MotionClass::kRotateCw:
+        angle = omega * ft;
+        break;
+      case MotionClass::kRotateCcw:
+        angle = -omega * ft;
+        break;
+      case MotionClass::kZoomIn:
+        scale = 1.0F + zoom_rate * ft;
+        break;
+      case MotionClass::kZoomOut:
+        scale = 1.0F / (1.0F + zoom_rate * ft);
+        break;
+      case MotionClass::kOscillate:
+        shift_x = osc_amp * std::sin(kTwoPi * ft / static_cast<float>(cfg.frames) * 2.0F);
+        break;
+    }
+    float* frame = out.data() + static_cast<std::ptrdiff_t>(t) * cfg.height * cfg.width;
+    for (int y = 0; y < cfg.height; ++y) {
+      for (int x = 0; x < cfg.width; ++x) {
+        float v = bg[static_cast<std::size_t>(y * cfg.width + x)];
+        for (const auto& s : shapes) {
+          const float alpha = shape_alpha(s, static_cast<float>(x), static_cast<float>(y), scale,
+                                          angle, shift_x, shift_y, cx0, cy0);
+          v += alpha * s.intensity;
+        }
+        if (cfg.pixel_noise > 0.0F) {
+          v += rng.normal(0.0F, cfg.pixel_noise);
+        }
+        frame[y * cfg.width + x] = std::clamp(v, 0.0F, 1.0F);
+      }
+    }
+  }
+  return VideoSample{
+      Tensor::from_vector(std::move(out), Shape{cfg.frames, cfg.height, cfg.width}),
+      static_cast<std::int64_t>(label)};
+}
+
+}  // namespace snappix::data

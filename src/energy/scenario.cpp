@@ -1,0 +1,58 @@
+#include "energy/scenario.h"
+
+#include "util/common.h"
+
+namespace snappix::energy {
+
+ScenarioResult offload_scenario(const EnergyModel& model, std::int64_t pixels_per_frame,
+                                int slots, WirelessTech tech) {
+  ScenarioResult result;
+  result.name = std::string("offload/") + wireless_tech_name(tech);
+  result.baseline_j = model.conventional_edge_energy_j(pixels_per_frame, slots, tech);
+  result.snappix_j = model.snappix_edge_energy_j(pixels_per_frame, slots, tech);
+  result.saving_factor = result.baseline_j / result.snappix_j;
+  return result;
+}
+
+ScenarioResult edge_gpu_scenario(const EnergyModel& model, const GpuModelParams& gpu,
+                                 std::int64_t pixels_per_frame, int slots,
+                                 const GpuInference& snappix_model,
+                                 const GpuInference& baseline_model) {
+  ScenarioResult result;
+  result.name = "edge-gpu/" + snappix_model.name + "-vs-" + baseline_model.name;
+  // Sensing without wireless (data stays on the edge node), plus GPU energy.
+  const double wifi_off = 0.0;
+  const double baseline_sensing =
+      static_cast<double>(pixels_per_frame) * slots *
+      (model.analog_pj_per_pixel() + model.readout_pj_per_pixel()) * 1e-12;
+  const double snappix_sensing =
+      static_cast<double>(pixels_per_frame) *
+      (static_cast<double>(slots) *
+           (model.analog_pj_per_pixel() + model.ce_pj_per_pixel_slot()) +
+       model.readout_pj_per_pixel()) *
+      1e-12;
+  (void)wifi_off;
+  result.baseline_j = baseline_sensing + gpu_inference_energy_j(baseline_model, gpu);
+  result.snappix_j = snappix_sensing + gpu_inference_energy_j(snappix_model, gpu);
+  result.saving_factor = result.baseline_j / result.snappix_j;
+  return result;
+}
+
+std::vector<ComponentReduction> component_reductions(const EnergyModel& model, int slots,
+                                                     WirelessTech tech) {
+  SNAPPIX_CHECK(slots > 0, "slots must be positive");
+  std::vector<ComponentReduction> table;
+  const double readout = model.readout_pj_per_pixel();
+  table.push_back({"adc+mipi readout", readout * slots, readout,
+                   static_cast<double>(slots)});
+  const double wireless = model.wireless_pj_per_pixel(tech);
+  table.push_back({std::string("wireless ") + wireless_tech_name(tech), wireless * slots,
+                   wireless, static_cast<double>(slots)});
+  const double analog = model.analog_pj_per_pixel();
+  table.push_back({"analog front-end", analog * slots, analog * slots, 1.0});
+  const double ce = model.ce_pj_per_pixel_slot() * slots;
+  table.push_back({"ce pattern streaming", 0.0, ce, 0.0});
+  return table;
+}
+
+}  // namespace snappix::energy

@@ -1,0 +1,42 @@
+// Edge-sensing scenario calculators reproducing the Sec. VI-D numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/model.h"
+
+namespace snappix::energy {
+
+struct ScenarioResult {
+  std::string name;
+  double baseline_j = 0.0;
+  double snappix_j = 0.0;
+  double saving_factor = 0.0;
+};
+
+// Offload scenario: the edge node senses and transmits everything; the
+// server computes. Compares a conventional T-frame pipeline against SNAPPIX.
+ScenarioResult offload_scenario(const EnergyModel& model, std::int64_t pixels_per_frame,
+                                int slots, WirelessTech tech);
+
+// Mobile-GPU scenario: the edge node runs the downstream model locally on a
+// Jetson-class GPU. Compares SNAPPIX-S's edge energy (sensing + GPU) against
+// a video baseline (sensing T frames + its GPU energy).
+ScenarioResult edge_gpu_scenario(const EnergyModel& model, const GpuModelParams& gpu,
+                                 std::int64_t pixels_per_frame, int slots,
+                                 const GpuInference& snappix_model,
+                                 const GpuInference& baseline_model);
+
+// Component-level reduction table (ADC/MIPI, wireless) under T slots.
+struct ComponentReduction {
+  std::string component;
+  double baseline_pj_per_pixel = 0.0;
+  double snappix_pj_per_pixel = 0.0;
+  double reduction = 0.0;
+};
+std::vector<ComponentReduction> component_reductions(const EnergyModel& model, int slots,
+                                                     WirelessTech tech);
+
+}  // namespace snappix::energy

@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/common.h"
+
+namespace snappix::eval {
+
+float top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  SNAPPIX_CHECK(logits.ndim() == 2, "top1_accuracy expects (B, C) logits");
+  const std::int64_t batch = logits.shape()[0];
+  SNAPPIX_CHECK(static_cast<std::int64_t>(labels.size()) == batch,
+                "label count mismatch: " << labels.size() << " vs batch " << batch);
+  const auto predictions = argmax_last_axis(logits);
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    if (predictions[static_cast<std::size_t>(b)] == labels[static_cast<std::size_t>(b)]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(batch);
+}
+
+std::vector<std::vector<int>> confusion_matrix(const Tensor& logits,
+                                               const std::vector<std::int64_t>& labels,
+                                               int num_classes) {
+  SNAPPIX_CHECK(logits.ndim() == 2 && logits.shape()[1] == num_classes,
+                "confusion_matrix: logits " << logits.shape().to_string() << " vs "
+                                            << num_classes << " classes");
+  std::vector<std::vector<int>> m(static_cast<std::size_t>(num_classes),
+                                  std::vector<int>(static_cast<std::size_t>(num_classes), 0));
+  const auto predictions = argmax_last_axis(logits);
+  for (std::size_t b = 0; b < labels.size(); ++b) {
+    const auto truth = static_cast<std::size_t>(labels[b]);
+    const auto pred = static_cast<std::size_t>(predictions[b]);
+    SNAPPIX_CHECK(truth < m.size(), "label " << labels[b] << " out of range");
+    m[truth][pred]++;
+  }
+  return m;
+}
+
+float psnr_db(const Tensor& prediction, const Tensor& target, float peak) {
+  SNAPPIX_CHECK(prediction.shape() == target.shape(),
+                "psnr_db shape mismatch: " << prediction.shape().to_string() << " vs "
+                                           << target.shape().to_string());
+  SNAPPIX_CHECK(peak > 0.0F, "psnr_db: peak must be positive");
+  const auto& dp = prediction.data();
+  const auto& dt = target.data();
+  double mse = 0.0;
+  for (std::size_t i = 0; i < dp.size(); ++i) {
+    const double diff = static_cast<double>(dp[i]) - static_cast<double>(dt[i]);
+    mse += diff * diff;
+  }
+  mse /= static_cast<double>(dp.size());
+  if (mse <= 0.0) {
+    return std::numeric_limits<float>::infinity();
+  }
+  return static_cast<float>(10.0 * std::log10(static_cast<double>(peak) * peak / mse));
+}
+
+double measure_per_second(const std::function<void()>& fn, int warmup, int iters) {
+  SNAPPIX_CHECK(iters > 0, "measure_per_second: iters must be positive");
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    fn();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  return static_cast<double>(iters) / std::max(seconds, 1e-9);
+}
+
+}  // namespace snappix::eval

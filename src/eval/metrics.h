@@ -1,0 +1,27 @@
+// Task metrics (top-1 accuracy, PSNR) and a throughput profiler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snappix::eval {
+
+// Top-1 accuracy in [0, 1] from (B, C) logits and B labels.
+float top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+// Row-normalized confusion matrix counts: result[true][predicted].
+std::vector<std::vector<int>> confusion_matrix(const Tensor& logits,
+                                               const std::vector<std::int64_t>& labels,
+                                               int num_classes);
+
+// Peak signal-to-noise ratio in dB; `peak` is the maximum signal value.
+float psnr_db(const Tensor& prediction, const Tensor& target, float peak = 1.0F);
+
+// Wall-clock throughput of `fn` in invocations/second (Table I's
+// "Inference/sec" column). Runs `warmup` untimed then `iters` timed calls.
+double measure_per_second(const std::function<void()>& fn, int warmup = 2, int iters = 10);
+
+}  // namespace snappix::eval

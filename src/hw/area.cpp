@@ -1,0 +1,79 @@
+#include "hw/area.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace snappix::hw {
+
+namespace {
+
+// Area scale factor relative to 65 nm, per node. The 22 nm entry reproduces
+// the paper's DeepScale result exactly: 30 um^2 -> 3.2 um^2 (9.375x).
+struct NodeFactor {
+  int nm;
+  double area_vs_65nm;
+};
+
+constexpr NodeFactor kNodeTable[] = {
+    {65, 1.0},    {45, 1.0 / 2.02}, {32, 1.0 / 3.97},
+    {28, 1.0 / 5.23}, {22, 1.0 / 9.375}, {16, 1.0 / 15.9},
+};
+
+double node_factor(int nm) {
+  for (const auto& entry : kNodeTable) {
+    if (entry.nm == nm) {
+      return entry.area_vs_65nm;
+    }
+  }
+  SNAPPIX_CHECK(false, "unknown technology node " << nm
+                                                  << " nm; known: 65/45/32/28/22/16");
+}
+
+}  // namespace
+
+std::vector<int> known_nodes() {
+  std::vector<int> nodes;
+  for (const auto& entry : kNodeTable) {
+    nodes.push_back(entry.nm);
+  }
+  return nodes;
+}
+
+double scale_area_um2(double area_um2, int from_nm, int to_nm) {
+  SNAPPIX_CHECK(area_um2 >= 0.0, "area must be non-negative");
+  return area_um2 * node_factor(to_nm) / node_factor(from_nm);
+}
+
+PixelAreaModel::PixelAreaModel(const PixelAreaParams& params) : params_(params) {
+  SNAPPIX_CHECK(params.logic_area_um2_at_65nm > 0.0 && params.aps_pitch_um > 0.0 &&
+                    params.wire_pitch_um > 0.0,
+                "PixelAreaParams must be positive");
+}
+
+double PixelAreaModel::logic_area_um2(int node_nm) const {
+  return scale_area_um2(params_.logic_area_um2_at_65nm, 65, node_nm);
+}
+
+double PixelAreaModel::broadcast_wire_side_um(int tile_n) const {
+  SNAPPIX_CHECK(tile_n >= 1, "tile size must be positive");
+  return 2.0 * static_cast<double>(tile_n) * params_.wire_pitch_um;
+}
+
+double PixelAreaModel::shift_register_wire_side_um() const {
+  return 4.0 * params_.wire_pitch_um;
+}
+
+int PixelAreaModel::broadcast_crossover_tile() const {
+  // Smallest N with 2N * pitch > APS pitch.
+  return static_cast<int>(
+             std::floor(params_.aps_pitch_um / (2.0 * params_.wire_pitch_um))) +
+         1;
+}
+
+bool PixelAreaModel::logic_hidden_under_aps(int node_nm) const {
+  const double aps_area = params_.aps_pitch_um * params_.aps_pitch_um;
+  return logic_area_um2(node_nm) <= aps_area;
+}
+
+}  // namespace snappix::hw

@@ -1,0 +1,55 @@
+// Area models for the CE pixel augmentations (paper Sec. V).
+//
+// The per-pixel digital logic (DFF + M6/M7 control) synthesizes to 30 um^2 in
+// TSMC 65 nm; DeepScale-style technology scaling maps it to 3.2 um^2 at
+// 22 nm, far below commercial stacked DPS pixels, so the top-layer APS sets
+// the pixel pitch. The alternative broadcast design needs 2N wires per pixel
+// for a tile of N x N, whose routing area overtakes the APS as N grows; the
+// shift-register design needs a constant 4 wires.
+#pragma once
+
+#include <vector>
+
+namespace snappix::hw {
+
+// DeepScale-style area scaling between technology nodes. Factors are
+// calibrated so 65 nm -> 22 nm reproduces the paper's 30 -> 3.2 um^2.
+double scale_area_um2(double area_um2, int from_nm, int to_nm);
+
+// Nodes known to the scaling table, descending feature size.
+std::vector<int> known_nodes();
+
+struct PixelAreaParams {
+  double logic_area_um2_at_65nm = 30.0;  // synthesized DFF + control
+  double aps_pitch_um = 3.0;             // state-of-the-art APS pixel pitch
+  double wire_pitch_um = 0.14;           // metal pitch for pattern wires
+};
+
+class PixelAreaModel {
+ public:
+  explicit PixelAreaModel(const PixelAreaParams& params = PixelAreaParams{});
+
+  // Bottom-layer logic area at the given node (um^2).
+  double logic_area_um2(int node_nm) const;
+
+  // Broadcast alternative: 2N parallel wires per pixel -> side length (um)
+  // of the wiring footprint for a tile of N x N.
+  double broadcast_wire_side_um(int tile_n) const;
+
+  // Our shift-register design: constant 4 wires regardless of tile size.
+  double shift_register_wire_side_um() const;
+
+  // Smallest tile size at which broadcast wiring exceeds the APS pitch.
+  int broadcast_crossover_tile() const;
+
+  // True when the bottom-layer logic fits beneath the APS at `node_nm`
+  // (i.e. the pixel area is constrained by the APS, not by our logic).
+  bool logic_hidden_under_aps(int node_nm) const;
+
+  const PixelAreaParams& params() const { return params_; }
+
+ private:
+  PixelAreaParams params_;
+};
+
+}  // namespace snappix::hw

@@ -1,0 +1,74 @@
+#include "models/baselines.h"
+
+#include "util/common.h"
+
+namespace snappix::models {
+
+Svc2dModel::Svc2dModel(std::int64_t image, int tile, std::int64_t num_classes, Rng& rng)
+    : image_(image) {
+  svc_ = register_module("svc", std::make_shared<nn::ShiftVariantConv2d>(1, 8, 3, tile, rng));
+  conv1_ = register_module("conv1", std::make_shared<nn::Conv2d>(8, 16, 3, 2, 1, rng));
+  conv2_ = register_module("conv2", std::make_shared<nn::Conv2d>(16, 32, 3, 2, 1, rng));
+  head_ = register_module("head", std::make_shared<nn::Linear>(32, num_classes, rng));
+}
+
+Tensor Svc2dModel::forward(const Tensor& coded) const {
+  SNAPPIX_CHECK(coded.ndim() == 3, "Svc2dModel expects (B, H, W), got "
+                                       << coded.shape().to_string());
+  const std::int64_t batch = coded.shape()[0];
+  Tensor x = reshape(coded, Shape{batch, 1, coded.shape()[1], coded.shape()[2]});
+  x = relu(svc_->forward(x));
+  x = relu(conv1_->forward(x));
+  x = relu(conv2_->forward(x));
+  // Global average pool -> (B, C).
+  x = mean(mean(x, -1), -1);
+  return head_->forward(x);
+}
+
+C3dModel::C3dModel(std::int64_t image, int frames, std::int64_t num_classes, Rng& rng)
+    : image_(image), frames_(frames) {
+  conv1_ = register_module("conv1", std::make_shared<nn::Conv3d>(1, 8, 3, 3, 1, 2, 1, 1, rng));
+  conv2_ = register_module("conv2", std::make_shared<nn::Conv3d>(8, 16, 3, 3, 2, 2, 1, 1, rng));
+  conv3_ = register_module("conv3", std::make_shared<nn::Conv3d>(16, 32, 3, 3, 2, 2, 1, 1, rng));
+  head_ = register_module("head", std::make_shared<nn::Linear>(32, num_classes, rng));
+}
+
+Tensor C3dModel::forward(const Tensor& video) const {
+  SNAPPIX_CHECK(video.ndim() == 4, "C3dModel expects (B, T, H, W), got "
+                                       << video.shape().to_string());
+  const std::int64_t batch = video.shape()[0];
+  Tensor x = reshape(video, Shape{batch, 1, video.shape()[1], video.shape()[2], video.shape()[3]});
+  x = relu(conv1_->forward(x));
+  x = relu(conv2_->forward(x));
+  x = relu(conv3_->forward(x));
+  // Global average pool over (T, H, W) -> (B, C).
+  x = mean(mean(mean(x, -1), -1), -1);
+  return head_->forward(x);
+}
+
+VideoViT::VideoViT(const VideoViTConfig& config, Rng& rng) : config_(config) {
+  SNAPPIX_CHECK(config.frames % config.tubelet_t == 0, "frames not divisible by tubelet");
+  embed_ = register_module(
+      "embed", std::make_shared<nn::TubeletEmbed>(config.tubelet_t, config.patch, config.dim, rng));
+  pos_embed_ = register_parameter(
+      "pos_embed", Tensor::randn(Shape{config.tokens(), config.dim}, rng, 0.02F));
+  for (int i = 0; i < config.depth; ++i) {
+    blocks_.push_back(register_module(
+        "blocks." + std::to_string(i),
+        std::make_shared<nn::TransformerBlock>(config.dim, config.heads, config.mlp_ratio, rng)));
+  }
+  norm_ = register_module("norm", std::make_shared<nn::LayerNorm>(config.dim));
+  head_ = register_module("head",
+                          std::make_shared<nn::Linear>(config.dim, config.num_classes, rng));
+}
+
+Tensor VideoViT::forward(const Tensor& video) const {
+  Tensor x = add(embed_->forward(video), pos_embed_);
+  for (const auto& block : blocks_) {
+    x = block->forward(x);
+  }
+  x = norm_->forward(x);
+  return head_->forward(mean(x, 1));
+}
+
+}  // namespace snappix::models

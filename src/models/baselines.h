@@ -1,0 +1,92 @@
+// Baseline systems reproduced for Table I and Fig. 6 (paper Sec. VI-A):
+//  - Svc2dModel: CE-based AR with Shift-Variant Convolution [Okawara et al.]
+//  - C3dModel: 3-D CNN video model [Tran et al.], prior CE work's upper bound
+//  - VideoViT: tubelet-token video transformer, stand-in for VideoMAEv2-ST
+// All operate at the same scaled-down resolution as the SNAPPIX variants.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/embed.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/svconv.h"
+
+namespace snappix::models {
+
+// SVC2D: SVC first layer (per-CE-position kernels) + small conv trunk.
+// Matches prior work's structure: SVC only in the first layer because of its
+// cost (the 4x slowdown the paper profiles in Sec. IV).
+class Svc2dModel : public nn::Module {
+ public:
+  Svc2dModel(std::int64_t image, int tile, std::int64_t num_classes, Rng& rng);
+
+  // (B, H, W) coded image -> (B, num_classes) logits.
+  Tensor forward(const Tensor& coded) const;
+
+ private:
+  std::int64_t image_;
+  std::shared_ptr<nn::ShiftVariantConv2d> svc_;
+  std::shared_ptr<nn::Conv2d> conv1_;
+  std::shared_ptr<nn::Conv2d> conv2_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+// C3D: small 3-D CNN over raw videos.
+class C3dModel : public nn::Module {
+ public:
+  C3dModel(std::int64_t image, int frames, std::int64_t num_classes, Rng& rng);
+
+  // (B, T, H, W) video -> (B, num_classes) logits.
+  Tensor forward(const Tensor& video) const;
+
+ private:
+  std::int64_t image_;
+  int frames_;
+  std::shared_ptr<nn::Conv3d> conv1_;
+  std::shared_ptr<nn::Conv3d> conv2_;
+  std::shared_ptr<nn::Conv3d> conv3_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+// VideoViT: tubelet-embedded video transformer (VideoMAEv2-ST stand-in),
+// "adjusted to match SNAPPIX-B's speed" by sizing width/depth so its FLOPs
+// are comparable despite the 16x larger input.
+struct VideoViTConfig {
+  std::int64_t image_h = 32;
+  std::int64_t image_w = 32;
+  int frames = 16;
+  int tubelet_t = 2;
+  int patch = 8;
+  std::int64_t dim = 64;
+  int depth = 3;
+  int heads = 4;
+  float mlp_ratio = 2.0F;
+  std::int64_t num_classes = 10;
+
+  std::int64_t tokens() const {
+    return (frames / tubelet_t) * (image_h / patch) * (image_w / patch);
+  }
+};
+
+class VideoViT : public nn::Module {
+ public:
+  VideoViT(const VideoViTConfig& config, Rng& rng);
+
+  // (B, T, H, W) video -> (B, num_classes) logits.
+  Tensor forward(const Tensor& video) const;
+
+  const VideoViTConfig& config() const { return config_; }
+
+ private:
+  VideoViTConfig config_;
+  std::shared_ptr<nn::TubeletEmbed> embed_;
+  Tensor pos_embed_;
+  std::vector<std::shared_ptr<nn::TransformerBlock>> blocks_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace snappix::models

@@ -1,0 +1,146 @@
+#include "models/mae.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/embed.h"
+#include "util/common.h"
+
+namespace snappix::models {
+
+std::vector<std::int64_t> sample_keep_indices(std::int64_t total, std::int64_t keep_count,
+                                              Rng& rng) {
+  SNAPPIX_CHECK(keep_count >= 1 && keep_count <= total,
+                "keep_count " << keep_count << " out of [1, " << total << "]");
+  std::vector<std::int64_t> all(static_cast<std::size_t>(total));
+  std::iota(all.begin(), all.end(), 0);
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  all.resize(static_cast<std::size_t>(keep_count));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+CodedMae::CodedMae(std::shared_ptr<ViTEncoder> encoder, int frames, const MaeConfig& config,
+                   Rng& rng)
+    : config_(config), frames_(frames) {
+  SNAPPIX_CHECK(config.mask_ratio > 0.0F && config.mask_ratio < 1.0F,
+                "mask_ratio " << config.mask_ratio << " out of (0,1)");
+  SNAPPIX_CHECK(config.frame_stride >= 1 && frames % config.frame_stride == 0,
+                "frame_stride " << config.frame_stride << " does not divide " << frames);
+  encoder_ = register_module("encoder", std::move(encoder));
+  predicted_frames_ = frames / config.frame_stride;
+  const auto& vit = encoder_->config();
+  enc_to_dec_ = register_module("enc_to_dec",
+                                std::make_shared<nn::Linear>(vit.dim, config.decoder_dim, rng));
+  mask_token_ =
+      register_parameter("mask_token", Tensor::randn(Shape{config.decoder_dim}, rng, 0.02F));
+  dec_pos_embed_ = register_parameter(
+      "dec_pos_embed", Tensor::randn(Shape{vit.tokens(), config.decoder_dim}, rng, 0.02F));
+  for (int i = 0; i < config.decoder_depth; ++i) {
+    dec_blocks_.push_back(register_module(
+        "dec_blocks." + std::to_string(i),
+        std::make_shared<nn::TransformerBlock>(config.decoder_dim, config.decoder_heads, 2.0F,
+                                               rng)));
+  }
+  dec_norm_ = register_module("dec_norm", std::make_shared<nn::LayerNorm>(config.decoder_dim));
+  dec_head_ = register_module(
+      "dec_head",
+      std::make_shared<nn::Linear>(
+          config.decoder_dim, predicted_frames_ * vit.patch * vit.patch, rng));
+}
+
+Tensor CodedMae::decode(const Tensor& encoded_visible, const std::vector<std::int64_t>& keep,
+                        std::int64_t batch) const {
+  const auto& vit = encoder_->config();
+  const std::int64_t total = vit.tokens();
+  const auto visible = static_cast<std::int64_t>(keep.size());
+
+  // Project encoder outputs into decoder width.
+  const Tensor dec_visible = enc_to_dec_->forward(encoded_visible);  // (B, n, dd)
+
+  // Masked positions receive the learned mask token (broadcast via mul).
+  Tensor dec_sequence;
+  if (visible == total) {
+    dec_sequence = dec_visible;
+  } else {
+    const Tensor mask_tokens = mul(
+        Tensor::ones(Shape{batch, total - visible, config_.decoder_dim}), mask_token_);
+    const Tensor stacked = concat({dec_visible, mask_tokens}, 1);  // (B, N, dd)
+    // Reorder so each position receives its own token: position i takes the
+    // j-th visible token if keep[j] == i, otherwise the next mask token.
+    std::vector<std::int64_t> source(static_cast<std::size_t>(total));
+    std::vector<bool> is_visible(static_cast<std::size_t>(total), false);
+    for (std::size_t j = 0; j < keep.size(); ++j) {
+      source[static_cast<std::size_t>(keep[j])] = static_cast<std::int64_t>(j);
+      is_visible[static_cast<std::size_t>(keep[j])] = true;
+    }
+    std::int64_t next_masked = visible;
+    for (std::int64_t i = 0; i < total; ++i) {
+      if (!is_visible[static_cast<std::size_t>(i)]) {
+        source[static_cast<std::size_t>(i)] = next_masked++;
+      }
+    }
+    dec_sequence = index_select(stacked, 1, source);
+  }
+
+  Tensor x = add(dec_sequence, dec_pos_embed_);
+  for (const auto& block : dec_blocks_) {
+    x = block->forward(x);
+  }
+  return dec_head_->forward(dec_norm_->forward(x));  // (B, N, Tpred*p*p)
+}
+
+Tensor CodedMae::pretrain_loss(const Tensor& coded, const Tensor& video, Rng& rng) const {
+  const auto& vit = encoder_->config();
+  SNAPPIX_CHECK(video.ndim() == 4 && video.shape()[1] == frames_,
+                "pretrain_loss expects (B, " << frames_ << ", H, W) video, got "
+                                             << video.shape().to_string());
+  const std::int64_t batch = coded.shape()[0];
+  const std::int64_t total = vit.tokens();
+  const auto keep_count = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             static_cast<float>(total) * (1.0F - config_.mask_ratio) + 0.5F));
+  const auto keep = sample_keep_indices(total, keep_count, rng);
+
+  // Encode visible tiles only (the MAE efficiency trick).
+  const Tensor tokens = encoder_->embed(coded);
+  const Tensor visible = index_select(tokens, 1, keep);
+  const Tensor encoded = encoder_->encode_tokens(visible);
+  const Tensor pred = decode(encoded, keep, batch);  // (B, N, Tpred*p*p)
+
+  // Target: the strided frames of the original video, patchified.
+  std::vector<std::int64_t> frame_idx;
+  for (int t = 0; t < frames_; t += config_.frame_stride) {
+    frame_idx.push_back(t);
+  }
+  const Tensor target_video = index_select(video, 1, frame_idx);
+  const Tensor target = nn::patchify_video(target_video, vit.patch);  // (B, N, Tpred*p*p)
+
+  // Loss on masked tiles only.
+  std::vector<std::int64_t> masked;
+  std::vector<bool> is_visible(static_cast<std::size_t>(total), false);
+  for (const auto k : keep) {
+    is_visible[static_cast<std::size_t>(k)] = true;
+  }
+  for (std::int64_t i = 0; i < total; ++i) {
+    if (!is_visible[static_cast<std::size_t>(i)]) {
+      masked.push_back(i);
+    }
+  }
+  SNAPPIX_CHECK(!masked.empty(), "mask ratio too low: no masked tiles");
+  const Tensor pred_masked = index_select(pred, 1, masked);
+  const Tensor target_masked = index_select(target, 1, masked);
+  return mse_loss(pred_masked, target_masked.detach());
+}
+
+Tensor CodedMae::reconstruct(const Tensor& coded) const {
+  const auto& vit = encoder_->config();
+  const std::int64_t total = vit.tokens();
+  std::vector<std::int64_t> all(static_cast<std::size_t>(total));
+  std::iota(all.begin(), all.end(), 0);
+  const Tensor encoded = encoder_->forward(coded);
+  const Tensor pred = decode(encoded, all, coded.shape()[0]);
+  return nn::unpatchify_video(pred, vit.patch, predicted_frames_, vit.image_h, vit.image_w);
+}
+
+}  // namespace snappix::models

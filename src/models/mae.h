@@ -1,0 +1,70 @@
+// CE-optimized reconstruction pre-training (paper Sec. IV, Eqn. 3).
+//
+// "Coded image-to-video" masked-autoencoder pre-training: randomly mask a
+// large fraction (default 85%) of the coded image's tiles, encode only the
+// visible tiles, and train a lightweight decoder to reconstruct the original
+// *video* — forcing the encoder to learn both spatial scene structure and the
+// temporal dynamics folded into the coded pixels. Following the paper, only
+// every other frame (50%) is predicted during pre-training.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/vit.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace snappix::models {
+
+struct MaeConfig {
+  float mask_ratio = 0.85F;
+  std::int64_t decoder_dim = 48;
+  int decoder_depth = 1;
+  int decoder_heads = 4;
+  // Temporal stride of predicted frames; 2 = predict 50% of frames (paper).
+  int frame_stride = 2;
+};
+
+class CodedMae : public nn::Module {
+ public:
+  CodedMae(std::shared_ptr<ViTEncoder> encoder, int frames, const MaeConfig& config, Rng& rng);
+
+  // One pre-training forward pass: masks tiles of `coded`, reconstructs the
+  // strided frames of `video`, and returns the MSE on *masked* tiles.
+  // coded: (B, H, W); video: (B, T, H, W).
+  Tensor pretrain_loss(const Tensor& coded, const Tensor& video, Rng& rng) const;
+
+  // Full-visibility reconstruction of the strided frames: (B, H, W) ->
+  // (B, T/stride, H, W). Used to inspect pre-training quality.
+  Tensor reconstruct(const Tensor& coded) const;
+
+  std::shared_ptr<ViTEncoder> encoder() { return encoder_; }
+  const MaeConfig& config() const { return config_; }
+  std::int64_t predicted_frames() const { return predicted_frames_; }
+
+ private:
+  // Decodes visible-token encodings back to per-patch pixel predictions.
+  // `keep` lists the visible token indices (sorted); masked positions get the
+  // learned mask token. Returns (B, N, Tpred*p*p).
+  Tensor decode(const Tensor& encoded_visible, const std::vector<std::int64_t>& keep,
+                std::int64_t batch) const;
+
+  std::shared_ptr<ViTEncoder> encoder_;
+  MaeConfig config_;
+  int frames_;
+  std::int64_t predicted_frames_;
+  std::shared_ptr<nn::Linear> enc_to_dec_;
+  Tensor mask_token_;     // (decoder_dim)
+  Tensor dec_pos_embed_;  // (N, decoder_dim)
+  std::vector<std::shared_ptr<nn::TransformerBlock>> dec_blocks_;
+  std::shared_ptr<nn::LayerNorm> dec_norm_;
+  std::shared_ptr<nn::Linear> dec_head_;
+};
+
+// Draws a sorted random subset of [0, total) of the given size.
+std::vector<std::int64_t> sample_keep_indices(std::int64_t total, std::int64_t keep_count,
+                                              Rng& rng);
+
+}  // namespace snappix::models

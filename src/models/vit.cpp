@@ -1,0 +1,104 @@
+#include "models/vit.h"
+
+#include "util/common.h"
+
+namespace snappix::models {
+
+ViTConfig ViTConfig::snappix_s(std::int64_t image, std::int64_t num_classes) {
+  ViTConfig cfg;
+  cfg.image_h = image;
+  cfg.image_w = image;
+  cfg.patch = 8;
+  cfg.dim = 48;
+  cfg.depth = 3;
+  cfg.heads = 4;
+  cfg.mlp_ratio = 2.0F;
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+ViTConfig ViTConfig::snappix_b(std::int64_t image, std::int64_t num_classes) {
+  ViTConfig cfg;
+  cfg.image_h = image;
+  cfg.image_w = image;
+  cfg.patch = 8;
+  cfg.dim = 96;
+  cfg.depth = 6;
+  cfg.heads = 6;
+  cfg.mlp_ratio = 3.0F;
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+ViTEncoder::ViTEncoder(const ViTConfig& config, Rng& rng) : config_(config) {
+  SNAPPIX_CHECK(config.image_h % config.patch == 0 && config.image_w % config.patch == 0,
+                "image " << config.image_h << "x" << config.image_w
+                         << " not divisible by patch " << config.patch);
+  patch_embed_ =
+      register_module("patch_embed", std::make_shared<nn::PatchEmbed>(config.patch, config.dim, rng));
+  pos_embed_ = register_parameter(
+      "pos_embed", Tensor::randn(Shape{config.tokens(), config.dim}, rng, 0.02F));
+  for (int i = 0; i < config.depth; ++i) {
+    blocks_.push_back(register_module(
+        "blocks." + std::to_string(i),
+        std::make_shared<nn::TransformerBlock>(config.dim, config.heads, config.mlp_ratio, rng)));
+  }
+  norm_ = register_module("norm", std::make_shared<nn::LayerNorm>(config.dim));
+}
+
+Tensor ViTEncoder::embed(const Tensor& coded) const {
+  SNAPPIX_CHECK(coded.ndim() == 3 && coded.shape()[1] == config_.image_h &&
+                    coded.shape()[2] == config_.image_w,
+                "encoder expects (B, " << config_.image_h << ", " << config_.image_w << "), got "
+                                       << coded.shape().to_string());
+  return add(patch_embed_->forward(coded), pos_embed_);
+}
+
+Tensor ViTEncoder::encode_tokens(const Tensor& tokens) const {
+  Tensor x = tokens;
+  for (const auto& block : blocks_) {
+    x = block->forward(x);
+  }
+  return norm_->forward(x);
+}
+
+Tensor ViTEncoder::forward(const Tensor& coded) const { return encode_tokens(embed(coded)); }
+
+SnapPixClassifier::SnapPixClassifier(const ViTConfig& config, Rng& rng)
+    : SnapPixClassifier(std::make_shared<ViTEncoder>(config, rng), rng) {}
+
+SnapPixClassifier::SnapPixClassifier(std::shared_ptr<ViTEncoder> encoder, Rng& rng) {
+  encoder_ = register_module("encoder", std::move(encoder));
+  head_ = register_module("head", std::make_shared<nn::Linear>(encoder_->config().dim,
+                                                               encoder_->config().num_classes,
+                                                               rng));
+}
+
+Tensor SnapPixClassifier::forward(const Tensor& coded) const {
+  const Tensor tokens = encoder_->forward(coded);  // (B, N, D)
+  const Tensor pooled = mean(tokens, 1);           // (B, D)
+  return head_->forward(pooled);
+}
+
+SnapPixReconstructor::SnapPixReconstructor(const ViTConfig& config, int frames, Rng& rng)
+    : SnapPixReconstructor(std::make_shared<ViTEncoder>(config, rng), frames, rng) {}
+
+SnapPixReconstructor::SnapPixReconstructor(std::shared_ptr<ViTEncoder> encoder, int frames,
+                                           Rng& rng)
+    : frames_(frames) {
+  SNAPPIX_CHECK(frames > 0, "reconstructor needs positive frame count");
+  encoder_ = register_module("encoder", std::move(encoder));
+  const auto& cfg = encoder_->config();
+  head_ = register_module(
+      "head", std::make_shared<nn::Linear>(
+                  cfg.dim, static_cast<std::int64_t>(frames) * cfg.patch * cfg.patch, rng));
+}
+
+Tensor SnapPixReconstructor::forward(const Tensor& coded) const {
+  const auto& cfg = encoder_->config();
+  const Tensor tokens = encoder_->forward(coded);     // (B, N, D)
+  const Tensor patches = head_->forward(tokens);      // (B, N, T*p*p)
+  return nn::unpatchify_video(patches, cfg.patch, frames_, cfg.image_h, cfg.image_w);
+}
+
+}  // namespace snappix::models

@@ -1,0 +1,98 @@
+// CE-optimized Vision Transformer (paper Sec. IV).
+//
+// The ViT patch size equals the CE tile size, so the patch-wise embedding and
+// MLPs learn the (offline-fixed) within-tile exposure variation while MHA
+// shares information across tiles. Two task heads are provided: action
+// recognition (classification) and video reconstruction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/embed.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace snappix::models {
+
+struct ViTConfig {
+  std::int64_t image_h = 32;
+  std::int64_t image_w = 32;
+  int patch = 8;  // must equal the CE tile size (Sec. IV)
+  std::int64_t dim = 64;
+  int depth = 4;
+  int heads = 4;
+  float mlp_ratio = 2.0F;
+  std::int64_t num_classes = 10;
+
+  std::int64_t tokens() const { return (image_h / patch) * (image_w / patch); }
+
+  // Scaled-down stand-ins for the paper's two variants (ViT-S 22M / ViT-B
+  // 87M): snappix_b is deeper and wider than snappix_s, preserving the
+  // accuracy-vs-speed trade-off of Table I.
+  static ViTConfig snappix_s(std::int64_t image, std::int64_t num_classes);
+  static ViTConfig snappix_b(std::int64_t image, std::int64_t num_classes);
+};
+
+// Transformer encoder over coded-image patches.
+class ViTEncoder : public nn::Module {
+ public:
+  ViTEncoder(const ViTConfig& config, Rng& rng);
+
+  // (B, H, W) coded image -> (B, N, dim) encoded tokens.
+  Tensor forward(const Tensor& coded) const;
+
+  // Patch embedding + positional embedding only: (B, H, W) -> (B, N, dim).
+  Tensor embed(const Tensor& coded) const;
+  // Runs the transformer stack + final norm on an arbitrary token subset.
+  Tensor encode_tokens(const Tensor& tokens) const;
+
+  const ViTConfig& config() const { return config_; }
+
+ private:
+  ViTConfig config_;
+  std::shared_ptr<nn::PatchEmbed> patch_embed_;
+  Tensor pos_embed_;  // (N, dim)
+  std::vector<std::shared_ptr<nn::TransformerBlock>> blocks_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+};
+
+// Action-recognition model: ViT encoder + mean-pool + linear head.
+class SnapPixClassifier : public nn::Module {
+ public:
+  SnapPixClassifier(const ViTConfig& config, Rng& rng);
+  // Wraps an existing (e.g. pre-trained) encoder.
+  SnapPixClassifier(std::shared_ptr<ViTEncoder> encoder, Rng& rng);
+
+  // (B, H, W) coded image -> (B, num_classes) logits.
+  Tensor forward(const Tensor& coded) const;
+
+  std::shared_ptr<ViTEncoder> encoder() { return encoder_; }
+
+ private:
+  std::shared_ptr<ViTEncoder> encoder_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+// Video-reconstruction model: ViT encoder + per-patch linear decoder that
+// predicts all T frames of each tile (the REC task of Sec. VI-A).
+class SnapPixReconstructor : public nn::Module {
+ public:
+  SnapPixReconstructor(const ViTConfig& config, int frames, Rng& rng);
+  SnapPixReconstructor(std::shared_ptr<ViTEncoder> encoder, int frames, Rng& rng);
+
+  // (B, H, W) coded image -> (B, T, H, W) reconstructed video.
+  Tensor forward(const Tensor& coded) const;
+
+  int frames() const { return frames_; }
+  std::shared_ptr<ViTEncoder> encoder() { return encoder_; }
+
+ private:
+  std::shared_ptr<ViTEncoder> encoder_;
+  int frames_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace snappix::models

@@ -1,0 +1,60 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace snappix::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t dim, int heads, Rng& rng)
+    : dim_(dim), heads_(heads), head_dim_(dim / heads) {
+  SNAPPIX_CHECK(heads > 0 && dim % heads == 0,
+                "attention dim " << dim << " not divisible by heads " << heads);
+  qkv_ = register_module("qkv", std::make_shared<Linear>(dim, 3 * dim, rng));
+  proj_ = register_module("proj", std::make_shared<Linear>(dim, dim, rng));
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  SNAPPIX_CHECK(x.ndim() == 3 && x.shape()[2] == dim_,
+                "attention expects (B, N, " << dim_ << "), got " << x.shape().to_string());
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t tokens = x.shape()[1];
+  const std::int64_t h = heads_;
+  const std::int64_t hd = head_dim_;
+
+  const Tensor qkv = qkv_->forward(x);  // (B, N, 3D)
+  auto split_head = [&](std::int64_t part) {
+    // (B, N, D) -> (B*H, N, hd)
+    Tensor s = slice(qkv, 2, part * dim_, (part + 1) * dim_);
+    s = reshape(s, Shape{batch, tokens, h, hd});
+    s = permute(s, {0, 2, 1, 3});  // (B, H, N, hd)
+    return reshape(s, Shape{batch * h, tokens, hd});
+  };
+  const Tensor q = split_head(0);
+  const Tensor k = split_head(1);
+  const Tensor v = split_head(2);
+
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+  Tensor scores = mul_scalar(matmul(q, transpose(k, 1, 2)), scale);  // (B*H, N, N)
+  Tensor attn = softmax(scores, -1);
+  Tensor out = matmul(attn, v);  // (B*H, N, hd)
+  out = reshape(out, Shape{batch, h, tokens, hd});
+  out = permute(out, {0, 2, 1, 3});  // (B, N, H, hd)
+  out = reshape(out, Shape{batch, tokens, dim_});
+  return proj_->forward(out);
+}
+
+TransformerBlock::TransformerBlock(std::int64_t dim, int heads, float mlp_ratio, Rng& rng) {
+  norm1_ = register_module("norm1", std::make_shared<LayerNorm>(dim));
+  attn_ = register_module("attn", std::make_shared<MultiHeadAttention>(dim, heads, rng));
+  norm2_ = register_module("norm2", std::make_shared<LayerNorm>(dim));
+  const auto hidden = static_cast<std::int64_t>(static_cast<float>(dim) * mlp_ratio);
+  mlp_ = register_module("mlp", std::make_shared<Mlp>(dim, hidden, rng));
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) const {
+  Tensor y = add(x, attn_->forward(norm1_->forward(x)));
+  return add(y, mlp_->forward(norm2_->forward(y)));
+}
+
+}  // namespace snappix::nn

@@ -1,0 +1,42 @@
+// Multi-head self-attention and the pre-norm transformer block.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace snappix::nn {
+
+// Standard multi-head self-attention over token sequences (B, N, D).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(std::int64_t dim, int heads, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  int heads() const { return heads_; }
+
+ private:
+  std::int64_t dim_;
+  int heads_;
+  std::int64_t head_dim_;
+  std::shared_ptr<Linear> qkv_;
+  std::shared_ptr<Linear> proj_;
+};
+
+// Pre-norm transformer encoder block: x + MHA(LN(x)); x + MLP(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::int64_t dim, int heads, float mlp_ratio, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  std::shared_ptr<LayerNorm> norm1_;
+  std::shared_ptr<MultiHeadAttention> attn_;
+  std::shared_ptr<LayerNorm> norm2_;
+  std::shared_ptr<Mlp> mlp_;
+};
+
+}  // namespace snappix::nn

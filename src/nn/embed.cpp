@@ -1,0 +1,104 @@
+#include "nn/embed.h"
+
+#include "util/common.h"
+
+namespace snappix::nn {
+
+Tensor patchify_image(const Tensor& image, int patch) {
+  SNAPPIX_CHECK(image.ndim() == 3, "patchify_image expects (B, H, W), got "
+                                       << image.shape().to_string());
+  const std::int64_t batch = image.shape()[0];
+  const std::int64_t h = image.shape()[1];
+  const std::int64_t w = image.shape()[2];
+  SNAPPIX_CHECK(patch > 0 && h % patch == 0 && w % patch == 0,
+                "image " << h << "x" << w << " not divisible by patch " << patch);
+  const std::int64_t gh = h / patch;
+  const std::int64_t gw = w / patch;
+  Tensor t = reshape(image, Shape{batch, gh, patch, gw, patch});
+  t = permute(t, {0, 1, 3, 2, 4});  // (B, gh, gw, p, p)
+  return reshape(t, Shape{batch, gh * gw, static_cast<std::int64_t>(patch) * patch});
+}
+
+Tensor unpatchify_image(const Tensor& patches, int patch, std::int64_t height,
+                        std::int64_t width) {
+  SNAPPIX_CHECK(patches.ndim() == 3, "unpatchify_image expects (B, N, p*p)");
+  const std::int64_t batch = patches.shape()[0];
+  const std::int64_t gh = height / patch;
+  const std::int64_t gw = width / patch;
+  SNAPPIX_CHECK(patches.shape()[1] == gh * gw &&
+                    patches.shape()[2] == static_cast<std::int64_t>(patch) * patch,
+                "unpatchify_image: patches " << patches.shape().to_string()
+                                             << " do not fit image " << height << "x" << width);
+  Tensor t = reshape(patches, Shape{batch, gh, gw, patch, patch});
+  t = permute(t, {0, 1, 3, 2, 4});  // (B, gh, p, gw, p)
+  return reshape(t, Shape{batch, height, width});
+}
+
+Tensor patchify_video(const Tensor& video, int patch) {
+  SNAPPIX_CHECK(video.ndim() == 4, "patchify_video expects (B, T, H, W), got "
+                                       << video.shape().to_string());
+  const std::int64_t batch = video.shape()[0];
+  const std::int64_t frames = video.shape()[1];
+  const std::int64_t h = video.shape()[2];
+  const std::int64_t w = video.shape()[3];
+  SNAPPIX_CHECK(patch > 0 && h % patch == 0 && w % patch == 0,
+                "video " << h << "x" << w << " not divisible by patch " << patch);
+  const std::int64_t gh = h / patch;
+  const std::int64_t gw = w / patch;
+  Tensor t = reshape(video, Shape{batch, frames, gh, patch, gw, patch});
+  t = permute(t, {0, 2, 4, 1, 3, 5});  // (B, gh, gw, T, p, p)
+  return reshape(t, Shape{batch, gh * gw, frames * patch * patch});
+}
+
+Tensor unpatchify_video(const Tensor& patches, int patch, std::int64_t frames,
+                        std::int64_t height, std::int64_t width) {
+  SNAPPIX_CHECK(patches.ndim() == 3, "unpatchify_video expects (B, N, T*p*p)");
+  const std::int64_t batch = patches.shape()[0];
+  const std::int64_t gh = height / patch;
+  const std::int64_t gw = width / patch;
+  SNAPPIX_CHECK(patches.shape()[1] == gh * gw &&
+                    patches.shape()[2] == frames * patch * patch,
+                "unpatchify_video: patches " << patches.shape().to_string() << " do not fit video");
+  Tensor t = reshape(patches, Shape{batch, gh, gw, frames, patch, patch});
+  t = permute(t, {0, 3, 1, 4, 2, 5});  // (B, T, gh, p, gw, p)
+  return reshape(t, Shape{batch, frames, height, width});
+}
+
+PatchEmbed::PatchEmbed(int patch, std::int64_t dim, Rng& rng) : patch_(patch) {
+  proj_ = register_module(
+      "proj", std::make_shared<Linear>(static_cast<std::int64_t>(patch) * patch, dim, rng));
+}
+
+Tensor PatchEmbed::forward(const Tensor& image) const {
+  return proj_->forward(patchify_image(image, patch_));
+}
+
+TubeletEmbed::TubeletEmbed(int tubelet_t, int patch, std::int64_t dim, Rng& rng)
+    : tubelet_t_(tubelet_t), patch_(patch) {
+  proj_ = register_module(
+      "proj",
+      std::make_shared<Linear>(
+          static_cast<std::int64_t>(tubelet_t) * patch * patch, dim, rng));
+}
+
+Tensor TubeletEmbed::forward(const Tensor& video) const {
+  SNAPPIX_CHECK(video.ndim() == 4, "TubeletEmbed expects (B, T, H, W), got "
+                                       << video.shape().to_string());
+  const std::int64_t batch = video.shape()[0];
+  const std::int64_t frames = video.shape()[1];
+  const std::int64_t h = video.shape()[2];
+  const std::int64_t w = video.shape()[3];
+  SNAPPIX_CHECK(frames % tubelet_t_ == 0, "frames " << frames << " not divisible by tubelet "
+                                                    << tubelet_t_);
+  SNAPPIX_CHECK(h % patch_ == 0 && w % patch_ == 0, "video not divisible by patch " << patch_);
+  const std::int64_t gt = frames / tubelet_t_;
+  const std::int64_t gh = h / patch_;
+  const std::int64_t gw = w / patch_;
+  Tensor t = reshape(video, Shape{batch, gt, tubelet_t_, gh, patch_, gw, patch_});
+  t = permute(t, {0, 1, 3, 5, 2, 4, 6});  // (B, gt, gh, gw, tt, p, p)
+  t = reshape(t, Shape{batch, gt * gh * gw,
+                       static_cast<std::int64_t>(tubelet_t_) * patch_ * patch_});
+  return proj_->forward(t);
+}
+
+}  // namespace snappix::nn

@@ -1,0 +1,57 @@
+// Patch/tubelet embeddings and patchify helpers.
+//
+// SNAPPIX aligns the ViT patch size with the CE tile size so the per-patch
+// MLPs can learn the within-tile exposure variation (paper Sec. IV). The
+// patchify helpers are also used to build MAE pre-training targets.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace snappix::nn {
+
+// (B, H, W) image -> (B, N, p*p) patch rows, N = (H/p)*(W/p).
+Tensor patchify_image(const Tensor& image, int patch);
+// Inverse of patchify_image: (B, N, p*p) -> (B, H, W).
+Tensor unpatchify_image(const Tensor& patches, int patch, std::int64_t height,
+                        std::int64_t width);
+// (B, T, H, W) video -> (B, N, T*p*p): per spatial patch, all frames.
+Tensor patchify_video(const Tensor& video, int patch);
+// Inverse of patchify_video: (B, N, T*p*p) -> (B, T, H, W).
+Tensor unpatchify_video(const Tensor& patches, int patch, std::int64_t frames,
+                        std::int64_t height, std::int64_t width);
+
+// Linear patch embedding for single coded images (B, H, W) -> (B, N, dim).
+class PatchEmbed : public Module {
+ public:
+  PatchEmbed(int patch, std::int64_t dim, Rng& rng);
+
+  Tensor forward(const Tensor& image) const;
+
+  int patch() const { return patch_; }
+
+ private:
+  int patch_;
+  std::shared_ptr<Linear> proj_;
+};
+
+// Tubelet embedding for videos (B, T, H, W) -> (B, N, dim); tokens span
+// `tubelet_t` frames by `patch` x `patch` pixels (VideoMAE-style).
+class TubeletEmbed : public Module {
+ public:
+  TubeletEmbed(int tubelet_t, int patch, std::int64_t dim, Rng& rng);
+
+  Tensor forward(const Tensor& video) const;
+
+  int patch() const { return patch_; }
+  int tubelet_t() const { return tubelet_t_; }
+
+ private:
+  int tubelet_t_;
+  int patch_;
+  std::shared_ptr<Linear> proj_;
+};
+
+}  // namespace snappix::nn

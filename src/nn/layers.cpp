@@ -1,0 +1,84 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace snappix::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  SNAPPIX_CHECK(in_features > 0 && out_features > 0, "Linear: non-positive feature count");
+  // Xavier/Glorot normal initialization.
+  const float stddev = std::sqrt(2.0F / static_cast<float>(in_features + out_features));
+  weight_ = register_parameter("weight",
+                               Tensor::randn(Shape{in_features, out_features}, rng, stddev));
+  if (with_bias) {
+    bias_ = register_parameter("bias", Tensor::zeros(Shape{out_features}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  SNAPPIX_CHECK(x.shape()[-1] == in_features_, "Linear expects last dim " << in_features_
+                                                                          << ", got "
+                                                                          << x.shape().to_string());
+  Tensor y = matmul(x, weight_);
+  if (bias_.defined()) {
+    y = add(y, bias_);
+  }
+  return y;
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  SNAPPIX_CHECK(dim > 0, "LayerNorm: non-positive dim");
+  gamma_ = register_parameter("gamma", Tensor::ones(Shape{dim}));
+  beta_ = register_parameter("beta", Tensor::zeros(Shape{dim}));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  SNAPPIX_CHECK(x.shape()[-1] == dim_, "LayerNorm expects last dim " << dim_ << ", got "
+                                                                     << x.shape().to_string());
+  const Tensor mu = mean(x, -1, /*keepdim=*/true);
+  const Tensor centered = sub(x, mu);
+  const Tensor var = mean(square(centered), -1, /*keepdim=*/true);
+  const Tensor normalized = div(centered, snappix::sqrt(add_scalar(var, eps_)));
+  return add(mul(normalized, gamma_), beta_);
+}
+
+Mlp::Mlp(std::int64_t dim, std::int64_t hidden, Rng& rng) {
+  fc1_ = register_module("fc1", std::make_shared<Linear>(dim, hidden, rng));
+  fc2_ = register_module("fc2", std::make_shared<Linear>(hidden, dim, rng));
+}
+
+Tensor Mlp::forward(const Tensor& x) const { return fc2_->forward(gelu(fc1_->forward(x))); }
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel, int stride,
+               int padding, Rng& rng)
+    : stride_(stride), padding_(padding) {
+  const auto fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float stddev = std::sqrt(2.0F / fan_in);  // He init for ReLU nets
+  weight_ = register_parameter(
+      "weight", Tensor::randn(Shape{out_channels, in_channels, kernel, kernel}, rng, stddev));
+  bias_ = register_parameter("bias", Tensor::zeros(Shape{out_channels}));
+}
+
+Tensor Conv2d::forward(const Tensor& x) const {
+  return conv2d(x, weight_, bias_, stride_, padding_);
+}
+
+Conv3d::Conv3d(std::int64_t in_channels, std::int64_t out_channels, int kernel_t, int kernel_hw,
+               int stride_t, int stride_hw, int pad_t, int pad_hw, Rng& rng)
+    : stride_t_(stride_t), stride_hw_(stride_hw), pad_t_(pad_t), pad_hw_(pad_hw) {
+  const auto fan_in = static_cast<float>(in_channels * kernel_t * kernel_hw * kernel_hw);
+  const float stddev = std::sqrt(2.0F / fan_in);
+  weight_ = register_parameter(
+      "weight",
+      Tensor::randn(Shape{out_channels, in_channels, kernel_t, kernel_hw, kernel_hw}, rng, stddev));
+  bias_ = register_parameter("bias", Tensor::zeros(Shape{out_channels}));
+}
+
+Tensor Conv3d::forward(const Tensor& x) const {
+  return conv3d(x, weight_, bias_, stride_t_, stride_hw_, pad_t_, pad_hw_);
+}
+
+}  // namespace snappix::nn

@@ -1,0 +1,89 @@
+// Basic layers: Linear, LayerNorm, Mlp, and convolution wrappers.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix::nn {
+
+// Fully connected layer. Weight layout is (in, out) so the forward pass is
+// matmul(x, weight) + bias with x of shape (..., in) flattened to 2-D/3-D.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias = true);
+
+  // x: (B, in) or (B, N, in) -> same leading dims with `out` features.
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Tensor weight_;
+  Tensor bias_;  // undefined when bias disabled
+};
+
+// Layer normalization over the last axis with learnable affine parameters.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+// Transformer MLP: Linear -> GELU -> Linear.
+class Mlp : public Module {
+ public:
+  Mlp(std::int64_t dim, std::int64_t hidden, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  std::shared_ptr<Linear> fc1_;
+  std::shared_ptr<Linear> fc2_;
+};
+
+// 2-D convolution layer wrapping the conv2d op.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel, int stride, int padding,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  int stride_;
+  int padding_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+// 3-D convolution layer wrapping the conv3d op.
+class Conv3d : public Module {
+ public:
+  Conv3d(std::int64_t in_channels, std::int64_t out_channels, int kernel_t, int kernel_hw,
+         int stride_t, int stride_hw, int pad_t, int pad_hw, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  int stride_t_;
+  int stride_hw_;
+  int pad_t_;
+  int pad_hw_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace snappix::nn

@@ -1,0 +1,115 @@
+#include "nn/module.h"
+
+#include <fstream>
+
+#include "util/common.h"
+
+namespace snappix::nn {
+
+Tensor Module::register_parameter(const std::string& name, Tensor value) {
+  SNAPPIX_CHECK(value.defined(), "register_parameter(" << name << "): undefined tensor");
+  value.set_requires_grad(true);
+  params_.emplace_back(name, value);
+  return value;
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, tensor] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect("", out);
+  return out;
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (auto& [name, tensor] : named_parameters()) {
+    (void)name;
+    out.push_back(tensor);
+  }
+  return out;
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) {
+    n += p.numel();
+  }
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) {
+    p.zero_grad();
+  }
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) {
+    (void)name;
+    child->set_training(training);
+  }
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x534E5058;  // "SNPX"
+}  // namespace
+
+void Module::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  SNAPPIX_CHECK(out.good(), "cannot open " << path << " for writing");
+  const auto named = named_parameters();
+  const auto count = static_cast<std::uint64_t>(named.size());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, tensor] : named) {
+    const auto name_len = static_cast<std::uint64_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto numel = static_cast<std::uint64_t>(tensor.numel());
+    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out.write(reinterpret_cast<const char*>(tensor.data().data()),
+              static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  SNAPPIX_CHECK(out.good(), "write failure on " << path);
+}
+
+void Module::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SNAPPIX_CHECK(in.good(), "cannot open " << path << " for reading");
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SNAPPIX_CHECK(magic == kMagic, path << " is not a snappix checkpoint");
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto named = named_parameters();
+  SNAPPIX_CHECK(count == named.size(), "checkpoint has " << count << " tensors, module expects "
+                                                         << named.size());
+  for (auto& [name, tensor] : named) {
+    std::uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string stored(name_len, '\0');
+    in.read(stored.data(), static_cast<std::streamsize>(name_len));
+    SNAPPIX_CHECK(stored == name, "checkpoint tensor `" << stored << "` does not match module "
+                                                        << "parameter `" << name << "`");
+    std::uint64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    SNAPPIX_CHECK(numel == static_cast<std::uint64_t>(tensor.numel()),
+                  "checkpoint tensor `" << name << "` has " << numel << " values, expected "
+                                        << tensor.numel());
+    in.read(reinterpret_cast<char*>(tensor.data().data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  SNAPPIX_CHECK(in.good(), "read failure on " << path);
+}
+
+}  // namespace snappix::nn

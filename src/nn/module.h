@@ -1,0 +1,61 @@
+// Module: base class for neural-network components.
+//
+// A Module owns named parameters and named child modules; parameters() walks
+// the tree. Parameters are Tensors with requires_grad set, so optimizers can
+// hold them by handle. Serialization writes a flat name->values binary file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snappix::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and its children (depth-first).
+  std::vector<Tensor> parameters() const;
+  // Parameters with their dotted path names, e.g. "blocks.0.attn.qkv.weight".
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+
+  std::int64_t parameter_count() const;
+  void zero_grad();
+
+  // Training mode toggles dropout etc. Propagates to children.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  // Binary checkpoint I/O. Load verifies names and shapes.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ protected:
+  // Registers (and returns) a trainable parameter.
+  Tensor register_parameter(const std::string& name, Tensor value);
+
+  // Registers a child module and returns the typed pointer for convenience.
+  template <typename M>
+  std::shared_ptr<M> register_module(const std::string& name, std::shared_ptr<M> child) {
+    children_.emplace_back(name, child);
+    return child;
+  }
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace snappix::nn

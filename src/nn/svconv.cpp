@@ -1,0 +1,151 @@
+#include "nn/svconv.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/common.h"
+#include "util/parallel.h"
+
+namespace snappix::nn {
+
+Tensor shift_variant_conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, int tile) {
+  SNAPPIX_CHECK(x.ndim() == 4, "svc input must be (B,C,H,W), got " << x.shape().to_string());
+  SNAPPIX_CHECK(weight.ndim() == 5, "svc weight must be (P,O,C,kh,kw), got "
+                                        << weight.shape().to_string());
+  SNAPPIX_CHECK(tile >= 1, "svc tile must be positive");
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t cin = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t w = x.shape()[3];
+  const std::int64_t positions = weight.shape()[0];
+  const std::int64_t cout = weight.shape()[1];
+  const std::int64_t kh = weight.shape()[3];
+  const std::int64_t kw = weight.shape()[4];
+  SNAPPIX_CHECK(positions == static_cast<std::int64_t>(tile) * tile,
+                "svc weight has " << positions << " kernels but tile " << tile << " needs "
+                                  << tile * tile);
+  SNAPPIX_CHECK(weight.shape()[2] == cin, "svc channel mismatch");
+  SNAPPIX_CHECK(kh % 2 == 1 && kw % 2 == 1, "svc kernels must be odd-sized for same padding");
+  if (bias.defined()) {
+    SNAPPIX_CHECK(bias.ndim() == 1 && bias.shape()[0] == cout, "svc bias must be (O)");
+  }
+  const std::int64_t pad_h = kh / 2;
+  const std::int64_t pad_w = kw / 2;
+
+  const Shape out_shape{batch, cout, h, w};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()), 0.0F);
+  const float* px = x.data().data();
+  const float* pw = weight.data().data();
+  const float* pb = bias.defined() ? bias.data().data() : nullptr;
+
+  parallel_for(batch * cout, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t bo = i0; bo < i1; ++bo) {
+      const std::int64_t b = bo / cout;
+      const std::int64_t o = bo % cout;
+      float* dst = out.data() + (b * cout + o) * h * w;
+      for (std::int64_t oy = 0; oy < h; ++oy) {
+        for (std::int64_t ox = 0; ox < w; ++ox) {
+          const std::int64_t p = (oy % tile) * tile + (ox % tile);
+          float acc = pb != nullptr ? pb[o] : 0.0F;
+          for (std::int64_t c = 0; c < cin; ++c) {
+            const float* xc = px + (b * cin + c) * h * w;
+            const float* wc = pw + ((p * cout + o) * cin + c) * kh * kw;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy + ky - pad_h;
+              if (iy < 0 || iy >= h) {
+                continue;
+              }
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox + kx - pad_w;
+                if (ix < 0 || ix >= w) {
+                  continue;
+                }
+                acc += xc[iy * w + ix] * wc[ky * kw + kx];
+              }
+            }
+          }
+          dst[oy * w + ox] = acc;
+        }
+      }
+    }
+  });
+
+  auto xi = x.impl();
+  auto wi = weight.impl();
+  auto bi = bias.defined() ? bias.impl() : nullptr;
+  std::vector<Tensor> parents = bias.defined() ? std::vector<Tensor>{x, weight, bias}
+                                               : std::vector<Tensor>{x, weight};
+  return make_result(
+      out_shape, std::move(out), std::move(parents),
+      [xi, wi, bi, batch, cin, h, w, cout, kh, kw, pad_h, pad_w, tile](TensorImpl& self) {
+        const float* g = self.grad.data();
+        if (xi->requires_grad) {
+          xi->ensure_grad();
+        }
+        if (wi->requires_grad) {
+          wi->ensure_grad();
+        }
+        if (bi != nullptr && bi->requires_grad) {
+          bi->ensure_grad();
+        }
+        for (std::int64_t b = 0; b < batch; ++b) {
+          for (std::int64_t o = 0; o < cout; ++o) {
+            const float* grow = g + (b * cout + o) * h * w;
+            for (std::int64_t oy = 0; oy < h; ++oy) {
+              for (std::int64_t ox = 0; ox < w; ++ox) {
+                const float gv = grow[oy * w + ox];
+                if (gv == 0.0F) {
+                  continue;
+                }
+                const std::int64_t p = (oy % tile) * tile + (ox % tile);
+                if (bi != nullptr && bi->requires_grad) {
+                  bi->grad[static_cast<std::size_t>(o)] += gv;
+                }
+                for (std::int64_t c = 0; c < cin; ++c) {
+                  const std::int64_t xbase = (b * cin + c) * h * w;
+                  const std::int64_t wbase = ((p * cout + o) * cin + c) * kh * kw;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = oy + ky - pad_h;
+                    if (iy < 0 || iy >= h) {
+                      continue;
+                    }
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = ox + kx - pad_w;
+                      if (ix < 0 || ix >= w) {
+                        continue;
+                      }
+                      if (xi->requires_grad) {
+                        xi->grad[static_cast<std::size_t>(xbase + iy * w + ix)] +=
+                            gv * wi->data[static_cast<std::size_t>(wbase + ky * kw + kx)];
+                      }
+                      if (wi->requires_grad) {
+                        wi->grad[static_cast<std::size_t>(wbase + ky * kw + kx)] +=
+                            gv * xi->data[static_cast<std::size_t>(xbase + iy * w + ix)];
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+ShiftVariantConv2d::ShiftVariantConv2d(std::int64_t in_channels, std::int64_t out_channels,
+                                       int kernel, int tile, Rng& rng)
+    : tile_(tile) {
+  const auto fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float stddev = std::sqrt(2.0F / fan_in);
+  weight_ = register_parameter(
+      "weight", Tensor::randn(Shape{static_cast<std::int64_t>(tile) * tile, out_channels,
+                                    in_channels, kernel, kernel},
+                              rng, stddev));
+  bias_ = register_parameter("bias", Tensor::zeros(Shape{out_channels}));
+}
+
+Tensor ShiftVariantConv2d::forward(const Tensor& x) const {
+  return shift_variant_conv2d(x, weight_, bias_, tile_);
+}
+
+}  // namespace snappix::nn

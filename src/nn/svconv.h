@@ -1,0 +1,34 @@
+// Shift-Variant Convolution (SVC), the mechanism prior CE work (SVC2D,
+// Okawara et al.) uses to handle pixel-level exposure non-uniformity: pixels
+// at different positions within the CE tile get different convolution
+// kernels. SNAPPIX replaces this with tile-aligned ViT patches; SVC is
+// implemented here for the baseline comparison.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix::nn {
+
+// Functional op: x (B,C,H,W), weight (P,O,C,kh,kw) with P = tile*tile and the
+// kernel selected by p = (y % tile)*tile + (x % tile); stride 1, same padding.
+Tensor shift_variant_conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, int tile);
+
+// Layer wrapper holding per-position kernels.
+class ShiftVariantConv2d : public Module {
+ public:
+  ShiftVariantConv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel, int tile,
+                     Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  int tile() const { return tile_; }
+
+ private:
+  int tile_;
+  Tensor weight_;  // (P, O, C, k, k)
+  Tensor bias_;    // (O)
+};
+
+}  // namespace snappix::nn

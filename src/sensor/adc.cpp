@@ -1,0 +1,27 @@
+#include "sensor/adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace snappix::sensor {
+
+ColumnAdc::ColumnAdc(const AdcConfig& config) : config_(config) {
+  SNAPPIX_CHECK(config.bits >= 1 && config.bits <= 16, "ADC bits " << config.bits
+                                                                   << " out of [1, 16]");
+  SNAPPIX_CHECK(config.full_scale > 0.0F, "ADC full_scale must be positive");
+  SNAPPIX_CHECK(config.cycles_per_conversion >= 1, "ADC cycles_per_conversion must be >= 1");
+  max_code_ = (1U << config.bits) - 1U;
+}
+
+std::uint32_t ColumnAdc::convert(float voltage) {
+  ++conversions_;
+  const float clamped = std::clamp(voltage, 0.0F, config_.full_scale);
+  const float normalized = clamped / config_.full_scale;
+  const auto code =
+      static_cast<std::uint32_t>(std::lround(normalized * static_cast<float>(max_code_)));
+  return std::min(code, max_code_);
+}
+
+}  // namespace snappix::sensor

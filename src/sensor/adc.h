@@ -1,0 +1,33 @@
+// Column-parallel SAR ADC model: quantizes pixel voltages into digital
+// numbers and accounts conversions/cycles for the timing and energy models.
+#pragma once
+
+#include <cstdint>
+
+namespace snappix::sensor {
+
+struct AdcConfig {
+  int bits = 8;
+  float full_scale = 4096.0F;       // input voltage mapped to code 2^bits - 1
+  int cycles_per_conversion = 8;    // SAR: one cycle per bit
+};
+
+class ColumnAdc {
+ public:
+  explicit ColumnAdc(const AdcConfig& config);
+
+  // Quantizes `voltage` in [0, full_scale] to a code in [0, 2^bits - 1].
+  std::uint32_t convert(float voltage);
+
+  std::uint64_t conversions() const { return conversions_; }
+  std::uint64_t cycles() const { return conversions_ * config_.cycles_per_conversion; }
+  std::uint32_t max_code() const { return max_code_; }
+  const AdcConfig& config() const { return config_; }
+
+ private:
+  AdcConfig config_;
+  std::uint32_t max_code_;
+  std::uint64_t conversions_ = 0;
+};
+
+}  // namespace snappix::sensor

@@ -1,0 +1,28 @@
+#include "sensor/mipi.h"
+
+#include "util/common.h"
+
+namespace snappix::sensor {
+
+MipiCsi2Link::MipiCsi2Link(const MipiConfig& config) : config_(config) {
+  SNAPPIX_CHECK(config.lanes >= 1 && config.lanes <= 8, "MIPI lanes " << config.lanes
+                                                                      << " out of [1, 8]");
+  SNAPPIX_CHECK(config.byte_clock_hz > 0.0, "MIPI byte clock must be positive");
+}
+
+std::uint64_t MipiCsi2Link::send_line(std::uint64_t payload) {
+  SNAPPIX_CHECK(payload > 0, "MIPI line payload must be positive");
+  const std::uint64_t wire =
+      payload + static_cast<std::uint64_t>(config_.header_bytes + config_.footer_bytes);
+  total_bytes_ += wire;
+  payload_bytes_ += payload;
+  ++packets_;
+  return wire;
+}
+
+double MipiCsi2Link::transmit_seconds() const {
+  return static_cast<double>(total_bytes_) /
+         (config_.byte_clock_hz * static_cast<double>(config_.lanes));
+}
+
+}  // namespace snappix::sensor

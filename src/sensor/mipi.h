@@ -1,0 +1,37 @@
+// MIPI CSI-2 link model: packetizes read-out rows into long packets
+// (4-byte header + payload + 2-byte CRC footer) across one or more lanes.
+#pragma once
+
+#include <cstdint>
+
+namespace snappix::sensor {
+
+struct MipiConfig {
+  int lanes = 1;
+  double byte_clock_hz = 100e6;  // bytes/second per lane
+  int header_bytes = 4;
+  int footer_bytes = 2;
+};
+
+class MipiCsi2Link {
+ public:
+  explicit MipiCsi2Link(const MipiConfig& config);
+
+  // Transmits one row of `payload_bytes`; returns bytes on the wire.
+  std::uint64_t send_line(std::uint64_t payload_bytes);
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+  std::uint64_t packets() const { return packets_; }
+  // Wire time in seconds given the lane count and byte clock.
+  double transmit_seconds() const;
+  const MipiConfig& config() const { return config_; }
+
+ private:
+  MipiConfig config_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace snappix::sensor

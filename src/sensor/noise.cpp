@@ -1,0 +1,46 @@
+#include "sensor/noise.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace snappix::sensor {
+
+NoiseModel::NoiseModel(const NoiseConfig& config, std::int64_t num_pixels) : config_(config) {
+  SNAPPIX_CHECK(num_pixels > 0, "NoiseModel needs at least one pixel");
+  if (!config.enabled) {
+    return;
+  }
+  Rng rng(config.seed);
+  fpn_gain_.resize(static_cast<std::size_t>(num_pixels));
+  fpn_offset_.resize(static_cast<std::size_t>(num_pixels));
+  for (std::int64_t i = 0; i < num_pixels; ++i) {
+    fpn_gain_[static_cast<std::size_t>(i)] = 1.0F + rng.normal(0.0F, config.fpn_gain_sigma);
+    fpn_offset_[static_cast<std::size_t>(i)] =
+        std::max(0.0F, rng.normal(0.0F, config.fpn_offset_electrons));
+  }
+}
+
+float NoiseModel::apply_exposure(std::int64_t pixel, float electrons, double exposure_s,
+                                 Rng& rng) const {
+  if (!config_.enabled) {
+    return electrons;
+  }
+  float result = electrons * fpn_gain_[static_cast<std::size_t>(pixel)];
+  result += config_.dark_current_e_per_s * static_cast<float>(exposure_s);
+  if (config_.shot_noise && result > 0.0F) {
+    result = static_cast<float>(rng.poisson(static_cast<double>(result)));
+  }
+  return std::max(result, 0.0F);
+}
+
+float NoiseModel::apply_read(std::int64_t pixel, float voltage, Rng& rng) const {
+  if (!config_.enabled) {
+    return voltage;
+  }
+  voltage += fpn_offset_[static_cast<std::size_t>(pixel)];
+  voltage += rng.normal(0.0F, config_.read_noise_electrons);
+  return std::max(voltage, 0.0F);
+}
+
+}  // namespace snappix::sensor

@@ -1,0 +1,42 @@
+// Sensor noise models: photon shot noise, read noise, dark current, and
+// fixed-pattern noise (per-pixel gain/offset). All optional and seeded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace snappix::sensor {
+
+struct NoiseConfig {
+  bool enabled = false;
+  bool shot_noise = true;              // Poisson photon arrival
+  float read_noise_electrons = 2.5F;   // Gaussian, applied at read-out
+  float dark_current_e_per_s = 5.0F;   // accumulates during exposure
+  float fpn_gain_sigma = 0.01F;        // per-pixel PRNU
+  float fpn_offset_electrons = 1.0F;   // per-pixel DSNU
+  std::uint64_t seed = 42;
+};
+
+class NoiseModel {
+ public:
+  NoiseModel(const NoiseConfig& config, std::int64_t num_pixels);
+
+  // Electrons actually collected given ideal `electrons` arriving at `pixel`
+  // over `exposure_s` seconds.
+  float apply_exposure(std::int64_t pixel, float electrons, double exposure_s, Rng& rng) const;
+
+  // Voltage perturbation at read-out time.
+  float apply_read(std::int64_t pixel, float voltage, Rng& rng) const;
+
+  bool enabled() const { return config_.enabled; }
+  const NoiseConfig& config() const { return config_; }
+
+ private:
+  NoiseConfig config_;
+  std::vector<float> fpn_gain_;
+  std::vector<float> fpn_offset_;
+};
+
+}  // namespace snappix::sensor

@@ -1,0 +1,36 @@
+#include "sensor/pattern_memory.h"
+
+namespace snappix::sensor {
+
+DffShiftChain::DffShiftChain(int length) {
+  SNAPPIX_CHECK(length > 0, "shift chain length must be positive, got " << length);
+  dffs_.assign(static_cast<std::size_t>(length), 0);
+}
+
+void DffShiftChain::shift_in(std::uint8_t bit) {
+  SNAPPIX_CHECK(!power_gated_, "shift_in on a power-gated chain; call wake() first");
+  // Shift toward higher indices; the new bit enters DFF 0.
+  for (std::size_t i = dffs_.size() - 1; i > 0; --i) {
+    dffs_[i] = dffs_[i - 1];
+  }
+  dffs_[0] = bit != 0 ? 1 : 0;
+  ++cycles_;
+  shift_events_ += static_cast<std::uint64_t>(dffs_.size());
+}
+
+void DffShiftChain::load_slot(const std::vector<std::uint8_t>& bits) {
+  SNAPPIX_CHECK(static_cast<int>(bits.size()) == length(),
+                "load_slot got " << bits.size() << " bits for a chain of " << length());
+  wake();
+  // Stream in reverse so bits[0] ends up in DFF 0 after length() shifts.
+  for (auto it = bits.rbegin(); it != bits.rend(); ++it) {
+    shift_in(*it);
+  }
+}
+
+std::uint8_t DffShiftChain::bit_at(int index) const {
+  SNAPPIX_CHECK(index >= 0 && index < length(), "DFF index " << index << " out of range");
+  return dffs_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace snappix::sensor

@@ -1,0 +1,51 @@
+// Bottom-layer pattern distribution (paper Fig. 5 / Sec. V).
+//
+// Each pixel carries one DFF; the DFFs of a tile form a shift register
+// (pattern_out of pixel i feeds pattern_in of pixel i+1). A slot's CE bits
+// are streamed in over `length` pattern-clk cycles, consumed via the
+// pattern-reset / pattern-transfer pulses (M6/M7), and the DFFs are
+// power-gated between uses. Only four wires reach each tile chain —
+// pattern_in, pattern_clk, pattern_reset, pattern_transfer — regardless of
+// tile size (vs 2N wires/pixel for a broadcast design).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace snappix::sensor {
+
+class DffShiftChain {
+ public:
+  explicit DffShiftChain(int length);
+
+  // One pattern_clk cycle: shifts `bit` into DFF 0, pushing contents along.
+  void shift_in(std::uint8_t bit);
+
+  // Streams a full slot's bits so that bits[i] lands in DFF i.
+  // Costs exactly length() cycles. Wakes the chain if power-gated.
+  void load_slot(const std::vector<std::uint8_t>& bits);
+
+  // DFF output seen by the pixel at `index` (drives M1/M3 gating via M6/M7).
+  std::uint8_t bit_at(int index) const;
+
+  // Clock gating between the reset and transfer phases.
+  void power_gate() { power_gated_ = true; }
+  void wake() { power_gated_ = false; }
+  bool power_gated() const { return power_gated_; }
+
+  int length() const { return static_cast<int>(dffs_.size()); }
+  // Total pattern-clk cycles consumed by this chain so far.
+  std::uint64_t cycles() const { return cycles_; }
+  // Total DFF toggle events (for the energy model).
+  std::uint64_t shift_events() const { return shift_events_; }
+
+ private:
+  std::vector<std::uint8_t> dffs_;
+  bool power_gated_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t shift_events_ = 0;
+};
+
+}  // namespace snappix::sensor

@@ -1,0 +1,19 @@
+#include "sensor/pixel.h"
+
+#include <algorithm>
+
+namespace snappix::sensor {
+
+void ApsPixel::expose(float electrons) {
+  if (electrons < 0.0F) {
+    electrons = 0.0F;
+  }
+  pd_electrons_ = std::min(pd_electrons_ + electrons, params_.full_well_electrons);
+}
+
+void ApsPixel::transfer() {
+  fd_electrons_ = std::min(fd_electrons_ + pd_electrons_, params_.full_well_electrons);
+  pd_electrons_ = 0.0F;
+}
+
+}  // namespace snappix::sensor

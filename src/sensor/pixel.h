@@ -1,0 +1,43 @@
+// The CE pixel of paper Fig. 5 (top layer).
+//
+// Classic 4T APS extended so PD reset (M1) is decoupled from FD reset (M2):
+// the PD can integrate across multiple exposure slots, be selectively reset
+// at slot start, and transfer photocharge to the FD (M3) at slot end — the FD
+// accumulates transfers across slots, realizing Eqn. 1 in charge domain.
+#pragma once
+
+#include <cstdint>
+
+namespace snappix::sensor {
+
+struct PixelParams {
+  float full_well_electrons = 8192.0F;  // PD/FD saturation
+  float conversion_gain = 1.0F;         // volts per electron (normalized)
+};
+
+class ApsPixel {
+ public:
+  explicit ApsPixel(const PixelParams& params = PixelParams{}) : params_(params) {}
+
+  // M1 pulse: clears the photodiode.
+  void reset_pd() { pd_electrons_ = 0.0F; }
+  // M2 pulse: clears the floating diffusion (start of a coded frame).
+  void reset_fd() { fd_electrons_ = 0.0F; }
+  // Light integration during one exposure slot (electrons).
+  void expose(float electrons);
+  // M3 pulse: moves the PD charge onto the FD (accumulating), then clears PD.
+  void transfer();
+  // M4/M5 read-out path: FD charge as a voltage through the source follower.
+  float read() const { return fd_electrons_ * params_.conversion_gain; }
+
+  float pd_electrons() const { return pd_electrons_; }
+  float fd_electrons() const { return fd_electrons_; }
+  const PixelParams& params() const { return params_; }
+
+ private:
+  PixelParams params_;
+  float pd_electrons_ = 0.0F;
+  float fd_electrons_ = 0.0F;
+};
+
+}  // namespace snappix::sensor

@@ -1,0 +1,100 @@
+// StackedSensor: cycle-level simulator of the SNAPPIX CE image sensor.
+//
+// Executes the Sec. V control protocol per exposure slot:
+//   1. stream the slot's CE bits into every tile's DFF chain (P pattern-clk
+//      cycles, all tiles in parallel),
+//   2. pulse pattern_reset (M6): pixels whose CE bit is 1 reset their PD,
+//   3. power-gate the DFFs and expose for the slot duration,
+//   4. re-stream the same bits, pulse pattern_transfer (M7): pixels whose CE
+//      bit is 1 transfer PD charge to the accumulating FD,
+//   5. power-gate the DFFs again.
+// After all T slots, rows are read out through column-parallel ADCs and sent
+// over the MIPI CSI-2 link. Functional equivalence to Eqn. 1 is established
+// by tests; the cycle/byte accounting feeds the energy model of Sec. VI-D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ce/pattern.h"
+#include "sensor/adc.h"
+#include "sensor/mipi.h"
+#include "sensor/noise.h"
+#include "sensor/pattern_memory.h"
+#include "sensor/pixel.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix::sensor {
+
+struct SensorConfig {
+  std::int64_t height = 32;
+  std::int64_t width = 32;
+  // Scene intensity 1.0 maps to this many electrons in one exposure slot.
+  float electrons_per_unit = 200.0F;
+  double pattern_clk_hz = 20e6;  // paper: 20 MHz pattern stream clock
+  double slot_exposure_s = 1.0 / 480.0;
+  double row_time_s = 2e-6;  // read-out time per row (column-parallel ADC)
+  PixelParams pixel;
+  AdcConfig adc;
+  MipiConfig mipi;
+  NoiseConfig noise;
+};
+
+// Per-capture activity counters consumed by the energy/timing models.
+struct CaptureStats {
+  std::uint64_t pattern_bits_streamed = 0;  // per chain x chains
+  std::uint64_t pattern_clk_cycles = 0;     // per-chain cycles (parallel chains)
+  std::uint64_t pd_resets = 0;
+  std::uint64_t charge_transfers = 0;
+  std::uint64_t adc_conversions = 0;
+  std::uint64_t mipi_bytes = 0;
+  double exposure_time_s = 0.0;
+  double pattern_time_s = 0.0;
+  double readout_time_s = 0.0;
+  double mipi_time_s = 0.0;
+  double frame_time_s = 0.0;
+};
+
+class StackedSensor {
+ public:
+  StackedSensor(const SensorConfig& config, const ce::CePattern& pattern);
+
+  // Captures one coded frame from a (T, H, W) scene with intensities in
+  // [0, 1]. Returns the digital coded image (H, W) in ADC codes (floats).
+  Tensor capture(const Tensor& scene, Rng& rng);
+
+  // Conventional (non-CE) reference mode: captures the same scene as T
+  // separate frames, each fully exposed, read out, and transmitted — the
+  // baseline pipeline of Sec. VI-D. Returns (T, H, W) in ADC codes; stats
+  // accumulate across all T read-outs, so comparing against capture() shows
+  // the CE read-out/transmission reduction directly in simulation.
+  Tensor capture_conventional(const Tensor& scene, Rng& rng);
+
+  // Digital codes normalized back to scene units: code / code_per_unit().
+  Tensor capture_normalized(const Tensor& scene, Rng& rng);
+
+  // The ideal (noise-free, unquantized) Eqn.-1 output in ADC codes; used by
+  // tests to bound simulator-vs-math divergence.
+  Tensor ideal_codes(const Tensor& scene) const;
+
+  // Digital code corresponding to one scene-intensity unit in one slot.
+  float code_per_unit() const;
+
+  const CaptureStats& stats() const { return stats_; }
+  const SensorConfig& config() const { return config_; }
+  const ce::CePattern& pattern() const { return pattern_; }
+  std::int64_t tiles() const { return tiles_; }
+
+ private:
+  void run_slot(int slot, const Tensor& scene, Rng& rng);
+
+  SensorConfig config_;
+  ce::CePattern pattern_;
+  std::int64_t tiles_;
+  std::vector<ApsPixel> pixels_;       // row-major (H, W)
+  std::vector<DffShiftChain> chains_;  // one per tile, row-major tile grid
+  CaptureStats stats_;
+};
+
+}  // namespace snappix::sensor

@@ -1,0 +1,83 @@
+#include "tensor/broadcast.h"
+
+#include <algorithm>
+
+namespace snappix::detail {
+
+Shape broadcast_shapes(const Shape& a, const Shape& b) {
+  const int nd = std::max(a.ndim(), b.ndim());
+  std::vector<std::int64_t> out(static_cast<std::size_t>(nd), 1);
+  for (int i = 0; i < nd; ++i) {
+    const std::int64_t da = i < a.ndim() ? a[a.ndim() - 1 - i] : 1;
+    const std::int64_t db = i < b.ndim() ? b[b.ndim() - 1 - i] : 1;
+    SNAPPIX_CHECK(da == db || da == 1 || db == 1,
+                  "cannot broadcast " << a.to_string() << " with " << b.to_string());
+    out[static_cast<std::size_t>(nd - 1 - i)] = std::max(da, db);
+  }
+  return Shape(out);
+}
+
+BroadcastPlan make_broadcast_plan(const Shape& a, const Shape& b) {
+  BroadcastPlan plan;
+  plan.out_shape = broadcast_shapes(a, b);
+  if (a == b) {
+    plan.same_shape = true;
+    return plan;
+  }
+  const int nd = plan.out_shape.ndim();
+  const auto a_strides_native = a.strides();
+  const auto b_strides_native = b.strides();
+  plan.a_strides.assign(static_cast<std::size_t>(nd), 0);
+  plan.b_strides.assign(static_cast<std::size_t>(nd), 0);
+  for (int i = 0; i < nd; ++i) {
+    // Align from the trailing dimension.
+    const int ai = a.ndim() - 1 - i;
+    const int bi = b.ndim() - 1 - i;
+    const int oi = nd - 1 - i;
+    if (ai >= 0 && a[ai] != 1) {
+      plan.a_strides[static_cast<std::size_t>(oi)] = a_strides_native[static_cast<std::size_t>(ai)];
+    }
+    if (bi >= 0 && b[bi] != 1) {
+      plan.b_strides[static_cast<std::size_t>(oi)] = b_strides_native[static_cast<std::size_t>(bi)];
+    }
+  }
+  return plan;
+}
+
+void for_each_broadcast(const BroadcastPlan& plan,
+                        const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t total = plan.out_shape.numel();
+  if (plan.same_shape) {
+    for (std::int64_t i = 0; i < total; ++i) {
+      fn(i, i, i);
+    }
+    return;
+  }
+  const int nd = plan.out_shape.ndim();
+  if (nd == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<std::int64_t> index(static_cast<std::size_t>(nd), 0);
+  std::int64_t a_off = 0;
+  std::int64_t b_off = 0;
+  for (std::int64_t lin = 0; lin < total; ++lin) {
+    fn(lin, a_off, b_off);
+    // Odometer increment from the last dimension.
+    for (int d = nd - 1; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      ++index[ud];
+      a_off += plan.a_strides[ud];
+      b_off += plan.b_strides[ud];
+      if (index[ud] < plan.out_shape[d]) {
+        break;
+      }
+      // Roll over: subtract the full extent of this dimension.
+      a_off -= plan.a_strides[ud] * plan.out_shape[d];
+      b_off -= plan.b_strides[ud] * plan.out_shape[d];
+      index[ud] = 0;
+    }
+  }
+}
+
+}  // namespace snappix::detail

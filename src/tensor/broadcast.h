@@ -1,0 +1,30 @@
+// Numpy-style broadcasting helpers shared by the elementwise kernels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace snappix::detail {
+
+// Broadcast two shapes following numpy rules; throws on incompatibility.
+Shape broadcast_shapes(const Shape& a, const Shape& b);
+
+// Per-output-dimension strides into each input; 0 for broadcast dimensions.
+struct BroadcastPlan {
+  Shape out_shape;
+  std::vector<std::int64_t> a_strides;
+  std::vector<std::int64_t> b_strides;
+  bool same_shape = false;  // fast path: both inputs already out-shaped
+};
+
+BroadcastPlan make_broadcast_plan(const Shape& a, const Shape& b);
+
+// Calls fn(out_index, a_offset, b_offset) for every element of the broadcast
+// output, walking the inputs with an incremental odometer.
+void for_each_broadcast(const BroadcastPlan& plan,
+                        const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
+}  // namespace snappix::detail

@@ -1,0 +1,429 @@
+// Naive direct convolutions and pooling. Model sizes in this repo are small
+// enough that direct loops (parallelized over batch x output-channel) are
+// sufficient; correctness is established by gradient-check tests.
+#include <limits>
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "util/common.h"
+#include "util/parallel.h"
+
+namespace snappix {
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int stride, int padding) {
+  SNAPPIX_CHECK(x.ndim() == 4, "conv2d input must be (B,C,H,W), got " << x.shape().to_string());
+  SNAPPIX_CHECK(w.ndim() == 4, "conv2d weight must be (O,C,kh,kw), got " << w.shape().to_string());
+  SNAPPIX_CHECK(stride >= 1 && padding >= 0, "conv2d: bad stride/padding");
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t cin = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t wd = x.shape()[3];
+  const std::int64_t cout = w.shape()[0];
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  SNAPPIX_CHECK(w.shape()[1] == cin, "conv2d channel mismatch: " << x.shape().to_string() << " vs "
+                                                                 << w.shape().to_string());
+  if (bias.defined()) {
+    SNAPPIX_CHECK(bias.ndim() == 1 && bias.shape()[0] == cout, "conv2d bias must be (O)");
+  }
+  const std::int64_t oh = (h + 2 * padding - kh) / stride + 1;
+  const std::int64_t ow = (wd + 2 * padding - kw) / stride + 1;
+  SNAPPIX_CHECK(oh > 0 && ow > 0, "conv2d output would be empty");
+
+  const Shape out_shape{batch, cout, oh, ow};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()), 0.0F);
+  const float* px = x.data().data();
+  const float* pw = w.data().data();
+  const float* pb = bias.defined() ? bias.data().data() : nullptr;
+
+  parallel_for(batch * cout, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t bo = i0; bo < i1; ++bo) {
+      const std::int64_t b = bo / cout;
+      const std::int64_t o = bo % cout;
+      float* dst = out.data() + (b * cout + o) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = pb != nullptr ? pb[o] : 0.0F;
+          for (std::int64_t c = 0; c < cin; ++c) {
+            const float* xc = px + (b * cin + c) * h * wd;
+            const float* wc = pw + (o * cin + c) * kh * kw;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy * stride + ky - padding;
+              if (iy < 0 || iy >= h) {
+                continue;
+              }
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox * stride + kx - padding;
+                if (ix < 0 || ix >= wd) {
+                  continue;
+                }
+                acc += xc[iy * wd + ix] * wc[ky * kw + kx];
+              }
+            }
+          }
+          dst[oy * ow + ox] = acc;
+        }
+      }
+    }
+  });
+
+  auto xi = x.impl();
+  auto wi = w.impl();
+  auto bi = bias.defined() ? bias.impl() : nullptr;
+  std::vector<Tensor> parents = bias.defined() ? std::vector<Tensor>{x, w, bias}
+                                               : std::vector<Tensor>{x, w};
+  return make_result(
+      out_shape, std::move(out), std::move(parents),
+      [xi, wi, bi, batch, cin, h, wd, cout, kh, kw, oh, ow, stride, padding](TensorImpl& self) {
+        const float* g = self.grad.data();
+        if (xi->requires_grad) {
+          xi->ensure_grad();
+        }
+        if (wi->requires_grad) {
+          wi->ensure_grad();
+        }
+        if (bi != nullptr && bi->requires_grad) {
+          bi->ensure_grad();
+        }
+        for (std::int64_t b = 0; b < batch; ++b) {
+          for (std::int64_t o = 0; o < cout; ++o) {
+            const float* grow = g + (b * cout + o) * oh * ow;
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const float gv = grow[oy * ow + ox];
+                if (gv == 0.0F) {
+                  continue;
+                }
+                if (bi != nullptr && bi->requires_grad) {
+                  bi->grad[static_cast<std::size_t>(o)] += gv;
+                }
+                for (std::int64_t c = 0; c < cin; ++c) {
+                  const std::int64_t xbase = (b * cin + c) * h * wd;
+                  const std::int64_t wbase = (o * cin + c) * kh * kw;
+                  for (std::int64_t ky = 0; ky < kh; ++ky) {
+                    const std::int64_t iy = oy * stride + ky - padding;
+                    if (iy < 0 || iy >= h) {
+                      continue;
+                    }
+                    for (std::int64_t kx = 0; kx < kw; ++kx) {
+                      const std::int64_t ix = ox * stride + kx - padding;
+                      if (ix < 0 || ix >= wd) {
+                        continue;
+                      }
+                      if (xi->requires_grad) {
+                        xi->grad[static_cast<std::size_t>(xbase + iy * wd + ix)] +=
+                            gv * wi->data[static_cast<std::size_t>(wbase + ky * kw + kx)];
+                      }
+                      if (wi->requires_grad) {
+                        wi->grad[static_cast<std::size_t>(wbase + ky * kw + kx)] +=
+                            gv * xi->data[static_cast<std::size_t>(xbase + iy * wd + ix)];
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor conv3d(const Tensor& x, const Tensor& w, const Tensor& bias, int stride_t, int stride_hw,
+              int pad_t, int pad_hw) {
+  SNAPPIX_CHECK(x.ndim() == 5, "conv3d input must be (B,C,T,H,W), got " << x.shape().to_string());
+  SNAPPIX_CHECK(w.ndim() == 5, "conv3d weight must be (O,C,kt,kh,kw), got "
+                                   << w.shape().to_string());
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t cin = x.shape()[1];
+  const std::int64_t t = x.shape()[2];
+  const std::int64_t h = x.shape()[3];
+  const std::int64_t wd = x.shape()[4];
+  const std::int64_t cout = w.shape()[0];
+  const std::int64_t kt = w.shape()[2];
+  const std::int64_t kh = w.shape()[3];
+  const std::int64_t kw = w.shape()[4];
+  SNAPPIX_CHECK(w.shape()[1] == cin, "conv3d channel mismatch");
+  if (bias.defined()) {
+    SNAPPIX_CHECK(bias.ndim() == 1 && bias.shape()[0] == cout, "conv3d bias must be (O)");
+  }
+  const std::int64_t ot = (t + 2 * pad_t - kt) / stride_t + 1;
+  const std::int64_t oh = (h + 2 * pad_hw - kh) / stride_hw + 1;
+  const std::int64_t ow = (wd + 2 * pad_hw - kw) / stride_hw + 1;
+  SNAPPIX_CHECK(ot > 0 && oh > 0 && ow > 0, "conv3d output would be empty");
+
+  const Shape out_shape{batch, cout, ot, oh, ow};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()), 0.0F);
+  const float* px = x.data().data();
+  const float* pw = w.data().data();
+  const float* pb = bias.defined() ? bias.data().data() : nullptr;
+
+  parallel_for(batch * cout, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t bo = i0; bo < i1; ++bo) {
+      const std::int64_t b = bo / cout;
+      const std::int64_t o = bo % cout;
+      float* dst = out.data() + (b * cout + o) * ot * oh * ow;
+      for (std::int64_t oz = 0; oz < ot; ++oz) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            float acc = pb != nullptr ? pb[o] : 0.0F;
+            for (std::int64_t c = 0; c < cin; ++c) {
+              const float* xc = px + ((b * cin + c) * t) * h * wd;
+              const float* wc = pw + ((o * cin + c) * kt) * kh * kw;
+              for (std::int64_t kz = 0; kz < kt; ++kz) {
+                const std::int64_t iz = oz * stride_t + kz - pad_t;
+                if (iz < 0 || iz >= t) {
+                  continue;
+                }
+                for (std::int64_t ky = 0; ky < kh; ++ky) {
+                  const std::int64_t iy = oy * stride_hw + ky - pad_hw;
+                  if (iy < 0 || iy >= h) {
+                    continue;
+                  }
+                  for (std::int64_t kx = 0; kx < kw; ++kx) {
+                    const std::int64_t ix = ox * stride_hw + kx - pad_hw;
+                    if (ix < 0 || ix >= wd) {
+                      continue;
+                    }
+                    acc += xc[(iz * h + iy) * wd + ix] * wc[(kz * kh + ky) * kw + kx];
+                  }
+                }
+              }
+            }
+            dst[(oz * oh + oy) * ow + ox] = acc;
+          }
+        }
+      }
+    }
+  });
+
+  auto xi = x.impl();
+  auto wi = w.impl();
+  auto bi = bias.defined() ? bias.impl() : nullptr;
+  std::vector<Tensor> parents = bias.defined() ? std::vector<Tensor>{x, w, bias}
+                                               : std::vector<Tensor>{x, w};
+  return make_result(
+      out_shape, std::move(out), std::move(parents),
+      [xi, wi, bi, batch, cin, t, h, wd, cout, kt, kh, kw, ot, oh, ow, stride_t, stride_hw, pad_t,
+       pad_hw](TensorImpl& self) {
+        const float* g = self.grad.data();
+        if (xi->requires_grad) {
+          xi->ensure_grad();
+        }
+        if (wi->requires_grad) {
+          wi->ensure_grad();
+        }
+        if (bi != nullptr && bi->requires_grad) {
+          bi->ensure_grad();
+        }
+        for (std::int64_t b = 0; b < batch; ++b) {
+          for (std::int64_t o = 0; o < cout; ++o) {
+            const float* grow = g + (b * cout + o) * ot * oh * ow;
+            for (std::int64_t oz = 0; oz < ot; ++oz) {
+              for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                  const float gv = grow[(oz * oh + oy) * ow + ox];
+                  if (gv == 0.0F) {
+                    continue;
+                  }
+                  if (bi != nullptr && bi->requires_grad) {
+                    bi->grad[static_cast<std::size_t>(o)] += gv;
+                  }
+                  for (std::int64_t c = 0; c < cin; ++c) {
+                    const std::int64_t xbase = ((b * cin + c) * t) * h * wd;
+                    const std::int64_t wbase = ((o * cin + c) * kt) * kh * kw;
+                    for (std::int64_t kz = 0; kz < kt; ++kz) {
+                      const std::int64_t iz = oz * stride_t + kz - pad_t;
+                      if (iz < 0 || iz >= t) {
+                        continue;
+                      }
+                      for (std::int64_t ky = 0; ky < kh; ++ky) {
+                        const std::int64_t iy = oy * stride_hw + ky - pad_hw;
+                        if (iy < 0 || iy >= h) {
+                          continue;
+                        }
+                        for (std::int64_t kx = 0; kx < kw; ++kx) {
+                          const std::int64_t ix = ox * stride_hw + kx - pad_hw;
+                          if (ix < 0 || ix >= wd) {
+                            continue;
+                          }
+                          const auto xoff =
+                              static_cast<std::size_t>(xbase + (iz * h + iy) * wd + ix);
+                          const auto woff =
+                              static_cast<std::size_t>(wbase + (kz * kh + ky) * kw + kx);
+                          if (xi->requires_grad) {
+                            xi->grad[xoff] += gv * wi->data[woff];
+                          }
+                          if (wi->requires_grad) {
+                            wi->grad[woff] += gv * xi->data[xoff];
+                          }
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor avg_pool2d(const Tensor& x, int kernel, int stride) {
+  SNAPPIX_CHECK(x.ndim() == 4, "avg_pool2d input must be (B,C,H,W)");
+  SNAPPIX_CHECK(kernel >= 1 && stride >= 1, "avg_pool2d: bad kernel/stride");
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t w = x.shape()[3];
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  SNAPPIX_CHECK(oh > 0 && ow > 0, "avg_pool2d output would be empty");
+  const Shape out_shape{batch, c, oh, ow};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()), 0.0F);
+  const auto& dx = x.data();
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);
+  for (std::int64_t bc = 0; bc < batch * c; ++bc) {
+    const float* src = dx.data() + bc * h * w;
+    float* dst = out.data() + bc * oh * ow;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0F;
+        for (int ky = 0; ky < kernel; ++ky) {
+          for (int kx = 0; kx < kernel; ++kx) {
+            acc += src[(oy * stride + ky) * w + ox * stride + kx];
+          }
+        }
+        dst[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  auto xi = x.impl();
+  return make_result(out_shape, std::move(out), {x},
+                     [xi, batch, c, h, w, oh, ow, kernel, stride, inv](TensorImpl& self) {
+                       xi->ensure_grad();
+                       for (std::int64_t bc = 0; bc < batch * c; ++bc) {
+                         const float* g = self.grad.data() + bc * oh * ow;
+                         float* dst = xi->grad.data() + bc * h * w;
+                         for (std::int64_t oy = 0; oy < oh; ++oy) {
+                           for (std::int64_t ox = 0; ox < ow; ++ox) {
+                             const float gv = g[oy * ow + ox] * inv;
+                             for (int ky = 0; ky < kernel; ++ky) {
+                               for (int kx = 0; kx < kernel; ++kx) {
+                                 dst[(oy * stride + ky) * w + ox * stride + kx] += gv;
+                               }
+                             }
+                           }
+                         }
+                       }
+                     });
+}
+
+Tensor max_pool2d(const Tensor& x, int kernel, int stride) {
+  SNAPPIX_CHECK(x.ndim() == 4, "max_pool2d input must be (B,C,H,W)");
+  SNAPPIX_CHECK(kernel >= 1 && stride >= 1, "max_pool2d: bad kernel/stride");
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t w = x.shape()[3];
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  SNAPPIX_CHECK(oh > 0 && ow > 0, "max_pool2d output would be empty");
+  const Shape out_shape{batch, c, oh, ow};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()));
+  std::vector<std::int64_t> arg(out.size());
+  const auto& dx = x.data();
+  for (std::int64_t bc = 0; bc < batch * c; ++bc) {
+    const float* src = dx.data() + bc * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_off = 0;
+        for (int ky = 0; ky < kernel; ++ky) {
+          for (int kx = 0; kx < kernel; ++kx) {
+            const std::int64_t off = (oy * stride + ky) * w + ox * stride + kx;
+            if (src[off] > best) {
+              best = src[off];
+              best_off = bc * h * w + off;
+            }
+          }
+        }
+        const auto oidx = static_cast<std::size_t>(bc * oh * ow + oy * ow + ox);
+        out[oidx] = best;
+        arg[oidx] = best_off;
+      }
+    }
+  }
+  auto xi = x.impl();
+  return make_result(out_shape, std::move(out), {x},
+                     [xi, arg = std::move(arg)](TensorImpl& self) {
+                       xi->ensure_grad();
+                       for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                         xi->grad[static_cast<std::size_t>(arg[i])] += self.grad[i];
+                       }
+                     });
+}
+
+Tensor avg_pool3d(const Tensor& x, int kernel_t, int kernel_hw, int stride_t, int stride_hw) {
+  SNAPPIX_CHECK(x.ndim() == 5, "avg_pool3d input must be (B,C,T,H,W)");
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t t = x.shape()[2];
+  const std::int64_t h = x.shape()[3];
+  const std::int64_t w = x.shape()[4];
+  const std::int64_t ot = (t - kernel_t) / stride_t + 1;
+  const std::int64_t oh = (h - kernel_hw) / stride_hw + 1;
+  const std::int64_t ow = (w - kernel_hw) / stride_hw + 1;
+  SNAPPIX_CHECK(ot > 0 && oh > 0 && ow > 0, "avg_pool3d output would be empty");
+  const Shape out_shape{batch, c, ot, oh, ow};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()), 0.0F);
+  const auto& dx = x.data();
+  const float inv = 1.0F / static_cast<float>(kernel_t * kernel_hw * kernel_hw);
+  for (std::int64_t bc = 0; bc < batch * c; ++bc) {
+    const float* src = dx.data() + bc * t * h * w;
+    float* dst = out.data() + bc * ot * oh * ow;
+    for (std::int64_t oz = 0; oz < ot; ++oz) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0F;
+          for (int kz = 0; kz < kernel_t; ++kz) {
+            for (int ky = 0; ky < kernel_hw; ++ky) {
+              for (int kx = 0; kx < kernel_hw; ++kx) {
+                acc += src[((oz * stride_t + kz) * h + oy * stride_hw + ky) * w + ox * stride_hw +
+                           kx];
+              }
+            }
+          }
+          dst[(oz * oh + oy) * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
+  auto xi = x.impl();
+  return make_result(
+      out_shape, std::move(out), {x},
+      [xi, batch, c, t, h, w, ot, oh, ow, kernel_t, kernel_hw, stride_t, stride_hw,
+       inv](TensorImpl& self) {
+        xi->ensure_grad();
+        for (std::int64_t bc = 0; bc < batch * c; ++bc) {
+          const float* g = self.grad.data() + bc * ot * oh * ow;
+          float* dst = xi->grad.data() + bc * t * h * w;
+          for (std::int64_t oz = 0; oz < ot; ++oz) {
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const float gv = g[(oz * oh + oy) * ow + ox] * inv;
+                for (int kz = 0; kz < kernel_t; ++kz) {
+                  for (int ky = 0; ky < kernel_hw; ++ky) {
+                    for (int kx = 0; kx < kernel_hw; ++kx) {
+                      dst[((oz * stride_t + kz) * h + oy * stride_hw + ky) * w + ox * stride_hw +
+                          kx] += gv;
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace snappix

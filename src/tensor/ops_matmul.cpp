@@ -1,0 +1,133 @@
+// Matrix multiplication with 2-D, batched 3-D, and batch-broadcast forms.
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "util/common.h"
+#include "util/parallel.h"
+
+namespace snappix {
+
+namespace {
+
+// c(m,n) (+)= a(m,k) * b(k,n)
+void mm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+           std::int64_t n) {
+  auto rows = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float av = arow[l];
+        if (av == 0.0F) {
+          continue;
+        }
+        const float* brow = b + l * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  };
+  // Thread-spawn cost dwarfs small matmuls (transformer blocks issue many of
+  // them); only fan out when there is real work per thread.
+  constexpr std::int64_t kParallelWork = 1 << 22;
+  if (m * k * n < kParallelWork) {
+    rows(0, m);
+    return;
+  }
+  parallel_for(m, rows, /*grain=*/std::max<std::int64_t>(1, kParallelWork / (k * n)));
+}
+
+// c(m,k) += a(m,n) * b(k,n)^T  (i.e. a * b^T)
+void mm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+           std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float* arow = a + i * n;
+      const float* brow = b + j * n;
+      float acc = 0.0F;
+      for (std::int64_t l = 0; l < n; ++l) {
+        acc += arow[l] * brow[l];
+      }
+      c[i * k + j] += acc;
+    }
+  }
+}
+
+// c(k,n) += a(m,k)^T * b(m,n)
+void mm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+           std::int64_t n) {
+  for (std::int64_t l = 0; l < m; ++l) {
+    const float* arow = a + l * k;
+    const float* brow = b + l * n;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) {
+        continue;
+      }
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const int and_ = a.ndim();
+  const int bnd = b.ndim();
+  SNAPPIX_CHECK((and_ == 2 || and_ == 3) && (bnd == 2 || bnd == 3),
+                "matmul supports 2-D/3-D inputs, got " << a.shape().to_string() << " x "
+                                                       << b.shape().to_string());
+  SNAPPIX_CHECK(!(and_ == 2 && bnd == 3), "matmul: (m,k) x (B,k,n) form is not supported");
+
+  const std::int64_t batch = and_ == 3 ? a.shape()[0] : 1;
+  const std::int64_t m = a.shape()[and_ - 2];
+  const std::int64_t k = a.shape()[and_ - 1];
+  const std::int64_t kb = b.shape()[bnd - 2];
+  const std::int64_t n = b.shape()[bnd - 1];
+  SNAPPIX_CHECK(k == kb, "matmul inner dims mismatch: " << a.shape().to_string() << " x "
+                                                        << b.shape().to_string());
+  const bool b_batched = bnd == 3;
+  if (b_batched && and_ == 3) {
+    SNAPPIX_CHECK(b.shape()[0] == batch, "matmul batch mismatch: " << a.shape().to_string()
+                                                                   << " x "
+                                                                   << b.shape().to_string());
+  }
+
+  Shape out_shape = and_ == 3 ? Shape{batch, m, n} : Shape{m, n};
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()), 0.0F);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    mm_nn(pa + bi * m * k, b_batched ? pb + bi * k * n : pb, out.data() + bi * m * n, m, k, n);
+  }
+
+  auto ai = a.impl();
+  auto bimpl = b.impl();
+  return make_result(out_shape, std::move(out), {a, b},
+                     [ai, bimpl, batch, m, k, n, b_batched](TensorImpl& self) {
+                       const float* g = self.grad.data();
+                       if (ai->requires_grad) {
+                         ai->ensure_grad();
+                         for (std::int64_t bi = 0; bi < batch; ++bi) {
+                           // dA = dC * B^T : (m,n) x (k,n)^T -> (m,k)
+                           mm_nt(g + bi * m * n,
+                                 bimpl->data.data() + (b_batched ? bi * k * n : 0),
+                                 ai->grad.data() + bi * m * k, m, n, k);
+                         }
+                       }
+                       if (bimpl->requires_grad) {
+                         bimpl->ensure_grad();
+                         for (std::int64_t bi = 0; bi < batch; ++bi) {
+                           // dB = A^T * dC : (m,k)^T x (m,n) -> (k,n); batch-broadcast sums.
+                           mm_tn(ai->data.data() + bi * m * k, g + bi * m * n,
+                                 bimpl->grad.data() + (b_batched ? bi * k * n : 0), m, k, n);
+                         }
+                       }
+                     });
+}
+
+}  // namespace snappix

@@ -1,0 +1,294 @@
+// Shape-manipulation operations: reshape, transpose/permute, concat, slice,
+// index_select, and 2-D tiling (used to repeat CE tile patterns across frames).
+#include <numeric>
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "util/common.h"
+
+namespace snappix {
+
+namespace {
+
+int normalize_axis(int axis, int ndim) {
+  if (axis < 0) {
+    axis += ndim;
+  }
+  SNAPPIX_CHECK(axis >= 0 && axis < ndim, "axis " << axis << " out of range for rank " << ndim);
+  return axis;
+}
+
+}  // namespace
+
+Tensor reshape(const Tensor& a, const Shape& shape) {
+  SNAPPIX_CHECK(shape.numel() == a.numel(), "reshape " << a.shape().to_string() << " -> "
+                                                       << shape.to_string()
+                                                       << " changes element count");
+  std::vector<float> out = a.data();
+  auto ai = a.impl();
+  return make_result(shape, std::move(out), {a}, [ai](TensorImpl& self) {
+    ai->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      ai->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Tensor permute(const Tensor& a, const std::vector<int>& order) {
+  const int nd = a.ndim();
+  SNAPPIX_CHECK(static_cast<int>(order.size()) == nd,
+                "permute order rank mismatch for " << a.shape().to_string());
+  std::vector<bool> seen(static_cast<std::size_t>(nd), false);
+  std::vector<std::int64_t> out_dims(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    const int src = order[static_cast<std::size_t>(d)];
+    SNAPPIX_CHECK(src >= 0 && src < nd && !seen[static_cast<std::size_t>(src)],
+                  "invalid permute order entry " << src);
+    seen[static_cast<std::size_t>(src)] = true;
+    out_dims[static_cast<std::size_t>(d)] = a.shape()[src];
+  }
+  const Shape out_shape{out_dims};
+  const auto in_strides = a.shape().strides();
+  // Stride of output dim d within the input layout.
+  std::vector<std::int64_t> gather_strides(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    gather_strides[static_cast<std::size_t>(d)] =
+        in_strides[static_cast<std::size_t>(order[static_cast<std::size_t>(d)])];
+  }
+  const std::int64_t total = out_shape.numel();
+  std::vector<float> out(static_cast<std::size_t>(total));
+  std::vector<std::int64_t> src_offsets(static_cast<std::size_t>(total));
+  const auto& da = a.data();
+  std::vector<std::int64_t> index(static_cast<std::size_t>(nd), 0);
+  std::int64_t src = 0;
+  for (std::int64_t lin = 0; lin < total; ++lin) {
+    out[static_cast<std::size_t>(lin)] = da[static_cast<std::size_t>(src)];
+    src_offsets[static_cast<std::size_t>(lin)] = src;
+    for (int d = nd - 1; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      ++index[ud];
+      src += gather_strides[ud];
+      if (index[ud] < out_shape[d]) {
+        break;
+      }
+      src -= gather_strides[ud] * out_shape[d];
+      index[ud] = 0;
+    }
+  }
+  auto ai = a.impl();
+  return make_result(out_shape, std::move(out), {a},
+                     [ai, src_offsets = std::move(src_offsets)](TensorImpl& self) {
+                       ai->ensure_grad();
+                       for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                         ai->grad[static_cast<std::size_t>(src_offsets[i])] += self.grad[i];
+                       }
+                     });
+}
+
+Tensor transpose(const Tensor& a, int dim0, int dim1) {
+  const int nd = a.ndim();
+  dim0 = normalize_axis(dim0, nd);
+  dim1 = normalize_axis(dim1, nd);
+  std::vector<int> order(static_cast<std::size_t>(nd));
+  std::iota(order.begin(), order.end(), 0);
+  std::swap(order[static_cast<std::size_t>(dim0)], order[static_cast<std::size_t>(dim1)]);
+  return permute(a, order);
+}
+
+Tensor concat(const std::vector<Tensor>& tensors, int axis) {
+  SNAPPIX_CHECK(!tensors.empty(), "concat of zero tensors");
+  const int nd = tensors.front().ndim();
+  axis = normalize_axis(axis, nd);
+  std::int64_t axis_total = 0;
+  for (const auto& t : tensors) {
+    SNAPPIX_CHECK(t.ndim() == nd, "concat rank mismatch");
+    for (int d = 0; d < nd; ++d) {
+      if (d != axis) {
+        SNAPPIX_CHECK(t.shape()[d] == tensors.front().shape()[d],
+                      "concat non-axis extent mismatch at dim " << d);
+      }
+    }
+    axis_total += t.shape()[axis];
+  }
+  std::vector<std::int64_t> out_dims = tensors.front().shape().dims();
+  out_dims[static_cast<std::size_t>(axis)] = axis_total;
+  const Shape out_shape{out_dims};
+
+  std::int64_t outer = 1;
+  for (int d = 0; d < axis; ++d) {
+    outer *= out_shape[d];
+  }
+  std::int64_t inner = 1;
+  for (int d = axis + 1; d < nd; ++d) {
+    inner *= out_shape[d];
+  }
+
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()));
+  std::int64_t axis_cursor = 0;
+  struct Segment {
+    std::shared_ptr<TensorImpl> impl;
+    std::int64_t axis_begin;
+    std::int64_t axis_extent;
+  };
+  std::vector<Segment> segments;
+  for (const auto& t : tensors) {
+    const std::int64_t extent = t.shape()[axis];
+    const auto& dt = t.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      const float* src = dt.data() + o * extent * inner;
+      float* dst = out.data() + (o * axis_total + axis_cursor) * inner;
+      std::copy(src, src + extent * inner, dst);
+    }
+    segments.push_back({t.impl(), axis_cursor, extent});
+    axis_cursor += extent;
+  }
+  return make_result(out_shape, std::move(out), tensors,
+                     [segments = std::move(segments), outer, inner, axis_total](TensorImpl& self) {
+                       for (const auto& seg : segments) {
+                         if (!seg.impl->requires_grad) {
+                           continue;
+                         }
+                         seg.impl->ensure_grad();
+                         for (std::int64_t o = 0; o < outer; ++o) {
+                           const float* src =
+                               self.grad.data() + (o * axis_total + seg.axis_begin) * inner;
+                           float* dst = seg.impl->grad.data() + o * seg.axis_extent * inner;
+                           for (std::int64_t i = 0; i < seg.axis_extent * inner; ++i) {
+                             dst[i] += src[i];
+                           }
+                         }
+                       }
+                     });
+}
+
+Tensor slice(const Tensor& a, int axis, std::int64_t start, std::int64_t end) {
+  const int nd = a.ndim();
+  axis = normalize_axis(axis, nd);
+  const std::int64_t extent = a.shape()[axis];
+  SNAPPIX_CHECK(start >= 0 && end <= extent && start < end,
+                "slice [" << start << ", " << end << ") out of range for axis extent " << extent);
+  std::vector<std::int64_t> out_dims = a.shape().dims();
+  out_dims[static_cast<std::size_t>(axis)] = end - start;
+  const Shape out_shape{out_dims};
+  std::int64_t outer = 1;
+  for (int d = 0; d < axis; ++d) {
+    outer *= a.shape()[d];
+  }
+  std::int64_t inner = 1;
+  for (int d = axis + 1; d < nd; ++d) {
+    inner *= a.shape()[d];
+  }
+  const std::int64_t span = end - start;
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()));
+  const auto& da = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* src = da.data() + (o * extent + start) * inner;
+    std::copy(src, src + span * inner, out.data() + o * span * inner);
+  }
+  auto ai = a.impl();
+  return make_result(out_shape, std::move(out), {a},
+                     [ai, outer, inner, extent, start, span](TensorImpl& self) {
+                       ai->ensure_grad();
+                       for (std::int64_t o = 0; o < outer; ++o) {
+                         const float* src = self.grad.data() + o * span * inner;
+                         float* dst = ai->grad.data() + (o * extent + start) * inner;
+                         for (std::int64_t i = 0; i < span * inner; ++i) {
+                           dst[i] += src[i];
+                         }
+                       }
+                     });
+}
+
+Tensor index_select(const Tensor& a, int axis, const std::vector<std::int64_t>& indices) {
+  const int nd = a.ndim();
+  axis = normalize_axis(axis, nd);
+  const std::int64_t extent = a.shape()[axis];
+  for (const std::int64_t idx : indices) {
+    SNAPPIX_CHECK(idx >= 0 && idx < extent,
+                  "index_select index " << idx << " out of range for extent " << extent);
+  }
+  std::vector<std::int64_t> out_dims = a.shape().dims();
+  out_dims[static_cast<std::size_t>(axis)] = static_cast<std::int64_t>(indices.size());
+  const Shape out_shape{out_dims};
+  std::int64_t outer = 1;
+  for (int d = 0; d < axis; ++d) {
+    outer *= a.shape()[d];
+  }
+  std::int64_t inner = 1;
+  for (int d = axis + 1; d < nd; ++d) {
+    inner *= a.shape()[d];
+  }
+  const auto k = static_cast<std::int64_t>(indices.size());
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()));
+  const auto& da = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float* src = da.data() + (o * extent + indices[static_cast<std::size_t>(i)]) * inner;
+      std::copy(src, src + inner, out.data() + (o * k + i) * inner);
+    }
+  }
+  auto ai = a.impl();
+  return make_result(out_shape, std::move(out), {a},
+                     [ai, indices, outer, inner, extent, k](TensorImpl& self) {
+                       ai->ensure_grad();
+                       for (std::int64_t o = 0; o < outer; ++o) {
+                         for (std::int64_t i = 0; i < k; ++i) {
+                           const float* src = self.grad.data() + (o * k + i) * inner;
+                           float* dst = ai->grad.data() +
+                                        (o * extent + indices[static_cast<std::size_t>(i)]) * inner;
+                           for (std::int64_t r = 0; r < inner; ++r) {
+                             dst[r] += src[r];
+                           }
+                         }
+                       }
+                     });
+}
+
+Tensor tile_2d(const Tensor& a, std::int64_t reps_h, std::int64_t reps_w) {
+  SNAPPIX_CHECK(a.ndim() >= 2, "tile_2d needs rank >= 2, got " << a.shape().to_string());
+  SNAPPIX_CHECK(reps_h >= 1 && reps_w >= 1, "tile_2d repetitions must be positive");
+  const int nd = a.ndim();
+  const std::int64_t th = a.shape()[nd - 2];
+  const std::int64_t tw = a.shape()[nd - 1];
+  std::int64_t lead = 1;
+  for (int d = 0; d < nd - 2; ++d) {
+    lead *= a.shape()[d];
+  }
+  std::vector<std::int64_t> out_dims = a.shape().dims();
+  out_dims[static_cast<std::size_t>(nd - 2)] = th * reps_h;
+  out_dims[static_cast<std::size_t>(nd - 1)] = tw * reps_w;
+  const Shape out_shape{out_dims};
+  const std::int64_t oh = th * reps_h;
+  const std::int64_t ow = tw * reps_w;
+  std::vector<float> out(static_cast<std::size_t>(out_shape.numel()));
+  const auto& da = a.data();
+  for (std::int64_t l = 0; l < lead; ++l) {
+    const float* src = da.data() + l * th * tw;
+    float* dst = out.data() + l * oh * ow;
+    for (std::int64_t i = 0; i < oh; ++i) {
+      const float* srow = src + (i % th) * tw;
+      float* drow = dst + i * ow;
+      for (std::int64_t j = 0; j < ow; ++j) {
+        drow[j] = srow[j % tw];
+      }
+    }
+  }
+  auto ai = a.impl();
+  return make_result(out_shape, std::move(out), {a},
+                     [ai, lead, th, tw, oh, ow](TensorImpl& self) {
+                       ai->ensure_grad();
+                       for (std::int64_t l = 0; l < lead; ++l) {
+                         const float* g = self.grad.data() + l * oh * ow;
+                         float* dst = ai->grad.data() + l * th * tw;
+                         for (std::int64_t i = 0; i < oh; ++i) {
+                           float* drow = dst + (i % th) * tw;
+                           const float* grow = g + i * ow;
+                           for (std::int64_t j = 0; j < ow; ++j) {
+                             drow[j % tw] += grow[j];
+                           }
+                         }
+                       }
+                     });
+}
+
+}  // namespace snappix

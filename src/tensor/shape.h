@@ -1,0 +1,76 @@
+// Shape: an immutable list of dimension extents with row-major stride helpers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace snappix {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims_) {
+      n *= d;
+    }
+    return n;
+  }
+
+  // Extent of dimension `i`; negative indices count from the back.
+  std::int64_t operator[](int i) const {
+    const int n = ndim();
+    if (i < 0) {
+      i += n;
+    }
+    SNAPPIX_CHECK(i >= 0 && i < n, "dimension index " << i << " out of range for " << to_string());
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // Row-major (C-order) strides in elements.
+  std::vector<std::int64_t> strides() const {
+    std::vector<std::int64_t> s(dims_.size(), 1);
+    for (int i = ndim() - 2; i >= 0; --i) {
+      s[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+    }
+    return s;
+  }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  void validate() const {
+    for (const std::int64_t d : dims_) {
+      SNAPPIX_CHECK(d >= 0, "negative dimension in shape " << to_string());
+    }
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace snappix

@@ -1,0 +1,251 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "util/common.h"
+
+namespace snappix {
+
+namespace grad_mode {
+namespace {
+thread_local bool grad_enabled = true;
+}  // namespace
+bool enabled() { return grad_enabled; }
+void set_enabled(bool value) { grad_enabled = value; }
+}  // namespace grad_mode
+
+// --- factories ---------------------------------------------------------------
+
+Tensor Tensor::make(const Shape& shape, std::vector<float> values, bool requires_grad) {
+  SNAPPIX_CHECK(static_cast<std::int64_t>(values.size()) == shape.numel(),
+                "value count " << values.size() << " does not match shape " << shape.to_string());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::zeros(const Shape& shape, bool requires_grad) {
+  return make(shape, std::vector<float>(static_cast<std::size_t>(shape.numel()), 0.0F),
+              requires_grad);
+}
+
+Tensor Tensor::ones(const Shape& shape, bool requires_grad) {
+  return make(shape, std::vector<float>(static_cast<std::size_t>(shape.numel()), 1.0F),
+              requires_grad);
+}
+
+Tensor Tensor::full(const Shape& shape, float value, bool requires_grad) {
+  return make(shape, std::vector<float>(static_cast<std::size_t>(shape.numel()), value),
+              requires_grad);
+}
+
+Tensor Tensor::from_vector(std::vector<float> values, const Shape& shape, bool requires_grad) {
+  return make(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return make(Shape{1}, std::vector<float>{value}, requires_grad);
+}
+
+Tensor Tensor::randn(const Shape& shape, Rng& rng, float stddev, bool requires_grad) {
+  std::vector<float> values(static_cast<std::size_t>(shape.numel()));
+  for (auto& v : values) {
+    v = rng.normal(0.0F, stddev);
+  }
+  return make(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::rand_uniform(const Shape& shape, Rng& rng, float lo, float hi, bool requires_grad) {
+  std::vector<float> values(static_cast<std::size_t>(shape.numel()));
+  for (auto& v : values) {
+    v = rng.uniform(lo, hi);
+  }
+  return make(shape, std::move(values), requires_grad);
+}
+
+// --- structure & data access ---------------------------------------------------
+
+const Shape& Tensor::shape() const {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  return impl_->shape;
+}
+
+std::vector<float>& Tensor::data() {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  return impl_->data;
+}
+
+float Tensor::item() const {
+  SNAPPIX_CHECK(numel() == 1, "item() requires a single-element tensor, got "
+                                  << shape().to_string());
+  return data()[0];
+}
+
+namespace {
+std::int64_t linear_index(const Shape& shape, std::initializer_list<std::int64_t> index) {
+  SNAPPIX_CHECK(static_cast<int>(index.size()) == shape.ndim(),
+                "index rank " << index.size() << " does not match shape " << shape.to_string());
+  const auto strides = shape.strides();
+  std::int64_t off = 0;
+  int d = 0;
+  for (const std::int64_t i : index) {
+    SNAPPIX_CHECK(i >= 0 && i < shape[d], "index " << i << " out of bounds in dim " << d
+                                                   << " of " << shape.to_string());
+    off += i * strides[static_cast<std::size_t>(d)];
+    ++d;
+  }
+  return off;
+}
+}  // namespace
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return data()[static_cast<std::size_t>(linear_index(shape(), index))];
+}
+
+void Tensor::set_at(std::initializer_list<std::int64_t> index, float value) {
+  data()[static_cast<std::size_t>(linear_index(shape(), index))] = value;
+}
+
+// --- autograd -----------------------------------------------------------------
+
+bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  impl_->requires_grad = value;
+  return *this;
+}
+
+Tensor Tensor::grad() const {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  if (impl_->grad.size() != impl_->data.size()) {
+    return Tensor::zeros(impl_->shape);
+  }
+  return Tensor::from_vector(impl_->grad, impl_->shape);
+}
+
+void Tensor::zero_grad() {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  impl_->grad.assign(impl_->data.size(), 0.0F);
+}
+
+Tensor Tensor::detach() const {
+  SNAPPIX_CHECK(defined(), "operation on undefined tensor");
+  return Tensor::from_vector(impl_->data, impl_->shape);
+}
+
+void Tensor::copy_from(const Tensor& other) {
+  SNAPPIX_CHECK(defined() && other.defined(), "copy_from on undefined tensor");
+  SNAPPIX_CHECK(shape() == other.shape(), "copy_from shape mismatch: " << shape().to_string()
+                                                                       << " vs "
+                                                                       << other.shape().to_string());
+  impl_->data = other.impl_->data;
+}
+
+namespace {
+// Post-order DFS yielding parents before children.
+void topo_sort(TensorImpl* root, std::vector<TensorImpl*>& order) {
+  std::unordered_set<TensorImpl*> visited;
+  // Explicit stack: (node, next parent index to visit).
+  std::vector<std::pair<TensorImpl*, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      TensorImpl* parent = node->parents[next].get();
+      ++next;
+      if (parent != nullptr && visited.find(parent) == visited.end()) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+}  // namespace
+
+void Tensor::backward() {
+  SNAPPIX_CHECK(defined(), "backward() on undefined tensor");
+  SNAPPIX_CHECK(numel() == 1, "backward() requires a scalar, got " << shape().to_string());
+  SNAPPIX_CHECK(impl_->requires_grad, "backward() on tensor that does not require grad");
+  std::vector<TensorImpl*> order;
+  topo_sort(impl_.get(), order);
+  impl_->ensure_grad();
+  impl_->grad[0] += 1.0F;
+  // `order` has parents before children; run children (outputs) first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && node->grad.size() == node->data.size()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+// --- op plumbing ----------------------------------------------------------------
+
+Tensor make_result(const Shape& shape, std::vector<float> values, std::vector<Tensor> parents,
+                   std::function<void(TensorImpl&)> backward_fn) {
+  SNAPPIX_CHECK(static_cast<std::int64_t>(values.size()) == shape.numel(),
+                "internal: result size mismatch for shape " << shape.to_string());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  bool track = false;
+  if (grad_mode::enabled()) {
+    for (const auto& p : parents) {
+      if (p.defined() && p.requires_grad()) {
+        track = true;
+        break;
+      }
+    }
+  }
+  if (track) {
+    impl->requires_grad = true;
+    impl->backward_fn = std::move(backward_fn);
+    for (const auto& p : parents) {
+      if (p.defined()) {
+        impl->parents.push_back(p.impl());
+      }
+    }
+  }
+  return Tensor(std::move(impl));
+}
+
+void accumulate_grad(TensorImpl& impl, const std::vector<float>& values) {
+  impl.ensure_grad();
+  SNAPPIX_CHECK(values.size() == impl.grad.size(), "internal: grad size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    impl.grad[i] += values[i];
+  }
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const float diff = std::fabs(da[i] - db[i]);
+    const float tol = atol + rtol * std::fabs(db[i]);
+    if (diff > tol || std::isnan(diff)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace snappix

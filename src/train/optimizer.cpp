@@ -1,0 +1,95 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace snappix::train {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  SNAPPIX_CHECK(!params_.empty(), "optimizer needs at least one parameter");
+  for (const auto& p : params_) {
+    SNAPPIX_CHECK(p.defined() && p.requires_grad(),
+                  "optimizer parameters must be defined and require grad");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) {
+    p.zero_grad();
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].data().size(), 0.0F);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& impl = *params_[i].impl();
+    if (impl.grad.size() != impl.data.size()) {
+      continue;  // parameter untouched by the last backward
+    }
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < impl.data.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + impl.grad[j];
+      impl.data[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Tensor> params, float lr, float beta1, float beta2, float eps,
+             float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0F);
+    v_[i].assign(params_[i].data().size(), 0.0F);
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& impl = *params_[i].impl();
+    if (impl.grad.size() != impl.data.size()) {
+      continue;
+    }
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < impl.data.size(); ++j) {
+      const float g = impl.grad[j];
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      impl.data[j] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) + weight_decay_ * impl.data[j]);
+    }
+  }
+}
+
+float cosine_warmup_lr(float base_lr, std::int64_t step, std::int64_t total_steps,
+                       std::int64_t warmup_steps) {
+  SNAPPIX_CHECK(total_steps > 0, "cosine_warmup_lr: total_steps must be positive");
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return base_lr * static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  }
+  const float progress = static_cast<float>(step - warmup_steps) /
+                         static_cast<float>(std::max<std::int64_t>(1, total_steps - warmup_steps));
+  constexpr float kPi = 3.14159265358979323846F;
+  return 0.5F * base_lr * (1.0F + std::cos(kPi * std::min(progress, 1.0F)));
+}
+
+}  // namespace snappix::train

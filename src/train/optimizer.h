@@ -1,0 +1,69 @@
+// First-order optimizers over parameter handles.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snappix::train {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+  void zero_grad();
+
+  std::size_t num_params() const { return params_.size(); }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0F);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// Adam / AdamW (decoupled weight decay when weight_decay > 0).
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Tensor> params, float lr, float beta1 = 0.9F, float beta2 = 0.999F,
+        float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Cosine decay with linear warmup; returns the lr for step `step` of
+// `total_steps` given a base lr.
+float cosine_warmup_lr(float base_lr, std::int64_t step, std::int64_t total_steps,
+                       std::int64_t warmup_steps);
+
+}  // namespace snappix::train

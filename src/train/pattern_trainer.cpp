@@ -1,0 +1,121 @@
+#include "train/pattern_trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ce/encode.h"
+#include "ce/stats.h"
+#include "train/optimizer.h"
+#include "util/common.h"
+
+namespace snappix::train {
+
+namespace {
+
+// Draws a random mini-batch of training videos as (B, T, H, W).
+Tensor random_video_batch(const data::VideoDataset& dataset, int batch_size, Rng& rng,
+                          std::vector<std::int64_t>* labels_out = nullptr) {
+  std::vector<std::int64_t> indices;
+  indices.reserve(static_cast<std::size_t>(batch_size));
+  for (int i = 0; i < batch_size; ++i) {
+    indices.push_back(rng.uniform_int(0, dataset.train_size() - 1));
+  }
+  std::vector<std::int64_t> labels;
+  Tensor videos = dataset.train_batch(indices, labels);
+  if (labels_out != nullptr) {
+    *labels_out = std::move(labels);
+  }
+  return videos;
+}
+
+// Clamp continuous mask weights to [0, 1] after the optimizer step so the
+// straight-through pass band stays meaningful.
+void clamp_weights(Tensor& weights) {
+  for (auto& v : weights.data()) {
+    v = std::clamp(v, 0.0F, 1.0F);
+  }
+}
+
+}  // namespace
+
+PatternTrainResult learn_decorrelated_pattern(const data::VideoDataset& dataset,
+                                              const PatternTrainConfig& config) {
+  SNAPPIX_CHECK(config.steps > 0 && config.batch_size > 0, "bad PatternTrainConfig");
+  const int frames = dataset.scene().frames;
+  Rng rng(config.seed);
+  // Initialize near the threshold with small jitter so gradients break ties.
+  Tensor weights = Tensor::rand_uniform(Shape{frames, config.tile, config.tile}, rng, 0.45F,
+                                        0.55F, /*requires_grad=*/true);
+  AdamW optimizer({weights}, config.lr);
+  PatternTrainResult result{ce::CePattern(frames, config.tile), {}, 0.0F};
+  for (int step = 0; step < config.steps; ++step) {
+    optimizer.zero_grad();
+    const Tensor videos = random_video_batch(dataset, config.batch_size, rng);
+    Tensor coded = ce::ce_encode_diff(videos, weights);
+    Tensor loss = ce::decorrelation_loss(coded, config.tile);
+    if (config.budget_weight > 0.0F) {
+      // Exposure-budget regularizer: pull the mean weight toward the target.
+      Tensor budget = square(add_scalar(mean_all(weights), -config.target_exposure));
+      loss = add(loss, mul_scalar(budget, config.budget_weight));
+    }
+    loss.backward();
+    optimizer.step();
+    clamp_weights(weights);
+    result.loss_curve.push_back(loss.item());
+    if (config.verbose && (step % 25 == 0 || step == config.steps - 1)) {
+      std::printf("  pattern step %4d  L_cor %.5f\n", step, static_cast<double>(loss.item()));
+    }
+  }
+  result.final_loss = result.loss_curve.back();
+  result.pattern = ce::CePattern::from_weights(weights.detach());
+  // Guard against fully-closed patterns (the collapse Sec. III warns about):
+  // if a pixel is never exposed, open it at a random slot so the sensor
+  // read-out still carries signal for every pixel.
+  auto counts = result.pattern.exposure_counts();
+  for (int y = 0; y < config.tile; ++y) {
+    for (int x = 0; x < config.tile; ++x) {
+      if (counts[static_cast<std::size_t>(y * config.tile + x)] == 0) {
+        result.pattern.set_bit(static_cast<int>(rng.uniform_int(0, frames - 1)), y, x, true);
+      }
+    }
+  }
+  return result;
+}
+
+PatternTrainResult learn_task_pattern(
+    const data::VideoDataset& dataset, const std::vector<Tensor>& model_params,
+    const std::function<Tensor(const Tensor&)>& model_forward, const PatternTrainConfig& config,
+    int epochs) {
+  SNAPPIX_CHECK(epochs > 0, "learn_task_pattern: epochs must be positive");
+  const int frames = dataset.scene().frames;
+  Rng rng(config.seed);
+  Tensor weights = Tensor::rand_uniform(Shape{frames, config.tile, config.tile}, rng, 0.45F,
+                                        0.55F, /*requires_grad=*/true);
+  std::vector<Tensor> all_params = model_params;
+  all_params.push_back(weights);
+  AdamW optimizer(all_params, config.lr);
+  PatternTrainResult result{ce::CePattern(frames, config.tile), {}, 0.0F};
+  const std::int64_t steps_per_epoch =
+      (dataset.train_size() + config.batch_size - 1) / config.batch_size;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    float epoch_loss = 0.0F;
+    for (std::int64_t s = 0; s < steps_per_epoch; ++s) {
+      optimizer.zero_grad();
+      std::vector<std::int64_t> labels;
+      const Tensor videos = random_video_batch(dataset, config.batch_size, rng, &labels);
+      Tensor coded = ce::ce_encode_diff(videos, weights);
+      Tensor logits = model_forward(coded);
+      Tensor loss = cross_entropy(logits, labels);
+      loss.backward();
+      optimizer.step();
+      clamp_weights(weights);
+      epoch_loss += loss.item();
+    }
+    result.loss_curve.push_back(epoch_loss / static_cast<float>(steps_per_epoch));
+  }
+  result.final_loss = result.loss_curve.back();
+  result.pattern = ce::CePattern::from_weights(weights.detach());
+  return result;
+}
+
+}  // namespace snappix::train

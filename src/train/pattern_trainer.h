@@ -1,0 +1,49 @@
+// CE-pattern learning (paper Sec. III).
+//
+// Task-agnostic learning: minimize L_Cor (Eqn. 2) over a dataset with Adam
+// and a straight-through estimator for the binary masking — irrespective of
+// any downstream task. Also provides the task-specific (SVC2D-style)
+// end-to-end learned pattern for the baseline comparison in Sec. VI-C.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ce/pattern.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace snappix::train {
+
+struct PatternTrainConfig {
+  int tile = 8;
+  int steps = 150;
+  int batch_size = 8;
+  float lr = 3e-2F;
+  std::uint64_t seed = 99;
+  // Keeps the exposure budget from collapsing to all-closed: penalty weight
+  // pulling the mean continuous weight toward `target_exposure`.
+  float budget_weight = 0.1F;
+  float target_exposure = 0.5F;
+  bool verbose = false;
+};
+
+struct PatternTrainResult {
+  ce::CePattern pattern;
+  std::vector<float> loss_curve;
+  float final_loss = 0.0F;
+};
+
+// Learns the decorrelated task-agnostic pattern on `dataset` (Sec. III).
+PatternTrainResult learn_decorrelated_pattern(const data::VideoDataset& dataset,
+                                              const PatternTrainConfig& config);
+
+// Learns a task-specific pattern end-to-end: the CE weights receive
+// cross-entropy gradients through the given model forward (SVC2D-style,
+// [17]/[18]). `model_params` are trained jointly with the pattern weights.
+PatternTrainResult learn_task_pattern(
+    const data::VideoDataset& dataset, const std::vector<Tensor>& model_params,
+    const std::function<Tensor(const Tensor&)>& model_forward, const PatternTrainConfig& config,
+    int epochs);
+
+}  // namespace snappix::train

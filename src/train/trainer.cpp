@@ -1,0 +1,168 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "eval/metrics.h"
+#include "train/optimizer.h"
+#include "util/common.h"
+
+namespace snappix::train {
+
+namespace {
+
+// Iterates the train split in shuffled mini-batches, invoking
+// step(videos, labels) for each.
+void for_each_batch(const data::VideoDataset& dataset, int batch_size, Rng& rng,
+                    const std::function<void(const Tensor&, const std::vector<std::int64_t>&)>&
+                        step) {
+  const auto order = dataset.shuffled_train_indices(rng);
+  for (std::size_t begin = 0; begin < order.size(); begin += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end = std::min(order.size(), begin + static_cast<std::size_t>(batch_size));
+    const std::vector<std::int64_t> indices(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                                            order.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<std::int64_t> labels;
+    const Tensor videos = dataset.train_batch(indices, labels);
+    step(videos, labels);
+  }
+}
+
+std::int64_t steps_per_epoch(const data::VideoDataset& dataset, int batch_size) {
+  return (dataset.train_size() + batch_size - 1) / batch_size;
+}
+
+}  // namespace
+
+FitResult fit_classifier(const std::vector<Tensor>& params, const ForwardFn& forward,
+                         const data::VideoDataset& dataset, const InputTransform& transform,
+                         const TrainConfig& config) {
+  SNAPPIX_CHECK(config.epochs > 0 && config.batch_size > 0, "bad TrainConfig");
+  AdamW optimizer(params, config.lr, 0.9F, 0.999F, 1e-8F, config.weight_decay);
+  Rng rng(config.seed);
+  FitResult result;
+  const std::int64_t total_steps =
+      static_cast<std::int64_t>(config.epochs) * steps_per_epoch(dataset, config.batch_size);
+  std::int64_t step_index = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    float epoch_loss = 0.0F;
+    int batches = 0;
+    for_each_batch(dataset, config.batch_size, rng,
+                   [&](const Tensor& videos, const std::vector<std::int64_t>& labels) {
+                     optimizer.set_lr(cosine_warmup_lr(config.lr, step_index, total_steps,
+                                                       config.warmup_steps));
+                     optimizer.zero_grad();
+                     Tensor logits = forward(transform(videos));
+                     Tensor loss = cross_entropy(logits, labels);
+                     loss.backward();
+                     optimizer.step();
+                     epoch_loss += loss.item();
+                     ++batches;
+                     ++step_index;
+                   });
+    epoch_loss /= static_cast<float>(std::max(batches, 1));
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.verbose) {
+      std::printf("  epoch %3d/%d  loss %.4f\n", epoch + 1, config.epochs,
+                  static_cast<double>(epoch_loss));
+    }
+  }
+  result.final_train_loss = result.epoch_losses.empty() ? 0.0F : result.epoch_losses.back();
+  result.test_metric = evaluate_classifier(forward, dataset, transform, config.batch_size);
+  return result;
+}
+
+float evaluate_classifier(const ForwardFn& forward, const data::VideoDataset& dataset,
+                          const InputTransform& transform, int batch_size) {
+  NoGradGuard guard;
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+  for (std::int64_t begin = 0; begin < dataset.test_size(); begin += batch_size) {
+    const std::int64_t end = std::min(dataset.test_size(), begin + batch_size);
+    std::vector<std::int64_t> indices;
+    for (std::int64_t i = begin; i < end; ++i) {
+      indices.push_back(i);
+    }
+    std::vector<std::int64_t> labels;
+    const Tensor videos = dataset.test_batch(indices, labels);
+    const Tensor logits = forward(transform(videos));
+    const auto acc = eval::top1_accuracy(logits, labels);
+    correct += static_cast<std::int64_t>(
+        std::lround(static_cast<double>(acc) * static_cast<double>(labels.size())));
+    total += static_cast<std::int64_t>(labels.size());
+  }
+  return total > 0 ? static_cast<float>(correct) / static_cast<float>(total) : 0.0F;
+}
+
+FitResult fit_reconstructor(const std::vector<Tensor>& params, const ForwardFn& forward,
+                            const data::VideoDataset& dataset, const InputTransform& transform,
+                            const TrainConfig& config) {
+  SNAPPIX_CHECK(config.epochs > 0 && config.batch_size > 0, "bad TrainConfig");
+  AdamW optimizer(params, config.lr, 0.9F, 0.999F, 1e-8F, config.weight_decay);
+  Rng rng(config.seed);
+  FitResult result;
+  const std::int64_t total_steps =
+      static_cast<std::int64_t>(config.epochs) * steps_per_epoch(dataset, config.batch_size);
+  std::int64_t step_index = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    float epoch_loss = 0.0F;
+    int batches = 0;
+    for_each_batch(dataset, config.batch_size, rng,
+                   [&](const Tensor& videos, const std::vector<std::int64_t>& labels) {
+                     (void)labels;
+                     optimizer.set_lr(cosine_warmup_lr(config.lr, step_index, total_steps,
+                                                       config.warmup_steps));
+                     optimizer.zero_grad();
+                     Tensor predicted = forward(transform(videos));
+                     Tensor loss = mse_loss(predicted, videos);
+                     loss.backward();
+                     optimizer.step();
+                     epoch_loss += loss.item();
+                     ++batches;
+                     ++step_index;
+                   });
+    epoch_loss /= static_cast<float>(std::max(batches, 1));
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.verbose) {
+      std::printf("  epoch %3d/%d  mse %.5f\n", epoch + 1, config.epochs,
+                  static_cast<double>(epoch_loss));
+    }
+  }
+  result.final_train_loss = result.epoch_losses.empty() ? 0.0F : result.epoch_losses.back();
+  result.test_metric = evaluate_reconstructor(forward, dataset, transform, config.batch_size);
+  return result;
+}
+
+float evaluate_reconstructor(const ForwardFn& forward, const data::VideoDataset& dataset,
+                             const InputTransform& transform, int batch_size) {
+  NoGradGuard guard;
+  double mse_sum = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t begin = 0; begin < dataset.test_size(); begin += batch_size) {
+    const std::int64_t end = std::min(dataset.test_size(), begin + batch_size);
+    std::vector<std::int64_t> indices;
+    for (std::int64_t i = begin; i < end; ++i) {
+      indices.push_back(i);
+    }
+    std::vector<std::int64_t> labels;
+    const Tensor videos = dataset.test_batch(indices, labels);
+    const Tensor predicted = forward(transform(videos));
+    const auto& dp = predicted.data();
+    const auto& dt = videos.data();
+    SNAPPIX_CHECK(dp.size() == dt.size(), "reconstructor output shape mismatch");
+    for (std::size_t i = 0; i < dp.size(); ++i) {
+      const double diff = static_cast<double>(dp[i]) - static_cast<double>(dt[i]);
+      mse_sum += diff * diff;
+    }
+    count += static_cast<std::int64_t>(dp.size());
+  }
+  if (count == 0) {
+    return 0.0F;
+  }
+  const double mse = mse_sum / static_cast<double>(count);
+  return mse > 0.0 ? static_cast<float>(10.0 * std::log10(1.0 / mse))
+                   : std::numeric_limits<float>::infinity();
+}
+
+}  // namespace snappix::train

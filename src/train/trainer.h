@@ -1,0 +1,59 @@
+// Training loops for classification (AR) and reconstruction (REC) tasks.
+//
+// Models are passed as forward closures plus a parameter list, so the same
+// trainer drives coded-image models (SNAPPIX, SVC2D) and video models (C3D,
+// VideoViT); an input transform maps the raw video batch (B, T, H, W) to
+// whatever the model consumes (coded image, downsampled video, ...).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix::train {
+
+// Maps a raw video batch (B, T, H, W) to the model's input tensor.
+using InputTransform = std::function<Tensor(const Tensor&)>;
+// Model forward pass; returns logits (classification) or video (REC).
+using ForwardFn = std::function<Tensor(const Tensor&)>;
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 16;
+  float lr = 1e-3F;
+  float weight_decay = 1e-4F;
+  std::int64_t warmup_steps = 10;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct FitResult {
+  float final_train_loss = 0.0F;
+  float test_metric = 0.0F;  // accuracy for AR, PSNR (dB) for REC
+  std::vector<float> epoch_losses;
+};
+
+// Trains a classifier with AdamW + cosine schedule and cross-entropy.
+FitResult fit_classifier(const std::vector<Tensor>& params, const ForwardFn& forward,
+                         const data::VideoDataset& dataset, const InputTransform& transform,
+                         const TrainConfig& config);
+
+// Test-set top-1 accuracy of a classifier.
+float evaluate_classifier(const ForwardFn& forward, const data::VideoDataset& dataset,
+                          const InputTransform& transform, int batch_size = 16);
+
+// Trains a reconstructor with MSE against the original videos; the forward
+// receives transform(videos) and must return (B, T, H, W).
+FitResult fit_reconstructor(const std::vector<Tensor>& params, const ForwardFn& forward,
+                            const data::VideoDataset& dataset, const InputTransform& transform,
+                            const TrainConfig& config);
+
+// Test-set PSNR (dB) of a reconstructor.
+float evaluate_reconstructor(const ForwardFn& forward, const data::VideoDataset& dataset,
+                             const InputTransform& transform, int batch_size = 16);
+
+}  // namespace snappix::train

@@ -1,0 +1,32 @@
+// Common error-checking utilities used across all snappix modules.
+//
+// SNAPPIX_CHECK is the single precondition/invariant mechanism of the
+// library: it throws std::runtime_error with a file:line-prefixed message so
+// that both library users and tests can observe violations without aborting
+// the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snappix {
+
+[[noreturn]] inline void check_failed(const std::string& message, const char* file, int line) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << message;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace snappix
+
+// Throws std::runtime_error when `condition` is false. `message_expr` is a
+// stream expression, e.g. SNAPPIX_CHECK(a == b, "got " << a << " vs " << b).
+#define SNAPPIX_CHECK(condition, message_expr)                                  \
+  do {                                                                          \
+    if (!(condition)) {                                                         \
+      std::ostringstream snappix_os_;                                           \
+      snappix_os_ << "check failed: `" #condition "` — " << message_expr;       \
+      ::snappix::check_failed(snappix_os_.str(), __FILE__, __LINE__);           \
+    }                                                                           \
+  } while (0)

@@ -1,0 +1,58 @@
+// Deterministic random number generation for the whole library.
+//
+// Every stochastic component (weight init, synthetic data, noise models,
+// random CE patterns) takes an explicit Rng so experiments are reproducible
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace snappix {
+
+// Thin wrapper over std::mt19937_64 with the distributions snappix needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  // Uniform float in [lo, hi).
+  float uniform(float lo = 0.0F, float hi = 1.0F) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Standard normal scaled by `stddev` around `mean`.
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Bernoulli draw with probability `p` of returning true.
+  bool bernoulli(float p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Poisson sample with the given mean (used by the photon shot-noise model).
+  std::int64_t poisson(double mean) {
+    std::poisson_distribution<std::int64_t> dist(mean);
+    return dist(engine_);
+  }
+
+  // Derives an independent child generator; lets parallel components share a
+  // master seed without correlated streams.
+  Rng split() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace snappix

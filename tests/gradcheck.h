@@ -1,0 +1,45 @@
+// Numerical gradient checking shared by the autograd tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snappix::testing {
+
+// Compares the analytic gradient of `fn` (a scalar-valued function of the
+// given leaves) against central differences. Returns the max absolute error.
+inline float max_grad_error(const std::function<Tensor()>& fn, std::vector<Tensor> leaves,
+                            float eps = 1e-3F) {
+  // Analytic pass.
+  for (auto& leaf : leaves) {
+    leaf.zero_grad();
+  }
+  Tensor loss = fn();
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(leaves.size());
+  for (auto& leaf : leaves) {
+    analytic.push_back(leaf.grad().data());
+  }
+  // Numeric pass.
+  float max_err = 0.0F;
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    auto& data = leaves[l].data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + eps;
+      const float up = fn().item();
+      data[i] = saved - eps;
+      const float down = fn().item();
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0F * eps);
+      max_err = std::max(max_err, std::fabs(numeric - analytic[l][i]));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace snappix::testing

@@ -1,0 +1,374 @@
+// Tests for coded-exposure patterns, encoding (Eqn. 1), and the
+// decorrelation statistics of Sec. III.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ce/encode.h"
+#include "ce/pattern.h"
+#include "ce/stats.h"
+#include "data/synthetic.h"
+#include "gradcheck.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using ce::CePattern;
+
+TEST(CePatternTest, LongExposureExposesEverything) {
+  const CePattern p = CePattern::long_exposure(16, 8);
+  EXPECT_EQ(p.total_exposed(), 16 * 8 * 8);
+  EXPECT_FLOAT_EQ(p.exposure_fraction(), 1.0F);
+  for (const int c : p.exposure_counts()) {
+    EXPECT_EQ(c, 16);
+  }
+}
+
+TEST(CePatternTest, ShortExposurePeriod) {
+  const CePattern p = CePattern::short_exposure(16, 4, 8);
+  // Slots 0 and 8 exposed -> 2 per pixel.
+  for (const int c : p.exposure_counts()) {
+    EXPECT_EQ(c, 2);
+  }
+  EXPECT_TRUE(p.bit(0, 0, 0));
+  EXPECT_TRUE(p.bit(8, 2, 3));
+  EXPECT_FALSE(p.bit(1, 0, 0));
+}
+
+TEST(CePatternTest, SparseRandomExposesExactlyOnce) {
+  Rng rng(1);
+  const CePattern p = CePattern::sparse_random(16, 8, rng);
+  for (const int c : p.exposure_counts()) {
+    EXPECT_EQ(c, 1);
+  }
+  EXPECT_EQ(p.total_exposed(), 64);
+}
+
+TEST(CePatternTest, RandomFractionNearP) {
+  Rng rng(2);
+  const CePattern p = CePattern::random(16, 8, rng, 0.5F);
+  EXPECT_NEAR(p.exposure_fraction(), 0.5F, 0.08F);
+}
+
+TEST(CePatternTest, FromWeightsThreshold) {
+  const Tensor w = Tensor::from_vector({0.2F, 0.8F, 0.5F, 0.9F}, Shape{1, 2, 2});
+  const CePattern p = CePattern::from_weights(w);
+  EXPECT_FALSE(p.bit(0, 0, 0));
+  EXPECT_TRUE(p.bit(0, 0, 1));
+  EXPECT_FALSE(p.bit(0, 1, 0));  // 0.5 is not > 0.5
+  EXPECT_TRUE(p.bit(0, 1, 1));
+}
+
+TEST(CePatternTest, ToTensorAndFullMask) {
+  Rng rng(3);
+  const CePattern p = CePattern::random(4, 2, rng, 0.5F);
+  const Tensor t = p.to_tensor();
+  EXPECT_EQ(t.shape(), (Shape{4, 2, 2}));
+  const Tensor full = p.full_mask(6, 8);
+  EXPECT_EQ(full.shape(), (Shape{4, 6, 8}));
+  for (std::int64_t s = 0; s < 4; ++s) {
+    for (std::int64_t y = 0; y < 6; ++y) {
+      for (std::int64_t x = 0; x < 8; ++x) {
+        EXPECT_EQ(full.at({s, y, x}), t.at({s, y % 2, x % 2}));
+      }
+    }
+  }
+  EXPECT_THROW(p.full_mask(7, 8), std::runtime_error);
+}
+
+TEST(CePatternTest, SaveLoadRoundTrip) {
+  Rng rng(4);
+  const CePattern p = CePattern::random(16, 8, rng, 0.5F);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "snappix_pattern_test.bin").string();
+  p.save(path);
+  const CePattern q = CePattern::load(path);
+  EXPECT_TRUE(p == q);
+  std::remove(path.c_str());
+}
+
+TEST(CePatternTest, SlotBitsRasterOrder) {
+  CePattern p(2, 2);
+  p.set_bit(0, 0, 1, true);
+  p.set_bit(0, 1, 0, true);
+  const auto bits = p.slot_bits(0);
+  ASSERT_EQ(bits.size(), 4U);
+  EXPECT_EQ(bits[0], 0);
+  EXPECT_EQ(bits[1], 1);
+  EXPECT_EQ(bits[2], 1);
+  EXPECT_EQ(bits[3], 0);
+}
+
+TEST(CePatternTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(CePattern(0, 8), std::runtime_error);
+  EXPECT_THROW(CePattern(16, -1), std::runtime_error);
+  CePattern p(4, 4);
+  EXPECT_THROW(p.bit(4, 0, 0), std::runtime_error);
+  EXPECT_THROW(p.bit(0, 4, 0), std::runtime_error);
+}
+
+TEST(CeEncode, MatchesEquationOne) {
+  // Hand-computed: 2 slots, tile 1, so mask is per-slot global.
+  CePattern p(2, 1);
+  p.set_bit(0, 0, 0, true);   // slot 0 on
+  p.set_bit(1, 0, 0, false);  // slot 1 off
+  const Tensor video = Tensor::from_vector({1, 2, 3, 4,  // frame 0
+                                            5, 6, 7, 8},
+                                           Shape{1, 2, 2, 2});
+  const Tensor coded = ce::ce_encode(video, p);
+  EXPECT_TRUE(allclose(coded, Tensor::from_vector({1, 2, 3, 4}, Shape{1, 2, 2})));
+}
+
+TEST(CeEncode, LongExposureSumsAllFrames) {
+  Rng rng(5);
+  const Tensor video = Tensor::rand_uniform(Shape{2, 4, 4, 4}, rng);
+  const Tensor coded = ce::ce_encode(video, CePattern::long_exposure(4, 2));
+  const Tensor expected = sum(video, 1);
+  EXPECT_TRUE(allclose(coded, expected, 1e-5F));
+}
+
+TEST(CeEncode, TileRepetitionAppliesSamePatternEverywhere) {
+  Rng rng(6);
+  CePattern p(2, 2);
+  p.set_bit(0, 0, 0, true);
+  p.set_bit(1, 1, 1, true);
+  const Tensor video = Tensor::rand_uniform(Shape{1, 2, 6, 6}, rng);
+  const Tensor coded = ce::ce_encode(video, p);
+  for (std::int64_t y = 0; y < 6; ++y) {
+    for (std::int64_t x = 0; x < 6; ++x) {
+      float expected = 0.0F;
+      if (y % 2 == 0 && x % 2 == 0) {
+        expected = video.at({0, 0, y, x});
+      } else if (y % 2 == 1 && x % 2 == 1) {
+        expected = video.at({0, 1, y, x});
+      }
+      EXPECT_NEAR(coded.at({0, y, x}), expected, 1e-6F);
+    }
+  }
+}
+
+TEST(CeEncode, SingleMatchesBatch) {
+  Rng rng(7);
+  const CePattern p = CePattern::random(4, 2, rng, 0.5F);
+  const Tensor video = Tensor::rand_uniform(Shape{4, 4, 4}, rng);
+  const Tensor single = ce::ce_encode_single(video, p);
+  const Tensor batched =
+      ce::ce_encode(Tensor::from_vector(video.data(), Shape{1, 4, 4, 4}), p);
+  EXPECT_TRUE(allclose(single, Tensor::from_vector(batched.data(), Shape{4, 4})));
+}
+
+TEST(CeEncode, MismatchedSlotsThrow) {
+  const Tensor video = Tensor::zeros(Shape{1, 8, 4, 4});
+  EXPECT_THROW(ce::ce_encode(video, CePattern::long_exposure(16, 2)), std::runtime_error);
+}
+
+TEST(CeEncode, IndivisibleTileThrows) {
+  const Tensor video = Tensor::zeros(Shape{1, 4, 6, 6});
+  EXPECT_THROW(ce::ce_encode(video, CePattern::long_exposure(4, 4)), std::runtime_error);
+}
+
+TEST(CeEncodeDiff, MatchesFastPathForBinaryWeights) {
+  Rng rng(8);
+  const CePattern p = CePattern::random(4, 2, rng, 0.5F);
+  const Tensor video = Tensor::rand_uniform(Shape{3, 4, 8, 8}, rng);
+  const Tensor coded_fast = ce::ce_encode(video, p);
+  const Tensor coded_diff = ce::ce_encode_diff(video, p.to_tensor());
+  EXPECT_TRUE(allclose(coded_fast, coded_diff, 1e-5F));
+}
+
+TEST(CeEncodeDiff, GradientFlowsToWeights) {
+  Rng rng(9);
+  Tensor weights = Tensor::rand_uniform(Shape{4, 2, 2}, rng, 0.2F, 0.8F, true);
+  const Tensor video = Tensor::rand_uniform(Shape{2, 4, 4, 4}, rng);
+  Tensor coded = ce::ce_encode_diff(video, weights);
+  sum_all(coded).backward();
+  // Straight-through: gradient of sum w.r.t. each weight equals the total
+  // light falling on the corresponding (slot, within-tile position).
+  float total_grad = 0.0F;
+  for (const float g : std::vector<float>(weights.grad().data())) {
+    total_grad += g;
+  }
+  float total_light = 0.0F;
+  for (const float v : video.data()) {
+    total_light += v;
+  }
+  EXPECT_NEAR(total_grad, total_light, 1e-2F);
+}
+
+TEST(NormalizeByExposure, DividesByCounts) {
+  CePattern p(2, 2);
+  // position (0,0): 2 exposures, (0,1): 1, (1,0): 0, (1,1): 1.
+  p.set_bit(0, 0, 0, true);
+  p.set_bit(1, 0, 0, true);
+  p.set_bit(0, 0, 1, true);
+  p.set_bit(1, 1, 1, true);
+  const Tensor coded = Tensor::full(Shape{1, 2, 2}, 6.0F);
+  const Tensor norm = ce::normalize_by_exposure(coded, p);
+  EXPECT_FLOAT_EQ(norm.at({0, 0, 0}), 3.0F);
+  EXPECT_FLOAT_EQ(norm.at({0, 0, 1}), 6.0F);
+  EXPECT_FLOAT_EQ(norm.at({0, 1, 0}), 0.0F);  // never exposed -> zero
+  EXPECT_FLOAT_EQ(norm.at({0, 1, 1}), 6.0F);
+}
+
+TEST(CeStats, TileSamplesShape) {
+  Rng rng(10);
+  const Tensor coded = Tensor::rand_uniform(Shape{3, 8, 8}, rng);
+  const Tensor samples = ce::tile_samples(coded, 4);
+  EXPECT_EQ(samples.shape(), (Shape{12, 16}));
+}
+
+TEST(CeStats, TileSamplesGroupsPixelsCorrectly) {
+  // Image whose value encodes the within-tile position.
+  std::vector<float> values(4 * 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      values[static_cast<std::size_t>(y * 4 + x)] = static_cast<float>((y % 2) * 2 + (x % 2));
+    }
+  }
+  const Tensor coded = Tensor::from_vector(values, Shape{1, 4, 4});
+  const Tensor samples = ce::tile_samples(coded, 2);
+  EXPECT_EQ(samples.shape(), (Shape{4, 4}));
+  for (std::int64_t s = 0; s < 4; ++s) {
+    for (std::int64_t p = 0; p < 4; ++p) {
+      EXPECT_EQ(samples.at({s, p}), static_cast<float>(p));
+    }
+  }
+}
+
+TEST(CeStats, ZeroMeanContrastZeroesTileMeans) {
+  Rng rng(11);
+  const Tensor samples = Tensor::rand_uniform(Shape{6, 9}, rng);
+  const Tensor z = ce::zero_mean_contrast(samples);
+  const Tensor row_means = mean(z, -1);
+  for (const float m : row_means.data()) {
+    EXPECT_NEAR(m, 0.0F, 1e-5F);
+  }
+}
+
+TEST(CeStats, PearsonOfIndependentNoiseIsNearIdentity) {
+  Rng rng(12);
+  const Tensor samples = Tensor::randn(Shape{4000, 4}, rng);
+  const Tensor corr = ce::pearson_matrix(samples);
+  EXPECT_EQ(corr.shape(), (Shape{4, 4}));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      if (i == j) {
+        EXPECT_NEAR(corr.at({i, j}), 1.0F, 1e-3F);
+      } else {
+        EXPECT_NEAR(corr.at({i, j}), 0.0F, 0.06F);
+      }
+    }
+  }
+}
+
+TEST(CeStats, PearsonDetectsPerfectCorrelation) {
+  Rng rng(13);
+  // Column 1 = 2 * column 0 (perfectly correlated); column 2 = -column 0.
+  std::vector<float> values;
+  for (int s = 0; s < 500; ++s) {
+    const float v = rng.normal();
+    values.push_back(v);
+    values.push_back(2.0F * v);
+    values.push_back(-v);
+  }
+  const Tensor samples = Tensor::from_vector(std::move(values), Shape{500, 3});
+  const Tensor corr = ce::pearson_matrix(samples);
+  EXPECT_NEAR(corr.at({0, 1}), 1.0F, 1e-3F);
+  EXPECT_NEAR(corr.at({0, 2}), -1.0F, 1e-3F);
+  EXPECT_NEAR(corr.at({1, 2}), -1.0F, 1e-3F);
+}
+
+TEST(CeStats, DecorrelationLossOrdering) {
+  // The paper's key observation (Fig. 6 legend): LONG EXPOSURE produces the
+  // most correlated coded pixels; sparse/random patterns decorrelate more.
+  Rng rng(14);
+  data::SceneConfig scene;
+  scene.frames = 16;
+  scene.height = 32;
+  scene.width = 32;
+  const data::SyntheticVideoGenerator gen(scene);
+  std::vector<float> all;
+  const int batch = 12;
+  for (int i = 0; i < batch; ++i) {
+    const auto sample = gen.sample(rng);
+    all.insert(all.end(), sample.video.data().begin(), sample.video.data().end());
+  }
+  const Tensor videos = Tensor::from_vector(std::move(all), Shape{batch, 16, 32, 32});
+
+  Rng prng(15);
+  const float corr_long =
+      ce::mean_correlation(ce::ce_encode(videos, CePattern::long_exposure(16, 8)), 8);
+  const float corr_random =
+      ce::mean_correlation(ce::ce_encode(videos, CePattern::random(16, 8, prng, 0.5F)), 8);
+  const float corr_sparse =
+      ce::mean_correlation(ce::ce_encode(videos, CePattern::sparse_random(16, 8, prng)), 8);
+  EXPECT_GT(corr_long, corr_random);
+  EXPECT_GT(corr_random, corr_sparse);
+}
+
+TEST(CeStats, DecorrelationLossIsDifferentiable) {
+  Rng rng(16);
+  Tensor weights = Tensor::rand_uniform(Shape{4, 2, 2}, rng, 0.3F, 0.7F, true);
+  const Tensor videos = Tensor::rand_uniform(Shape{4, 4, 8, 8}, rng);
+  Tensor coded = ce::ce_encode_diff(videos, weights);
+  Tensor loss = ce::decorrelation_loss(coded, 2);
+  loss.backward();
+  float grad_mag = 0.0F;
+  for (const float g : std::vector<float>(weights.grad().data())) {
+    grad_mag += std::abs(g);
+  }
+  EXPECT_GT(grad_mag, 0.0F);
+}
+
+// Property sweep: encode-reconstruct budget invariants across pattern types.
+struct PatternCase {
+  const char* name;
+  int slots;
+  int tile;
+};
+
+class PatternPropertyTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternPropertyTest, EncodeIsLinearInInput) {
+  const auto param = GetParam();
+  Rng rng(17);
+  const CePattern p = CePattern::random(param.slots, param.tile, rng, 0.5F);
+  const std::int64_t hw = param.tile * 4;
+  const Tensor a = Tensor::rand_uniform(Shape{2, param.slots, hw, hw}, rng);
+  const Tensor b = Tensor::rand_uniform(Shape{2, param.slots, hw, hw}, rng);
+  // CE is linear: encode(a + b) == encode(a) + encode(b).
+  NoGradGuard guard;
+  const Tensor lhs = ce::ce_encode(add(a, b), p);
+  const Tensor rhs = add(ce::ce_encode(a, p), ce::ce_encode(b, p));
+  EXPECT_TRUE(allclose(lhs, rhs, 1e-5F));
+}
+
+TEST_P(PatternPropertyTest, CodedPixelBoundedByExposureCount) {
+  const auto param = GetParam();
+  Rng rng(18);
+  const CePattern p = CePattern::random(param.slots, param.tile, rng, 0.5F);
+  const std::int64_t hw = param.tile * 2;
+  const Tensor video = Tensor::ones(Shape{1, param.slots, hw, hw});
+  const Tensor coded = ce::ce_encode(video, p);
+  const auto counts = p.exposure_counts();
+  for (std::int64_t y = 0; y < hw; ++y) {
+    for (std::int64_t x = 0; x < hw; ++x) {
+      const int c = counts[static_cast<std::size_t>((y % param.tile) * param.tile +
+                                                    (x % param.tile))];
+      EXPECT_NEAR(coded.at({0, y, x}), static_cast<float>(c), 1e-5F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternGrid, PatternPropertyTest,
+                         ::testing::Values(PatternCase{"t4_tile2", 4, 2},
+                                           PatternCase{"t8_tile4", 8, 4},
+                                           PatternCase{"t16_tile8", 16, 8},
+                                           PatternCase{"t16_tile4", 16, 4},
+                                           PatternCase{"t2_tile1", 2, 1}));
+
+}  // namespace
+}  // namespace snappix

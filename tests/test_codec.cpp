@@ -1,0 +1,185 @@
+// Tests for the JPEG-like DCT codec (the digital-compression baseline of the
+// paper's Related Work section) and the conventional-capture sensor mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ce/pattern.h"
+#include "codec/dct.h"
+#include "data/synthetic.h"
+#include "energy/model.h"
+#include "sensor/sensor.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using codec::dct_8x8;
+using codec::idct_8x8;
+using codec::jpeg_like_compress;
+using codec::JpegLikeConfig;
+using codec::kBlock;
+
+TEST(Dct, RoundTripIsIdentity) {
+  Rng rng(1);
+  float input[kBlock * kBlock];
+  float coeffs[kBlock * kBlock];
+  float output[kBlock * kBlock];
+  for (auto& v : input) {
+    v = rng.uniform(-128.0F, 128.0F);
+  }
+  dct_8x8(input, coeffs);
+  idct_8x8(coeffs, output);
+  for (int i = 0; i < kBlock * kBlock; ++i) {
+    EXPECT_NEAR(output[i], input[i], 1e-2F);
+  }
+}
+
+TEST(Dct, ConstantBlockHasOnlyDcCoefficient) {
+  float input[kBlock * kBlock];
+  float coeffs[kBlock * kBlock];
+  for (auto& v : input) {
+    v = 42.0F;
+  }
+  dct_8x8(input, coeffs);
+  // DC = 8 * value with orthonormal scaling.
+  EXPECT_NEAR(coeffs[0], 42.0F * 8.0F, 1e-2F);
+  for (int i = 1; i < kBlock * kBlock; ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0F, 1e-3F);
+  }
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  Rng rng(2);
+  float input[kBlock * kBlock];
+  float coeffs[kBlock * kBlock];
+  for (auto& v : input) {
+    v = rng.normal(0.0F, 30.0F);
+  }
+  dct_8x8(input, coeffs);
+  double in_energy = 0.0;
+  double out_energy = 0.0;
+  for (int i = 0; i < kBlock * kBlock; ++i) {
+    in_energy += static_cast<double>(input[i]) * input[i];
+    out_energy += static_cast<double>(coeffs[i]) * coeffs[i];
+  }
+  EXPECT_NEAR(out_energy / in_energy, 1.0, 1e-4);
+}
+
+TEST(JpegLike, SmoothImageCompressesWell) {
+  // A smooth gradient image compresses far below 8 bits/pixel with good PSNR.
+  std::vector<float> values(32 * 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      values[static_cast<std::size_t>(y * 32 + x)] =
+          0.5F + 0.4F * std::sin(static_cast<float>(x) * 0.2F) *
+                     std::cos(static_cast<float>(y) * 0.2F);
+    }
+  }
+  const Tensor image = Tensor::from_vector(values, Shape{32, 32});
+  const auto result = jpeg_like_compress(image, JpegLikeConfig{.quality = 75});
+  EXPECT_GT(result.compression_ratio, 4.0);
+  EXPECT_GT(result.psnr_db, 30.0F);
+  EXPECT_EQ(result.reconstruction.shape(), image.shape());
+}
+
+TEST(JpegLike, QualityTradesSizeForPsnr) {
+  Rng rng(3);
+  data::SceneConfig scene;
+  scene.frames = 1;
+  const data::SyntheticVideoGenerator gen(scene);
+  const auto sample = gen.sample(rng, 0);
+  const Tensor image = Tensor::from_vector(
+      std::vector<float>(sample.video.data().begin(), sample.video.data().begin() + 32 * 32),
+      Shape{32, 32});
+  const auto low = jpeg_like_compress(image, JpegLikeConfig{.quality = 10});
+  const auto high = jpeg_like_compress(image, JpegLikeConfig{.quality = 90});
+  EXPECT_GT(low.compression_ratio, high.compression_ratio);
+  EXPECT_LT(low.psnr_db, high.psnr_db);
+}
+
+TEST(JpegLike, InvalidInputsThrow) {
+  EXPECT_THROW(jpeg_like_compress(Tensor::zeros(Shape{30, 32})), std::runtime_error);
+  EXPECT_THROW(jpeg_like_compress(Tensor::zeros(Shape{32, 32}), JpegLikeConfig{.quality = 0}),
+               std::runtime_error);
+}
+
+TEST(JpegLike, DigitalCompressionEnergyDwarfsSensing) {
+  // The Related Work argument: ~nJ/pixel digital compression vs 220 pJ/pixel
+  // sensing — compression alone costs ~5x the whole sensing pipeline.
+  const energy::EnergyModel model;
+  const double sensing =
+      (model.readout_pj_per_pixel() + model.analog_pj_per_pixel()) * 1e-12;
+  const double compression = codec::digital_compression_energy_j(1);
+  EXPECT_GT(compression, 4.0 * sensing);
+}
+
+// Property sweep: round-trip PSNR stays reasonable across qualities.
+class JpegQualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JpegQualitySweep, RoundTripPsnrAboveFloor) {
+  Rng rng(4);
+  const Tensor image = Tensor::rand_uniform(Shape{16, 16}, rng, 0.2F, 0.8F);
+  const auto result = jpeg_like_compress(image, JpegLikeConfig{.quality = GetParam()});
+  EXPECT_GT(result.psnr_db, 15.0F);
+  EXPECT_GT(result.compressed_bits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, JpegQualitySweep, ::testing::Values(5, 25, 50, 75, 95));
+
+// --- conventional capture mode ------------------------------------------------
+
+TEST(ConventionalCapture, MatchesSceneFrames) {
+  Rng rng(5);
+  sensor::SensorConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.adc.full_scale = cfg.electrons_per_unit;  // one slot spans the range
+  cfg.pixel.full_well_electrons = cfg.adc.full_scale;
+  sensor::StackedSensor sensor(cfg, ce::CePattern::long_exposure(4, 2));
+  const Tensor scene = Tensor::rand_uniform(Shape{4, 8, 8}, rng);
+  const Tensor frames = sensor.capture_conventional(scene, rng);
+  EXPECT_EQ(frames.shape(), (Shape{4, 8, 8}));
+  // Each frame should be the quantized scene frame.
+  for (std::size_t i = 0; i < frames.data().size(); ++i) {
+    const float expected = std::round(scene.data()[i] * 255.0F);
+    EXPECT_NEAR(frames.data()[i], expected, 1.0F);
+  }
+}
+
+TEST(ConventionalCapture, ReadoutCostIsTTimesCodedCapture) {
+  // The crux of the paper: conventional capture pays T read-outs and T
+  // frame transmissions; CE capture pays exactly one.
+  Rng rng(6);
+  sensor::SensorConfig cfg;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.adc.full_scale = cfg.electrons_per_unit * 8;
+  cfg.pixel.full_well_electrons = cfg.adc.full_scale;
+  sensor::StackedSensor sensor(cfg, ce::CePattern::long_exposure(8, 4));
+  const Tensor scene = Tensor::rand_uniform(Shape{8, 16, 16}, rng);
+
+  (void)sensor.capture(scene, rng);
+  const auto coded_adc = sensor.stats().adc_conversions;
+  const auto coded_bytes = sensor.stats().mipi_bytes;
+
+  (void)sensor.capture_conventional(scene, rng);
+  const auto conv_adc = sensor.stats().adc_conversions;
+  const auto conv_bytes = sensor.stats().mipi_bytes;
+
+  EXPECT_EQ(conv_adc, 8U * coded_adc);
+  EXPECT_EQ(conv_bytes, 8U * coded_bytes);
+}
+
+TEST(ConventionalCapture, WrongGeometryThrows) {
+  Rng rng(7);
+  sensor::SensorConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  sensor::StackedSensor sensor(cfg, ce::CePattern::long_exposure(4, 2));
+  EXPECT_THROW(sensor.capture_conventional(Tensor::zeros(Shape{4, 4, 4}), rng),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snappix

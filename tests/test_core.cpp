@@ -1,0 +1,159 @@
+// Integration tests: the SnapPixSystem end-to-end pipeline (Fig. 4),
+// including the sensor-in-the-loop path through the cycle simulator.
+#include <gtest/gtest.h>
+
+#include "core/snappix.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using core::Backbone;
+using core::SnapPixConfig;
+using core::SnapPixSystem;
+
+data::DatasetConfig small_data(int train_per_class = 10) {
+  auto cfg = data::ucf101_like(/*frames=*/8, /*size=*/16);
+  cfg.scene.num_classes = 3;
+  cfg.scene.speed = 2.0F;
+  cfg.train_per_class = train_per_class;
+  cfg.test_per_class = 12;
+  return cfg;
+}
+
+SnapPixConfig small_system() {
+  SnapPixConfig cfg;
+  cfg.image = 16;
+  cfg.frames = 8;
+  cfg.tile = 8;
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+TEST(SnapPixSystem, ConstructionValidatesGeometry) {
+  SnapPixConfig bad = small_system();
+  bad.image = 20;  // not divisible by tile 8
+  EXPECT_THROW(SnapPixSystem{bad}, std::runtime_error);
+}
+
+TEST(SnapPixSystem, DefaultPatternIsLongExposure) {
+  SnapPixSystem system(small_system());
+  EXPECT_EQ(system.pattern().total_exposed(), 8 * 8 * 8);
+}
+
+TEST(SnapPixSystem, SetPatternValidates) {
+  SnapPixSystem system(small_system());
+  EXPECT_THROW(system.set_pattern(ce::CePattern::long_exposure(16, 8)), std::runtime_error);
+  EXPECT_THROW(system.set_pattern(ce::CePattern::long_exposure(8, 4)), std::runtime_error);
+  Rng rng(1);
+  system.set_pattern(ce::CePattern::random(8, 8, rng, 0.5F));
+}
+
+TEST(SnapPixSystem, EncodeShapeAndNormalization) {
+  SnapPixSystem system(small_system());
+  Rng rng(2);
+  const Tensor videos = Tensor::rand_uniform(Shape{2, 8, 16, 16}, rng);
+  const Tensor coded = system.encode(videos);
+  EXPECT_EQ(coded.shape(), (Shape{2, 16, 16}));
+  // Long exposure + per-exposure normalization keeps values in [0, 1].
+  for (const float v : coded.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F + 1e-5F);
+  }
+}
+
+TEST(SnapPixSystem, LearnPatternInstallsIt) {
+  SnapPixSystem system(small_system());
+  const data::VideoDataset dataset(small_data());
+  train::PatternTrainConfig pc;
+  pc.steps = 30;
+  pc.batch_size = 4;
+  const auto result = system.learn_pattern(dataset, pc);
+  EXPECT_TRUE(system.pattern() == result.pattern);
+  EXPECT_LT(system.pattern().total_exposed(), 8 * 8 * 8);  // not long exposure
+}
+
+TEST(SnapPixSystem, EndToEndTrainingBeatsChance) {
+  SnapPixSystem system(small_system());
+  const data::VideoDataset dataset(small_data(/*train_per_class=*/48));
+  train::PatternTrainConfig pc;
+  pc.steps = 40;
+  pc.batch_size = 4;
+  system.learn_pattern(dataset, pc);
+  train::TrainConfig tc;
+  tc.epochs = 25;
+  tc.batch_size = 12;
+  tc.lr = 3e-3F;
+  const auto fit = system.train_action_recognition(dataset, tc);
+  EXPECT_GT(fit.test_metric, 0.5F);  // chance = 1/3
+
+  // classify() agrees with classify_logits() argmax.
+  std::vector<std::int64_t> labels;
+  std::vector<std::int64_t> idx{0, 1, 2};
+  const Tensor videos = dataset.test_batch(idx, labels);
+  const auto predicted = system.classify(videos);
+  const auto logits = system.classify_logits(videos);
+  const auto arg = argmax_last_axis(logits);
+  EXPECT_EQ(predicted, arg);
+}
+
+TEST(SnapPixSystem, PretrainingReducesLossAndFeedsFinetune) {
+  SnapPixSystem system(small_system());
+  const data::VideoDataset dataset(small_data());
+  const float loss1 = system.pretrain(dataset, /*epochs=*/1, /*lr=*/1e-3F, /*batch=*/10);
+  const float loss5 = system.pretrain(dataset, /*epochs=*/4, /*lr=*/1e-3F, /*batch=*/10);
+  EXPECT_LT(loss5, loss1);  // continued pre-training keeps reducing MSE
+}
+
+TEST(SnapPixSystem, ReconstructionShape) {
+  SnapPixSystem system(small_system());
+  Rng rng(3);
+  const Tensor videos = Tensor::rand_uniform(Shape{2, 8, 16, 16}, rng);
+  EXPECT_EQ(system.reconstruct(videos).shape(), (Shape{2, 8, 16, 16}));
+}
+
+TEST(SnapPixSystem, SensorInTheLoopMatchesMathematicalEncoding) {
+  // The cycle-simulated capture and the mathematical encode must agree
+  // closely enough that the classifier decision is identical.
+  SnapPixSystem system(small_system());
+  const data::VideoDataset dataset(small_data());
+  Rng rng(4);
+  system.set_pattern(ce::CePattern::random(8, 8, rng, 0.5F));
+  train::TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 10;
+  tc.lr = 2e-3F;
+  system.train_action_recognition(dataset, tc);
+
+  sensor::StackedSensor hw_sensor(system.default_sensor_config(), system.pattern());
+  int agree = 0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    const auto& sample = dataset.test_sample(i);
+    const Tensor batched = Tensor::from_vector(sample.video.data(), Shape{1, 8, 16, 16});
+    const auto math_pred = system.classify(batched)[0];
+    Rng cap_rng(static_cast<std::uint64_t>(100 + i));
+    const auto hw_pred = system.classify_via_sensor(sample.video, hw_sensor, cap_rng);
+    agree += math_pred == hw_pred ? 1 : 0;
+  }
+  EXPECT_GE(agree, 9);  // quantization may flip a borderline case
+}
+
+TEST(SnapPixSystem, SensorPatternMismatchThrows) {
+  SnapPixSystem system(small_system());
+  Rng rng(5);
+  sensor::StackedSensor hw_sensor(system.default_sensor_config(),
+                                  ce::CePattern::random(8, 8, rng, 0.5F));
+  const Tensor scene = Tensor::zeros(Shape{8, 16, 16});
+  EXPECT_THROW(system.classify_via_sensor(scene, hw_sensor, rng), std::runtime_error);
+}
+
+TEST(SnapPixSystem, BackboneConfigsExposed) {
+  const auto s = core::backbone_config(Backbone::kSnapPixS, 32, 10);
+  const auto b = core::backbone_config(Backbone::kSnapPixB, 32, 10);
+  EXPECT_LT(s.dim, b.dim);
+}
+
+}  // namespace
+}  // namespace snappix

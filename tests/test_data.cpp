@@ -1,0 +1,241 @@
+// Tests for the synthetic video generator and dataset plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using data::DatasetConfig;
+using data::MotionClass;
+using data::SceneConfig;
+using data::SyntheticVideoGenerator;
+using data::VideoDataset;
+
+TEST(Synthetic, SampleShapeAndRange) {
+  SceneConfig cfg;
+  const SyntheticVideoGenerator gen(cfg);
+  Rng rng(1);
+  const auto sample = gen.sample(rng);
+  EXPECT_EQ(sample.video.shape(), (Shape{16, 32, 32}));
+  EXPECT_GE(sample.label, 0);
+  EXPECT_LT(sample.label, 10);
+  for (const float v : sample.video.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  SceneConfig cfg;
+  const SyntheticVideoGenerator gen(cfg);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto a = gen.sample(rng_a, 3);
+  const auto b = gen.sample(rng_b, 3);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_TRUE(allclose(a.video, b.video));
+}
+
+TEST(Synthetic, StaticClassHasConstantFrames) {
+  SceneConfig cfg;
+  cfg.pixel_noise = 0.0F;
+  const SyntheticVideoGenerator gen(cfg);
+  Rng rng(2);
+  const auto s = gen.sample(rng, static_cast<int>(MotionClass::kStatic));
+  const Tensor first = slice(s.video, 0, 0, 1);
+  for (std::int64_t t = 1; t < 16; ++t) {
+    EXPECT_TRUE(allclose(slice(s.video, 0, t, t + 1), first, 1e-6F));
+  }
+}
+
+TEST(Synthetic, MovingClassesChangeOverTime) {
+  SceneConfig cfg;
+  cfg.pixel_noise = 0.0F;
+  const SyntheticVideoGenerator gen(cfg);
+  for (int label = 1; label < 10; ++label) {
+    Rng rng(static_cast<std::uint64_t>(100 + label));
+    const auto s = gen.sample(rng, label);
+    const Tensor first = slice(s.video, 0, 0, 1);
+    const Tensor last = slice(s.video, 0, 15, 16);
+    float diff = 0.0F;
+    for (std::size_t i = 0; i < first.data().size(); ++i) {
+      diff += std::fabs(first.data()[i] - last.data()[i]);
+    }
+    EXPECT_GT(diff, 1.0F) << "class " << data::motion_class_name(static_cast<MotionClass>(label))
+                          << " should move";
+  }
+}
+
+TEST(Synthetic, TranslationDirectionMatchesLabel) {
+  // Centroid of |frame - background| should drift in the labelled direction.
+  SceneConfig cfg;
+  cfg.pixel_noise = 0.0F;
+  cfg.background_texture = 0.0F;  // flat background isolates the shapes
+  const SyntheticVideoGenerator gen(cfg);
+  auto centroid_x = [](const Tensor& video, std::int64_t t) {
+    double weight = 0.0;
+    double cx = 0.0;
+    for (std::int64_t y = 0; y < 32; ++y) {
+      for (std::int64_t x = 0; x < 32; ++x) {
+        const double v = std::fabs(video.at({t, y, x}) - 0.5F);
+        weight += v;
+        cx += v * static_cast<double>(x);
+      }
+    }
+    return weight > 0 ? cx / weight : 0.0;
+  };
+  Rng rng_r(3);
+  const auto right = gen.sample(rng_r, static_cast<int>(MotionClass::kTranslateRight));
+  EXPECT_GT(centroid_x(right.video, 12), centroid_x(right.video, 0));
+  Rng rng_l(3);
+  const auto left = gen.sample(rng_l, static_cast<int>(MotionClass::kTranslateLeft));
+  EXPECT_LT(centroid_x(left.video, 12), centroid_x(left.video, 0));
+}
+
+TEST(Synthetic, InvalidConfigThrows) {
+  SceneConfig cfg;
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticVideoGenerator{cfg}, std::runtime_error);
+  SceneConfig cfg2;
+  cfg2.frames = 0;
+  EXPECT_THROW(SyntheticVideoGenerator{cfg2}, std::runtime_error);
+}
+
+TEST(Synthetic, MotionClassNames) {
+  EXPECT_STREQ(data::motion_class_name(MotionClass::kStatic), "static");
+  EXPECT_STREQ(data::motion_class_name(MotionClass::kOscillate), "oscillate");
+}
+
+TEST(Dataset, BalancedSplits) {
+  DatasetConfig cfg = data::ucf101_like();
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  const VideoDataset ds(cfg);
+  EXPECT_EQ(ds.num_classes(), 6);
+  EXPECT_EQ(ds.train_size(), 24);
+  EXPECT_EQ(ds.test_size(), 12);
+  std::vector<int> counts(6, 0);
+  for (std::int64_t i = 0; i < ds.train_size(); ++i) {
+    counts[static_cast<std::size_t>(ds.train_sample(i).label)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_EQ(c, 4);
+  }
+}
+
+TEST(Dataset, BatchStacksVideosAndLabels) {
+  DatasetConfig cfg = data::k400_like();
+  cfg.train_per_class = 2;
+  cfg.test_per_class = 1;
+  const VideoDataset ds(cfg);
+  std::vector<std::int64_t> labels;
+  const Tensor batch = ds.train_batch({0, 5, 9}, labels);
+  EXPECT_EQ(batch.shape(), (Shape{3, 16, 32, 32}));
+  ASSERT_EQ(labels.size(), 3U);
+  EXPECT_EQ(labels[0], ds.train_sample(0).label);
+  EXPECT_EQ(labels[2], ds.train_sample(9).label);
+  // Data content matches the source samples.
+  EXPECT_TRUE(allclose(
+      Tensor::from_vector(std::vector<float>(batch.data().begin(),
+                                             batch.data().begin() + 16 * 32 * 32),
+                          Shape{16, 32, 32}),
+      ds.train_sample(0).video));
+}
+
+TEST(Dataset, ShuffledIndicesAreAPermutation) {
+  DatasetConfig cfg = data::ucf101_like();
+  cfg.train_per_class = 3;
+  cfg.test_per_class = 1;
+  const VideoDataset ds(cfg);
+  Rng rng(4);
+  const auto indices = ds.shuffled_train_indices(rng);
+  EXPECT_EQ(static_cast<std::int64_t>(indices.size()), ds.train_size());
+  std::set<std::int64_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(static_cast<std::int64_t>(unique.size()), ds.train_size());
+}
+
+TEST(Dataset, OutOfRangeAccessThrows) {
+  DatasetConfig cfg = data::ucf101_like();
+  cfg.train_per_class = 1;
+  cfg.test_per_class = 1;
+  const VideoDataset ds(cfg);
+  EXPECT_THROW(ds.train_sample(ds.train_size()), std::runtime_error);
+  EXPECT_THROW(ds.test_sample(-1), std::runtime_error);
+  std::vector<std::int64_t> labels;
+  EXPECT_THROW(ds.train_batch({}, labels), std::runtime_error);
+}
+
+TEST(Dataset, PresetsDiffer) {
+  EXPECT_EQ(data::ucf101_like().scene.num_classes, 6);
+  EXPECT_EQ(data::ssv2_like().scene.num_classes, 10);
+  EXPECT_EQ(data::k400_like().scene.num_classes, 8);
+  EXPECT_GT(data::ssv2_like().scene.background_texture,
+            data::ucf101_like().scene.background_texture);
+}
+
+TEST(Downsample, AverageFilterValues) {
+  // 4x4 constant blocks downsample exactly to their block value.
+  std::vector<float> values(2 * 8 * 8);
+  for (int t = 0; t < 2; ++t) {
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        values[static_cast<std::size_t>((t * 8 + y) * 8 + x)] =
+            static_cast<float>((y / 4) * 2 + (x / 4) + t * 10);
+      }
+    }
+  }
+  const Tensor videos = Tensor::from_vector(values, Shape{1, 2, 8, 8});
+  const Tensor down = data::downsample_videos(videos, 4);
+  EXPECT_EQ(down.shape(), (Shape{1, 2, 2, 2}));
+  EXPECT_FLOAT_EQ(down.at({0, 0, 0, 0}), 0.0F);
+  EXPECT_FLOAT_EQ(down.at({0, 0, 0, 1}), 1.0F);
+  EXPECT_FLOAT_EQ(down.at({0, 1, 1, 1}), 13.0F);
+}
+
+TEST(Downsample, PreservesMean) {
+  Rng rng(5);
+  const Tensor videos = Tensor::rand_uniform(Shape{2, 4, 16, 16}, rng);
+  const Tensor down = data::downsample_videos(videos, 4);
+  EXPECT_NEAR(mean_all(down).item(), mean_all(videos).item(), 1e-5F);
+}
+
+TEST(Downsample, BadFactorThrows) {
+  const Tensor videos = Tensor::zeros(Shape{1, 2, 9, 9});
+  EXPECT_THROW(data::downsample_videos(videos, 4), std::runtime_error);
+}
+
+// Property sweep: every class renders valid, in-range videos at several
+// resolutions and frame counts.
+class SceneSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};  // frames, size, label
+
+TEST_P(SceneSweepTest, RendersInRange) {
+  const auto [frames, size, label] = GetParam();
+  SceneConfig cfg;
+  cfg.frames = frames;
+  cfg.height = size;
+  cfg.width = size;
+  const SyntheticVideoGenerator gen(cfg);
+  Rng rng(static_cast<std::uint64_t>(frames * 1000 + size * 10 + label));
+  const auto s = gen.sample(rng, label);
+  EXPECT_EQ(s.video.shape(), (Shape{frames, size, size}));
+  for (const float v : s.video.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SceneGrid, SceneSweepTest,
+                         ::testing::Combine(::testing::Values(8, 16),
+                                            ::testing::Values(16, 32),
+                                            ::testing::Values(0, 4, 9)));
+
+}  // namespace
+}  // namespace snappix

@@ -1,0 +1,203 @@
+// Tests for the energy model (Sec. VI-D) and area model (Sec. V): component
+// constants, headline savings ratios, and monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "energy/model.h"
+#include "energy/scenario.h"
+#include "hw/area.h"
+
+namespace snappix {
+namespace {
+
+using energy::EnergyModel;
+using energy::GpuInference;
+using energy::GpuModelParams;
+using energy::WirelessTech;
+using hw::PixelAreaModel;
+
+constexpr std::int64_t kPixels = 112 * 112;
+constexpr int kSlots = 16;
+
+TEST(EnergyComponents, PaperConstants) {
+  const EnergyModel model;
+  // 220 pJ/px sensing, 95.6% ADC+MIPI (paper Sec. VI-D).
+  EXPECT_NEAR(model.readout_pj_per_pixel() + model.analog_pj_per_pixel(), 220.0, 1e-9);
+  EXPECT_NEAR(model.readout_pj_per_pixel(), 220.0 * 0.956, 1e-9);
+  EXPECT_NEAR(model.ce_pj_per_pixel_slot(), 9.0, 1e-9);
+  EXPECT_NEAR(model.wireless_pj_per_pixel(WirelessTech::kPassiveWifi), 43.04, 1e-9);
+  EXPECT_NEAR(model.wireless_pj_per_pixel(WirelessTech::kLoraBackscatter), 7.4e6, 1e-3);
+}
+
+TEST(EnergyComponents, SixteenXReadoutAndWirelessReduction) {
+  const EnergyModel model;
+  // Paper: "Under T = 16, SNAPPIX reduces the ADC/MIPI and wireless
+  // transmission energy by 16x".
+  const auto table = energy::component_reductions(model, kSlots, WirelessTech::kPassiveWifi);
+  bool saw_readout = false;
+  bool saw_wireless = false;
+  for (const auto& row : table) {
+    if (row.component == "adc+mipi readout") {
+      EXPECT_DOUBLE_EQ(row.reduction, 16.0);
+      saw_readout = true;
+    }
+    if (row.component.rfind("wireless", 0) == 0) {
+      EXPECT_DOUBLE_EQ(row.reduction, 16.0);
+      saw_wireless = true;
+    }
+  }
+  EXPECT_TRUE(saw_readout);
+  EXPECT_TRUE(saw_wireless);
+}
+
+TEST(EnergyScenarios, ShortRangeSavingMatchesPaper) {
+  const EnergyModel model;
+  const auto result =
+      energy::offload_scenario(model, kPixels, kSlots, WirelessTech::kPassiveWifi);
+  // Paper: 7.6x edge energy saving with passive Wi-Fi.
+  EXPECT_NEAR(result.saving_factor, 7.6, 0.25);
+  EXPECT_GT(result.baseline_j, result.snappix_j);
+}
+
+TEST(EnergyScenarios, LongRangeSavingMatchesPaper) {
+  const EnergyModel model;
+  const auto result =
+      energy::offload_scenario(model, kPixels, kSlots, WirelessTech::kLoraBackscatter);
+  // Paper reports 15.4x; our model composes to ~16x because the wireless
+  // term dominates completely (see EXPERIMENTS.md for the delta discussion).
+  EXPECT_GT(result.saving_factor, 14.0);
+  EXPECT_LT(result.saving_factor, 16.5);
+}
+
+TEST(EnergyScenarios, SavingGrowsWithSlots) {
+  const EnergyModel model;
+  double previous = 0.0;
+  for (const int slots : {2, 4, 8, 16}) {
+    const auto r = energy::offload_scenario(model, kPixels, slots, WirelessTech::kPassiveWifi);
+    EXPECT_GT(r.saving_factor, previous);
+    previous = r.saving_factor;
+  }
+}
+
+TEST(EnergyScenarios, SavingIndependentOfResolution) {
+  const EnergyModel model;
+  const auto small = energy::offload_scenario(model, 32 * 32, kSlots, WirelessTech::kPassiveWifi);
+  const auto large =
+      energy::offload_scenario(model, 1920 * 1080, kSlots, WirelessTech::kPassiveWifi);
+  EXPECT_NEAR(small.saving_factor, large.saving_factor, 1e-9);
+}
+
+TEST(EnergyGpu, EdgeGpuScenarioRatios) {
+  const EnergyModel model;
+  const GpuModelParams gpu;
+  const GpuInference snappix_s{"snappix-s", energy::paper_snappix_s_gflops(), false};
+  const GpuInference videomae{"videomae-st", energy::paper_videomae_st_gflops(), false};
+  const GpuInference c3d{"c3d", energy::paper_c3d_gflops(), true};
+  const auto vs_videomae = energy::edge_gpu_scenario(model, gpu, kPixels, kSlots, snappix_s,
+                                                     videomae);
+  const auto vs_c3d = energy::edge_gpu_scenario(model, gpu, kPixels, kSlots, snappix_s, c3d);
+  // Paper: 1.4x vs VideoMAEv2-ST and 4.5x vs C3D.
+  EXPECT_NEAR(vs_videomae.saving_factor, 1.4, 0.5);
+  EXPECT_NEAR(vs_c3d.saving_factor, 4.5, 1.2);
+  EXPECT_GT(vs_c3d.saving_factor, vs_videomae.saving_factor);
+}
+
+TEST(EnergyGpu, FlopCountsAreOrdered) {
+  // SNAPPIX-S < SNAPPIX-B ~ VideoMAE-ST < C3D in our accounting.
+  EXPECT_LT(energy::paper_snappix_s_gflops(), energy::paper_snappix_b_gflops());
+  EXPECT_LT(energy::paper_snappix_b_gflops(), energy::paper_c3d_gflops());
+  EXPECT_GT(energy::paper_videomae_st_gflops(), energy::paper_snappix_s_gflops());
+}
+
+TEST(EnergyGpu, InvalidInferenceThrows) {
+  EXPECT_THROW(energy::gpu_inference_energy_j({"bad", 0.0, false}, GpuModelParams{}),
+               std::runtime_error);
+}
+
+TEST(EnergyModelApi, BadScenarioParametersThrow) {
+  const EnergyModel model;
+  EXPECT_THROW(model.conventional_edge_energy_j(0, 16, WirelessTech::kPassiveWifi),
+               std::runtime_error);
+  EXPECT_THROW(model.snappix_edge_energy_j(100, 0, WirelessTech::kPassiveWifi),
+               std::runtime_error);
+}
+
+// --- area model (Sec. V) -----------------------------------------------------
+
+TEST(AreaModel, DeepScale65To22MatchesPaper) {
+  // 30 um^2 @65 nm -> 3.2 um^2 @22 nm.
+  EXPECT_NEAR(hw::scale_area_um2(30.0, 65, 22), 3.2, 0.01);
+}
+
+TEST(AreaModel, ScalingIsMonotonicInNode) {
+  double previous = 1e9;
+  for (const int node : hw::known_nodes()) {
+    const double area = hw::scale_area_um2(30.0, 65, node);
+    EXPECT_LT(area, previous + 1e-12);
+    previous = area;
+  }
+}
+
+TEST(AreaModel, ScalingRoundTrips) {
+  const double down = hw::scale_area_um2(30.0, 65, 22);
+  EXPECT_NEAR(hw::scale_area_um2(down, 22, 65), 30.0, 1e-9);
+}
+
+TEST(AreaModel, UnknownNodeThrows) {
+  EXPECT_THROW(hw::scale_area_um2(30.0, 65, 7), std::runtime_error);
+}
+
+TEST(AreaModel, BroadcastWireSidesMatchPaper) {
+  const PixelAreaModel model;
+  // Paper: N = 8 -> 2.24 um x 2.24 um; N = 14 -> 3.92 um x 3.92 um.
+  EXPECT_NEAR(model.broadcast_wire_side_um(8), 2.24, 1e-6);
+  EXPECT_NEAR(model.broadcast_wire_side_um(14), 3.92, 1e-6);
+}
+
+TEST(AreaModel, ShiftRegisterWiresConstant) {
+  const PixelAreaModel model;
+  // Four wires regardless of tile size (pattern in/clk/reset/transfer).
+  const double side = model.shift_register_wire_side_um();
+  EXPECT_NEAR(side, 4 * 0.14, 1e-9);
+  EXPECT_LT(side, model.broadcast_wire_side_um(8));
+}
+
+TEST(AreaModel, BroadcastCrossoverBeyondAps) {
+  const PixelAreaModel model;
+  const int crossover = model.broadcast_crossover_tile();
+  EXPECT_GT(model.broadcast_wire_side_um(crossover), model.params().aps_pitch_um);
+  EXPECT_LE(model.broadcast_wire_side_um(crossover - 1), model.params().aps_pitch_um);
+  // The paper's N = 14 case exceeds the APS; N = 8 does not.
+  EXPECT_GT(model.broadcast_wire_side_um(14), model.params().aps_pitch_um);
+  EXPECT_LT(model.broadcast_wire_side_um(8), model.params().aps_pitch_um);
+}
+
+TEST(AreaModel, LogicHiddenUnderApsAt22nm) {
+  const PixelAreaModel model;
+  // 3.2 um^2 logic < 9 um^2 APS footprint: pixel area set by the APS.
+  EXPECT_TRUE(model.logic_hidden_under_aps(22));
+  EXPECT_NEAR(model.logic_area_um2(22), 3.2, 0.01);
+  // At 65 nm the raw logic (30 um^2) would NOT hide under a 3 um pixel.
+  EXPECT_FALSE(model.logic_hidden_under_aps(65));
+}
+
+TEST(AreaModel, InvalidParamsThrow) {
+  hw::PixelAreaParams params;
+  params.wire_pitch_um = 0.0;
+  EXPECT_THROW(PixelAreaModel{params}, std::runtime_error);
+}
+
+// Property sweep: broadcast wiring grows linearly; ratio to constant wiring
+// grows with N.
+class WireSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireSweepTest, BroadcastScalesLinearly) {
+  const int n = GetParam();
+  const PixelAreaModel model;
+  EXPECT_NEAR(model.broadcast_wire_side_um(n), 2.0 * n * 0.14, 1e-9);
+  EXPECT_NEAR(model.broadcast_wire_side_um(2 * n) / model.broadcast_wire_side_um(n), 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(WireGrid, WireSweepTest, ::testing::Values(1, 2, 4, 8, 14, 16, 32));
+
+}  // namespace
+}  // namespace snappix

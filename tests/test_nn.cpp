@@ -1,0 +1,324 @@
+// Tests for the nn layer library: shapes, gradients, module plumbing, and
+// checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/embed.h"
+#include "nn/layers.h"
+#include "nn/svconv.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using nn::Conv2d;
+using nn::Conv3d;
+using nn::LayerNorm;
+using nn::Linear;
+using nn::Mlp;
+using nn::MultiHeadAttention;
+using nn::PatchEmbed;
+using nn::ShiftVariantConv2d;
+using nn::TransformerBlock;
+using nn::TubeletEmbed;
+using testing::max_grad_error;
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  const Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  const Tensor x3 = Tensor::randn(Shape{2, 5, 4}, rng);
+  EXPECT_EQ(layer.forward(x3).shape(), (Shape{2, 5, 3}));
+  EXPECT_THROW(layer.forward(Tensor::zeros(Shape{2, 5})), std::runtime_error);
+}
+
+TEST(Linear, ParameterCount) {
+  Rng rng(2);
+  Linear with_bias(8, 16, rng);
+  EXPECT_EQ(with_bias.parameter_count(), 8 * 16 + 16);
+  Linear no_bias(8, 16, rng, /*with_bias=*/false);
+  EXPECT_EQ(no_bias.parameter_count(), 8 * 16);
+}
+
+TEST(Linear, Gradcheck) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::randn(Shape{4, 3}, rng, 1.0F, true);
+  auto params = layer.parameters();
+  std::vector<Tensor> leaves = {x};
+  leaves.insert(leaves.end(), params.begin(), params.end());
+  EXPECT_LT(max_grad_error([&] { return sum_all(square(layer.forward(x))); }, leaves), 5e-2F);
+}
+
+TEST(LayerNormTest, NormalizesLastAxis) {
+  Rng rng(4);
+  LayerNorm norm(8);
+  const Tensor x = Tensor::randn(Shape{3, 8}, rng, 5.0F);
+  const Tensor y = norm.forward(x);
+  // Fresh gamma=1, beta=0: output rows have ~zero mean and ~unit variance.
+  const Tensor row_mean = mean(y, -1);
+  const Tensor row_var = mean(square(sub(y, mean(y, -1, true))), -1);
+  for (const float m : row_mean.data()) {
+    EXPECT_NEAR(m, 0.0F, 1e-4F);
+  }
+  for (const float v : row_var.data()) {
+    EXPECT_NEAR(v, 1.0F, 1e-2F);
+  }
+}
+
+TEST(LayerNormTest, Gradcheck) {
+  Rng rng(5);
+  LayerNorm norm(4);
+  Tensor x = Tensor::randn(Shape{3, 4}, rng, 1.0F, true);
+  Tensor w = Tensor::randn(Shape{3, 4}, rng);
+  auto params = norm.parameters();
+  std::vector<Tensor> leaves = {x};
+  leaves.insert(leaves.end(), params.begin(), params.end());
+  EXPECT_LT(max_grad_error([&] { return sum_all(mul(norm.forward(x), w)); }, leaves), 5e-2F);
+}
+
+TEST(MlpTest, ForwardAndGradcheck) {
+  Rng rng(6);
+  Mlp mlp(4, 8, rng);
+  Tensor x = Tensor::randn(Shape{2, 4}, rng, 1.0F, true);
+  EXPECT_EQ(mlp.forward(x).shape(), (Shape{2, 4}));
+  EXPECT_LT(max_grad_error([&] { return sum_all(square(mlp.forward(x))); }, {x}), 5e-2F);
+}
+
+TEST(Attention, OutputShape) {
+  Rng rng(7);
+  MultiHeadAttention attn(16, 4, rng);
+  const Tensor x = Tensor::randn(Shape{2, 9, 16}, rng);
+  EXPECT_EQ(attn.forward(x).shape(), (Shape{2, 9, 16}));
+}
+
+TEST(Attention, RejectsBadConfig) {
+  Rng rng(8);
+  EXPECT_THROW(MultiHeadAttention(10, 3, rng), std::runtime_error);
+}
+
+TEST(Attention, Gradcheck) {
+  Rng rng(9);
+  MultiHeadAttention attn(8, 2, rng);
+  Tensor x = Tensor::randn(Shape{1, 4, 8}, rng, 0.7F, true);
+  EXPECT_LT(max_grad_error([&] { return sum_all(square(attn.forward(x))); }, {x}), 5e-2F);
+}
+
+TEST(Attention, PermutationEquivariantWithoutPosEmbed) {
+  Rng rng(10);
+  MultiHeadAttention attn(8, 2, rng);
+  const Tensor x = Tensor::randn(Shape{1, 5, 8}, rng);
+  const Tensor y = attn.forward(x);
+  // Reverse the token order; output should be the reversed original output.
+  std::vector<std::int64_t> reversed{4, 3, 2, 1, 0};
+  const Tensor xr = index_select(x, 1, reversed);
+  const Tensor yr = attn.forward(xr);
+  EXPECT_TRUE(allclose(yr, index_select(y, 1, reversed), 1e-4F, 1e-3F));
+}
+
+TEST(TransformerBlockTest, ForwardShapeAndGrad) {
+  Rng rng(11);
+  TransformerBlock block(8, 2, 2.0F, rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 8}, rng, 0.5F, true);
+  EXPECT_EQ(block.forward(x).shape(), (Shape{2, 4, 8}));
+  EXPECT_LT(max_grad_error([&] { return mean_all(square(block.forward(x))); }, {x}), 5e-2F);
+}
+
+TEST(Patchify, RoundTripImage) {
+  Rng rng(12);
+  const Tensor img = Tensor::randn(Shape{2, 8, 8}, rng);
+  const Tensor patches = nn::patchify_image(img, 4);
+  EXPECT_EQ(patches.shape(), (Shape{2, 4, 16}));
+  const Tensor back = nn::unpatchify_image(patches, 4, 8, 8);
+  EXPECT_TRUE(allclose(back, img));
+}
+
+TEST(Patchify, RoundTripVideo) {
+  Rng rng(13);
+  const Tensor video = Tensor::randn(Shape{2, 4, 8, 8}, rng);
+  const Tensor patches = nn::patchify_video(video, 4);
+  EXPECT_EQ(patches.shape(), (Shape{2, 4, 64}));
+  const Tensor back = nn::unpatchify_video(patches, 4, 4, 8, 8);
+  EXPECT_TRUE(allclose(back, video));
+}
+
+TEST(Patchify, PatchContentsAreSpatiallyCoherent) {
+  // Build an image whose value encodes its patch id; every row of the patch
+  // matrix must then be constant.
+  const int patch = 4;
+  std::vector<float> values(8 * 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      values[static_cast<std::size_t>(y * 8 + x)] =
+          static_cast<float>((y / patch) * 2 + (x / patch));
+    }
+  }
+  const Tensor img = Tensor::from_vector(values, Shape{1, 8, 8});
+  const Tensor patches = nn::patchify_image(img, patch);
+  for (std::int64_t n = 0; n < 4; ++n) {
+    for (std::int64_t k = 0; k < patch * patch; ++k) {
+      EXPECT_EQ(patches.at({0, n, k}), static_cast<float>(n));
+    }
+  }
+}
+
+TEST(PatchEmbedTest, TokenShape) {
+  Rng rng(14);
+  PatchEmbed embed(4, 12, rng);
+  const Tensor img = Tensor::randn(Shape{3, 8, 12}, rng);
+  EXPECT_EQ(embed.forward(img).shape(), (Shape{3, 6, 12}));
+  EXPECT_THROW(embed.forward(Tensor::zeros(Shape{1, 7, 8})), std::runtime_error);
+}
+
+TEST(TubeletEmbedTest, TokenShape) {
+  Rng rng(15);
+  TubeletEmbed embed(2, 4, 10, rng);
+  const Tensor video = Tensor::randn(Shape{2, 4, 8, 8}, rng);
+  // tokens = (4/2) * (8/4) * (8/4) = 8
+  EXPECT_EQ(embed.forward(video).shape(), (Shape{2, 8, 10}));
+  EXPECT_THROW(embed.forward(Tensor::zeros(Shape{1, 3, 8, 8})), std::runtime_error);
+}
+
+TEST(Conv2dLayer, ShapeAndGrad) {
+  Rng rng(16);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng, 1.0F, true);
+  EXPECT_EQ(conv.forward(x).shape(), (Shape{1, 3, 6, 6}));
+  EXPECT_LT(max_grad_error([&] { return mean_all(square(conv.forward(x))); }, {x}), 5e-2F);
+}
+
+TEST(Conv3dLayer, Shape) {
+  Rng rng(17);
+  Conv3d conv(1, 4, 3, 3, 1, 2, 1, 1, rng);
+  const Tensor x = Tensor::randn(Shape{2, 1, 8, 8, 8}, rng);
+  EXPECT_EQ(conv.forward(x).shape(), (Shape{2, 4, 8, 4, 4}));
+}
+
+TEST(SvConv, MatchesConv2dWhenKernelsIdentical) {
+  Rng rng(18);
+  const int tile = 2;
+  // One shared kernel replicated across positions must equal plain conv2d.
+  const Tensor base = Tensor::randn(Shape{3, 2, 3, 3}, rng, 0.5F);
+  std::vector<float> svw;
+  for (int p = 0; p < tile * tile; ++p) {
+    svw.insert(svw.end(), base.data().begin(), base.data().end());
+  }
+  const Tensor weight = Tensor::from_vector(svw, Shape{4, 3, 2, 3, 3});
+  const Tensor bias = Tensor::randn(Shape{3}, rng);
+  const Tensor x = Tensor::randn(Shape{2, 2, 6, 6}, rng);
+  const Tensor y_svc = nn::shift_variant_conv2d(x, weight, bias, tile);
+  const Tensor y_conv = conv2d(x, base, bias, 1, 1);
+  EXPECT_TRUE(allclose(y_svc, y_conv, 1e-4F, 1e-3F));
+}
+
+TEST(SvConv, UsesPositionDependentKernels) {
+  Rng rng(19);
+  const int tile = 2;
+  // Each position's kernel is a distinct scalar: output = scalar * input.
+  Tensor weight = Tensor::zeros(Shape{4, 1, 1, 1, 1});
+  for (int p = 0; p < 4; ++p) {
+    weight.set_at({p, 0, 0, 0, 0}, static_cast<float>(p + 1));
+  }
+  const Tensor x = Tensor::ones(Shape{1, 1, 4, 4});
+  const Tensor y = nn::shift_variant_conv2d(x, weight, Tensor(), tile);
+  for (std::int64_t yy = 0; yy < 4; ++yy) {
+    for (std::int64_t xx = 0; xx < 4; ++xx) {
+      const float expected = static_cast<float>((yy % tile) * tile + (xx % tile) + 1);
+      EXPECT_EQ(y.at({0, 0, yy, xx}), expected);
+    }
+  }
+}
+
+TEST(SvConv, Gradcheck) {
+  Rng rng(20);
+  Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng, 1.0F, true);
+  Tensor w = Tensor::randn(Shape{4, 2, 1, 3, 3}, rng, 0.5F, true);
+  Tensor b = Tensor::randn(Shape{2}, rng, 0.5F, true);
+  EXPECT_LT(max_grad_error(
+                [&] { return sum_all(square(nn::shift_variant_conv2d(x, w, b, 2))); }, {x, w, b}),
+            5e-2F);
+}
+
+TEST(SvConv, LayerShape) {
+  Rng rng(21);
+  ShiftVariantConv2d layer(1, 4, 3, 4, rng);
+  const Tensor x = Tensor::randn(Shape{2, 1, 8, 8}, rng);
+  EXPECT_EQ(layer.forward(x).shape(), (Shape{2, 4, 8, 8}));
+}
+
+TEST(ModuleTest, NamedParametersAreHierarchical) {
+  Rng rng(22);
+  TransformerBlock block(8, 2, 2.0F, rng);
+  const auto named = block.named_parameters();
+  bool found_qkv = false;
+  for (const auto& [name, tensor] : named) {
+    (void)tensor;
+    if (name == "attn.qkv.weight") {
+      found_qkv = true;
+    }
+  }
+  EXPECT_TRUE(found_qkv);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(23);
+  Linear layer(3, 3, rng);
+  Tensor x = Tensor::randn(Shape{2, 3}, rng);
+  sum_all(square(layer.forward(x))).backward();
+  bool any_nonzero = false;
+  for (const auto& p : layer.parameters()) {
+    for (const float g : std::vector<float>(p.grad().data())) {
+      any_nonzero |= g != 0.0F;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  layer.zero_grad();
+  for (const auto& p : layer.parameters()) {
+    for (const float g : std::vector<float>(p.grad().data())) {
+      EXPECT_EQ(g, 0.0F);
+    }
+  }
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(24);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "snappix_module_test.bin").string();
+  Mlp a(4, 8, rng);
+  a.save(path);
+  Mlp b(4, 8, rng);  // different random init
+  const Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  EXPECT_FALSE(allclose(a.forward(x), b.forward(x)));
+  b.load(path);
+  EXPECT_TRUE(allclose(a.forward(x), b.forward(x)));
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsWrongArchitecture) {
+  Rng rng(25);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "snappix_module_test2.bin").string();
+  Mlp a(4, 8, rng);
+  a.save(path);
+  Mlp wrong(4, 16, rng);
+  EXPECT_THROW(wrong.load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(26);
+  TransformerBlock block(8, 2, 2.0F, rng);
+  EXPECT_TRUE(block.training());
+  block.set_training(false);
+  EXPECT_FALSE(block.training());
+}
+
+}  // namespace
+}  // namespace snappix

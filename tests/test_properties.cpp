@@ -1,0 +1,197 @@
+// Cross-module property sweeps: parameterized invariants that tie the
+// subsystems to the paper's claims across whole parameter grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ce/encode.h"
+#include "ce/pattern.h"
+#include "ce/stats.h"
+#include "energy/model.h"
+#include "energy/scenario.h"
+#include "eval/metrics.h"
+#include "models/mae.h"
+#include "models/vit.h"
+#include "sensor/adc.h"
+#include "sensor/sensor.h"
+#include "train/optimizer.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+// --- ADC: quantization error bounded by one LSB at every bit depth -----------
+class AdcDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcDepthSweep, QuantizationErrorWithinOneLsb) {
+  const int bits = GetParam();
+  sensor::ColumnAdc adc(
+      sensor::AdcConfig{.bits = bits, .full_scale = 1.0F, .cycles_per_conversion = bits});
+  Rng rng(static_cast<std::uint64_t>(bits));
+  const auto max_code = static_cast<float>((1U << bits) - 1U);
+  for (int i = 0; i < 200; ++i) {
+    const float v = rng.uniform(0.0F, 1.0F);
+    const auto code = adc.convert(v);
+    const float reconstructed = static_cast<float>(code) / max_code;
+    EXPECT_LE(std::fabs(reconstructed - v), 1.0F / max_code);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, AdcDepthSweep, ::testing::Values(4, 6, 8, 10, 12, 14));
+
+// --- MAE: pre-training loss well defined across mask ratios -------------------
+class MaskRatioSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(MaskRatioSweep, PretrainLossFiniteAndPositive) {
+  Rng rng(1);
+  models::ViTConfig cfg;
+  cfg.image_h = 32;
+  cfg.image_w = 32;
+  cfg.patch = 8;
+  cfg.dim = 16;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.num_classes = 4;
+  auto encoder = std::make_shared<models::ViTEncoder>(cfg, rng);
+  models::MaeConfig mae_cfg;
+  mae_cfg.mask_ratio = GetParam();
+  models::CodedMae mae(encoder, 8, mae_cfg, rng);
+  Rng data_rng(2);
+  const Tensor video = Tensor::rand_uniform(Shape{2, 8, 32, 32}, data_rng);
+  const Tensor coded = mean(video, 1);
+  Rng mask_rng(3);
+  const Tensor loss = mae.pretrain_loss(coded, video, mask_rng);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MaskRatioSweep, ::testing::Values(0.25F, 0.5F, 0.75F, 0.85F));
+
+// --- optimizer: AdamW converges on a quadratic across learning rates ----------
+class AdamLrSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamLrSweep, ConvergesOnQuadratic) {
+  Tensor x = Tensor::from_vector({4.0F, -2.0F, 1.0F}, Shape{3}).set_requires_grad(true);
+  train::AdamW opt({x}, GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    opt.zero_grad();
+    sum_all(square(x)).backward();
+    opt.step();
+  }
+  for (const float v : x.data()) {
+    EXPECT_LT(std::fabs(v), 0.05F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, AdamLrSweep,
+                         ::testing::Values(0.01F, 0.03F, 0.1F));
+
+// --- CE patterns: exposure fraction tracks the Bernoulli probability ----------
+class RandomPatternSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(RandomPatternSweep, ExposureFractionNearP) {
+  const float p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 1000.0F));
+  const auto pattern = ce::CePattern::random(16, 8, rng, p);
+  EXPECT_NEAR(pattern.exposure_fraction(), p, 0.1F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RandomPatternSweep,
+                         ::testing::Values(0.1F, 0.3F, 0.5F, 0.7F, 0.9F));
+
+// --- decorrelation loss: bounded in [0, 1] for any pattern/data ---------------
+class DecorrelationBoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecorrelationBoundSweep, LossWithinPearsonBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto pattern = ce::CePattern::random(8, 4, rng, 0.5F);
+  const Tensor videos = Tensor::rand_uniform(Shape{4, 8, 16, 16}, rng);
+  NoGradGuard guard;
+  const float loss = ce::decorrelation_loss(ce::ce_encode(videos, pattern), 4).item();
+  // Mean of squared correlation coefficients lies in [0, 1].
+  EXPECT_GE(loss, 0.0F);
+  EXPECT_LE(loss, 1.0F + 1e-4F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecorrelationBoundSweep, ::testing::Range(10, 16));
+
+// --- energy model: structural monotonicity -------------------------------------
+class SlotSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotSweep, ConventionalEnergyLinearInSlots) {
+  const int slots = GetParam();
+  const energy::EnergyModel model;
+  const double one = model.conventional_edge_energy_j(1000, 1,
+                                                      energy::WirelessTech::kPassiveWifi);
+  const double many = model.conventional_edge_energy_j(1000, slots,
+                                                       energy::WirelessTech::kPassiveWifi);
+  EXPECT_NEAR(many / one, static_cast<double>(slots), 1e-9);
+}
+
+TEST_P(SlotSweep, SnappixAlwaysCheaperThanConventional) {
+  const int slots = GetParam();
+  if (slots < 2) {
+    GTEST_SKIP() << "compression needs at least 2 slots to win";
+  }
+  const energy::EnergyModel model;
+  for (const auto tech :
+       {energy::WirelessTech::kPassiveWifi, energy::WirelessTech::kLoraBackscatter}) {
+    EXPECT_LT(model.snappix_edge_energy_j(1000, slots, tech),
+              model.conventional_edge_energy_j(1000, slots, tech));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+// --- metrics: PSNR symmetry and shift behaviour --------------------------------
+TEST(MetricProperties, PsnrIsSymmetric) {
+  Rng rng(20);
+  const Tensor a = Tensor::rand_uniform(Shape{16}, rng);
+  const Tensor b = Tensor::rand_uniform(Shape{16}, rng);
+  EXPECT_FLOAT_EQ(eval::psnr_db(a, b), eval::psnr_db(b, a));
+}
+
+TEST(MetricProperties, PsnrDecreasesWithErrorMagnitude) {
+  const Tensor target = Tensor::zeros(Shape{8});
+  float previous = std::numeric_limits<float>::infinity();
+  for (const float err : {0.01F, 0.05F, 0.2F, 0.5F}) {
+    const float psnr = eval::psnr_db(Tensor::full(Shape{8}, err), target);
+    EXPECT_LT(psnr, previous);
+    previous = psnr;
+  }
+}
+
+// --- sensor: capture determinism given identical seeds -------------------------
+TEST(SensorProperties, CaptureDeterministicPerSeed) {
+  Rng rng(30);
+  const auto pattern = ce::CePattern::random(8, 4, rng, 0.5F);
+  sensor::SensorConfig cfg;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.noise.enabled = true;
+  cfg.adc.full_scale = cfg.electrons_per_unit * 8;
+  cfg.pixel.full_well_electrons = cfg.adc.full_scale;
+  const Tensor scene = Tensor::rand_uniform(Shape{8, 16, 16}, rng);
+  sensor::StackedSensor s1(cfg, pattern);
+  sensor::StackedSensor s2(cfg, pattern);
+  Rng r1(99);
+  Rng r2(99);
+  EXPECT_TRUE(allclose(s1.capture(scene, r1), s2.capture(scene, r2)));
+}
+
+// --- end-to-end linearity: darker scenes never brighten coded pixels -----------
+TEST(CeProperties, EncodeMonotoneInIntensity) {
+  Rng rng(40);
+  const auto pattern = ce::CePattern::random(8, 4, rng, 0.5F);
+  const Tensor bright = Tensor::rand_uniform(Shape{1, 8, 16, 16}, rng, 0.5F, 1.0F);
+  const Tensor dark = mul_scalar(bright, 0.5F);
+  NoGradGuard guard;
+  const Tensor coded_bright = ce::ce_encode(bright, pattern);
+  const Tensor coded_dark = ce::ce_encode(dark, pattern);
+  for (std::size_t i = 0; i < coded_bright.data().size(); ++i) {
+    EXPECT_LE(coded_dark.data()[i], coded_bright.data()[i] + 1e-6F);
+  }
+}
+
+}  // namespace
+}  // namespace snappix

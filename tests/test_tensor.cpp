@@ -1,0 +1,376 @@
+// Unit tests for tensor structure, factories, and forward-only semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/broadcast.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+TEST(Shape, NumelAndIndexing) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s[-3], 2);
+}
+
+TEST(Shape, Strides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3U);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, EmptyShapeIsScalarLike) {
+  const Shape s;
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.ndim(), 0);
+}
+
+TEST(Shape, RejectsNegativeDims) { EXPECT_THROW(Shape({2, -1}), std::runtime_error); }
+
+TEST(Shape, OutOfRangeIndexThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s[2], std::runtime_error);
+  EXPECT_THROW(s[-3], std::runtime_error);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  const Tensor z = Tensor::zeros(Shape{2, 2});
+  const Tensor o = Tensor::ones(Shape{2, 2});
+  const Tensor f = Tensor::full(Shape{2, 2}, 3.5F);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(z.data()[static_cast<std::size_t>(i)], 0.0F);
+    EXPECT_EQ(o.data()[static_cast<std::size_t>(i)], 1.0F);
+    EXPECT_EQ(f.data()[static_cast<std::size_t>(i)], 3.5F);
+  }
+}
+
+TEST(Tensor, FromVectorShapeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_vector({1.0F, 2.0F}, Shape{3}), std::runtime_error);
+}
+
+TEST(Tensor, AtAndSetAt) {
+  Tensor t = Tensor::zeros(Shape{2, 3});
+  t.set_at({1, 2}, 7.0F);
+  EXPECT_EQ(t.at({1, 2}), 7.0F);
+  EXPECT_EQ(t.at({0, 0}), 0.0F);
+  EXPECT_THROW(t.at({2, 0}), std::runtime_error);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_EQ(Tensor::scalar(4.0F).item(), 4.0F);
+  EXPECT_THROW(Tensor::zeros(Shape{2}).item(), std::runtime_error);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const Tensor a = Tensor::randn(Shape{16}, rng_a);
+  const Tensor b = Tensor::randn(Shape{16}, rng_b);
+  EXPECT_TRUE(allclose(a, b));
+}
+
+TEST(Tensor, DetachSharesNoTape) {
+  Tensor a = Tensor::ones(Shape{2}, /*requires_grad=*/true);
+  Tensor b = a.detach();
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_TRUE(allclose(a, b));
+}
+
+TEST(Broadcast, Shapes) {
+  using detail::broadcast_shapes;
+  EXPECT_EQ(broadcast_shapes(Shape{3, 1}, Shape{1, 4}), (Shape{3, 4}));
+  EXPECT_EQ(broadcast_shapes(Shape{5}, Shape{2, 5}), (Shape{2, 5}));
+  EXPECT_EQ(broadcast_shapes(Shape{1}, Shape{7}), (Shape{7}));
+  EXPECT_THROW(broadcast_shapes(Shape{3}, Shape{4}), std::runtime_error);
+}
+
+TEST(ElementwiseForward, AddSubMulDiv) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, Shape{2, 2});
+  const Tensor b = Tensor::from_vector({4, 3, 2, 1}, Shape{2, 2});
+  EXPECT_TRUE(allclose(add(a, b), Tensor::full(Shape{2, 2}, 5.0F)));
+  EXPECT_TRUE(allclose(sub(a, b), Tensor::from_vector({-3, -1, 1, 3}, Shape{2, 2})));
+  EXPECT_TRUE(allclose(mul(a, b), Tensor::from_vector({4, 6, 6, 4}, Shape{2, 2})));
+  EXPECT_TRUE(allclose(div(a, b), Tensor::from_vector({0.25F, 2.0F / 3.0F, 1.5F, 4.0F},
+                                                      Shape{2, 2})));
+}
+
+TEST(ElementwiseForward, BroadcastRowAndColumn) {
+  const Tensor m = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  const Tensor row = Tensor::from_vector({10, 20, 30}, Shape{3});
+  const Tensor col = Tensor::from_vector({100, 200}, Shape{2, 1});
+  EXPECT_TRUE(allclose(add(m, row), Tensor::from_vector({11, 22, 33, 14, 25, 36}, Shape{2, 3})));
+  EXPECT_TRUE(
+      allclose(add(m, col), Tensor::from_vector({101, 102, 103, 204, 205, 206}, Shape{2, 3})));
+}
+
+TEST(ElementwiseForward, UnaryMath) {
+  const Tensor a = Tensor::from_vector({-1.0F, 0.0F, 2.0F}, Shape{3});
+  EXPECT_TRUE(allclose(relu(a), Tensor::from_vector({0, 0, 2}, Shape{3})));
+  EXPECT_TRUE(allclose(square(a), Tensor::from_vector({1, 0, 4}, Shape{3})));
+  EXPECT_TRUE(allclose(abs(a), Tensor::from_vector({1, 0, 2}, Shape{3})));
+  EXPECT_TRUE(allclose(neg(a), Tensor::from_vector({1, 0, -2}, Shape{3})));
+  EXPECT_NEAR(exp(Tensor::scalar(1.0F)).item(), std::exp(1.0F), 1e-6F);
+  EXPECT_NEAR(log(Tensor::scalar(std::exp(2.0F))).item(), 2.0F, 1e-5F);
+  EXPECT_NEAR(snappix::sqrt(Tensor::scalar(9.0F)).item(), 3.0F, 1e-6F);
+}
+
+TEST(ElementwiseForward, ClampAndBinarize) {
+  const Tensor a = Tensor::from_vector({-0.5F, 0.3F, 0.7F, 1.5F}, Shape{4});
+  EXPECT_TRUE(allclose(clamp(a, 0.0F, 1.0F), Tensor::from_vector({0, 0.3F, 0.7F, 1}, Shape{4})));
+  EXPECT_TRUE(allclose(binarize_ste(a), Tensor::from_vector({0, 0, 1, 1}, Shape{4})));
+  EXPECT_THROW(clamp(a, 1.0F, 0.0F), std::runtime_error);
+}
+
+TEST(ElementwiseForward, SigmoidTanhGelu) {
+  const Tensor zero = Tensor::scalar(0.0F);
+  EXPECT_NEAR(sigmoid(zero).item(), 0.5F, 1e-6F);
+  EXPECT_NEAR(snappix::tanh(zero).item(), 0.0F, 1e-6F);
+  EXPECT_NEAR(gelu(zero).item(), 0.0F, 1e-6F);
+  // GELU approaches identity for large positive inputs.
+  EXPECT_NEAR(gelu(Tensor::scalar(6.0F)).item(), 6.0F, 1e-3F);
+}
+
+TEST(MatmulForward, TwoByTwo) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, Shape{2, 2});
+  const Tensor b = Tensor::from_vector({5, 6, 7, 8}, Shape{2, 2});
+  EXPECT_TRUE(allclose(matmul(a, b), Tensor::from_vector({19, 22, 43, 50}, Shape{2, 2})));
+}
+
+TEST(MatmulForward, Batched) {
+  const Tensor a = Tensor::from_vector({1, 0, 0, 1, 2, 0, 0, 2}, Shape{2, 2, 2});
+  const Tensor b = Tensor::from_vector({1, 2, 3, 4, 1, 2, 3, 4}, Shape{2, 2, 2});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(allclose(c, Tensor::from_vector({1, 2, 3, 4, 2, 4, 6, 8}, Shape{2, 2, 2})));
+}
+
+TEST(MatmulForward, BatchBroadcastRhs) {
+  const Tensor a = Tensor::from_vector({1, 0, 0, 1, 2, 0, 0, 2}, Shape{2, 2, 2});
+  const Tensor b = Tensor::from_vector({1, 2, 3, 4}, Shape{2, 2});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(allclose(c, Tensor::from_vector({1, 2, 3, 4, 2, 4, 6, 8}, Shape{2, 2, 2})));
+}
+
+TEST(MatmulForward, MismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::zeros(Shape{2, 3}), Tensor::zeros(Shape{4, 2})),
+               std::runtime_error);
+}
+
+TEST(ReduceForward, SumMeanAxes) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  EXPECT_TRUE(allclose(sum(a, 0), Tensor::from_vector({5, 7, 9}, Shape{3})));
+  EXPECT_TRUE(allclose(sum(a, 1), Tensor::from_vector({6, 15}, Shape{2})));
+  EXPECT_TRUE(allclose(sum(a, 1, /*keepdim=*/true), Tensor::from_vector({6, 15}, Shape{2, 1})));
+  EXPECT_TRUE(allclose(mean(a, -1), Tensor::from_vector({2, 5}, Shape{2})));
+  EXPECT_NEAR(sum_all(a).item(), 21.0F, 1e-6F);
+  EXPECT_NEAR(mean_all(a).item(), 3.5F, 1e-6F);
+}
+
+TEST(ReduceForward, MaxAndArgmax) {
+  const Tensor a = Tensor::from_vector({1, 9, 3, 7, 5, 6}, Shape{2, 3});
+  EXPECT_TRUE(allclose(max_values(a, 1), Tensor::from_vector({9, 7}, Shape{2})));
+  const auto idx = argmax_last_axis(a);
+  ASSERT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(SoftmaxForward, RowsSumToOne) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn(Shape{4, 9}, rng);
+  const Tensor s = softmax(a, -1);
+  const Tensor row_sums = sum(s, -1);
+  EXPECT_TRUE(allclose(row_sums, Tensor::ones(Shape{4}), 1e-5F));
+  for (const float v : s.data()) {
+    EXPECT_GT(v, 0.0F);
+    EXPECT_LT(v, 1.0F);
+  }
+}
+
+TEST(SoftmaxForward, MatchesLogSoftmax) {
+  Rng rng(8);
+  const Tensor a = Tensor::randn(Shape{3, 5}, rng);
+  const Tensor s = softmax(a, -1);
+  const Tensor ls = log_softmax(a, -1);
+  EXPECT_TRUE(allclose(log(s), ls, 1e-5F));
+}
+
+TEST(SoftmaxForward, StableUnderLargeLogits) {
+  const Tensor a = Tensor::from_vector({1000.0F, 1000.0F}, Shape{1, 2});
+  const Tensor s = softmax(a, -1);
+  EXPECT_NEAR(s.data()[0], 0.5F, 1e-6F);
+}
+
+TEST(LossForward, CrossEntropyUniform) {
+  const Tensor logits = Tensor::zeros(Shape{2, 4});
+  const Tensor ce = cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(ce.item(), std::log(4.0F), 1e-5F);
+}
+
+TEST(LossForward, CrossEntropyRejectsBadLabels) {
+  const Tensor logits = Tensor::zeros(Shape{1, 3});
+  EXPECT_THROW(cross_entropy(logits, {3}), std::runtime_error);
+  EXPECT_THROW(cross_entropy(logits, {0, 1}), std::runtime_error);
+}
+
+TEST(LossForward, MseZeroForIdentical) {
+  const Tensor a = Tensor::from_vector({1, 2, 3}, Shape{3});
+  EXPECT_NEAR(mse_loss(a, a).item(), 0.0F, 1e-7F);
+  const Tensor b = Tensor::from_vector({2, 3, 4}, Shape{3});
+  EXPECT_NEAR(mse_loss(a, b).item(), 1.0F, 1e-6F);
+}
+
+TEST(ShapeOpsForward, ReshapeTransposePermute) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  const Tensor r = reshape(a, Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r.at({2, 1}), 6.0F);
+  const Tensor t = transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({0, 1}), 4.0F);
+  EXPECT_EQ(t.at({2, 0}), 3.0F);
+  const Tensor p = permute(a, {1, 0});
+  EXPECT_TRUE(allclose(p, t));
+}
+
+TEST(ShapeOpsForward, ConcatAndSlice) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, Shape{2, 2});
+  const Tensor b = Tensor::from_vector({5, 6}, Shape{1, 2});
+  const Tensor c = concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c.at({2, 1}), 6.0F);
+  const Tensor s = slice(c, 0, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 3.0F);
+  EXPECT_THROW(slice(c, 0, 2, 2), std::runtime_error);
+}
+
+TEST(ShapeOpsForward, IndexSelect) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{3, 2});
+  const Tensor g = index_select(a, 0, {2, 0});
+  EXPECT_EQ(g.shape(), (Shape{2, 2}));
+  EXPECT_EQ(g.at({0, 0}), 5.0F);
+  EXPECT_EQ(g.at({1, 1}), 2.0F);
+  EXPECT_THROW(index_select(a, 0, {3}), std::runtime_error);
+}
+
+TEST(ShapeOpsForward, Tile2d) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, Shape{2, 2});
+  const Tensor t = tile_2d(a, 2, 3);
+  EXPECT_EQ(t.shape(), (Shape{4, 6}));
+  // Every tile replicates the pattern.
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(t.at({i, j}), a.at({i % 2, j % 2}));
+    }
+  }
+}
+
+TEST(ConvForward, IdentityKernel) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn(Shape{1, 1, 5, 5}, rng);
+  Tensor w = Tensor::zeros(Shape{1, 1, 3, 3});
+  w.set_at({0, 0, 1, 1}, 1.0F);
+  const Tensor y = conv2d(x, w, Tensor(), /*stride=*/1, /*padding=*/1);
+  EXPECT_TRUE(allclose(y, x, 1e-6F));
+}
+
+TEST(ConvForward, KnownAverage) {
+  const Tensor x = Tensor::ones(Shape{1, 1, 4, 4});
+  const Tensor w = Tensor::full(Shape{1, 1, 2, 2}, 0.25F);
+  const Tensor y = conv2d(x, w, Tensor(), /*stride=*/2, /*padding=*/0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_TRUE(allclose(y, Tensor::ones(Shape{1, 1, 2, 2}), 1e-6F));
+}
+
+TEST(ConvForward, BiasBroadcasts) {
+  const Tensor x = Tensor::zeros(Shape{1, 1, 3, 3});
+  const Tensor w = Tensor::zeros(Shape{2, 1, 1, 1});
+  const Tensor b = Tensor::from_vector({1.0F, -2.0F}, Shape{2});
+  const Tensor y = conv2d(x, w, b, 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 3, 3}));
+  EXPECT_EQ(y.at({0, 0, 1, 1}), 1.0F);
+  EXPECT_EQ(y.at({0, 1, 2, 2}), -2.0F);
+}
+
+TEST(PoolForward, AvgAndMax) {
+  const Tensor x = Tensor::from_vector({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+                                       Shape{1, 1, 4, 4});
+  const Tensor a = avg_pool2d(x, 2, 2);
+  EXPECT_TRUE(allclose(a, Tensor::from_vector({3.5F, 5.5F, 11.5F, 13.5F}, Shape{1, 1, 2, 2})));
+  const Tensor m = max_pool2d(x, 2, 2);
+  EXPECT_TRUE(allclose(m, Tensor::from_vector({6, 8, 14, 16}, Shape{1, 1, 2, 2})));
+}
+
+TEST(PoolForward, Avg3d) {
+  const Tensor x = Tensor::ones(Shape{1, 1, 4, 4, 4});
+  const Tensor y = avg_pool3d(x, 2, 2, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2, 2}));
+  EXPECT_TRUE(allclose(y, Tensor::ones(Shape{1, 1, 2, 2, 2})));
+}
+
+TEST(Conv3dForward, TemporalIdentity) {
+  Rng rng(5);
+  const Tensor x = Tensor::randn(Shape{1, 1, 3, 4, 4}, rng);
+  Tensor w = Tensor::zeros(Shape{1, 1, 1, 1, 1});
+  w.set_at({0, 0, 0, 0, 0}, 1.0F);
+  const Tensor y = conv3d(x, w, Tensor(), 1, 1, 0, 0);
+  EXPECT_TRUE(allclose(y, x, 1e-6F));
+}
+
+// Property sweep: tile_2d forward/backward round-trip over parameter grid.
+class TileParamTest : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TileParamTest, TiledValuesMatchSourcePattern) {
+  const auto [th, tw, rh, rw] = GetParam();
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{th, tw}, rng);
+  const Tensor t = tile_2d(a, rh, rw);
+  ASSERT_EQ(t.shape(), (Shape{static_cast<std::int64_t>(th) * rh,
+                              static_cast<std::int64_t>(tw) * rw}));
+  for (std::int64_t i = 0; i < th * rh; ++i) {
+    for (std::int64_t j = 0; j < tw * rw; ++j) {
+      EXPECT_EQ(t.at({i, j}), a.at({i % th, j % tw}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileGrid, TileParamTest,
+                         ::testing::Values(std::make_tuple(1, 1, 3, 3),
+                                           std::make_tuple(2, 2, 1, 1),
+                                           std::make_tuple(2, 3, 4, 2),
+                                           std::make_tuple(8, 8, 4, 4),
+                                           std::make_tuple(3, 5, 2, 7)));
+
+// Property sweep: softmax rows sum to 1 across shapes and axes.
+class SoftmaxParamTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SoftmaxParamTest, NormalizedAlongAxis) {
+  const auto [rows, cols, axis] = GetParam();
+  Rng rng(13);
+  const Tensor a = Tensor::randn(Shape{rows, cols}, rng, 3.0F);
+  const Tensor s = softmax(a, axis);
+  const Tensor sums = sum(s, axis);
+  for (const float v : sums.data()) {
+    EXPECT_NEAR(v, 1.0F, 1e-5F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SoftmaxGrid, SoftmaxParamTest,
+                         ::testing::Values(std::make_tuple(1, 7, 1),
+                                           std::make_tuple(5, 3, 0),
+                                           std::make_tuple(5, 3, 1),
+                                           std::make_tuple(9, 1, 0),
+                                           std::make_tuple(4, 16, -1)));
+
+}  // namespace
+}  // namespace snappix

@@ -1,0 +1,279 @@
+// Tests for optimizers, schedules, task trainers, and CE-pattern learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ce/encode.h"
+#include "ce/stats.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/vit.h"
+#include "train/optimizer.h"
+#include "train/pattern_trainer.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using train::AdamW;
+using train::Sgd;
+
+TEST(Optimizers, SgdMinimizesQuadratic) {
+  Tensor x = Tensor::from_vector({5.0F, -3.0F}, Shape{2}).set_requires_grad(true);
+  Sgd opt({x}, 0.1F);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    Tensor loss = sum_all(square(x));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(std::fabs(x.data()[0]), 1e-3F);
+  EXPECT_LT(std::fabs(x.data()[1]), 1e-3F);
+}
+
+TEST(Optimizers, SgdMomentumAcceleratesOnConstantGradient) {
+  Tensor a = Tensor::scalar(0.0F, true);
+  Tensor b = Tensor::scalar(0.0F, true);
+  Sgd plain({a}, 0.01F, 0.0F);
+  Sgd momentum({b}, 0.01F, 0.9F);
+  for (int i = 0; i < 20; ++i) {
+    plain.zero_grad();
+    momentum.zero_grad();
+    // Constant-gradient objective: loss = -x.
+    neg(a).backward();
+    neg(b).backward();
+    plain.step();
+    momentum.step();
+  }
+  EXPECT_GT(b.item(), a.item());
+}
+
+TEST(Optimizers, AdamWMinimizesRosenbrockish) {
+  Tensor x = Tensor::from_vector({-1.5F, 2.0F}, Shape{2}).set_requires_grad(true);
+  AdamW opt({x}, 0.05F);
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    Tensor x0 = slice(x, 0, 0, 1);
+    Tensor x1 = slice(x, 0, 1, 2);
+    // f = (1-x0)^2 + 5 (x1 - x0^2)^2
+    Tensor loss = add(square(add_scalar(neg(x0), 1.0F)),
+                      mul_scalar(square(sub(x1, square(x0))), 5.0F));
+    sum_all(loss).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(x.data()[0], 1.0F, 0.15F);
+  EXPECT_NEAR(x.data()[1], 1.0F, 0.3F);
+}
+
+TEST(Optimizers, AdamWWeightDecayShrinksParams) {
+  Tensor x = Tensor::scalar(1.0F, true);
+  AdamW opt({x}, 0.01F, 0.9F, 0.999F, 1e-8F, /*weight_decay=*/0.5F);
+  for (int i = 0; i < 50; ++i) {
+    opt.zero_grad();
+    // Zero-gradient objective; only decay acts.
+    mul_scalar(x, 0.0F).backward();
+    opt.step();
+  }
+  EXPECT_LT(x.item(), 0.9F);
+}
+
+TEST(Optimizers, EmptyParamsThrow) {
+  EXPECT_THROW(Sgd({}, 0.1F), std::runtime_error);
+}
+
+TEST(Optimizers, SkipsUntouchedParams) {
+  Tensor used = Tensor::scalar(1.0F, true);
+  Tensor unused = Tensor::scalar(1.0F, true);
+  AdamW opt({used, unused}, 0.1F);
+  opt.zero_grad();
+  square(used).backward();
+  opt.step();
+  EXPECT_NE(used.item(), 1.0F);
+  EXPECT_FLOAT_EQ(unused.item(), 1.0F);
+}
+
+TEST(Schedule, CosineWarmup) {
+  const float base = 1.0F;
+  // Warmup ramps linearly.
+  EXPECT_NEAR(train::cosine_warmup_lr(base, 0, 100, 10), 0.1F, 1e-6F);
+  EXPECT_NEAR(train::cosine_warmup_lr(base, 9, 100, 10), 1.0F, 1e-6F);
+  // Midpoint of cosine ~ half the base lr.
+  EXPECT_NEAR(train::cosine_warmup_lr(base, 55, 100, 10), 0.5F, 0.03F);
+  // End decays to ~0.
+  EXPECT_LT(train::cosine_warmup_lr(base, 99, 100, 10), 0.01F);
+}
+
+TEST(Metrics, Top1Accuracy) {
+  const Tensor logits = Tensor::from_vector({2, 1, 0,   // -> 0
+                                             0, 3, 1,   // -> 1
+                                             1, 0, 5},  // -> 2
+                                            Shape{3, 3});
+  EXPECT_FLOAT_EQ(eval::top1_accuracy(logits, {0, 1, 2}), 1.0F);
+  EXPECT_NEAR(eval::top1_accuracy(logits, {0, 1, 0}), 2.0F / 3.0F, 1e-6F);
+}
+
+TEST(Metrics, ConfusionMatrix) {
+  const Tensor logits = Tensor::from_vector({2, 0, 0, 2, 0, 2}, Shape{3, 2});
+  const auto m = eval::confusion_matrix(logits, {0, 1, 1}, 2);
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[1][1], 2);
+  EXPECT_EQ(m[0][1], 0);
+  EXPECT_EQ(m[1][0], 0);
+}
+
+TEST(Metrics, PsnrKnownValues) {
+  const Tensor a = Tensor::zeros(Shape{4});
+  const Tensor b = Tensor::full(Shape{4}, 0.1F);
+  // MSE = 0.01 -> PSNR = 20 dB at peak 1.0.
+  EXPECT_NEAR(eval::psnr_db(a, b), 20.0F, 1e-3F);
+  EXPECT_TRUE(std::isinf(eval::psnr_db(a, a)));
+}
+
+TEST(Metrics, ThroughputIsPositive) {
+  const double per_sec = eval::measure_per_second([] {}, 1, 5);
+  EXPECT_GT(per_sec, 0.0);
+}
+
+data::DatasetConfig tiny_dataset(int train_per_class = 10) {
+  auto cfg = data::ucf101_like(/*frames=*/8, /*size=*/16);
+  cfg.scene.num_classes = 3;
+  cfg.scene.speed = 2.0F;
+  cfg.train_per_class = train_per_class;
+  cfg.test_per_class = 12;
+  return cfg;
+}
+
+TEST(Trainer, ClassifierLearnsAboveChance) {
+  const data::VideoDataset dataset(tiny_dataset(/*train_per_class=*/48));
+  Rng rng(1);
+  models::ViTConfig cfg;
+  cfg.image_h = 16;
+  cfg.image_w = 16;
+  cfg.patch = 8;
+  cfg.dim = 24;
+  cfg.depth = 2;
+  cfg.heads = 2;
+  cfg.num_classes = 3;
+  models::SnapPixClassifier model(cfg, rng);
+  const auto pattern = ce::CePattern::random(8, 8, rng, 0.5F);
+  auto transform = [&](const Tensor& videos) {
+    return ce::normalize_by_exposure(ce::ce_encode(videos, pattern), pattern);
+  };
+  auto forward = [&](const Tensor& input) { return model.forward(input); };
+  train::TrainConfig tc;
+  tc.epochs = 25;
+  tc.batch_size = 12;
+  tc.lr = 3e-3F;
+  const auto result = train::fit_classifier(model.parameters(), forward, dataset, transform, tc);
+  // 3 classes -> chance is 0.33; trained model must clearly beat it.
+  EXPECT_GT(result.test_metric, 0.5F);
+  // Loss must have decreased.
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+}
+
+TEST(Trainer, ReconstructorImprovesPsnr) {
+  const data::VideoDataset dataset(tiny_dataset(/*train_per_class=*/24));
+  Rng rng(2);
+  models::ViTConfig cfg;
+  cfg.image_h = 16;
+  cfg.image_w = 16;
+  cfg.patch = 8;
+  cfg.dim = 24;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.num_classes = 3;
+  models::SnapPixReconstructor model(cfg, 8, rng);
+  const auto pattern = ce::CePattern::random(8, 8, rng, 0.5F);
+  auto transform = [&](const Tensor& videos) {
+    return ce::normalize_by_exposure(ce::ce_encode(videos, pattern), pattern);
+  };
+  auto forward = [&](const Tensor& input) { return model.forward(input); };
+  const float psnr_before = train::evaluate_reconstructor(forward, dataset, transform);
+  train::TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 12;
+  tc.lr = 3e-3F;
+  const auto result =
+      train::fit_reconstructor(model.parameters(), forward, dataset, transform, tc);
+  EXPECT_GT(result.test_metric, psnr_before);
+  EXPECT_GT(result.test_metric, 10.0F);  // well above random output
+}
+
+TEST(PatternTrainer, DecorrelationLossDecreases) {
+  const data::VideoDataset dataset(tiny_dataset());
+  train::PatternTrainConfig cfg;
+  cfg.tile = 8;
+  cfg.steps = 60;
+  cfg.batch_size = 6;
+  const auto result = train::learn_decorrelated_pattern(dataset, cfg);
+  // Average of the last 10 steps below the first step.
+  float tail = 0.0F;
+  for (std::size_t i = result.loss_curve.size() - 10; i < result.loss_curve.size(); ++i) {
+    tail += result.loss_curve[i];
+  }
+  tail /= 10.0F;
+  EXPECT_LT(tail, result.loss_curve.front());
+  EXPECT_EQ(result.pattern.tile(), 8);
+  EXPECT_EQ(result.pattern.slots(), 8);
+}
+
+TEST(PatternTrainer, LearnedPatternDecorrelatesBetterThanLong) {
+  const data::VideoDataset dataset(tiny_dataset());
+  train::PatternTrainConfig cfg;
+  cfg.tile = 8;
+  cfg.steps = 80;
+  cfg.batch_size = 6;
+  const auto result = train::learn_decorrelated_pattern(dataset, cfg);
+
+  // Evaluate mean correlation of coded images on held-out data.
+  std::vector<std::int64_t> indices;
+  for (std::int64_t i = 0; i < dataset.test_size(); ++i) {
+    indices.push_back(i);
+  }
+  std::vector<std::int64_t> labels;
+  const Tensor videos = dataset.test_batch(indices, labels);
+  const float corr_learned =
+      ce::mean_correlation(ce::ce_encode(videos, result.pattern), 8);
+  const float corr_long = ce::mean_correlation(
+      ce::ce_encode(videos, ce::CePattern::long_exposure(8, 8)), 8);
+  EXPECT_LT(corr_learned, corr_long);
+}
+
+TEST(PatternTrainer, EveryPixelExposedAtLeastOnce) {
+  const data::VideoDataset dataset(tiny_dataset());
+  train::PatternTrainConfig cfg;
+  cfg.tile = 8;
+  cfg.steps = 40;
+  cfg.batch_size = 4;
+  const auto result = train::learn_decorrelated_pattern(dataset, cfg);
+  for (const int c : result.pattern.exposure_counts()) {
+    EXPECT_GE(c, 1);  // anti-collapse guard
+  }
+}
+
+TEST(PatternTrainer, TaskPatternTrainsJointly) {
+  const data::VideoDataset dataset(tiny_dataset());
+  Rng rng(3);
+  models::ViTConfig cfg;
+  cfg.image_h = 16;
+  cfg.image_w = 16;
+  cfg.patch = 8;
+  cfg.dim = 16;
+  cfg.depth = 1;
+  cfg.heads = 2;
+  cfg.num_classes = 3;
+  models::SnapPixClassifier model(cfg, rng);
+  train::PatternTrainConfig pc;
+  pc.tile = 8;
+  pc.batch_size = 6;
+  pc.lr = 2e-3F;
+  const auto result = train::learn_task_pattern(
+      dataset, model.parameters(), [&](const Tensor& coded) { return model.forward(coded); }, pc,
+      /*epochs=*/4);
+  EXPECT_LT(result.loss_curve.back(), result.loss_curve.front());
+  EXPECT_EQ(result.pattern.slots(), 8);
+}
+
+}  // namespace
+}  // namespace snappix
