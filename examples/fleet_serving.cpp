@@ -1,0 +1,89 @@
+// Fleet serving: many CE cameras streaming into one shared ViT server.
+//
+//   1. train a small SNAPPIX system (pattern + AR head) on synthetic data,
+//   2. stand up a StreamingRuntime over a heterogeneous camera fleet —
+//      mathematical encoders, a dataset replayer, and a cycle-level
+//      hardware-simulated sensor, each on its own producer thread,
+//   3. serve everything through batched fused-engine inference,
+//   4. report accuracy, throughput, latency percentiles, bytes-on-wire,
+//      and the fleet's Sec. VI-D energy bill.
+#include <cstdio>
+#include <memory>
+
+#include "core/snappix.h"
+#include "runtime/camera.h"
+#include "runtime/runtime.h"
+
+int main() {
+  using namespace snappix;
+
+  std::printf("=== SNAPPIX fleet serving demo ===\n\n");
+
+  // 1. A small system: 16x16 frames, T = 8 slots, 4 motion classes.
+  core::SnapPixConfig cfg;
+  cfg.image = 16;
+  cfg.frames = 8;
+  cfg.num_classes = 4;
+  cfg.seed = 21;
+  core::SnapPixSystem system(cfg);
+
+  auto data_cfg = data::ucf101_like(/*frames=*/8, /*size=*/16);
+  data_cfg.scene.num_classes = 4;
+  data_cfg.train_per_class = 32;
+  data_cfg.test_per_class = 8;
+  const data::VideoDataset dataset(data_cfg);
+
+  std::printf("learning CE pattern + training AR head...\n");
+  train::PatternTrainConfig pattern_cfg;
+  pattern_cfg.steps = 40;
+  pattern_cfg.batch_size = 8;
+  system.learn_pattern(dataset, pattern_cfg);
+  train::TrainConfig train_cfg;
+  train_cfg.epochs = 12;
+  train_cfg.batch_size = 16;
+  train_cfg.lr = 2e-3F;
+  const auto fit = system.train_action_recognition(dataset, train_cfg);
+  std::printf("  test accuracy (offline): %.2f\n\n", static_cast<double>(fit.test_metric));
+
+  // 2. A heterogeneous 6-camera fleet sharing the learned pattern.
+  data::SceneConfig scene = data_cfg.scene;
+  runtime::RuntimeConfig rt_cfg;
+  rt_cfg.batch.max_batch = 6;
+  rt_cfg.batch.max_delay = std::chrono::microseconds(3000);
+  runtime::StreamingRuntime rt(system, rt_cfg);
+  for (int cam = 0; cam < 4; ++cam) {
+    rt.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        cam, scene, system.pattern(), 900 + static_cast<std::uint64_t>(cam)));
+  }
+  rt.add_camera(std::make_unique<runtime::DatasetCameraSource>(
+      4, std::make_shared<const data::VideoDataset>(data_cfg), system.pattern()));
+  rt.add_camera(std::make_unique<runtime::SensorCameraSource>(
+      5, system.default_sensor_config(), scene, system.pattern(), 906));
+
+  // 3. Stream 25 frames per camera through the batched server.
+  std::printf("serving 6 cameras x 25 frames...\n");
+  const auto results = rt.run(/*frames_per_camera=*/25);
+
+  int correct = 0;
+  int labelled = 0;
+  for (const auto& r : results) {
+    if (r.label >= 0) {
+      ++labelled;
+      correct += r.predicted == r.label ? 1 : 0;
+    }
+  }
+
+  // 4. Report.
+  const auto summary = rt.summary();
+  std::printf("\n%s", runtime::to_string(summary).c_str());
+  std::printf("  streaming accuracy: %d/%d (%.2f)\n", correct, labelled,
+              labelled > 0 ? static_cast<double>(correct) / labelled : 0.0);
+  const auto wifi = rt.fleet_energy(energy::EnergyModel{}, energy::WirelessTech::kPassiveWifi);
+  const auto lora =
+      rt.fleet_energy(energy::EnergyModel{}, energy::WirelessTech::kLoraBackscatter);
+  std::printf("  fleet energy, passive Wi-Fi: %.4f J vs %.4f J conventional (%.1fx saved)\n",
+              wifi.snappix_j, wifi.conventional_j, wifi.saving_factor);
+  std::printf("  fleet energy, LoRa backscatter: %.2f J vs %.2f J conventional (%.1fx saved)\n",
+              lora.snappix_j, lora.conventional_j, lora.saving_factor);
+  return 0;
+}

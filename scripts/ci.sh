@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the test suite, then the streaming
+# throughput bench in quick mode (emits BENCH_streaming.json in build/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Streaming bench: quick mode keeps CI fast; the binary exits non-zero if the
+# batched path is not bit-identical to the sequential path.
+(cd "$BUILD_DIR" && ./bench_streaming_throughput --quick)
+echo "BENCH_streaming.json:"
+cat "$BUILD_DIR/BENCH_streaming.json"

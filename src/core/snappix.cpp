@@ -127,8 +127,27 @@ Tensor SnapPixSystem::reconstruct(const Tensor& videos) const {
   return reconstructor_->forward(encode(videos));
 }
 
+Tensor SnapPixSystem::classify_logits_coded(const Tensor& coded_normalized) const {
+  NoGradGuard guard;
+  SNAPPIX_CHECK(coded_normalized.ndim() == 3, "expected (B, H, W) coded images, got "
+                                                  << coded_normalized.shape().to_string());
+  return classifier_->forward(coded_normalized);
+}
+
+std::vector<std::int64_t> SnapPixSystem::classify_coded(const Tensor& coded_normalized) const {
+  return argmax_last_axis(classify_logits_coded(coded_normalized));
+}
+
+Tensor SnapPixSystem::reconstruct_coded(const Tensor& coded_normalized) const {
+  NoGradGuard guard;
+  SNAPPIX_CHECK(coded_normalized.ndim() == 3, "expected (B, H, W) coded images, got "
+                                                  << coded_normalized.shape().to_string());
+  return reconstructor_->forward(coded_normalized);
+}
+
 std::int64_t SnapPixSystem::classify_via_sensor(const Tensor& scene,
-                                                sensor::StackedSensor& sensor, Rng& rng) const {
+                                                const sensor::StackedSensor& sensor,
+                                                Rng& rng) const {
   NoGradGuard guard;
   SNAPPIX_CHECK(sensor.pattern() == pattern_,
                 "sensor is programmed with a different CE pattern than the system");

@@ -77,15 +77,29 @@ class SnapPixSystem {
   Tensor classify_logits(const Tensor& videos) const;
   Tensor reconstruct(const Tensor& videos) const;
 
+  // --- batched serving entry points (src/runtime/) ------------------------------
+  // Frames arriving from remote CE sensors are already coded; these skip the
+  // encoder and run the server-side model on exposure-normalized coded images
+  // (B, H, W) coalesced across cameras. All per-sample math is independent of
+  // the batch it rides in, so batched logits are bit-identical to batch-1.
+  Tensor classify_logits_coded(const Tensor& coded_normalized) const;
+  std::vector<std::int64_t> classify_coded(const Tensor& coded_normalized) const;
+  Tensor reconstruct_coded(const Tensor& coded_normalized) const;
+
   // Sensor-in-the-loop: captures one (T, H, W) scene on the cycle-level
   // simulator, then classifies the captured coded image.
-  std::int64_t classify_via_sensor(const Tensor& scene, sensor::StackedSensor& sensor,
+  std::int64_t classify_via_sensor(const Tensor& scene, const sensor::StackedSensor& sensor,
                                    Rng& rng) const;
 
   const SnapPixConfig& config() const { return config_; }
   std::shared_ptr<models::ViTEncoder> encoder() { return encoder_; }
   std::shared_ptr<models::SnapPixClassifier> classifier() { return classifier_; }
   std::shared_ptr<models::SnapPixReconstructor> reconstructor() { return reconstructor_; }
+  std::shared_ptr<const models::ViTEncoder> encoder() const { return encoder_; }
+  std::shared_ptr<const models::SnapPixClassifier> classifier() const { return classifier_; }
+  std::shared_ptr<const models::SnapPixReconstructor> reconstructor() const {
+    return reconstructor_;
+  }
 
   // A sensor configuration matched to this system's geometry.
   sensor::SensorConfig default_sensor_config() const;

@@ -70,6 +70,7 @@ class SnapPixClassifier : public nn::Module {
   Tensor forward(const Tensor& coded) const;
 
   std::shared_ptr<ViTEncoder> encoder() { return encoder_; }
+  std::shared_ptr<const ViTEncoder> encoder() const { return encoder_; }
 
  private:
   std::shared_ptr<ViTEncoder> encoder_;

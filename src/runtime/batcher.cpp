@@ -1,0 +1,52 @@
+#include "runtime/batcher.h"
+
+#include <cstring>
+
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+BatchAggregator::BatchAggregator(FrameQueue& queue, const BatchPolicy& policy)
+    : queue_(queue), policy_(policy) {
+  SNAPPIX_CHECK(policy.max_batch > 0, "batch policy needs max_batch >= 1");
+  SNAPPIX_CHECK(policy.max_delay.count() >= 0, "batch policy needs a non-negative delay");
+}
+
+bool BatchAggregator::next_batch(std::vector<Frame>& out) {
+  out.clear();
+  Frame first;
+  if (!queue_.pop(first)) {
+    return false;
+  }
+  const Clock::time_point deadline = Clock::now() + policy_.max_delay;
+  out.push_back(std::move(first));
+  while (static_cast<int>(out.size()) < policy_.max_batch) {
+    Frame next;
+    if (!queue_.pop_until(next, deadline)) {
+      break;  // deadline hit, or queue closed and drained
+    }
+    out.push_back(std::move(next));
+  }
+  return true;
+}
+
+Tensor BatchAggregator::stack_coded(const std::vector<Frame>& frames) {
+  SNAPPIX_CHECK(!frames.empty(), "cannot stack an empty batch");
+  const Shape& fs = frames.front().coded.shape();
+  SNAPPIX_CHECK(fs.ndim() == 2, "frames must carry (H, W) coded images");
+  const std::int64_t h = fs[0];
+  const std::int64_t w = fs[1];
+  std::vector<float> data(frames.size() * static_cast<std::size_t>(h * w));
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Tensor& coded = frames[i].coded;
+    SNAPPIX_CHECK(coded.shape() == fs, "batch mixes frame geometries: "
+                                           << coded.shape().to_string() << " vs "
+                                           << fs.to_string());
+    std::memcpy(data.data() + i * static_cast<std::size_t>(h * w), coded.data().data(),
+                static_cast<std::size_t>(h * w) * sizeof(float));
+  }
+  return Tensor::from_vector(std::move(data),
+                             Shape{static_cast<std::int64_t>(frames.size()), h, w});
+}
+
+}  // namespace snappix::runtime

@@ -1,0 +1,43 @@
+// BatchAggregator: coalesces frames from many cameras into server batches
+// under a max-batch-size / max-latency policy.
+//
+// The aggregator pops one frame (blocking), then keeps popping until either
+// the batch is full or `max_delay` has elapsed since the batch opened — the
+// standard serving trade-off: larger batches amortize per-dispatch cost,
+// the deadline bounds how long an early frame can sit waiting for company.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "runtime/frame.h"
+#include "runtime/frame_queue.h"
+
+namespace snappix::runtime {
+
+struct BatchPolicy {
+  int max_batch = 8;
+  // How long an open batch may wait for more frames. Zero means "greedy":
+  // take whatever is already queued, never wait.
+  std::chrono::microseconds max_delay{2000};
+};
+
+class BatchAggregator {
+ public:
+  BatchAggregator(FrameQueue& queue, const BatchPolicy& policy);
+
+  // Fills `out` with the next batch (clearing it first). Returns false when
+  // the queue is closed and fully drained. Batches preserve queue FIFO order.
+  bool next_batch(std::vector<Frame>& out);
+
+  // Stacks the batch's coded images into one (B, H, W) tensor.
+  static Tensor stack_coded(const std::vector<Frame>& frames);
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  FrameQueue& queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace snappix::runtime

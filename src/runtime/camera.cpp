@@ -1,0 +1,155 @@
+#include "runtime/camera.h"
+
+#include <utility>
+
+#include "ce/encode.h"
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+CameraSource::CameraSource(int id, ce::CePattern pattern)
+    : id_(id), pattern_(std::move(pattern)) {}
+
+Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
+  Frame frame;
+  frame.camera_id = id_;
+  frame.sequence = next_sequence_++;
+  // 8-bit readout: a conventional pipeline ships all T slot frames, the CE
+  // sensor ships one coded image of the same geometry.
+  frame.wire_bytes = static_cast<std::uint64_t>(height * width);
+  frame.raw_bytes = frame.wire_bytes * static_cast<std::uint64_t>(pattern_.slots());
+  return frame;
+}
+
+Tensor CameraSource::encode_normalized(const Tensor& clip) const {
+  NoGradGuard guard;
+  const Tensor batched = Tensor::from_vector(
+      clip.data(), Shape{1, clip.shape()[0], clip.shape()[1], clip.shape()[2]});
+  const Tensor coded = ce::normalize_by_exposure(ce::ce_encode(batched, pattern_), pattern_);
+  return Tensor::from_vector(coded.data(), Shape{clip.shape()[1], clip.shape()[2]});
+}
+
+// --- SyntheticCameraSource ---------------------------------------------------
+
+SyntheticCameraSource::SyntheticCameraSource(int id, const data::SceneConfig& scene,
+                                             ce::CePattern pattern, std::uint64_t seed)
+    : CameraSource(id, std::move(pattern)), generator_(scene), rng_(seed) {
+  SNAPPIX_CHECK(scene.frames == pattern_.slots(),
+                "camera " << id << ": scene frames " << scene.frames
+                          << " != pattern slots " << pattern_.slots());
+}
+
+Frame SyntheticCameraSource::next_frame() {
+  const data::VideoSample sample = generator_.sample(rng_);
+  Frame frame = begin_frame(sample.video.shape()[1], sample.video.shape()[2]);
+  frame.coded = encode_normalized(sample.video);
+  frame.label = sample.label;
+  return frame;
+}
+
+// --- DatasetCameraSource -----------------------------------------------------
+
+DatasetCameraSource::DatasetCameraSource(int id,
+                                         std::shared_ptr<const data::VideoDataset> dataset,
+                                         ce::CePattern pattern, std::int64_t offset)
+    : CameraSource(id, std::move(pattern)), dataset_(std::move(dataset)), cursor_(offset) {
+  SNAPPIX_CHECK(dataset_ != nullptr && dataset_->test_size() > 0,
+                "camera " << id << ": dataset has no test samples");
+  SNAPPIX_CHECK(offset >= 0, "camera " << id << ": negative dataset offset " << offset);
+  cursor_ %= dataset_->test_size();
+}
+
+Frame DatasetCameraSource::next_frame() {
+  const data::VideoSample& sample = dataset_->test_sample(cursor_);
+  cursor_ = (cursor_ + 1) % dataset_->test_size();
+  Frame frame = begin_frame(sample.video.shape()[1], sample.video.shape()[2]);
+  frame.coded = encode_normalized(sample.video);
+  frame.label = sample.label;
+  return frame;
+}
+
+// --- SensorCameraSource ------------------------------------------------------
+
+SensorCameraSource::SensorCameraSource(int id, const sensor::SensorConfig& sensor_config,
+                                       const data::SceneConfig& scene, ce::CePattern pattern,
+                                       std::uint64_t seed)
+    : CameraSource(id, pattern), sensor_(sensor_config, pattern), generator_(scene),
+      rng_(seed) {
+  SNAPPIX_CHECK(scene.frames == pattern_.slots(),
+                "camera " << id << ": scene frames " << scene.frames
+                          << " != pattern slots " << pattern_.slots());
+  SNAPPIX_CHECK(scene.height == sensor_config.height && scene.width == sensor_config.width,
+                "camera " << id << ": scene geometry does not match sensor");
+}
+
+Frame SensorCameraSource::next_frame() {
+  NoGradGuard guard;
+  const data::VideoSample sample = generator_.sample(rng_);
+  Frame frame = begin_frame(sensor_.config().height, sensor_.config().width);
+  // Cycle-level capture -> scene units -> the same exposure normalization the
+  // mathematical path applies. The per-capture stats out-param keeps byte
+  // attribution correct even if several cameras share one sensor instance.
+  sensor::CaptureStats stats;
+  const Tensor captured = sensor_.capture_normalized(sample.video, rng_, &stats);
+  const Tensor batched = Tensor::from_vector(
+      captured.data(), Shape{1, captured.shape()[0], captured.shape()[1]});
+  const Tensor normalized = ce::normalize_by_exposure(batched, pattern_);
+  frame.coded =
+      Tensor::from_vector(normalized.data(), Shape{captured.shape()[0], captured.shape()[1]});
+  frame.label = sample.label;
+  // Replace the analytic byte estimate with the simulated link's accounting.
+  frame.wire_bytes = stats.mipi_bytes;
+  frame.raw_bytes = stats.mipi_bytes * static_cast<std::uint64_t>(pattern_.slots());
+  return frame;
+}
+
+// --- ReplayCameraSource ------------------------------------------------------
+
+ReplayCameraSource::ReplayCameraSource(int id, ce::CePattern pattern,
+                                       std::vector<Tensor> coded,
+                                       std::vector<std::int64_t> labels)
+    : CameraSource(id, std::move(pattern)), coded_(std::move(coded)),
+      labels_(std::move(labels)) {
+  SNAPPIX_CHECK(!coded_.empty(), "ReplayCameraSource needs at least one frame");
+  SNAPPIX_CHECK(labels_.empty() || labels_.size() == coded_.size(),
+                "labels must be empty or parallel to the frame buffer");
+}
+
+std::unique_ptr<ReplayCameraSource> ReplayCameraSource::record(CameraSource& source,
+                                                               int frames) {
+  SNAPPIX_CHECK(frames > 0, "record() needs a positive frame count");
+  std::vector<Tensor> coded;
+  std::vector<std::int64_t> labels;
+  std::vector<std::uint64_t> raw;
+  std::vector<std::uint64_t> wire;
+  coded.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    Frame frame = source.next_frame();
+    coded.push_back(std::move(frame.coded));
+    labels.push_back(frame.label);
+    raw.push_back(frame.raw_bytes);
+    wire.push_back(frame.wire_bytes);
+  }
+  auto replay = std::make_unique<ReplayCameraSource>(source.id(), source.pattern(),
+                                                     std::move(coded), std::move(labels));
+  replay->raw_bytes_ = std::move(raw);
+  replay->wire_bytes_ = std::move(wire);
+  return replay;
+}
+
+Frame ReplayCameraSource::next_frame() {
+  const std::size_t i = cursor_;
+  cursor_ = (cursor_ + 1) % coded_.size();
+  Frame frame = begin_frame(coded_[i].shape()[0], coded_[i].shape()[1]);
+  frame.coded = coded_[i];
+  if (!labels_.empty()) {
+    frame.label = labels_[i];
+  }
+  if (!raw_bytes_.empty()) {
+    frame.raw_bytes = raw_bytes_[i];
+    frame.wire_bytes = wire_bytes_[i];
+  }
+  return frame;
+}
+
+}  // namespace snappix::runtime

@@ -1,0 +1,128 @@
+// CameraSource: adapters that turn the repo's scene/data/sensor components
+// into per-camera coded-frame streams for the scheduler.
+//
+// Every camera owns its CE pattern, its Rng stream, and whatever generator or
+// simulator produces its scenes, so next_frame() is deterministic given the
+// camera's seed regardless of how producer threads interleave — the property
+// the batching-determinism tests rely on. Four adapters:
+//
+//   SyntheticCameraSource  renders procedural clips and encodes them with the
+//                          mathematical Eqn.-1 encoder (fast functional path)
+//   DatasetCameraSource    replays a VideoDataset's test split round-robin
+//   SensorCameraSource     drives the cycle-level StackedSensor simulator and
+//                          reports its measured MIPI bytes on the wire
+//   ReplayCameraSource     loops a pre-coded frame buffer; models an edge
+//                          sensor whose capture happens off-host (serving
+//                          benchmarks measure the server, not scene synthesis)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ce/pattern.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "runtime/frame.h"
+#include "sensor/sensor.h"
+#include "util/rng.h"
+
+namespace snappix::runtime {
+
+class CameraSource {
+ public:
+  virtual ~CameraSource() = default;
+
+  // Produces the camera's next coded frame (blocking, called from a producer
+  // thread). Implementations fill coded/label/byte counters; the scheduler
+  // stamps the timing fields.
+  virtual Frame next_frame() = 0;
+
+  int id() const { return id_; }
+  const ce::CePattern& pattern() const { return pattern_; }
+
+ protected:
+  CameraSource(int id, ce::CePattern pattern);
+
+  // Starts a Frame with identity, sequence number, and the conventional
+  // (raw_bytes) vs coded (wire_bytes) readout volumes for `height` x `width`
+  // at 8-bit depth across the pattern's exposure slots.
+  Frame begin_frame(std::int64_t height, std::int64_t width);
+
+  // Encodes a (T, H, W) clip with this camera's pattern and exposure-
+  // normalizes it — the mathematical sensor model shared by the synthetic and
+  // dataset adapters.
+  Tensor encode_normalized(const Tensor& clip) const;
+
+  int id_;
+  ce::CePattern pattern_;
+  std::int64_t next_sequence_ = 0;
+};
+
+// Procedural scene generator + mathematical CE encoder.
+class SyntheticCameraSource : public CameraSource {
+ public:
+  SyntheticCameraSource(int id, const data::SceneConfig& scene, ce::CePattern pattern,
+                        std::uint64_t seed);
+
+  Frame next_frame() override;
+
+ private:
+  data::SyntheticVideoGenerator generator_;
+  Rng rng_;
+};
+
+// Round-robin replay of a dataset's test split (deterministic labels).
+class DatasetCameraSource : public CameraSource {
+ public:
+  // Starts at sample `offset` into the test split and wraps around.
+  DatasetCameraSource(int id, std::shared_ptr<const data::VideoDataset> dataset,
+                      ce::CePattern pattern, std::int64_t offset = 0);
+
+  Frame next_frame() override;
+
+ private:
+  std::shared_ptr<const data::VideoDataset> dataset_;
+  std::int64_t cursor_;
+};
+
+// Cycle-level hardware simulator in the loop; wire bytes come from the
+// simulated MIPI link rather than the analytic estimate.
+class SensorCameraSource : public CameraSource {
+ public:
+  SensorCameraSource(int id, const sensor::SensorConfig& sensor_config,
+                     const data::SceneConfig& scene, ce::CePattern pattern,
+                     std::uint64_t seed);
+
+  Frame next_frame() override;
+
+ private:
+  sensor::StackedSensor sensor_;
+  data::SyntheticVideoGenerator generator_;
+  Rng rng_;
+};
+
+// Loops a pre-coded frame buffer. next_frame() is O(copy), so serving
+// benchmarks measure server throughput instead of scene synthesis.
+class ReplayCameraSource : public CameraSource {
+ public:
+  // `coded` are (H, W) exposure-normalized frames; `labels` may be empty or
+  // parallel to `coded`.
+  ReplayCameraSource(int id, ce::CePattern pattern, std::vector<Tensor> coded,
+                     std::vector<std::int64_t> labels);
+
+  // Pre-codes `frames` clips from `source` (exercising its full capture path
+  // once per clip) and wraps them in a replay camera with the same id/pattern.
+  static std::unique_ptr<ReplayCameraSource> record(CameraSource& source, int frames);
+
+  Frame next_frame() override;
+
+ private:
+  std::vector<Tensor> coded_;
+  std::vector<std::int64_t> labels_;
+  std::vector<std::uint64_t> raw_bytes_;
+  std::vector<std::uint64_t> wire_bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace snappix::runtime

@@ -1,0 +1,305 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "tensor/gemm.h"
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+namespace {
+
+constexpr float kLayerNormEps = 1e-5F;  // nn::LayerNorm's default
+
+// Replicates the tape ops' elementwise formulas exactly (see engine.h).
+inline float gelu_scalar(float x) {
+  constexpr float kPi = 3.14159265358979323846F;
+  const float c = std::sqrt(2.0F / kPi);
+  const float inner = c * (x + 0.044715F * x * x * x);
+  return 0.5F * x * (1.0F + std::tanh(inner));
+}
+
+// out(rows, n) = in(rows, k) @ w(k, n) + bias(n), matching Linear::forward:
+// matmul into zeroed accumulators, then a separate broadcast bias add.
+void linear_rows(const float* in, const float* w, const float* bias, float* out,
+                 std::int64_t rows, std::int64_t k, std::int64_t n) {
+  std::memset(out, 0, static_cast<std::size_t>(rows * n) * sizeof(float));
+  detail::gemm_nn(in, w, out, rows, k, n);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = out + r * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      row[j] = row[j] + bias[j];
+    }
+  }
+}
+
+void softmax_row(float* row, std::int64_t n) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < n; ++i) {
+    mx = std::max(mx, row[i]);
+  }
+  float denom = 0.0F;
+  for (std::int64_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    denom += row[i];
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    row[i] /= denom;
+  }
+}
+
+std::vector<float> take(const std::map<std::string, Tensor>& params, const std::string& name,
+                        std::int64_t expected_numel) {
+  const auto it = params.find(name);
+  SNAPPIX_CHECK(it != params.end(), "engine: classifier has no parameter `" << name << "`");
+  SNAPPIX_CHECK(it->second.numel() == expected_numel,
+                "engine: parameter `" << name << "` has " << it->second.numel()
+                                      << " values, expected " << expected_numel);
+  return it->second.data();
+}
+
+}  // namespace
+
+BatchedVitEngine::BatchedVitEngine(const models::SnapPixClassifier& model, int max_batch)
+    : config_(model.encoder()->config()), max_batch_(max_batch) {
+  SNAPPIX_CHECK(max_batch > 0, "engine max_batch must be positive");
+  const std::int64_t d = config_.dim;
+  const std::int64_t n = config_.tokens();
+  const std::int64_t pp = static_cast<std::int64_t>(config_.patch) * config_.patch;
+  hidden_ = static_cast<std::int64_t>(static_cast<float>(d) * config_.mlp_ratio);
+
+  std::map<std::string, Tensor> params;
+  for (const auto& [name, tensor] : model.named_parameters()) {
+    params.emplace(name, tensor);
+  }
+
+  embed_w = take(params, "encoder.patch_embed.proj.weight", pp * d);
+  embed_b = take(params, "encoder.patch_embed.proj.bias", d);
+  pos_embed = take(params, "encoder.pos_embed", n * d);
+  blocks_.resize(static_cast<std::size_t>(config_.depth));
+  for (int i = 0; i < config_.depth; ++i) {
+    const std::string p = "encoder.blocks." + std::to_string(i) + ".";
+    auto& b = blocks_[static_cast<std::size_t>(i)];
+    b.norm1_gamma = take(params, p + "norm1.gamma", d);
+    b.norm1_beta = take(params, p + "norm1.beta", d);
+    b.qkv_w = take(params, p + "attn.qkv.weight", d * 3 * d);
+    b.qkv_b = take(params, p + "attn.qkv.bias", 3 * d);
+    b.proj_w = take(params, p + "attn.proj.weight", d * d);
+    b.proj_b = take(params, p + "attn.proj.bias", d);
+    b.norm2_gamma = take(params, p + "norm2.gamma", d);
+    b.norm2_beta = take(params, p + "norm2.beta", d);
+    b.fc1_w = take(params, p + "mlp.fc1.weight", d * hidden_);
+    b.fc1_b = take(params, p + "mlp.fc1.bias", hidden_);
+    b.fc2_w = take(params, p + "mlp.fc2.weight", hidden_ * d);
+    b.fc2_b = take(params, p + "mlp.fc2.bias", d);
+  }
+  norm_gamma = take(params, "encoder.norm.gamma", d);
+  norm_beta = take(params, "encoder.norm.beta", d);
+  head_w = take(params, "head.weight", d * config_.num_classes);
+  head_b = take(params, "head.bias", config_.num_classes);
+
+  const std::int64_t rows = static_cast<std::int64_t>(max_batch) * n;
+  ws_.patches.resize(static_cast<std::size_t>(rows * pp));
+  ws_.x.resize(static_cast<std::size_t>(rows * d));
+  ws_.norm.resize(static_cast<std::size_t>(rows * d));
+  ws_.qkv.resize(static_cast<std::size_t>(rows * 3 * d));
+  ws_.ctx.resize(static_cast<std::size_t>(rows * d));
+  ws_.proj.resize(static_cast<std::size_t>(rows * d));
+  ws_.hidden.resize(static_cast<std::size_t>(rows * hidden_));
+  ws_.scores.resize(static_cast<std::size_t>(n * n));
+  ws_.pooled.resize(static_cast<std::size_t>(static_cast<std::int64_t>(max_batch) * d));
+}
+
+void BatchedVitEngine::layer_norm_rows(const float* in, float* out, std::int64_t rows,
+                                       const float* gamma, const float* beta) const {
+  const std::int64_t d = config_.dim;
+  const float inv_d = 1.0F / static_cast<float>(d);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * d;
+    float* y = out + r * d;
+    // mean() is sum * (1/d) in the tape op — keep the reciprocal multiply.
+    float acc = 0.0F;
+    for (std::int64_t j = 0; j < d; ++j) {
+      acc += x[j];
+    }
+    const float mu = acc * inv_d;
+    float var_acc = 0.0F;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float centered = x[j] - mu;
+      var_acc += centered * centered;
+    }
+    const float var = var_acc * inv_d;
+    const float denom = std::sqrt(var + kLayerNormEps);
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float normalized = (x[j] - mu) / denom;
+      y[j] = normalized * gamma[j] + beta[j];
+    }
+  }
+}
+
+void BatchedVitEngine::forward_chunk(const float* coded, std::int64_t batch,
+                                     float* logits) const {
+  const std::int64_t d = config_.dim;
+  const std::int64_t n = config_.tokens();
+  const int patch = config_.patch;
+  const std::int64_t pp = static_cast<std::int64_t>(patch) * patch;
+  const std::int64_t gw = config_.image_w / patch;
+  const std::int64_t w = config_.image_w;
+  const std::int64_t h = config_.image_h;
+  const std::int64_t rows = batch * n;
+  const std::int64_t heads = config_.heads;
+  const std::int64_t hd = d / heads;
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  // Patchify: patches[(b, gy*gw+gx), py*p+px] = coded[b, gy*p+py, gx*p+px].
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* image = coded + b * h * w;
+    for (std::int64_t t = 0; t < n; ++t) {
+      const std::int64_t gy = t / gw;
+      const std::int64_t gx = t % gw;
+      float* dst = ws_.patches.data() + (b * n + t) * pp;
+      for (int py = 0; py < patch; ++py) {
+        const float* src = image + (gy * patch + py) * w + gx * patch;
+        std::memcpy(dst + static_cast<std::int64_t>(py) * patch, src,
+                    static_cast<std::size_t>(patch) * sizeof(float));
+      }
+    }
+  }
+
+  // Embedding: (patches @ We + be) + pos — bias first, then the positional
+  // add, matching Linear::forward followed by ViTEncoder::embed's add().
+  std::memset(ws_.x.data(), 0, static_cast<std::size_t>(rows * d) * sizeof(float));
+  detail::gemm_nn(ws_.patches.data(), embed_w.data(), ws_.x.data(), rows, pp, d);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < n; ++t) {
+      float* row = ws_.x.data() + (b * n + t) * d;
+      const float* pos = pos_embed.data() + t * d;
+      for (std::int64_t j = 0; j < d; ++j) {
+        row[j] = (row[j] + embed_b[j]) + pos[j];
+      }
+    }
+  }
+
+  for (const BlockWeights& blk : blocks_) {
+    // --- attention sublayer ---------------------------------------------
+    layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, blk.norm1_gamma.data(),
+                    blk.norm1_beta.data());
+    linear_rows(ws_.norm.data(), blk.qkv_w.data(), blk.qkv_b.data(), ws_.qkv.data(), rows, d,
+                3 * d);
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* qkv_base = ws_.qkv.data() + b * n * 3 * d;
+      for (std::int64_t head = 0; head < heads; ++head) {
+        // The head's q/k/v live strided inside the qkv rows:
+        // q[t][e] = qkv[b, t, head*hd + e], k at +D, v at +2D. The dots below
+        // accumulate in the same ascending order as the tape's q @ k^T and
+        // attn @ v matmuls, so no gather copies are needed.
+        const std::int64_t q_off = head * hd;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* q_row = qkv_base + i * 3 * d + q_off;
+          float* score_row = ws_.scores.data() + i * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float* k_row = qkv_base + j * 3 * d + d + q_off;
+            float acc = 0.0F;
+            for (std::int64_t l = 0; l < hd; ++l) {
+              acc += q_row[l] * k_row[l];
+            }
+            score_row[j] = acc;
+          }
+        }
+        // Scale applied after the matmul as a separate pass (mul_scalar
+        // comes after matmul on the tape), then row softmax.
+        for (std::int64_t i = 0; i < n * n; ++i) {
+          ws_.scores[static_cast<std::size_t>(i)] *= scale;
+        }
+        for (std::int64_t t = 0; t < n; ++t) {
+          softmax_row(ws_.scores.data() + t * n, n);
+        }
+        for (std::int64_t t = 0; t < n; ++t) {
+          const float* attn_row = ws_.scores.data() + t * n;
+          float* ctx_row = ws_.ctx.data() + (b * n + t) * d + q_off;
+          for (std::int64_t e = 0; e < hd; ++e) {
+            ctx_row[e] = 0.0F;
+          }
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float av = attn_row[j];
+            const float* v_row = qkv_base + j * 3 * d + 2 * d + q_off;
+            for (std::int64_t e = 0; e < hd; ++e) {
+              ctx_row[e] += av * v_row[e];
+            }
+          }
+        }
+      }
+    }
+    linear_rows(ws_.ctx.data(), blk.proj_w.data(), blk.proj_b.data(), ws_.proj.data(), rows, d,
+                d);
+    for (std::int64_t i = 0; i < rows * d; ++i) {
+      ws_.x[static_cast<std::size_t>(i)] =
+          ws_.x[static_cast<std::size_t>(i)] + ws_.proj[static_cast<std::size_t>(i)];
+    }
+
+    // --- MLP sublayer ----------------------------------------------------
+    layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, blk.norm2_gamma.data(),
+                    blk.norm2_beta.data());
+    linear_rows(ws_.norm.data(), blk.fc1_w.data(), blk.fc1_b.data(), ws_.hidden.data(), rows, d,
+                hidden_);
+    for (std::int64_t i = 0; i < rows * hidden_; ++i) {
+      ws_.hidden[static_cast<std::size_t>(i)] = gelu_scalar(ws_.hidden[static_cast<std::size_t>(i)]);
+    }
+    linear_rows(ws_.hidden.data(), blk.fc2_w.data(), blk.fc2_b.data(), ws_.proj.data(), rows,
+                hidden_, d);
+    for (std::int64_t i = 0; i < rows * d; ++i) {
+      ws_.x[static_cast<std::size_t>(i)] =
+          ws_.x[static_cast<std::size_t>(i)] + ws_.proj[static_cast<std::size_t>(i)];
+    }
+  }
+
+  layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, norm_gamma.data(), norm_beta.data());
+
+  // Token pooling: mean over N = sum in token order times 1/N.
+  const float inv_n = 1.0F / static_cast<float>(n);
+  std::memset(ws_.pooled.data(), 0, static_cast<std::size_t>(batch * d) * sizeof(float));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    float* pooled = ws_.pooled.data() + b * d;
+    for (std::int64_t t = 0; t < n; ++t) {
+      const float* row = ws_.norm.data() + (b * n + t) * d;
+      for (std::int64_t j = 0; j < d; ++j) {
+        pooled[j] += row[j];
+      }
+    }
+    for (std::int64_t j = 0; j < d; ++j) {
+      pooled[j] *= inv_n;
+    }
+  }
+
+  linear_rows(ws_.pooled.data(), head_w.data(), head_b.data(), logits, batch, d,
+              config_.num_classes);
+}
+
+Tensor BatchedVitEngine::classify_logits(const Tensor& coded) const {
+  SNAPPIX_CHECK(coded.ndim() == 3 && coded.shape()[1] == config_.image_h &&
+                    coded.shape()[2] == config_.image_w,
+                "engine expects (B, " << config_.image_h << ", " << config_.image_w
+                                      << "), got " << coded.shape().to_string());
+  const std::int64_t batch = coded.shape()[0];
+  std::vector<float> logits(static_cast<std::size_t>(batch * config_.num_classes));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::int64_t begin = 0; begin < batch; begin += max_batch_) {
+      const std::int64_t chunk = std::min<std::int64_t>(max_batch_, batch - begin);
+      forward_chunk(coded.data().data() + begin * config_.image_h * config_.image_w, chunk,
+                    logits.data() + begin * config_.num_classes);
+    }
+  }
+  return Tensor::from_vector(std::move(logits), Shape{batch, config_.num_classes});
+}
+
+std::vector<std::int64_t> BatchedVitEngine::classify(const Tensor& coded) const {
+  return argmax_last_axis(classify_logits(coded));
+}
+
+}  // namespace snappix::runtime

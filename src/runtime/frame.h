@@ -1,0 +1,33 @@
+// Frame: the unit of data flowing through the streaming runtime.
+//
+// A frame is one coded image as it leaves a camera: already CE-compressed
+// (T exposure slots folded into a single (H, W) image) and exposure-
+// normalized, i.e. exactly the tensor the server-side ViT consumes. The
+// byte counters carry the sensor-side accounting (what a conventional
+// T-frame readout would have shipped vs. what actually went on the wire) so
+// RuntimeStats can report fleet-level compression and energy numbers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace snappix::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+struct Frame {
+  int camera_id = -1;
+  std::int64_t sequence = -1;  // per-camera frame index, starts at 0
+  Tensor coded;                // (H, W) exposure-normalized coded image
+  std::int64_t label = -1;     // ground-truth motion class, -1 when unknown
+
+  std::uint64_t raw_bytes = 0;   // conventional T-frame readout volume
+  std::uint64_t wire_bytes = 0;  // coded-image volume actually transmitted
+
+  Clock::time_point capture_start{};  // camera began producing this frame
+  Clock::time_point enqueue_time{};   // frame entered the FrameQueue
+};
+
+}  // namespace snappix::runtime

@@ -1,0 +1,83 @@
+#include "runtime/frame_queue.h"
+
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+FrameQueue::FrameQueue(std::size_t capacity) : capacity_(capacity) {
+  SNAPPIX_CHECK(capacity > 0, "FrameQueue capacity must be positive");
+}
+
+bool FrameQueue::push(Frame frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [this] { return closed_ || frames_.size() < capacity_; });
+  if (closed_) {
+    return false;
+  }
+  frames_.push_back(std::move(frame));
+  ++total_pushed_;
+  high_water_ = std::max(high_water_, frames_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool FrameQueue::pop(Frame& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !frames_.empty(); });
+  if (frames_.empty()) {
+    return false;  // closed and drained
+  }
+  out = std::move(frames_.front());
+  frames_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+bool FrameQueue::pop_until(Frame& out, Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!not_empty_.wait_until(lock, deadline,
+                             [this] { return closed_ || !frames_.empty(); })) {
+    return false;  // timed out
+  }
+  if (frames_.empty()) {
+    return false;  // closed and drained
+  }
+  out = std::move(frames_.front());
+  frames_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void FrameQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool FrameQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t FrameQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_.size();
+}
+
+std::uint64_t FrameQueue::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_pushed_;
+}
+
+std::size_t FrameQueue::high_water_mark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+}  // namespace snappix::runtime

@@ -1,0 +1,59 @@
+// FrameQueue: bounded MPMC queue connecting camera producers to the server
+// consumer, with blocking backpressure.
+//
+// Multiple camera threads push concurrently; the batch aggregator pops. When
+// the queue is full, push() blocks — that is the backpressure that keeps a
+// slow server from being buried by fast sensors (frames queue up at the edge,
+// exactly as a real sensor's MIPI link would stall). close() wakes everyone:
+// pending pops drain the remaining frames, then return false.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "runtime/frame.h"
+
+namespace snappix::runtime {
+
+class FrameQueue {
+ public:
+  explicit FrameQueue(std::size_t capacity);
+
+  FrameQueue(const FrameQueue&) = delete;
+  FrameQueue& operator=(const FrameQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (dropping `frame`) only if
+  // the queue was closed before space became available.
+  bool push(Frame frame);
+
+  // Blocks while the queue is empty. Returns false once closed AND drained.
+  bool pop(Frame& out);
+
+  // Like pop(), but gives up at `deadline`; false on timeout or closed+drained.
+  bool pop_until(Frame& out, Clock::time_point deadline);
+
+  // Idempotent. After close(), pushes fail and pops drain whatever is left.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+  // Lifetime counters for RuntimeStats.
+  std::uint64_t total_pushed() const;
+  std::size_t high_water_mark() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Frame> frames_;
+  bool closed_ = false;
+  std::uint64_t total_pushed_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace snappix::runtime

@@ -1,0 +1,85 @@
+// StreamingRuntime: the multi-camera serving facade.
+//
+// Wires cameras -> StreamScheduler -> FrameQueue -> BatchAggregator ->
+// batched ViT inference, with RuntimeStats instrumentation throughout:
+//
+//   camera threads (ThreadPool)          consumer (caller's thread)
+//   ┌────────────┐  push                 ┌───────────────┐
+//   │ capture+CE ├───────► FrameQueue ──►│ batch, infer, │──► results
+//   │  encode    │  (bounded, blocking)  │  record stats │
+//   └────────────┘                       └───────────────┘
+//
+// Two inference backends serve a batch:
+//   kFusedEngine    BatchedVitEngine — fused, allocation-free forward
+//                   (bit-identical to the tape framework; the default)
+//   kTapeFramework  SnapPixSystem::classify_logits_coded — the tape-based
+//                   per-op path; batch-1 with this backend is the naive
+//                   sequential serving baseline benchmarks compare against
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/snappix.h"
+#include "runtime/batcher.h"
+#include "runtime/camera.h"
+#include "runtime/engine.h"
+#include "runtime/frame_queue.h"
+#include "runtime/scheduler.h"
+#include "runtime/stats.h"
+
+namespace snappix::runtime {
+
+enum class InferenceBackend { kFusedEngine, kTapeFramework };
+
+struct RuntimeConfig {
+  BatchPolicy batch;
+  std::size_t queue_capacity = 64;
+  // 0 = one producer thread per camera (see StreamScheduler for the
+  // semantics of an explicit smaller cap).
+  int scheduler_threads = 0;
+  InferenceBackend backend = InferenceBackend::kFusedEngine;
+};
+
+struct InferenceResult {
+  int camera_id = -1;
+  std::int64_t sequence = -1;
+  std::int64_t predicted = -1;
+  std::int64_t label = -1;  // ground truth when the camera knows it
+};
+
+class StreamingRuntime {
+ public:
+  // The system provides the served model; its pattern is also the default
+  // camera pattern. The runtime keeps a reference — the system must outlive it.
+  StreamingRuntime(const core::SnapPixSystem& system, const RuntimeConfig& config = {});
+
+  void add_camera(std::unique_ptr<CameraSource> camera);
+  std::size_t camera_count() const { return scheduler_.camera_count(); }
+
+  // Runs every camera for `frames_per_camera` frames, serving batches on the
+  // calling thread until the stream drains. One-shot. Results are returned
+  // sorted by (camera_id, sequence) so runs are comparable.
+  std::vector<InferenceResult> run(std::int64_t frames_per_camera);
+
+  // Valid after run().
+  RuntimeSummary summary() const;
+  FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
+                                 energy::WirelessTech tech) const;
+
+  const RuntimeStats& stats() const { return stats_; }
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  const core::SnapPixSystem& system_;
+  RuntimeConfig config_;
+  std::unique_ptr<BatchedVitEngine> engine_;  // null for kTapeFramework
+  FrameQueue queue_;
+  RuntimeStats stats_;
+  StreamScheduler scheduler_;
+  double wall_seconds_ = 0.0;
+  std::int64_t pixels_per_frame_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace snappix::runtime

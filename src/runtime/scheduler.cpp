@@ -1,0 +1,72 @@
+#include "runtime/scheduler.h"
+
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+StreamScheduler::StreamScheduler(FrameQueue& queue, RuntimeStats& stats, int threads)
+    : queue_(queue), stats_(stats), threads_(threads) {
+  SNAPPIX_CHECK(threads >= 0, "scheduler thread count must be >= 0");
+}
+
+StreamScheduler::~StreamScheduler() {
+  // Unblock producers stuck in push() before the pool's destructor joins.
+  queue_.close();
+}
+
+void StreamScheduler::add_camera(std::unique_ptr<CameraSource> camera) {
+  SNAPPIX_CHECK(!started_, "cannot add cameras after start()");
+  SNAPPIX_CHECK(camera != nullptr, "null camera");
+  cameras_.push_back(std::move(camera));
+}
+
+void StreamScheduler::start(std::int64_t frames_per_camera) {
+  SNAPPIX_CHECK(!started_, "scheduler already started");
+  SNAPPIX_CHECK(!cameras_.empty(), "no cameras to schedule");
+  SNAPPIX_CHECK(frames_per_camera > 0, "frames_per_camera must be positive");
+  started_ = true;
+  // One producer thread per camera by default: producers spend most of their
+  // time blocked in push() under backpressure, so oversubscribing cores is
+  // the right model (and preemption provides the multiplexing on small hosts).
+  const int threads = threads_ > 0 ? threads_ : static_cast<int>(cameras_.size());
+  pool_ = std::make_unique<ThreadPool>(threads);
+  active_producers_.store(static_cast<int>(cameras_.size()));
+  for (const auto& camera : cameras_) {
+    CameraSource* cam = camera.get();
+    pool_->submit([this, cam, frames_per_camera] { produce(*cam, frames_per_camera); });
+  }
+}
+
+void StreamScheduler::produce(CameraSource& camera, std::int64_t frames) {
+  // ThreadPool tasks must not throw (an escaping exception aborts the
+  // process), and a producer that dies without the fetch_sub below would
+  // leave the queue open forever. A failing camera therefore logs and drops
+  // out; the rest of the fleet keeps streaming.
+  try {
+    for (std::int64_t i = 0; i < frames; ++i) {
+      const Clock::time_point t0 = Clock::now();
+      Frame frame = camera.next_frame();
+      frame.capture_start = t0;
+      stats_.record_capture(std::chrono::duration<double>(Clock::now() - t0).count());
+      frame.enqueue_time = Clock::now();
+      if (!queue_.push(std::move(frame))) {
+        break;  // queue closed under us — runtime is shutting down
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "runtime: camera %d failed: %s\n", camera.id(), e.what());
+  }
+  if (active_producers_.fetch_sub(1) == 1) {
+    queue_.close();  // last producer out turns off the lights
+  }
+}
+
+void StreamScheduler::join() {
+  if (pool_ != nullptr) {
+    pool_->wait_idle();
+  }
+}
+
+}  // namespace snappix::runtime

@@ -1,0 +1,62 @@
+// StreamScheduler: drives N camera producers onto one FrameQueue.
+//
+// Each camera gets a long-running producer task on the shared ThreadPool
+// (util/parallel.h): loop { capture -> stamp -> blocking push }. The pool
+// defaults to one worker per camera (producers mostly block on backpressure,
+// so oversubscribing cores is the right model). Producer tasks run to
+// completion: a pool smaller than the fleet serves cameras in waves, not
+// interleaved.
+// The last producer to finish closes the queue so the consumer drains and
+// exits cleanly. All cameras own their Rng streams, so a camera's frame
+// sequence is reproducible no matter how the producers interleave.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "runtime/camera.h"
+#include "runtime/frame_queue.h"
+#include "runtime/stats.h"
+#include "util/parallel.h"
+
+namespace snappix::runtime {
+
+class StreamScheduler {
+ public:
+  // `threads` = 0 spawns one producer thread per camera at start(). Huge
+  // fleets should pass an explicit cap — but note producer tasks run to
+  // completion, so `threads` < cameras processes cameras in waves rather
+  // than interleaving them.
+  StreamScheduler(FrameQueue& queue, RuntimeStats& stats, int threads = 0);
+  ~StreamScheduler();
+
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  void add_camera(std::unique_ptr<CameraSource> camera);
+  std::size_t camera_count() const { return cameras_.size(); }
+
+  // Launches one producer task per camera, each emitting `frames_per_camera`
+  // frames. Returns immediately; the queue is closed when every producer is
+  // done (or the queue was closed externally).
+  void start(std::int64_t frames_per_camera);
+
+  // Blocks until all producers have finished.
+  void join();
+
+ private:
+  void produce(CameraSource& camera, std::int64_t frames);
+
+  FrameQueue& queue_;
+  RuntimeStats& stats_;
+  int threads_;
+  std::vector<std::unique_ptr<CameraSource>> cameras_;
+  std::atomic<int> active_producers_{0};
+  bool started_ = false;
+  // Declared last: producer tasks touch every member above, so the pool must
+  // join its workers (its destructor) before anything they use is destroyed.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace snappix::runtime

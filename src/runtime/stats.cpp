@@ -1,0 +1,164 @@
+#include "runtime/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+void LatencySeries::record(double seconds) { samples_.push_back(seconds); }
+
+double LatencySeries::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const double s : samples_) {
+    acc += s;
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+double LatencySeries::percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SNAPPIX_CHECK(p >= 0.0 && p <= 100.0, "percentile " << p << " out of [0, 100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+namespace {
+
+StageSummary summarize(const LatencySeries& series) {
+  StageSummary out;
+  out.count = series.count();
+  out.mean_ms = series.mean() * 1e3;
+  out.p50_ms = series.percentile(50.0) * 1e3;
+  out.p99_ms = series.percentile(99.0) * 1e3;
+  return out;
+}
+
+}  // namespace
+
+void RuntimeStats::record_capture(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capture_.record(seconds);
+}
+
+void RuntimeStats::record_queue_wait(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_wait_.record(seconds);
+}
+
+void RuntimeStats::record_batch(std::size_t batch_size, double inference_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_frames_ += batch_size;
+  inference_.record(inference_seconds);
+}
+
+void RuntimeStats::record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
+                                     double end_to_end_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++frames_;
+  raw_bytes_ += raw_bytes;
+  wire_bytes_ += wire_bytes;
+  end_to_end_.record(end_to_end_seconds);
+}
+
+void RuntimeStats::set_queue_high_water(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_high_water_ = std::max(queue_high_water_, depth);
+}
+
+RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RuntimeSummary out;
+  out.frames = frames_;
+  out.batches = batches_;
+  out.wall_seconds = wall_seconds;
+  out.aggregate_fps =
+      wall_seconds > 0.0 ? static_cast<double>(frames_) / wall_seconds : 0.0;
+  out.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(batched_frames_) / static_cast<double>(batches_) : 0.0;
+  out.queue_high_water = queue_high_water_;
+  out.capture = summarize(capture_);
+  out.queue_wait = summarize(queue_wait_);
+  out.inference = summarize(inference_);
+  out.end_to_end = summarize(end_to_end_);
+  out.raw_bytes = raw_bytes_;
+  out.wire_bytes = wire_bytes_;
+  out.compression_ratio =
+      wire_bytes_ > 0 ? static_cast<double>(raw_bytes_) / static_cast<double>(wire_bytes_) : 0.0;
+  return out;
+}
+
+FleetEnergyReport RuntimeStats::fleet_energy(const energy::EnergyModel& model,
+                                             std::int64_t pixels_per_frame, int slots,
+                                             energy::WirelessTech tech) const {
+  std::uint64_t frames = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    frames = frames_;
+  }
+  FleetEnergyReport report;
+  report.conventional_j =
+      static_cast<double>(frames) *
+      model.conventional_edge_energy_j(pixels_per_frame, slots, tech);
+  report.snappix_j = static_cast<double>(frames) *
+                     model.snappix_edge_energy_j(pixels_per_frame, slots, tech);
+  report.saving_factor =
+      report.snappix_j > 0.0 ? report.conventional_j / report.snappix_j : 0.0;
+  return report;
+}
+
+std::string to_string(const RuntimeSummary& s) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  frames %llu in %.3f s -> %.1f fps (batches %llu, mean size %.2f)\n"
+      "  latency ms (mean/p50/p99): capture %.3f/%.3f/%.3f  queue %.3f/%.3f/%.3f\n"
+      "                             infer %.3f/%.3f/%.3f  e2e %.3f/%.3f/%.3f\n"
+      "  queue high water %zu; bytes raw %llu vs wire %llu (%.1fx compression)\n",
+      static_cast<unsigned long long>(s.frames), s.wall_seconds, s.aggregate_fps,
+      static_cast<unsigned long long>(s.batches), s.mean_batch_size, s.capture.mean_ms,
+      s.capture.p50_ms, s.capture.p99_ms, s.queue_wait.mean_ms, s.queue_wait.p50_ms,
+      s.queue_wait.p99_ms, s.inference.mean_ms, s.inference.p50_ms, s.inference.p99_ms,
+      s.end_to_end.mean_ms, s.end_to_end.p50_ms, s.end_to_end.p99_ms, s.queue_high_water,
+      static_cast<unsigned long long>(s.raw_bytes),
+      static_cast<unsigned long long>(s.wire_bytes), s.compression_ratio);
+  return buf;
+}
+
+std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
+                    const std::string& label) {
+  std::ostringstream os;
+  os << "{\"label\": \"" << label << "\", \"frames\": " << s.frames
+     << ", \"batches\": " << s.batches << ", \"wall_seconds\": " << s.wall_seconds
+     << ", \"aggregate_fps\": " << s.aggregate_fps
+     << ", \"mean_batch_size\": " << s.mean_batch_size
+     << ", \"queue_high_water\": " << s.queue_high_water
+     << ", \"capture_p50_ms\": " << s.capture.p50_ms
+     << ", \"capture_p99_ms\": " << s.capture.p99_ms
+     << ", \"queue_wait_p50_ms\": " << s.queue_wait.p50_ms
+     << ", \"queue_wait_p99_ms\": " << s.queue_wait.p99_ms
+     << ", \"inference_p50_ms\": " << s.inference.p50_ms
+     << ", \"inference_p99_ms\": " << s.inference.p99_ms
+     << ", \"e2e_p50_ms\": " << s.end_to_end.p50_ms
+     << ", \"e2e_p99_ms\": " << s.end_to_end.p99_ms << ", \"raw_bytes\": " << s.raw_bytes
+     << ", \"wire_bytes\": " << s.wire_bytes
+     << ", \"compression_ratio\": " << s.compression_ratio
+     << ", \"energy_conventional_j\": " << energy.conventional_j
+     << ", \"energy_snappix_j\": " << energy.snappix_j
+     << ", \"energy_saving_factor\": " << energy.saving_factor << "}";
+  return os.str();
+}
+
+}  // namespace snappix::runtime

@@ -1,0 +1,107 @@
+// RuntimeStats: thread-safe per-stage instrumentation for the streaming
+// runtime, plus the bridge into the Sec. VI-D energy model.
+//
+// Producers record capture latencies; the consumer records queue waits,
+// batch assembly, inference and end-to-end latencies plus byte counters.
+// summary() condenses everything into percentiles/throughput, and
+// fleet_energy() prices the recorded traffic with energy::EnergyModel so a
+// streaming run reports the same baseline-vs-SNAPPIX numbers as the static
+// scenario calculators.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "energy/model.h"
+
+namespace snappix::runtime {
+
+// Append-only latency series with percentile queries (seconds).
+class LatencySeries {
+ public:
+  void record(double seconds);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  // p in [0, 100]; nearest-rank on the sorted series. 0 when empty.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+struct StageSummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct RuntimeSummary {
+  std::uint64_t frames = 0;
+  std::uint64_t batches = 0;
+  double wall_seconds = 0.0;
+  double aggregate_fps = 0.0;     // frames / wall_seconds
+  double mean_batch_size = 0.0;
+  std::size_t queue_high_water = 0;
+
+  StageSummary capture;      // camera next_frame()
+  StageSummary queue_wait;   // enqueue -> pop
+  StageSummary inference;    // model forward per batch
+  StageSummary end_to_end;   // capture start -> result recorded
+
+  std::uint64_t raw_bytes = 0;   // conventional readout volume
+  std::uint64_t wire_bytes = 0;  // coded volume actually shipped
+  double compression_ratio = 0.0;  // raw / wire
+};
+
+struct FleetEnergyReport {
+  double conventional_j = 0.0;  // T-frame readout + transmit, whole run
+  double snappix_j = 0.0;       // CE capture + coded transmit, whole run
+  double saving_factor = 0.0;
+};
+
+class RuntimeStats {
+ public:
+  // --- producer side ---------------------------------------------------------
+  void record_capture(double seconds);
+
+  // --- consumer side ---------------------------------------------------------
+  void record_queue_wait(double seconds);
+  void record_batch(std::size_t batch_size, double inference_seconds);
+  void record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
+                         double end_to_end_seconds);
+  void set_queue_high_water(std::size_t depth);
+
+  // --- reporting -------------------------------------------------------------
+  RuntimeSummary summary(double wall_seconds) const;
+
+  // Prices the recorded frame traffic: every served frame represents one
+  // T-slot capture that a conventional pipeline would read out and transmit
+  // T times. `pixels_per_frame`/`slots` describe the camera geometry.
+  FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
+                                 std::int64_t pixels_per_frame, int slots,
+                                 energy::WirelessTech tech) const;
+
+ private:
+  mutable std::mutex mutex_;
+  LatencySeries capture_;
+  LatencySeries queue_wait_;
+  LatencySeries inference_;
+  LatencySeries end_to_end_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_frames_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::size_t queue_high_water_ = 0;
+};
+
+// Renders a summary as an aligned human-readable block / flat JSON object
+// (used by bench/streaming_throughput.cpp to emit BENCH_streaming.json).
+std::string to_string(const RuntimeSummary& summary);
+std::string to_json(const RuntimeSummary& summary, const FleetEnergyReport& energy,
+                    const std::string& label);
+
+}  // namespace snappix::runtime

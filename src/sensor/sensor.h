@@ -11,9 +11,17 @@
 // After all T slots, rows are read out through column-parallel ADCs and sent
 // over the MIPI CSI-2 link. Functional equivalence to Eqn. 1 is established
 // by tests; the cycle/byte accounting feeds the energy model of Sec. VI-D.
+//
+// Thread-safety: capture*() methods are const and re-entrant — all per-capture
+// state (pixel array, DFF chains, activity counters) is thread-local, and only
+// the last-capture stats snapshot is shared (behind a mutex). One StackedSensor
+// may therefore be driven by several runtime camera threads concurrently, each
+// with its own Rng; concurrent callers should take per-capture stats via the
+// `stats_out` parameter rather than the shared stats() snapshot.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "ce/pattern.h"
@@ -62,17 +70,22 @@ class StackedSensor {
 
   // Captures one coded frame from a (T, H, W) scene with intensities in
   // [0, 1]. Returns the digital coded image (H, W) in ADC codes (floats).
-  Tensor capture(const Tensor& scene, Rng& rng);
+  // `stats_out`, when non-null, receives THIS capture's counters — the
+  // race-free way to consume stats when several threads share one sensor
+  // (stats() only snapshots the most recently finished capture).
+  Tensor capture(const Tensor& scene, Rng& rng, CaptureStats* stats_out = nullptr) const;
 
   // Conventional (non-CE) reference mode: captures the same scene as T
   // separate frames, each fully exposed, read out, and transmitted — the
   // baseline pipeline of Sec. VI-D. Returns (T, H, W) in ADC codes; stats
   // accumulate across all T read-outs, so comparing against capture() shows
   // the CE read-out/transmission reduction directly in simulation.
-  Tensor capture_conventional(const Tensor& scene, Rng& rng);
+  Tensor capture_conventional(const Tensor& scene, Rng& rng,
+                              CaptureStats* stats_out = nullptr) const;
 
   // Digital codes normalized back to scene units: code / code_per_unit().
-  Tensor capture_normalized(const Tensor& scene, Rng& rng);
+  Tensor capture_normalized(const Tensor& scene, Rng& rng,
+                            CaptureStats* stats_out = nullptr) const;
 
   // The ideal (noise-free, unquantized) Eqn.-1 output in ADC codes; used by
   // tests to bound simulator-vs-math divergence.
@@ -81,20 +94,44 @@ class StackedSensor {
   // Digital code corresponding to one scene-intensity unit in one slot.
   float code_per_unit() const;
 
-  const CaptureStats& stats() const { return stats_; }
+  // Snapshot of the most recent capture's activity counters (any thread).
+  CaptureStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
   const SensorConfig& config() const { return config_; }
   const ce::CePattern& pattern() const { return pattern_; }
   std::int64_t tiles() const { return tiles_; }
 
  private:
-  void run_slot(int slot, const Tensor& scene, Rng& rng);
+  // Per-capture working state: thread-local so concurrent captures never
+  // share pixels or DFF chains, cached so a camera thread pays the array
+  // construction once, not per frame. The signature fields detect a thread
+  // switching between sensors of different geometry/pixel parameters.
+  struct CaptureState {
+    std::vector<ApsPixel> pixels;       // row-major (H, W)
+    std::vector<DffShiftChain> chains;  // one per tile, row-major tile grid
+    CaptureStats stats;
+    std::int64_t sig_height = -1;
+    std::int64_t sig_width = -1;
+    int sig_tile = -1;
+    PixelParams sig_pixel;
+  };
+  // Returns this thread's state, (re)built if the signature changed, with
+  // stats cleared. `with_chains` = false skips the DFF chains (conventional
+  // mode has no pattern streaming to simulate).
+  CaptureState& thread_capture_state(bool with_chains) const;
+  void run_slot(int slot, const Tensor& scene, Rng& rng, CaptureState& state) const;
+  void publish_stats(const CaptureStats& stats) const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_ = stats;
+  }
 
   SensorConfig config_;
   ce::CePattern pattern_;
   std::int64_t tiles_;
-  std::vector<ApsPixel> pixels_;       // row-major (H, W)
-  std::vector<DffShiftChain> chains_;  // one per tile, row-major tile grid
-  CaptureStats stats_;
+  mutable std::mutex stats_mutex_;
+  mutable CaptureStats stats_;  // last-capture snapshot, guarded by stats_mutex_
 };
 
 }  // namespace snappix::sensor

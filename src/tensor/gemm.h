@@ -1,0 +1,29 @@
+// Raw single-precision GEMM kernels shared by the autograd matmul op and the
+// fused serving engine (runtime/engine.cpp).
+//
+// The serving engine must produce logits bit-identical to the tape-based
+// forward pass, so it calls the *same* kernel the matmul op uses rather than
+// reimplementing the loop (identical code + identical flags = identical
+// floating-point results).
+#pragma once
+
+#include <cstdint>
+
+namespace snappix::detail {
+
+// c(m,n) = a(m,k) * b(k,n). `c` MUST be zero-initialized: the tiled kernel
+// sums each element's k products (in ascending order) into a local
+// accumulator and stores the total, which rounds differently from
+// element-wise accumulation if c started nonzero.
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n);
+
+// c(m,k) += a(m,n) * b(k,n)^T  (i.e. a * b^T)
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+             std::int64_t k);
+
+// c(k,n) += a(m,k)^T * b(m,n)
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n);
+
+}  // namespace snappix::detail
