@@ -15,8 +15,15 @@
 // the fused engine replicates the tape ops' float semantics exactly, so
 // batching is a pure latency/throughput trade, never an accuracy one.
 //
-// Writes BENCH_streaming.json next to the working directory. `--quick`
-// shrinks the stream for CI smoke runs.
+// A fourth section benches the task-typed InferenceServer on a heterogeneous
+// fleet: 8 cameras over 4 distinct CE patterns with an AR+REC task mix,
+// served through the sharded pattern->engine cache. It reports cache hit
+// rate / evictions / fps at two cache sizes (everything resident vs a
+// 1-entry cache under thrash) and verifies both task heads stay
+// bit-identical to the sequential tape paths.
+//
+// Writes BENCH_streaming.json and BENCH_pattern_cache.json next to the
+// working directory. `--quick` shrinks the streams for CI smoke runs.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +35,7 @@
 #include "core/snappix.h"
 #include "runtime/camera.h"
 #include "runtime/runtime.h"
+#include "runtime/server.h"
 
 namespace {
 
@@ -39,6 +47,7 @@ using namespace snappix;
 constexpr int kStreamImage = 16;
 constexpr int kStreamFrames = 8;
 constexpr int kCameras = 8;
+constexpr int kHeteroPatterns = 4;  // distinct CE patterns in the hetero fleet
 
 struct RecordedStream {
   std::vector<Tensor> coded;  // (H, W) exposure-normalized frames
@@ -240,6 +249,138 @@ int main(int argc, char** argv) {
   json.close();
   std::printf("wrote BENCH_streaming.json\n");
 
+  // --- heterogeneous fleet: 4 patterns, AR+REC mix, pattern->engine cache ---
+  bench::print_rule();
+  std::printf("heterogeneous fleet: %d cameras x %d patterns, AR+REC mix\n", kCameras,
+              kHeteroPatterns);
+  const std::int64_t hetero_frames = quick ? 25 : 100;
+
+  std::vector<runtime::PatternRef> patterns;
+  {
+    Rng hetero_rng(19);
+    for (int p = 0; p < kHeteroPatterns; ++p) {
+      patterns.push_back(runtime::make_pattern_ref(
+          ce::CePattern::random(kStreamFrames, cfg.tile, hetero_rng, 0.5F)));
+    }
+  }
+  // Camera c uses pattern c % 4; the last two cameras request reconstruction.
+  std::vector<RecordedStream> hetero_streams;
+  for (int cam = 0; cam < kCameras; ++cam) {
+    runtime::SyntheticCameraSource source(cam, camera_scene(cam),
+                                          patterns[static_cast<std::size_t>(cam % kHeteroPatterns)],
+                                          2000 + static_cast<std::uint64_t>(cam));
+    RecordedStream stream;
+    for (std::int64_t i = 0; i < hetero_frames; ++i) {
+      runtime::Frame frame = source.next_frame();
+      stream.coded.push_back(std::move(frame.coded));
+      stream.labels.push_back(frame.label);
+    }
+    hetero_streams.push_back(std::move(stream));
+  }
+
+  const auto run_hetero = [&](const char* label, const runtime::EngineCacheConfig& cache_cfg,
+                              std::int64_t frames) {
+    runtime::ServerConfig server_cfg;
+    server_cfg.batch.max_batch = kCameras;
+    server_cfg.batch.max_delay = std::chrono::microseconds(2000);
+    server_cfg.cache = cache_cfg;
+    runtime::InferenceServer server(system, server_cfg);
+    for (int cam = 0; cam < kCameras; ++cam) {
+      auto camera = std::make_unique<runtime::ReplayCameraSource>(
+          cam, patterns[static_cast<std::size_t>(cam % kHeteroPatterns)],
+          hetero_streams[static_cast<std::size_t>(cam)].coded,
+          hetero_streams[static_cast<std::size_t>(cam)].labels);
+      if (cam >= kCameras - 2) {
+        camera->set_task(runtime::Task::kReconstruct);
+      }
+      server.add_camera(std::move(camera));
+    }
+    auto results = server.run(frames);
+    auto summary = server.summary();
+    std::printf("\n[%s] shards=%zu capacity/shard=%zu\n%s", label, cache_cfg.shards,
+                cache_cfg.capacity_per_shard, runtime::to_string(summary).c_str());
+    return std::make_pair(std::move(results), summary);
+  };
+
+  // All four patterns resident: every batch after first touch is a hit.
+  runtime::EngineCacheConfig roomy;
+  roomy.shards = 2;
+  roomy.capacity_per_shard = 4;
+  auto [hetero_results, hetero_summary] = run_hetero("pattern_cache_resident", roomy,
+                                                     hetero_frames);
+  // One-entry cache: pattern alternation thrashes, counting evictions.
+  runtime::EngineCacheConfig tiny;
+  tiny.shards = 1;
+  tiny.capacity_per_shard = 1;
+  auto [pressure_results, pressure_summary] =
+      run_hetero("pattern_cache_pressure", tiny, quick ? 10 : 25);
+  (void)pressure_results;
+
+  // Verify both task heads against the sequential tape paths, per camera.
+  bool hetero_identical = true;
+  {
+    NoGradGuard guard;
+    std::size_t idx = 0;
+    for (int cam = 0; cam < kCameras && hetero_identical; ++cam) {
+      const auto& stream = hetero_streams[static_cast<std::size_t>(cam)];
+      for (std::int64_t f = 0; f < hetero_frames && hetero_identical; ++f, ++idx) {
+        const Tensor& coded = stream.coded[static_cast<std::size_t>(
+            f % static_cast<std::int64_t>(stream.coded.size()))];
+        const Tensor one =
+            Tensor::from_vector(coded.data(), Shape{1, coded.shape()[0], coded.shape()[1]});
+        const auto& r = hetero_results[idx];
+        hetero_identical &= r.camera_id == cam && r.sequence == f;
+        if (r.task == runtime::Task::kClassify) {
+          hetero_identical &= r.predicted == system.classify_coded(one)[0];
+        } else {
+          const Tensor expected = system.reconstruct_coded(one);
+          const auto& actual = r.reconstruction.data();
+          hetero_identical &= actual.size() == expected.data().size();
+          for (std::size_t v = 0; hetero_identical && v < actual.size(); ++v) {
+            hetero_identical &= actual[v] == expected.data()[v];
+          }
+        }
+      }
+    }
+  }
+
+  const bool cache_hits_nonzero = hetero_summary.cache_hits > 0;
+  const bool pressure_evicted = pressure_summary.cache_evictions > 0;
+  std::printf("\nhetero bit-identical (AR+REC): %s   cache hits: %llu (rate %.2f)   "
+              "pressure evictions: %llu\n",
+              hetero_identical ? "yes" : "NO",
+              static_cast<unsigned long long>(hetero_summary.cache_hits),
+              hetero_summary.cache_hit_rate,
+              static_cast<unsigned long long>(pressure_summary.cache_evictions));
+
+  {
+    std::ofstream cache_json("BENCH_pattern_cache.json");
+    const auto arm_json = [](const runtime::RuntimeSummary& s,
+                             const runtime::EngineCacheConfig& c) {
+      std::string out = "{\"shards\": " + std::to_string(c.shards) +
+                        ", \"capacity_per_shard\": " + std::to_string(c.capacity_per_shard) +
+                        ", \"frames\": " + std::to_string(s.frames) +
+                        ", \"classify_frames\": " + std::to_string(s.classify_frames) +
+                        ", \"reconstruct_frames\": " + std::to_string(s.reconstruct_frames) +
+                        ", \"aggregate_fps\": " + std::to_string(s.aggregate_fps) +
+                        ", \"mean_batch_size\": " + std::to_string(s.mean_batch_size) +
+                        ", \"cache_hits\": " + std::to_string(s.cache_hits) +
+                        ", \"cache_misses\": " + std::to_string(s.cache_misses) +
+                        ", \"cache_evictions\": " + std::to_string(s.cache_evictions) +
+                        ", \"cache_hit_rate\": " + std::to_string(s.cache_hit_rate) + "}";
+      return out;
+    };
+    cache_json << "{\n  \"cameras\": " << kCameras
+               << ",\n  \"patterns\": " << kHeteroPatterns
+               << ",\n  \"frames_per_camera\": " << hetero_frames
+               << ",\n  \"task_mix\": \"" << (kCameras - 2) << " classify + 2 reconstruct\""
+               << ",\n  \"resident\": " << arm_json(hetero_summary, roomy)
+               << ",\n  \"pressure\": " << arm_json(pressure_summary, tiny)
+               << ",\n  \"bit_identical\": " << (hetero_identical ? "true" : "false")
+               << "\n}\n";
+  }
+  std::printf("wrote BENCH_pattern_cache.json\n");
+
   // Gate numerics strictly; gate throughput with a regression floor below
   // the 3x target so noisy shared CI runners don't flake the build (the
   // measured ratio on a quiet single core is 3.3-4.3x).
@@ -252,6 +393,13 @@ int main(int argc, char** argv) {
     std::printf("FAIL: batched serving only %.2fx over batch-1 (regression floor 2x)\n",
                 speedup_vs_batch1);
   }
-  const bool ok = identical_predictions && identical_logits && fast_enough;
+  if (!cache_hits_nonzero) {
+    std::printf("FAIL: heterogeneous fleet served with zero pattern-cache hits\n");
+  }
+  if (!pressure_evicted) {
+    std::printf("FAIL: 1-entry cache under 4-pattern thrash recorded no evictions\n");
+  }
+  const bool ok = identical_predictions && identical_logits && fast_enough &&
+                  hetero_identical && cache_hits_nonzero && pressure_evicted;
   return ok ? 0 : 1;
 }

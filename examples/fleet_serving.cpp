@@ -1,18 +1,22 @@
-// Fleet serving: many CE cameras streaming into one shared ViT server.
+// Fleet serving: a heterogeneous CE camera fleet streaming into one shared
+// task-typed inference server.
 //
 //   1. train a small SNAPPIX system (pattern + AR head) on synthetic data,
-//   2. stand up a StreamingRuntime over a heterogeneous camera fleet —
-//      mathematical encoders, a dataset replayer, and a cycle-level
-//      hardware-simulated sensor, each on its own producer thread,
-//   3. serve everything through batched fused-engine inference,
-//   4. report accuracy, throughput, latency percentiles, bytes-on-wire,
-//      and the fleet's Sec. VI-D energy bill.
+//   2. stand up a runtime::InferenceServer over a mixed fleet — most cameras
+//      share the system's learned pattern through one PatternRef (zero
+//      copies), one camera carries its own distinct pattern, and one camera
+//      requests video reconstruction instead of classification,
+//   3. serve everything through batched fused-engine inference, with batches
+//      split by (pattern, task) and engines resolved through the sharded
+//      pattern->engine cache,
+//   4. report accuracy, throughput, latency percentiles, cache traffic,
+//      bytes-on-wire, and the fleet's Sec. VI-D energy bill.
 #include <cstdio>
 #include <memory>
 
 #include "core/snappix.h"
 #include "runtime/camera.h"
-#include "runtime/runtime.h"
+#include "runtime/server.h"
 
 int main() {
   using namespace snappix;
@@ -45,28 +49,53 @@ int main() {
   const auto fit = system.train_action_recognition(dataset, train_cfg);
   std::printf("  test accuracy (offline): %.2f\n\n", static_cast<double>(fit.test_metric));
 
-  // 2. A heterogeneous 6-camera fleet sharing the learned pattern.
+  // 2. A heterogeneous 7-camera fleet. Cameras 0-4 share the system's learned
+  // pattern through ONE shared instance; camera 5 carries its own pattern
+  // (the server caches a second engine entry for it); camera 6 requests
+  // reconstruction instead of classification.
   data::SceneConfig scene = data_cfg.scene;
-  runtime::RuntimeConfig rt_cfg;
-  rt_cfg.batch.max_batch = 6;
-  rt_cfg.batch.max_delay = std::chrono::microseconds(3000);
-  runtime::StreamingRuntime rt(system, rt_cfg);
-  for (int cam = 0; cam < 4; ++cam) {
-    rt.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
-        cam, scene, system.pattern(), 900 + static_cast<std::uint64_t>(cam)));
+  runtime::ServerConfig server_cfg;
+  server_cfg.batch.max_batch = 6;
+  server_cfg.batch.max_delay = std::chrono::microseconds(3000);
+  server_cfg.cache.shards = 2;
+  server_cfg.cache.capacity_per_shard = 4;
+  runtime::InferenceServer server(system, server_cfg);
+
+  const runtime::PatternRef learned = system.pattern_ref();
+  for (int cam = 0; cam < 3; ++cam) {
+    server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        cam, scene, learned, 900 + static_cast<std::uint64_t>(cam)));
   }
-  rt.add_camera(std::make_unique<runtime::DatasetCameraSource>(
-      4, std::make_shared<const data::VideoDataset>(data_cfg), system.pattern()));
-  rt.add_camera(std::make_unique<runtime::SensorCameraSource>(
-      5, system.default_sensor_config(), scene, system.pattern(), 906));
+  server.add_camera(std::make_unique<runtime::DatasetCameraSource>(
+      3, std::make_shared<const data::VideoDataset>(data_cfg), learned));
+  server.add_camera(std::make_unique<runtime::SensorCameraSource>(
+      4, system.default_sensor_config(), scene, learned, 906));
+  {
+    Rng pattern_rng(77);
+    server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        5, scene, runtime::make_pattern_ref(ce::CePattern::random(8, cfg.tile, pattern_rng, 0.5F)),
+        907));
+  }
+  {
+    auto rec_camera =
+        std::make_unique<runtime::SyntheticCameraSource>(6, scene, learned, 908);
+    rec_camera->set_task(runtime::Task::kReconstruct);
+    server.add_camera(std::move(rec_camera));
+  }
 
   // 3. Stream 25 frames per camera through the batched server.
-  std::printf("serving 6 cameras x 25 frames...\n");
-  const auto results = rt.run(/*frames_per_camera=*/25);
+  std::printf("serving %zu cameras x 25 frames (2 patterns, AR+REC mix)...\n",
+              server.camera_count());
+  const auto results = server.run(/*frames_per_camera=*/25);
 
   int correct = 0;
   int labelled = 0;
+  int reconstructed = 0;
   for (const auto& r : results) {
+    if (r.task == runtime::Task::kReconstruct) {
+      ++reconstructed;
+      continue;
+    }
     if (r.label >= 0) {
       ++labelled;
       correct += r.predicted == r.label ? 1 : 0;
@@ -74,13 +103,15 @@ int main() {
   }
 
   // 4. Report.
-  const auto summary = rt.summary();
+  const auto summary = server.summary();
   std::printf("\n%s", runtime::to_string(summary).c_str());
-  std::printf("  streaming accuracy: %d/%d (%.2f)\n", correct, labelled,
-              labelled > 0 ? static_cast<double>(correct) / labelled : 0.0);
-  const auto wifi = rt.fleet_energy(energy::EnergyModel{}, energy::WirelessTech::kPassiveWifi);
+  std::printf("  streaming accuracy: %d/%d (%.2f); %d clips reconstructed\n", correct,
+              labelled, labelled > 0 ? static_cast<double>(correct) / labelled : 0.0,
+              reconstructed);
+  const auto wifi =
+      server.fleet_energy(energy::EnergyModel{}, energy::WirelessTech::kPassiveWifi);
   const auto lora =
-      rt.fleet_energy(energy::EnergyModel{}, energy::WirelessTech::kLoraBackscatter);
+      server.fleet_energy(energy::EnergyModel{}, energy::WirelessTech::kLoraBackscatter);
   std::printf("  fleet energy, passive Wi-Fi: %.4f J vs %.4f J conventional (%.1fx saved)\n",
               wifi.snappix_j, wifi.conventional_j, wifi.saving_factor);
   std::printf("  fleet energy, LoRa backscatter: %.2f J vs %.2f J conventional (%.1fx saved)\n",

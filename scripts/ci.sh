@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the test suite, then the streaming
-# throughput bench in quick mode (emits BENCH_streaming.json in build/).
+# throughput bench in quick mode (emits BENCH_streaming.json and
+# BENCH_pattern_cache.json in build/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +12,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 # Streaming bench: quick mode keeps CI fast; the binary exits non-zero if the
-# batched path is not bit-identical to the sequential path.
+# batched path is not bit-identical to the sequential path, or if the
+# heterogeneous pattern-cache run fails its hit/eviction gates.
 (cd "$BUILD_DIR" && ./bench_streaming_throughput --quick)
 echo "BENCH_streaming.json:"
 cat "$BUILD_DIR/BENCH_streaming.json"
+echo "BENCH_pattern_cache.json:"
+cat "$BUILD_DIR/BENCH_pattern_cache.json"

@@ -131,6 +131,28 @@ std::vector<std::uint8_t> CePattern::slot_bits(int slot) const {
   return out;
 }
 
+std::uint64_t CePattern::hash() const {
+  // FNV-1a, 64-bit. Geometry bytes first so (slots=2, tile=4) and
+  // (slots=4, tile=2) patterns with identical bit streams still differ.
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t byte) {
+    h ^= byte;
+    h *= kPrime;
+  };
+  for (int shift = 0; shift < 32; shift += 8) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(slots_) >> shift) & 0xFFU);
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tile_) >> shift) & 0xFFU);
+  }
+  for (const std::uint8_t bit : bits_) {
+    mix(bit);
+  }
+  return h;
+}
+
 void CePattern::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   SNAPPIX_CHECK(out.good(), "cannot open " << path << " for writing");

@@ -56,6 +56,12 @@ class CePattern {
   // (sensor Sec. V): raster order within the tile for a given slot.
   std::vector<std::uint8_t> slot_bits(int slot) const;
 
+  // Stable 64-bit content hash (FNV-1a over geometry + bits). Two patterns
+  // hash equal iff they compare equal (modulo the usual collision caveat);
+  // the value is independent of process, platform, and build, so it can key
+  // server-side caches and travel with frames as a wire-stable pattern id.
+  std::uint64_t hash() const;
+
   void save(const std::string& path) const;
   static CePattern load(const std::string& path);
 

@@ -22,7 +22,8 @@ models::ViTConfig backbone_config(Backbone backbone, std::int64_t image,
 SnapPixSystem::SnapPixSystem(const SnapPixConfig& config)
     : config_(config),
       rng_(config.seed),
-      pattern_(ce::CePattern::long_exposure(config.frames, config.tile)) {
+      pattern_(std::make_shared<const ce::CePattern>(
+          ce::CePattern::long_exposure(config.frames, config.tile))) {
   SNAPPIX_CHECK(config.image % config.tile == 0,
                 "image " << config.image << " not divisible by tile " << config.tile);
   auto vit = backbone_config(config.backbone, config.image, config.num_classes);
@@ -39,7 +40,7 @@ train::PatternTrainResult SnapPixSystem::learn_pattern(
     const data::VideoDataset& dataset, train::PatternTrainConfig pattern_config) {
   pattern_config.tile = config_.tile;
   auto result = train::learn_decorrelated_pattern(dataset, pattern_config);
-  pattern_ = result.pattern;
+  pattern_ = std::make_shared<const ce::CePattern>(result.pattern);
   return result;
 }
 
@@ -48,17 +49,17 @@ void SnapPixSystem::set_pattern(const ce::CePattern& pattern) {
                 "pattern (" << pattern.slots() << " slots, tile " << pattern.tile()
                             << ") does not match system (" << config_.frames << ", "
                             << config_.tile << ")");
-  pattern_ = pattern;
+  pattern_ = std::make_shared<const ce::CePattern>(pattern);
 }
 
 Tensor SnapPixSystem::normalized_input(const Tensor& coded) const {
   // Sec. IV: "each pixel value is normalized by the number of exposure slots".
-  return ce::normalize_by_exposure(coded, pattern_);
+  return ce::normalize_by_exposure(coded, *pattern_);
 }
 
 Tensor SnapPixSystem::encode(const Tensor& videos) const {
   NoGradGuard guard;
-  return normalized_input(ce::ce_encode(videos, pattern_));
+  return normalized_input(ce::ce_encode(videos, *pattern_));
 }
 
 float SnapPixSystem::pretrain(const data::VideoDataset& dataset, int epochs, float lr,
@@ -149,7 +150,7 @@ std::int64_t SnapPixSystem::classify_via_sensor(const Tensor& scene,
                                                 const sensor::StackedSensor& sensor,
                                                 Rng& rng) const {
   NoGradGuard guard;
-  SNAPPIX_CHECK(sensor.pattern() == pattern_,
+  SNAPPIX_CHECK(sensor.pattern() == *pattern_,
                 "sensor is programmed with a different CE pattern than the system");
   const Tensor coded = sensor.capture_normalized(scene, rng);  // (H, W) in scene units
   const Tensor batched = Tensor::from_vector(coded.data(),

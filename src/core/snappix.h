@@ -44,7 +44,15 @@ class SnapPixSystem {
   train::PatternTrainResult learn_pattern(const data::VideoDataset& dataset,
                                           train::PatternTrainConfig pattern_config = {});
   void set_pattern(const ce::CePattern& pattern);
-  const ce::CePattern& pattern() const { return pattern_; }
+  const ce::CePattern& pattern() const { return *pattern_; }
+  // Shared handle to the system pattern: cameras/sensors programmed with the
+  // system default hold this one instance instead of per-camera copies.
+  // set_pattern()/learn_pattern() install a NEW instance (copy-on-write), so
+  // handles taken earlier keep observing the pattern they were built with.
+  const std::shared_ptr<const ce::CePattern>& pattern_ref() const { return pattern_; }
+  // Stable content hash of the current pattern (CePattern::hash()) — the
+  // `pattern_id` frames carry through the serving runtime.
+  std::uint64_t pattern_hash() const { return pattern_->hash(); }
 
   // --- encoding ---------------------------------------------------------------
   // (B, T, H, W) videos -> exposure-normalized coded images (B, H, W).
@@ -109,7 +117,7 @@ class SnapPixSystem {
 
   SnapPixConfig config_;
   Rng rng_;
-  ce::CePattern pattern_;
+  std::shared_ptr<const ce::CePattern> pattern_;
   std::shared_ptr<models::ViTEncoder> encoder_;
   std::shared_ptr<models::SnapPixClassifier> classifier_;
   std::shared_ptr<models::SnapPixReconstructor> reconstructor_;

@@ -89,6 +89,7 @@ class SnapPixReconstructor : public nn::Module {
 
   int frames() const { return frames_; }
   std::shared_ptr<ViTEncoder> encoder() { return encoder_; }
+  std::shared_ptr<const ViTEncoder> encoder() const { return encoder_; }
 
  private:
   std::shared_ptr<ViTEncoder> encoder_;

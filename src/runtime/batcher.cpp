@@ -1,29 +1,58 @@
 #include "runtime/batcher.h"
 
 #include <cstring>
+#include <sstream>
+#include <stdexcept>
 
 #include "util/common.h"
 
 namespace snappix::runtime {
 
+void validate(const BatchPolicy& policy) {
+  if (policy.max_batch < 1) {
+    std::ostringstream os;
+    os << "BatchPolicy.max_batch must be >= 1 (a batch needs at least one frame), got "
+       << policy.max_batch;
+    throw std::invalid_argument(os.str());
+  }
+  if (policy.max_delay.count() < 0) {
+    std::ostringstream os;
+    os << "BatchPolicy.max_delay must be non-negative (0 = greedy, never wait), got "
+       << policy.max_delay.count() << " us";
+    throw std::invalid_argument(os.str());
+  }
+}
+
 BatchAggregator::BatchAggregator(FrameQueue& queue, const BatchPolicy& policy)
     : queue_(queue), policy_(policy) {
-  SNAPPIX_CHECK(policy.max_batch > 0, "batch policy needs max_batch >= 1");
-  SNAPPIX_CHECK(policy.max_delay.count() >= 0, "batch policy needs a non-negative delay");
+  validate(policy);
 }
 
 bool BatchAggregator::next_batch(std::vector<Frame>& out) {
   out.clear();
   Frame first;
-  if (!queue_.pop(first)) {
+  if (holdback_.has_value()) {
+    // dequeue_time was stamped when the frame actually left the queue — the
+    // held-back wait must not absorb the previous batch's inference time.
+    first = std::move(*holdback_);
+    holdback_.reset();
+  } else if (!queue_.pop(first)) {
     return false;
+  } else {
+    first.dequeue_time = Clock::now();
   }
+  last_key_ = BatchKey{first.pattern_id, first.task};
   const Clock::time_point deadline = Clock::now() + policy_.max_delay;
   out.push_back(std::move(first));
   while (static_cast<int>(out.size()) < policy_.max_batch) {
     Frame next;
     if (!queue_.pop_until(next, deadline)) {
       break;  // deadline hit, or queue closed and drained
+    }
+    next.dequeue_time = Clock::now();
+    if (!last_key_.matches(next)) {
+      holdback_ = std::move(next);  // different pattern/task opens the next batch
+      break;
     }
     out.push_back(std::move(next));
   }

@@ -1,13 +1,20 @@
 // BatchAggregator: coalesces frames from many cameras into server batches
-// under a max-batch-size / max-latency policy.
+// under a max-batch-size / max-latency policy, never mixing serving keys.
 //
 // The aggregator pops one frame (blocking), then keeps popping until either
 // the batch is full or `max_delay` has elapsed since the batch opened — the
 // standard serving trade-off: larger batches amortize per-dispatch cost,
 // the deadline bounds how long an early frame can sit waiting for company.
+//
+// Heterogeneous fleets add a constraint: a batch runs through ONE engine with
+// ONE task head, so coalescing must never cross a (pattern_id, task)
+// boundary. When a frame with a different key arrives mid-batch it is held
+// back (one-frame holdback, preserving global FIFO order) and opens the next
+// batch instead.
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "runtime/frame.h"
@@ -22,13 +29,32 @@ struct BatchPolicy {
   std::chrono::microseconds max_delay{2000};
 };
 
+// Throws std::invalid_argument with a descriptive message when the policy is
+// unusable (max_batch < 1 or negative max_delay).
+void validate(const BatchPolicy& policy);
+
+// The serving key: batches are homogeneous in both pattern and task.
+struct BatchKey {
+  std::uint64_t pattern_id = 0;
+  Task task = Task::kClassify;
+
+  bool matches(const Frame& frame) const {
+    return frame.pattern_id == pattern_id && frame.task == task;
+  }
+};
+
 class BatchAggregator {
  public:
   BatchAggregator(FrameQueue& queue, const BatchPolicy& policy);
 
   // Fills `out` with the next batch (clearing it first). Returns false when
-  // the queue is closed and fully drained. Batches preserve queue FIFO order.
+  // the queue is closed and fully drained (and no held-back frame remains).
+  // Batches preserve queue FIFO order and are homogeneous in
+  // (pattern_id, task); the batch's key is available via last_key().
   bool next_batch(std::vector<Frame>& out);
+
+  // Key of the batch most recently returned by next_batch().
+  const BatchKey& last_key() const { return last_key_; }
 
   // Stacks the batch's coded images into one (B, H, W) tensor.
   static Tensor stack_coded(const std::vector<Frame>& frames);
@@ -38,6 +64,9 @@ class BatchAggregator {
  private:
   FrameQueue& queue_;
   BatchPolicy policy_;
+  BatchKey last_key_;
+  // A frame popped mid-batch whose key differed: it opens the next batch.
+  std::optional<Frame> holdback_;
 };
 
 }  // namespace snappix::runtime

@@ -7,17 +7,22 @@
 
 namespace snappix::runtime {
 
-CameraSource::CameraSource(int id, ce::CePattern pattern)
-    : id_(id), pattern_(std::move(pattern)) {}
+CameraSource::CameraSource(int id, PatternRef pattern)
+    : id_(id), pattern_(std::move(pattern)) {
+  SNAPPIX_CHECK(pattern_ != nullptr, "camera " << id << " needs a CE pattern");
+  pattern_id_ = pattern_->hash();  // computed once, stamped on every frame
+}
 
 Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
   Frame frame;
   frame.camera_id = id_;
   frame.sequence = next_sequence_++;
+  frame.pattern_id = pattern_id_;
+  frame.task = task_;
   // 8-bit readout: a conventional pipeline ships all T slot frames, the CE
   // sensor ships one coded image of the same geometry.
   frame.wire_bytes = static_cast<std::uint64_t>(height * width);
-  frame.raw_bytes = frame.wire_bytes * static_cast<std::uint64_t>(pattern_.slots());
+  frame.raw_bytes = frame.wire_bytes * static_cast<std::uint64_t>(pattern_->slots());
   return frame;
 }
 
@@ -25,18 +30,18 @@ Tensor CameraSource::encode_normalized(const Tensor& clip) const {
   NoGradGuard guard;
   const Tensor batched = Tensor::from_vector(
       clip.data(), Shape{1, clip.shape()[0], clip.shape()[1], clip.shape()[2]});
-  const Tensor coded = ce::normalize_by_exposure(ce::ce_encode(batched, pattern_), pattern_);
+  const Tensor coded = ce::normalize_by_exposure(ce::ce_encode(batched, *pattern_), *pattern_);
   return Tensor::from_vector(coded.data(), Shape{clip.shape()[1], clip.shape()[2]});
 }
 
 // --- SyntheticCameraSource ---------------------------------------------------
 
 SyntheticCameraSource::SyntheticCameraSource(int id, const data::SceneConfig& scene,
-                                             ce::CePattern pattern, std::uint64_t seed)
+                                             PatternRef pattern, std::uint64_t seed)
     : CameraSource(id, std::move(pattern)), generator_(scene), rng_(seed) {
-  SNAPPIX_CHECK(scene.frames == pattern_.slots(),
+  SNAPPIX_CHECK(scene.frames == pattern_->slots(),
                 "camera " << id << ": scene frames " << scene.frames
-                          << " != pattern slots " << pattern_.slots());
+                          << " != pattern slots " << pattern_->slots());
 }
 
 Frame SyntheticCameraSource::next_frame() {
@@ -51,7 +56,7 @@ Frame SyntheticCameraSource::next_frame() {
 
 DatasetCameraSource::DatasetCameraSource(int id,
                                          std::shared_ptr<const data::VideoDataset> dataset,
-                                         ce::CePattern pattern, std::int64_t offset)
+                                         PatternRef pattern, std::int64_t offset)
     : CameraSource(id, std::move(pattern)), dataset_(std::move(dataset)), cursor_(offset) {
   SNAPPIX_CHECK(dataset_ != nullptr && dataset_->test_size() > 0,
                 "camera " << id << ": dataset has no test samples");
@@ -71,13 +76,13 @@ Frame DatasetCameraSource::next_frame() {
 // --- SensorCameraSource ------------------------------------------------------
 
 SensorCameraSource::SensorCameraSource(int id, const sensor::SensorConfig& sensor_config,
-                                       const data::SceneConfig& scene, ce::CePattern pattern,
+                                       const data::SceneConfig& scene, PatternRef pattern,
                                        std::uint64_t seed)
-    : CameraSource(id, pattern), sensor_(sensor_config, pattern), generator_(scene),
-      rng_(seed) {
-  SNAPPIX_CHECK(scene.frames == pattern_.slots(),
+    : CameraSource(id, std::move(pattern)), sensor_(sensor_config, pattern_),
+      generator_(scene), rng_(seed) {
+  SNAPPIX_CHECK(scene.frames == pattern_->slots(),
                 "camera " << id << ": scene frames " << scene.frames
-                          << " != pattern slots " << pattern_.slots());
+                          << " != pattern slots " << pattern_->slots());
   SNAPPIX_CHECK(scene.height == sensor_config.height && scene.width == sensor_config.width,
                 "camera " << id << ": scene geometry does not match sensor");
 }
@@ -93,19 +98,19 @@ Frame SensorCameraSource::next_frame() {
   const Tensor captured = sensor_.capture_normalized(sample.video, rng_, &stats);
   const Tensor batched = Tensor::from_vector(
       captured.data(), Shape{1, captured.shape()[0], captured.shape()[1]});
-  const Tensor normalized = ce::normalize_by_exposure(batched, pattern_);
+  const Tensor normalized = ce::normalize_by_exposure(batched, *pattern_);
   frame.coded =
       Tensor::from_vector(normalized.data(), Shape{captured.shape()[0], captured.shape()[1]});
   frame.label = sample.label;
   // Replace the analytic byte estimate with the simulated link's accounting.
   frame.wire_bytes = stats.mipi_bytes;
-  frame.raw_bytes = stats.mipi_bytes * static_cast<std::uint64_t>(pattern_.slots());
+  frame.raw_bytes = stats.mipi_bytes * static_cast<std::uint64_t>(pattern_->slots());
   return frame;
 }
 
 // --- ReplayCameraSource ------------------------------------------------------
 
-ReplayCameraSource::ReplayCameraSource(int id, ce::CePattern pattern,
+ReplayCameraSource::ReplayCameraSource(int id, PatternRef pattern,
                                        std::vector<Tensor> coded,
                                        std::vector<std::int64_t> labels)
     : CameraSource(id, std::move(pattern)), coded_(std::move(coded)),
@@ -130,8 +135,9 @@ std::unique_ptr<ReplayCameraSource> ReplayCameraSource::record(CameraSource& sou
     raw.push_back(frame.raw_bytes);
     wire.push_back(frame.wire_bytes);
   }
-  auto replay = std::make_unique<ReplayCameraSource>(source.id(), source.pattern(),
+  auto replay = std::make_unique<ReplayCameraSource>(source.id(), source.pattern_ref(),
                                                      std::move(coded), std::move(labels));
+  replay->set_task(source.task());
   replay->raw_bytes_ = std::move(raw);
   replay->wire_bytes_ = std::move(wire);
   return replay;

@@ -1,10 +1,17 @@
 // CameraSource: adapters that turn the repo's scene/data/sensor components
 // into per-camera coded-frame streams for the scheduler.
 //
-// Every camera owns its CE pattern, its Rng stream, and whatever generator or
-// simulator produces its scenes, so next_frame() is deterministic given the
-// camera's seed regardless of how producer threads interleave — the property
-// the batching-determinism tests rely on. Four adapters:
+// Every camera owns a handle to its CE pattern, its Rng stream, and whatever
+// generator or simulator produces its scenes, so next_frame() is deterministic
+// given the camera's seed regardless of how producer threads interleave — the
+// property the batching-determinism tests rely on. Patterns are held through
+// `PatternRef` (shared, immutable): a fleet programmed with the system default
+// shares ONE CePattern instance (take it from SnapPixSystem::pattern_ref()),
+// while heterogeneous fleets give each camera its own. Each camera also
+// declares the task its frames request (`set_task`): classification cameras
+// and reconstruction cameras coexist on one server, and every emitted frame is
+// stamped with the camera's `pattern_id` (stable CePattern::hash()) plus task
+// so the server can route it. Four adapters:
 //
 //   SyntheticCameraSource  renders procedural clips and encodes them with the
 //                          mathematical Eqn.-1 encoder (fast functional path)
@@ -29,6 +36,16 @@
 
 namespace snappix::runtime {
 
+// Shared immutable handle to a CE pattern. Cameras, sensors, and the server's
+// pattern registry all hold PatternRefs, so "every camera uses the system
+// pattern" costs one allocation for the whole fleet.
+using PatternRef = std::shared_ptr<const ce::CePattern>;
+
+// Wraps a pattern value into an owning PatternRef (copies once).
+inline PatternRef make_pattern_ref(ce::CePattern pattern) {
+  return std::make_shared<const ce::CePattern>(std::move(pattern));
+}
+
 class CameraSource {
  public:
   virtual ~CameraSource() = default;
@@ -39,14 +56,22 @@ class CameraSource {
   virtual Frame next_frame() = 0;
 
   int id() const { return id_; }
-  const ce::CePattern& pattern() const { return pattern_; }
+  const ce::CePattern& pattern() const { return *pattern_; }
+  const PatternRef& pattern_ref() const { return pattern_; }
+  // Stable hash of this camera's pattern; stamped on every emitted frame.
+  std::uint64_t pattern_id() const { return pattern_id_; }
+
+  // Which task head this camera's frames request (default kClassify).
+  Task task() const { return task_; }
+  void set_task(Task task) { task_ = task; }
 
  protected:
-  CameraSource(int id, ce::CePattern pattern);
+  CameraSource(int id, PatternRef pattern);
 
-  // Starts a Frame with identity, sequence number, and the conventional
-  // (raw_bytes) vs coded (wire_bytes) readout volumes for `height` x `width`
-  // at 8-bit depth across the pattern's exposure slots.
+  // Starts a Frame with identity, sequence number, routing metadata
+  // (pattern_id + task), and the conventional (raw_bytes) vs coded
+  // (wire_bytes) readout volumes for `height` x `width` at 8-bit depth across
+  // the pattern's exposure slots.
   Frame begin_frame(std::int64_t height, std::int64_t width);
 
   // Encodes a (T, H, W) clip with this camera's pattern and exposure-
@@ -55,15 +80,20 @@ class CameraSource {
   Tensor encode_normalized(const Tensor& clip) const;
 
   int id_;
-  ce::CePattern pattern_;
+  PatternRef pattern_;
+  std::uint64_t pattern_id_;
+  Task task_ = Task::kClassify;
   std::int64_t next_sequence_ = 0;
 };
 
 // Procedural scene generator + mathematical CE encoder.
 class SyntheticCameraSource : public CameraSource {
  public:
-  SyntheticCameraSource(int id, const data::SceneConfig& scene, ce::CePattern pattern,
+  SyntheticCameraSource(int id, const data::SceneConfig& scene, PatternRef pattern,
                         std::uint64_t seed);
+  SyntheticCameraSource(int id, const data::SceneConfig& scene, ce::CePattern pattern,
+                        std::uint64_t seed)
+      : SyntheticCameraSource(id, scene, make_pattern_ref(std::move(pattern)), seed) {}
 
   Frame next_frame() override;
 
@@ -77,7 +107,11 @@ class DatasetCameraSource : public CameraSource {
  public:
   // Starts at sample `offset` into the test split and wraps around.
   DatasetCameraSource(int id, std::shared_ptr<const data::VideoDataset> dataset,
-                      ce::CePattern pattern, std::int64_t offset = 0);
+                      PatternRef pattern, std::int64_t offset = 0);
+  DatasetCameraSource(int id, std::shared_ptr<const data::VideoDataset> dataset,
+                      ce::CePattern pattern, std::int64_t offset = 0)
+      : DatasetCameraSource(id, std::move(dataset), make_pattern_ref(std::move(pattern)),
+                            offset) {}
 
   Frame next_frame() override;
 
@@ -87,14 +121,20 @@ class DatasetCameraSource : public CameraSource {
 };
 
 // Cycle-level hardware simulator in the loop; wire bytes come from the
-// simulated MIPI link rather than the analytic estimate.
+// simulated MIPI link rather than the analytic estimate. The camera and its
+// StackedSensor share one pattern instance.
 class SensorCameraSource : public CameraSource {
  public:
   SensorCameraSource(int id, const sensor::SensorConfig& sensor_config,
+                     const data::SceneConfig& scene, PatternRef pattern, std::uint64_t seed);
+  SensorCameraSource(int id, const sensor::SensorConfig& sensor_config,
                      const data::SceneConfig& scene, ce::CePattern pattern,
-                     std::uint64_t seed);
+                     std::uint64_t seed)
+      : SensorCameraSource(id, sensor_config, scene, make_pattern_ref(std::move(pattern)),
+                           seed) {}
 
   Frame next_frame() override;
+  const sensor::StackedSensor& sensor() const { return sensor_; }
 
  private:
   sensor::StackedSensor sensor_;
@@ -108,11 +148,16 @@ class ReplayCameraSource : public CameraSource {
  public:
   // `coded` are (H, W) exposure-normalized frames; `labels` may be empty or
   // parallel to `coded`.
-  ReplayCameraSource(int id, ce::CePattern pattern, std::vector<Tensor> coded,
+  ReplayCameraSource(int id, PatternRef pattern, std::vector<Tensor> coded,
                      std::vector<std::int64_t> labels);
+  ReplayCameraSource(int id, ce::CePattern pattern, std::vector<Tensor> coded,
+                     std::vector<std::int64_t> labels)
+      : ReplayCameraSource(id, make_pattern_ref(std::move(pattern)), std::move(coded),
+                           std::move(labels)) {}
 
   // Pre-codes `frames` clips from `source` (exercising its full capture path
-  // once per clip) and wraps them in a replay camera with the same id/pattern.
+  // once per clip) and wraps them in a replay camera sharing the same
+  // id/pattern handle/task.
   static std::unique_ptr<ReplayCameraSource> record(CameraSource& source, int frames);
 
   Frame next_frame() override;

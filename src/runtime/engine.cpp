@@ -65,6 +65,27 @@ std::vector<float> take(const std::map<std::string, Tensor>& params, const std::
 
 }  // namespace
 
+BatchedVitEngine::BatchedVitEngine(const models::SnapPixClassifier& model,
+                                   const models::SnapPixReconstructor& reconstructor,
+                                   int max_batch)
+    : BatchedVitEngine(model, max_batch) {
+  SNAPPIX_CHECK(reconstructor.encoder().get() == model.encoder().get(),
+                "engine: the reconstructor must share the classifier's encoder — one trunk "
+                "snapshot cannot be bit-exact for two different encoders");
+  frames_ = reconstructor.frames();
+  const std::int64_t d = config_.dim;
+  const std::int64_t out =
+      static_cast<std::int64_t>(frames_) * config_.patch * config_.patch;
+  std::map<std::string, Tensor> params;
+  for (const auto& [name, tensor] : reconstructor.named_parameters()) {
+    params.emplace(name, tensor);
+  }
+  rec_w = take(params, "head.weight", d * out);
+  rec_b = take(params, "head.bias", out);
+  // ws_.rec — the engine's largest buffer — is allocated on the first
+  // reconstruct() call, so classification-only traffic never pays for it.
+}
+
 BatchedVitEngine::BatchedVitEngine(const models::SnapPixClassifier& model, int max_batch)
     : config_(model.encoder()->config()), max_batch_(max_batch) {
   SNAPPIX_CHECK(max_batch > 0, "engine max_batch must be positive");
@@ -142,8 +163,7 @@ void BatchedVitEngine::layer_norm_rows(const float* in, float* out, std::int64_t
   }
 }
 
-void BatchedVitEngine::forward_chunk(const float* coded, std::int64_t batch,
-                                     float* logits) const {
+void BatchedVitEngine::encode_chunk(const float* coded, std::int64_t batch) const {
   const std::int64_t d = config_.dim;
   const std::int64_t n = config_.tokens();
   const int patch = config_.patch;
@@ -259,6 +279,11 @@ void BatchedVitEngine::forward_chunk(const float* coded, std::int64_t batch,
   }
 
   layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, norm_gamma.data(), norm_beta.data());
+}
+
+void BatchedVitEngine::classify_chunk(std::int64_t batch, float* logits) const {
+  const std::int64_t d = config_.dim;
+  const std::int64_t n = config_.tokens();
 
   // Token pooling: mean over N = sum in token order times 1/N.
   const float inv_n = 1.0F / static_cast<float>(n);
@@ -280,19 +305,55 @@ void BatchedVitEngine::forward_chunk(const float* coded, std::int64_t batch,
               config_.num_classes);
 }
 
-Tensor BatchedVitEngine::classify_logits(const Tensor& coded) const {
+void BatchedVitEngine::reconstruct_chunk(std::int64_t batch, float* video) const {
+  const std::int64_t d = config_.dim;
+  const std::int64_t n = config_.tokens();
+  const int patch = config_.patch;
+  const std::int64_t gw = config_.image_w / patch;
+  const std::int64_t h = config_.image_h;
+  const std::int64_t w = config_.image_w;
+  const std::int64_t out = static_cast<std::int64_t>(frames_) * patch * patch;
+
+  // Per-patch decoder: the same Linear-over-token-rows the tape head runs.
+  linear_rows(ws_.norm.data(), rec_w.data(), rec_b.data(), ws_.rec.data(), batch * n, d, out);
+
+  // Scatter tiles into the video — the exact index map of
+  // nn::unpatchify_video: video[b, f, gy*p+py, gx*p+px] =
+  // rec[(b*N + gy*gw+gx), (f*p + py)*p + px]. Pure data movement, so this
+  // path is trivially bit-identical to the tape's reshape/permute chain.
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < n; ++t) {
+      const std::int64_t gy = t / gw;
+      const std::int64_t gx = t % gw;
+      const float* src = ws_.rec.data() + (b * n + t) * out;
+      for (std::int64_t f = 0; f < frames_; ++f) {
+        for (int py = 0; py < patch; ++py) {
+          float* dst = video + ((b * frames_ + f) * h + gy * patch + py) * w + gx * patch;
+          std::memcpy(dst, src + (f * patch + py) * patch,
+                      static_cast<std::size_t>(patch) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+void BatchedVitEngine::check_coded_shape(const Tensor& coded) const {
   SNAPPIX_CHECK(coded.ndim() == 3 && coded.shape()[1] == config_.image_h &&
                     coded.shape()[2] == config_.image_w,
                 "engine expects (B, " << config_.image_h << ", " << config_.image_w
                                       << "), got " << coded.shape().to_string());
+}
+
+Tensor BatchedVitEngine::classify_logits(const Tensor& coded) const {
+  check_coded_shape(coded);
   const std::int64_t batch = coded.shape()[0];
   std::vector<float> logits(static_cast<std::size_t>(batch * config_.num_classes));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::int64_t begin = 0; begin < batch; begin += max_batch_) {
       const std::int64_t chunk = std::min<std::int64_t>(max_batch_, batch - begin);
-      forward_chunk(coded.data().data() + begin * config_.image_h * config_.image_w, chunk,
-                    logits.data() + begin * config_.num_classes);
+      encode_chunk(coded.data().data() + begin * config_.image_h * config_.image_w, chunk);
+      classify_chunk(chunk, logits.data() + begin * config_.num_classes);
     }
   }
   return Tensor::from_vector(std::move(logits), Shape{batch, config_.num_classes});
@@ -300,6 +361,33 @@ Tensor BatchedVitEngine::classify_logits(const Tensor& coded) const {
 
 std::vector<std::int64_t> BatchedVitEngine::classify(const Tensor& coded) const {
   return argmax_last_axis(classify_logits(coded));
+}
+
+Tensor BatchedVitEngine::reconstruct(const Tensor& coded) const {
+  SNAPPIX_CHECK(has_rec_head(),
+                "engine was built without a reconstruction head — use the "
+                "(classifier, reconstructor) constructor for REC serving");
+  check_coded_shape(coded);
+  const std::int64_t batch = coded.shape()[0];
+  const std::int64_t h = config_.image_h;
+  const std::int64_t w = config_.image_w;
+  const std::int64_t frame_elems = static_cast<std::int64_t>(frames_) * h * w;
+  std::vector<float> video(static_cast<std::size_t>(batch * frame_elems));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t rec_size = static_cast<std::size_t>(
+        static_cast<std::int64_t>(max_batch_) * config_.tokens() * frames_ *
+        config_.patch * config_.patch);
+    if (ws_.rec.size() < rec_size) {
+      ws_.rec.resize(rec_size);
+    }
+    for (std::int64_t begin = 0; begin < batch; begin += max_batch_) {
+      const std::int64_t chunk = std::min<std::int64_t>(max_batch_, batch - begin);
+      encode_chunk(coded.data().data() + begin * h * w, chunk);
+      reconstruct_chunk(chunk, video.data() + begin * frame_elems);
+    }
+  }
+  return Tensor::from_vector(std::move(video), Shape{batch, frames_, h, w});
 }
 
 }  // namespace snappix::runtime

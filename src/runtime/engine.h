@@ -1,13 +1,17 @@
 // BatchedVitEngine: fused, allocation-free serving path for the CE-optimized
-// ViT classifier.
+// ViT, covering both task heads (AR classification and REC reconstruction).
 //
 // The autograd framework is built for training: every op allocates an output
 // tensor, records tape metadata, and dispatches through std::function. At
 // serving batch sizes that machinery dominates the actual math — profiling
 // the (B, H, W) -> logits forward at our geometry shows most wall time spent
-// outside the GEMM kernels. This engine snapshots the classifier's weights
-// once, preallocates one workspace, and runs the whole forward pass as fused
-// loops with zero steady-state allocations.
+// outside the GEMM kernels. This engine snapshots the model weights once,
+// preallocates one workspace, and runs the whole forward pass as fused loops
+// with zero steady-state allocations. Both heads share the encoder trunk
+// (patchify -> embed -> blocks -> final norm); classification pools the
+// normed tokens through the linear AR head, reconstruction pushes them
+// through the per-patch decoder and scatters tiles back into (B, T, H, W)
+// video — the layout inverse of nn::unpatchify_video, pure data movement.
 //
 // Bit-exactness contract: the engine reproduces the framework forward
 // *bit-identically* (not just approximately). It calls the same GEMM kernel
@@ -15,12 +19,16 @@
 // formula and accumulation order of the tape ops (LayerNorm's
 // sum-times-reciprocal mean, the tanh GELU, max-subtracted softmax, scale-
 // after-matmul attention). Because every per-row computation is independent
-// of which batch it rides in, batched logits are also bit-identical to
-// batch-1 logits — the property the streaming runtime's determinism tests
-// pin down.
+// of which batch it rides in, batched outputs are also bit-identical to
+// batch-1 outputs — the property the streaming runtime's determinism tests
+// pin down. This holds for classify_logits() against
+// SnapPixSystem::classify_logits_coded AND reconstruct() against
+// SnapPixSystem::reconstruct_coded.
 //
-// Thread-safety: classify_logits() serializes on an internal mutex (one
-// workspace). The intended topology is one engine per server consumer.
+// Thread-safety: classify_logits()/reconstruct() serialize on an internal
+// mutex (one workspace). The intended topology is one engine per resident
+// EngineCache entry; concurrency comes from sharding the cache, not from
+// sharing one engine.
 #pragma once
 
 #include <cstdint>
@@ -36,12 +44,26 @@ class BatchedVitEngine {
  public:
   // Snapshots the classifier's current weights; `max_batch` sizes the
   // workspace (larger batches are processed in max_batch-sized chunks, which
-  // does not change per-row results).
+  // does not change per-row results). Engines built this way serve
+  // classification only.
   explicit BatchedVitEngine(const models::SnapPixClassifier& model, int max_batch = 64);
+
+  // Additionally snapshots the reconstructor's per-patch decoder head so
+  // reconstruct() serves through the same fused trunk. The reconstructor must
+  // share the classifier's encoder (as SnapPixSystem guarantees) — otherwise
+  // one trunk snapshot could not be bit-exact for both heads.
+  BatchedVitEngine(const models::SnapPixClassifier& model,
+                   const models::SnapPixReconstructor& reconstructor, int max_batch = 64);
 
   // (B, H, W) exposure-normalized coded images -> (B, num_classes) logits.
   Tensor classify_logits(const Tensor& coded) const;
   std::vector<std::int64_t> classify(const Tensor& coded) const;
+
+  // (B, H, W) exposure-normalized coded images -> (B, T, H, W) reconstructed
+  // video. Requires the reconstructor-aware constructor.
+  Tensor reconstruct(const Tensor& coded) const;
+  bool has_rec_head() const { return frames_ > 0; }
+  int frames() const { return frames_; }
 
   const models::ViTConfig& config() const { return config_; }
   int max_batch() const { return max_batch_; }
@@ -67,21 +89,30 @@ class BatchedVitEngine {
     std::vector<float> hidden;   // (B*N, hidden)
     std::vector<float> scores;   // (N, N) per (b, head)
     std::vector<float> pooled;   // (B, D)
+    std::vector<float> rec;      // (B*N, T*p*p), only with a REC head
   };
 
-  void forward_chunk(const float* coded, std::int64_t batch, float* logits) const;
+  // Shared trunk: patchify -> embed -> blocks -> final norm. Leaves the
+  // normed token rows (batch*N, D) in ws_.norm.
+  void encode_chunk(const float* coded, std::int64_t batch) const;
+  // Task heads, both reading ws_.norm.
+  void classify_chunk(std::int64_t batch, float* logits) const;
+  void reconstruct_chunk(std::int64_t batch, float* video) const;  // (batch, T, H, W)
   void layer_norm_rows(const float* in, float* out, std::int64_t rows, const float* gamma,
                        const float* beta) const;
+  void check_coded_shape(const Tensor& coded) const;
 
   models::ViTConfig config_;
   std::int64_t hidden_;
   int max_batch_;
+  int frames_ = 0;  // REC head output frames; 0 = classification-only engine
 
   std::vector<float> embed_w, embed_b;  // (p*p, D), (D)
   std::vector<float> pos_embed;         // (N, D)
   std::vector<BlockWeights> blocks_;
   std::vector<float> norm_gamma, norm_beta;
   std::vector<float> head_w, head_b;  // (D, C), (C)
+  std::vector<float> rec_w, rec_b;    // (D, T*p*p), (T*p*p)
 
   mutable std::mutex mutex_;
   mutable Workspace ws_;

@@ -1,11 +1,14 @@
 // Frame: the unit of data flowing through the streaming runtime.
 //
-// A frame is one coded image as it leaves a camera: already CE-compressed
-// (T exposure slots folded into a single (H, W) image) and exposure-
-// normalized, i.e. exactly the tensor the server-side ViT consumes. The
-// byte counters carry the sensor-side accounting (what a conventional
-// T-frame readout would have shipped vs. what actually went on the wire) so
-// RuntimeStats can report fleet-level compression and energy numbers.
+// A frame is one typed inference request as it leaves a camera: a coded image
+// (T exposure slots folded into a single (H, W) image, exposure-normalized —
+// exactly the tensor the server-side ViT consumes) plus the routing metadata
+// the server needs in a heterogeneous fleet: which CE pattern produced it
+// (`pattern_id`, a stable content hash) and which task head should serve it
+// (`task`). The byte counters carry the sensor-side accounting (what a
+// conventional T-frame readout would have shipped vs. what actually went on
+// the wire) so RuntimeStats can report fleet-level compression and energy
+// numbers.
 #pragma once
 
 #include <chrono>
@@ -17,17 +20,32 @@ namespace snappix::runtime {
 
 using Clock = std::chrono::steady_clock;
 
+// The task a frame requests from the server. kClassify runs the AR
+// (action-recognition) head; kReconstruct runs the per-patch REC decoder.
+enum class Task : std::uint8_t { kClassify, kReconstruct };
+
+inline const char* to_string(Task task) {
+  return task == Task::kClassify ? "classify" : "reconstruct";
+}
+
 struct Frame {
   int camera_id = -1;
   std::int64_t sequence = -1;  // per-camera frame index, starts at 0
   Tensor coded;                // (H, W) exposure-normalized coded image
   std::int64_t label = -1;     // ground-truth motion class, -1 when unknown
 
+  // Stable hash of the CE pattern that coded this frame (CePattern::hash()).
+  // The server resolves it to per-pattern serving state through the
+  // EngineCache; batches never mix pattern ids.
+  std::uint64_t pattern_id = 0;
+  Task task = Task::kClassify;
+
   std::uint64_t raw_bytes = 0;   // conventional T-frame readout volume
   std::uint64_t wire_bytes = 0;  // coded-image volume actually transmitted
 
   Clock::time_point capture_start{};  // camera began producing this frame
   Clock::time_point enqueue_time{};   // frame entered the FrameQueue
+  Clock::time_point dequeue_time{};   // aggregator popped it (even if held back)
 };
 
 }  // namespace snappix::runtime

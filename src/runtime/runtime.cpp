@@ -1,79 +1,51 @@
 #include "runtime/runtime.h"
 
-#include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
 #include "util/common.h"
 
 namespace snappix::runtime {
 
-StreamingRuntime::StreamingRuntime(const core::SnapPixSystem& system,
-                                   const RuntimeConfig& config)
-    : system_(system), config_(config), queue_(config.queue_capacity),
-      stats_(), scheduler_(queue_, stats_, config.scheduler_threads) {
-  if (config_.backend == InferenceBackend::kFusedEngine) {
-    engine_ = std::make_unique<BatchedVitEngine>(
-        *system.classifier(), std::max(config_.batch.max_batch, 1));
-  }
-  pixels_per_frame_ = system.config().image * system.config().image;
+namespace {
+
+ServerConfig to_server_config(const RuntimeConfig& config) {
+  ServerConfig server;
+  server.batch = config.batch;
+  server.queue_capacity = config.queue_capacity;
+  server.scheduler_threads = config.scheduler_threads;
+  server.backend = config.backend;
+  return server;
 }
 
+}  // namespace
+
+void validate(const RuntimeConfig& config) {
+  validate(to_server_config(config));  // same rules, minus the cache knobs
+}
+
+StreamingRuntime::StreamingRuntime(const core::SnapPixSystem& system,
+                                   const RuntimeConfig& config)
+    : config_(config),
+      server_(std::make_unique<InferenceServer>(system, to_server_config(config))) {}
+
 void StreamingRuntime::add_camera(std::unique_ptr<CameraSource> camera) {
-  scheduler_.add_camera(std::move(camera));
+  SNAPPIX_CHECK(camera != nullptr, "null camera");
+  SNAPPIX_CHECK(camera->task() == Task::kClassify,
+                "StreamingRuntime serves classification only — route camera "
+                    << camera->id() << " (task " << to_string(camera->task())
+                    << ") through InferenceServer instead");
+  server_->add_camera(std::move(camera));
 }
 
 std::vector<InferenceResult> StreamingRuntime::run(std::int64_t frames_per_camera) {
-  SNAPPIX_CHECK(!ran_, "StreamingRuntime::run() is one-shot");
-  ran_ = true;
-  NoGradGuard guard;
-  const Clock::time_point run_start = Clock::now();
-  scheduler_.start(frames_per_camera);
-
+  const std::vector<TaskResult> typed = server_->run(frames_per_camera);
   std::vector<InferenceResult> results;
-  results.reserve(static_cast<std::size_t>(frames_per_camera) * camera_count());
-  BatchAggregator aggregator(queue_, config_.batch);
-  std::vector<Frame> batch;
-  while (aggregator.next_batch(batch)) {
-    const Clock::time_point popped = Clock::now();
-    for (const Frame& frame : batch) {
-      stats_.record_queue_wait(
-          std::chrono::duration<double>(popped - frame.enqueue_time).count());
-    }
-    const Tensor coded = BatchAggregator::stack_coded(batch);
-    const Clock::time_point infer_start = Clock::now();
-    const std::vector<std::int64_t> predicted =
-        engine_ != nullptr ? engine_->classify(coded) : system_.classify_coded(coded);
-    const Clock::time_point infer_end = Clock::now();
-    stats_.record_batch(batch.size(),
-                        std::chrono::duration<double>(infer_end - infer_start).count());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const Frame& frame = batch[i];
-      stats_.record_frame_done(
-          frame.raw_bytes, frame.wire_bytes,
-          std::chrono::duration<double>(infer_end - frame.capture_start).count());
-      results.push_back({frame.camera_id, frame.sequence, predicted[i], frame.label});
-    }
+  results.reserve(typed.size());
+  for (const TaskResult& r : typed) {
+    results.push_back({r.camera_id, r.sequence, r.predicted, r.label});
   }
-  scheduler_.join();
-  wall_seconds_ = std::chrono::duration<double>(Clock::now() - run_start).count();
-  stats_.set_queue_high_water(queue_.high_water_mark());
-
-  std::sort(results.begin(), results.end(),
-            [](const InferenceResult& a, const InferenceResult& b) {
-              return a.camera_id != b.camera_id ? a.camera_id < b.camera_id
-                                                : a.sequence < b.sequence;
-            });
   return results;
-}
-
-RuntimeSummary StreamingRuntime::summary() const {
-  SNAPPIX_CHECK(ran_, "summary() requires a completed run()");
-  return stats_.summary(wall_seconds_);
-}
-
-FleetEnergyReport StreamingRuntime::fleet_energy(const energy::EnergyModel& model,
-                                                 energy::WirelessTech tech) const {
-  SNAPPIX_CHECK(ran_, "fleet_energy() requires a completed run()");
-  return stats_.fleet_energy(model, pixels_per_frame_, system_.config().frames, tech);
 }
 
 }  // namespace snappix::runtime

@@ -1,36 +1,23 @@
-// StreamingRuntime: the multi-camera serving facade.
+// StreamingRuntime: the single-task compatibility facade over the task-typed
+// InferenceServer.
 //
-// Wires cameras -> StreamScheduler -> FrameQueue -> BatchAggregator ->
-// batched ViT inference, with RuntimeStats instrumentation throughout:
-//
-//   camera threads (ThreadPool)          consumer (caller's thread)
-//   ┌────────────┐  push                 ┌───────────────┐
-//   │ capture+CE ├───────► FrameQueue ──►│ batch, infer, │──► results
-//   │  encode    │  (bounded, blocking)  │  record stats │
-//   └────────────┘                       └───────────────┘
-//
-// Two inference backends serve a batch:
-//   kFusedEngine    BatchedVitEngine — fused, allocation-free forward
-//                   (bit-identical to the tape framework; the default)
-//   kTapeFramework  SnapPixSystem::classify_logits_coded — the tape-based
-//                   per-op path; batch-1 with this backend is the naive
-//                   sequential serving baseline benchmarks compare against
+// Historically this class owned the whole serving pipeline (one global
+// pattern, classification only). The pipeline now lives in
+// runtime::InferenceServer — per-camera patterns, AR + REC task heads, and a
+// sharded pattern→engine cache (see server.h). StreamingRuntime remains as
+// the convenient classification-only view: it forwards cameras and
+// configuration to an owned InferenceServer and narrows the typed
+// TaskResults back to the legacy InferenceResult rows. New code should use
+// InferenceServer directly; see src/runtime/README.md for the migration map.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/snappix.h"
-#include "runtime/batcher.h"
-#include "runtime/camera.h"
-#include "runtime/engine.h"
-#include "runtime/frame_queue.h"
-#include "runtime/scheduler.h"
-#include "runtime/stats.h"
+#include "runtime/server.h"
 
 namespace snappix::runtime {
-
-enum class InferenceBackend { kFusedEngine, kTapeFramework };
 
 struct RuntimeConfig {
   BatchPolicy batch;
@@ -40,6 +27,10 @@ struct RuntimeConfig {
   int scheduler_threads = 0;
   InferenceBackend backend = InferenceBackend::kFusedEngine;
 };
+
+// Throws std::invalid_argument when the configuration is unusable
+// (queue_capacity == 0, max_batch < 1, negative max_delay).
+void validate(const RuntimeConfig& config);
 
 struct InferenceResult {
   int camera_id = -1;
@@ -55,7 +46,7 @@ class StreamingRuntime {
   StreamingRuntime(const core::SnapPixSystem& system, const RuntimeConfig& config = {});
 
   void add_camera(std::unique_ptr<CameraSource> camera);
-  std::size_t camera_count() const { return scheduler_.camera_count(); }
+  std::size_t camera_count() const { return server_->camera_count(); }
 
   // Runs every camera for `frames_per_camera` frames, serving batches on the
   // calling thread until the stream drains. One-shot. Results are returned
@@ -63,23 +54,22 @@ class StreamingRuntime {
   std::vector<InferenceResult> run(std::int64_t frames_per_camera);
 
   // Valid after run().
-  RuntimeSummary summary() const;
+  RuntimeSummary summary() const { return server_->summary(); }
   FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
-                                 energy::WirelessTech tech) const;
+                                 energy::WirelessTech tech) const {
+    return server_->fleet_energy(model, tech);
+  }
 
-  const RuntimeStats& stats() const { return stats_; }
+  const RuntimeStats& stats() const { return server_->stats(); }
   const RuntimeConfig& config() const { return config_; }
 
+  // The underlying task-typed server, for callers migrating incrementally.
+  InferenceServer& server() { return *server_; }
+  const InferenceServer& server() const { return *server_; }
+
  private:
-  const core::SnapPixSystem& system_;
   RuntimeConfig config_;
-  std::unique_ptr<BatchedVitEngine> engine_;  // null for kTapeFramework
-  FrameQueue queue_;
-  RuntimeStats stats_;
-  StreamScheduler scheduler_;
-  double wall_seconds_ = 0.0;
-  std::int64_t pixels_per_frame_ = 0;
-  bool ran_ = false;
+  std::unique_ptr<InferenceServer> server_;
 };
 
 }  // namespace snappix::runtime

@@ -1,0 +1,174 @@
+#include "runtime/server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/common.h"
+
+namespace snappix::runtime {
+
+void validate(const ServerConfig& config) {
+  validate(config.batch);
+  if (config.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "ServerConfig.queue_capacity must be >= 1 (a zero-capacity queue can never "
+        "accept a frame)");
+  }
+  if (config.scheduler_threads < 0) {
+    std::ostringstream os;
+    os << "ServerConfig.scheduler_threads must be >= 0 (0 = one thread per camera), got "
+       << config.scheduler_threads;
+    throw std::invalid_argument(os.str());
+  }
+  if (config.cache.shards == 0) {
+    throw std::invalid_argument("ServerConfig.cache.shards must be >= 1");
+  }
+  if (config.cache.capacity_per_shard == 0) {
+    throw std::invalid_argument(
+        "ServerConfig.cache.capacity_per_shard must be >= 1 (a zero-capacity shard "
+        "would evict every entry it admits)");
+  }
+}
+
+namespace {
+
+const ServerConfig& validated(const ServerConfig& config) {
+  validate(config);
+  return config;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const core::SnapPixSystem& system,
+                                 const ServerConfig& config)
+    : system_(system), config_(validated(config)), queue_(config_.queue_capacity),
+      stats_(), scheduler_(queue_, stats_, config_.scheduler_threads) {
+  if (config_.backend == InferenceBackend::kFusedEngine) {
+    // The factory snapshots the system's model into a fresh fused engine for
+    // each newly-resident pattern. With today's single shared model the
+    // snapshot is pattern-independent; a deployment with per-pattern
+    // fine-tuned heads swaps this lambda for a weight-store lookup.
+    const int max_batch = std::max(config_.batch.max_batch, 1);
+    cache_ = std::make_unique<EngineCache>(
+        config_.cache, [&system, max_batch](const ce::CePattern&) {
+          return std::make_shared<BatchedVitEngine>(*system.classifier(),
+                                                    *system.reconstructor(), max_batch);
+        });
+  }
+  pixels_per_frame_ = system.config().image * system.config().image;
+}
+
+void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
+  SNAPPIX_CHECK(camera != nullptr, "null camera");
+  const auto [it, inserted] = patterns_.emplace(camera->pattern_id(), camera->pattern_ref());
+  // Same 64-bit id must mean same pattern bits: a silent hash collision would
+  // merge two patterns' batches and serve both through one cache entry.
+  SNAPPIX_CHECK(inserted || *it->second == camera->pattern(),
+                "camera " << camera->id() << ": pattern hash collision on id "
+                          << camera->pattern_id()
+                          << " — two distinct CE patterns share a pattern_id");
+  scheduler_.add_camera(std::move(camera));
+}
+
+std::vector<TaskResult> InferenceServer::run(std::int64_t frames_per_camera) {
+  SNAPPIX_CHECK(!ran_, "InferenceServer::run() is one-shot");
+  ran_ = true;
+  NoGradGuard guard;
+  const Clock::time_point run_start = Clock::now();
+  scheduler_.start(frames_per_camera);
+
+  std::vector<TaskResult> results;
+  results.reserve(static_cast<std::size_t>(frames_per_camera) * camera_count());
+  BatchAggregator aggregator(queue_, config_.batch);
+  std::vector<Frame> batch;
+  while (aggregator.next_batch(batch)) {
+    for (const Frame& frame : batch) {
+      stats_.record_queue_wait(
+          std::chrono::duration<double>(frame.dequeue_time - frame.enqueue_time).count());
+    }
+    const BatchKey key = aggregator.last_key();
+    const Tensor coded = BatchAggregator::stack_coded(batch);
+
+    // Resolve the batch's pattern to resident serving state. The registry
+    // holds every pattern an added camera carries, so the cache can rebuild
+    // an evicted entry without the frame shipping its pattern bits.
+    std::shared_ptr<const ServingEntry> entry;
+    if (cache_ != nullptr) {
+      const auto it = patterns_.find(key.pattern_id);
+      SNAPPIX_CHECK(it != patterns_.end(),
+                    "frame carries unregistered pattern_id " << key.pattern_id
+                        << " — was its camera added through add_camera()?");
+      entry = cache_->resolve(key.pattern_id, it->second);
+    }
+
+    const Clock::time_point infer_start = Clock::now();
+    if (key.task == Task::kClassify) {
+      const std::vector<std::int64_t> predicted =
+          entry != nullptr ? entry->engine->classify(coded) : system_.classify_coded(coded);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        TaskResult result;
+        result.camera_id = batch[i].camera_id;
+        result.sequence = batch[i].sequence;
+        result.task = Task::kClassify;
+        result.pattern_id = key.pattern_id;
+        result.predicted = predicted[i];
+        result.label = batch[i].label;
+        results.push_back(std::move(result));
+      }
+    } else {
+      const Tensor video = entry != nullptr ? entry->engine->reconstruct(coded)
+                                            : system_.reconstruct_coded(coded);
+      const std::int64_t frame_elems = video.shape()[1] * video.shape()[2] * video.shape()[3];
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        TaskResult result;
+        result.camera_id = batch[i].camera_id;
+        result.sequence = batch[i].sequence;
+        result.task = Task::kReconstruct;
+        result.pattern_id = key.pattern_id;
+        result.label = batch[i].label;
+        const auto begin =
+            video.data().begin() + static_cast<std::int64_t>(i) * frame_elems;
+        result.reconstruction = Tensor::from_vector(
+            std::vector<float>(begin, begin + frame_elems),
+            Shape{video.shape()[1], video.shape()[2], video.shape()[3]});
+        results.push_back(std::move(result));
+      }
+    }
+    const Clock::time_point infer_end = Clock::now();
+    stats_.record_batch(batch.size(),
+                        std::chrono::duration<double>(infer_end - infer_start).count());
+    stats_.record_task_frames(key.task, batch.size());
+    for (const Frame& frame : batch) {
+      stats_.record_frame_done(
+          frame.raw_bytes, frame.wire_bytes,
+          std::chrono::duration<double>(infer_end - frame.capture_start).count());
+    }
+  }
+  scheduler_.join();
+  wall_seconds_ = std::chrono::duration<double>(Clock::now() - run_start).count();
+  stats_.set_queue_high_water(queue_.high_water_mark());
+  if (cache_ != nullptr) {
+    const EngineCacheCounters counters = cache_->counters();
+    stats_.set_cache_counters(counters.hits, counters.misses, counters.evictions);
+  }
+
+  std::sort(results.begin(), results.end(), [](const TaskResult& a, const TaskResult& b) {
+    return a.camera_id != b.camera_id ? a.camera_id < b.camera_id : a.sequence < b.sequence;
+  });
+  return results;
+}
+
+RuntimeSummary InferenceServer::summary() const {
+  SNAPPIX_CHECK(ran_, "summary() requires a completed run()");
+  return stats_.summary(wall_seconds_);
+}
+
+FleetEnergyReport InferenceServer::fleet_energy(const energy::EnergyModel& model,
+                                                energy::WirelessTech tech) const {
+  SNAPPIX_CHECK(ran_, "fleet_energy() requires a completed run()");
+  return stats_.fleet_energy(model, pixels_per_frame_, system_.config().frames, tech);
+}
+
+}  // namespace snappix::runtime

@@ -1,0 +1,121 @@
+// InferenceServer: the task-typed serving surface for heterogeneous CE
+// fleets.
+//
+// Where StreamingRuntime assumed one pattern and one task per server, the
+// InferenceServer serves a fleet in which every camera owns its CE pattern
+// and declares its task (AR classification or REC reconstruction). Frames
+// arrive stamped with (pattern_id, task); the BatchAggregator coalesces them
+// without ever crossing a pattern or task boundary, and the server resolves
+// each batch's pattern_id to resident per-pattern serving state through the
+// sharded, LRU-evicting EngineCache:
+//
+//   camera threads (ThreadPool)          consumer (caller's thread)
+//   ┌─────────────────────┐  push        ┌────────────────────────────────┐
+//   │ capture + CE encode ├───► Frame ──►│ batch by (pattern_id, task),   │
+//   │ stamp pattern_id/   │     Queue    │ EngineCache::resolve(pattern), │──► TaskResults
+//   │ task                │              │ classify / reconstruct,        │
+//   └─────────────────────┘              │ record stats                   │
+//                                        └────────────────────────────────┘
+//
+// Two inference backends serve a batch:
+//   kFusedEngine    per-pattern BatchedVitEngine entries resolved through the
+//                   EngineCache — fused, allocation-free forward for both
+//                   task heads (bit-identical to the tape framework; default)
+//   kTapeFramework  SnapPixSystem::classify_logits_coded / reconstruct_coded —
+//                   the tape-based per-op path; batch-1 with this backend is
+//                   the naive sequential serving baseline benchmarks compare
+//                   against. Bypasses the cache (the tape model IS the
+//                   resident state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/snappix.h"
+#include "runtime/batcher.h"
+#include "runtime/camera.h"
+#include "runtime/engine_cache.h"
+#include "runtime/frame_queue.h"
+#include "runtime/scheduler.h"
+#include "runtime/stats.h"
+
+namespace snappix::runtime {
+
+enum class InferenceBackend { kFusedEngine, kTapeFramework };
+
+struct ServerConfig {
+  BatchPolicy batch;
+  std::size_t queue_capacity = 64;
+  // 0 = one producer thread per camera (see StreamScheduler for the
+  // semantics of an explicit smaller cap).
+  int scheduler_threads = 0;
+  InferenceBackend backend = InferenceBackend::kFusedEngine;
+  EngineCacheConfig cache;
+};
+
+// Throws std::invalid_argument with a descriptive message when the
+// configuration is unusable (zero queue capacity, bad batch policy, negative
+// thread count, zero cache shards/capacity).
+void validate(const ServerConfig& config);
+
+// One served frame's outcome, typed by the task that produced it.
+struct TaskResult {
+  int camera_id = -1;
+  std::int64_t sequence = -1;
+  Task task = Task::kClassify;
+  std::uint64_t pattern_id = 0;
+
+  // kClassify: predicted class (argmax of the AR head's logits).
+  std::int64_t predicted = -1;
+  std::int64_t label = -1;  // ground truth when the camera knows it
+
+  // kReconstruct: the decoded (T, H, W) video.
+  Tensor reconstruction;
+};
+
+class InferenceServer {
+ public:
+  // The system provides the served model weights. The server keeps a
+  // reference — the system must outlive it.
+  explicit InferenceServer(const core::SnapPixSystem& system,
+                           const ServerConfig& config = {});
+
+  // Registers the camera's pattern in the server's pattern registry (the
+  // EngineCache rebuilds evicted entries from it) and hands the camera to the
+  // scheduler.
+  void add_camera(std::unique_ptr<CameraSource> camera);
+  std::size_t camera_count() const { return scheduler_.camera_count(); }
+
+  // Runs every camera for `frames_per_camera` frames, serving batches on the
+  // calling thread until the stream drains. One-shot. Results are returned
+  // sorted by (camera_id, sequence) so runs are comparable.
+  std::vector<TaskResult> run(std::int64_t frames_per_camera);
+
+  // Valid after run().
+  RuntimeSummary summary() const;
+  FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
+                                 energy::WirelessTech tech) const;
+
+  const RuntimeStats& stats() const { return stats_; }
+  const ServerConfig& config() const { return config_; }
+  // Null when serving through the tape backend.
+  const EngineCache* engine_cache() const { return cache_.get(); }
+
+ private:
+  const core::SnapPixSystem& system_;
+  ServerConfig config_;
+  std::unique_ptr<EngineCache> cache_;  // null for kTapeFramework
+  // pattern_id -> the pattern itself, fed to the cache on (re)build. Shared
+  // handles: a fleet on the system pattern contributes one entry, zero copies.
+  std::unordered_map<std::uint64_t, PatternRef> patterns_;
+  FrameQueue queue_;
+  RuntimeStats stats_;
+  StreamScheduler scheduler_;
+  double wall_seconds_ = 0.0;
+  std::int64_t pixels_per_frame_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace snappix::runtime

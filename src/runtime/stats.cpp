@@ -64,6 +64,15 @@ void RuntimeStats::record_batch(std::size_t batch_size, double inference_seconds
   inference_.record(inference_seconds);
 }
 
+void RuntimeStats::record_task_frames(Task task, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (task == Task::kClassify) {
+    classify_frames_ += count;
+  } else {
+    reconstruct_frames_ += count;
+  }
+}
+
 void RuntimeStats::record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                                      double end_to_end_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -78,6 +87,14 @@ void RuntimeStats::set_queue_high_water(std::size_t depth) {
   queue_high_water_ = std::max(queue_high_water_, depth);
 }
 
+void RuntimeStats::set_cache_counters(std::uint64_t hits, std::uint64_t misses,
+                                      std::uint64_t evictions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_hits_ = hits;
+  cache_misses_ = misses;
+  cache_evictions_ = evictions;
+}
+
 RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   std::lock_guard<std::mutex> lock(mutex_);
   RuntimeSummary out;
@@ -89,6 +106,14 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   out.mean_batch_size =
       batches_ > 0 ? static_cast<double>(batched_frames_) / static_cast<double>(batches_) : 0.0;
   out.queue_high_water = queue_high_water_;
+  out.classify_frames = classify_frames_;
+  out.reconstruct_frames = reconstruct_frames_;
+  out.cache_hits = cache_hits_;
+  out.cache_misses = cache_misses_;
+  out.cache_evictions = cache_evictions_;
+  const std::uint64_t lookups = cache_hits_ + cache_misses_;
+  out.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(cache_hits_) / static_cast<double>(lookups) : 0.0;
   out.capture = summarize(capture_);
   out.queue_wait = summarize(queue_wait_);
   out.inference = summarize(inference_);
@@ -120,20 +145,27 @@ FleetEnergyReport RuntimeStats::fleet_energy(const energy::EnergyModel& model,
 }
 
 std::string to_string(const RuntimeSummary& s) {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "  frames %llu in %.3f s -> %.1f fps (batches %llu, mean size %.2f)\n"
       "  latency ms (mean/p50/p99): capture %.3f/%.3f/%.3f  queue %.3f/%.3f/%.3f\n"
       "                             infer %.3f/%.3f/%.3f  e2e %.3f/%.3f/%.3f\n"
-      "  queue high water %zu; bytes raw %llu vs wire %llu (%.1fx compression)\n",
+      "  queue high water %zu; bytes raw %llu vs wire %llu (%.1fx compression)\n"
+      "  tasks: classify %llu / reconstruct %llu; engine cache hit %llu miss %llu "
+      "evict %llu (hit rate %.2f)\n",
       static_cast<unsigned long long>(s.frames), s.wall_seconds, s.aggregate_fps,
       static_cast<unsigned long long>(s.batches), s.mean_batch_size, s.capture.mean_ms,
       s.capture.p50_ms, s.capture.p99_ms, s.queue_wait.mean_ms, s.queue_wait.p50_ms,
       s.queue_wait.p99_ms, s.inference.mean_ms, s.inference.p50_ms, s.inference.p99_ms,
       s.end_to_end.mean_ms, s.end_to_end.p50_ms, s.end_to_end.p99_ms, s.queue_high_water,
       static_cast<unsigned long long>(s.raw_bytes),
-      static_cast<unsigned long long>(s.wire_bytes), s.compression_ratio);
+      static_cast<unsigned long long>(s.wire_bytes), s.compression_ratio,
+      static_cast<unsigned long long>(s.classify_frames),
+      static_cast<unsigned long long>(s.reconstruct_frames),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.cache_evictions), s.cache_hit_rate);
   return buf;
 }
 
@@ -155,6 +187,11 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
      << ", \"e2e_p99_ms\": " << s.end_to_end.p99_ms << ", \"raw_bytes\": " << s.raw_bytes
      << ", \"wire_bytes\": " << s.wire_bytes
      << ", \"compression_ratio\": " << s.compression_ratio
+     << ", \"classify_frames\": " << s.classify_frames
+     << ", \"reconstruct_frames\": " << s.reconstruct_frames
+     << ", \"cache_hits\": " << s.cache_hits << ", \"cache_misses\": " << s.cache_misses
+     << ", \"cache_evictions\": " << s.cache_evictions
+     << ", \"cache_hit_rate\": " << s.cache_hit_rate
      << ", \"energy_conventional_j\": " << energy.conventional_j
      << ", \"energy_snappix_j\": " << energy.snappix_j
      << ", \"energy_saving_factor\": " << energy.saving_factor << "}";

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "energy/model.h"
+#include "runtime/frame.h"
 
 namespace snappix::runtime {
 
@@ -46,6 +47,18 @@ struct RuntimeSummary {
   double mean_batch_size = 0.0;
   std::size_t queue_high_water = 0;
 
+  // Per-task frame counts (classify + reconstruct == frames when the server
+  // records tasks; both zero under direct RuntimeStats use).
+  std::uint64_t classify_frames = 0;
+  std::uint64_t reconstruct_frames = 0;
+
+  // EngineCache traffic (zero when serving through the tape backend, which
+  // bypasses the cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses)
+
   StageSummary capture;      // camera next_frame()
   StageSummary queue_wait;   // enqueue -> pop
   StageSummary inference;    // model forward per batch
@@ -70,9 +83,14 @@ class RuntimeStats {
   // --- consumer side ---------------------------------------------------------
   void record_queue_wait(double seconds);
   void record_batch(std::size_t batch_size, double inference_seconds);
+  // Attributes a served batch's frames to its task head.
+  void record_task_frames(Task task, std::size_t count);
   void record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                          double end_to_end_seconds);
   void set_queue_high_water(std::size_t depth);
+  // Installed once by the server after a run; EngineCache keeps the live
+  // counters, the summary just reports the final snapshot.
+  void set_cache_counters(std::uint64_t hits, std::uint64_t misses, std::uint64_t evictions);
 
   // --- reporting -------------------------------------------------------------
   RuntimeSummary summary(double wall_seconds) const;
@@ -93,9 +111,14 @@ class RuntimeStats {
   std::uint64_t frames_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_frames_ = 0;
+  std::uint64_t classify_frames_ = 0;
+  std::uint64_t reconstruct_frames_ = 0;
   std::uint64_t raw_bytes_ = 0;
   std::uint64_t wire_bytes_ = 0;
   std::size_t queue_high_water_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
 };
 
 // Renders a summary as an aligned human-readable block / flat JSON object

@@ -9,9 +9,14 @@
 namespace snappix::sensor {
 
 StackedSensor::StackedSensor(const SensorConfig& config, const ce::CePattern& pattern)
-    : config_(config), pattern_(pattern) {
+    : StackedSensor(config, std::make_shared<const ce::CePattern>(pattern)) {}
+
+StackedSensor::StackedSensor(const SensorConfig& config,
+                             std::shared_ptr<const ce::CePattern> pattern)
+    : config_(config), pattern_(std::move(pattern)) {
+  SNAPPIX_CHECK(pattern_ != nullptr, "sensor needs a CE pattern");
   SNAPPIX_CHECK(config.height > 0 && config.width > 0, "sensor dimensions must be positive");
-  const int tile = pattern.tile();
+  const int tile = pattern_->tile();
   SNAPPIX_CHECK(config.height % tile == 0 && config.width % tile == 0,
                 "sensor " << config.height << "x" << config.width
                           << " not divisible by CE tile " << tile);
@@ -21,7 +26,7 @@ StackedSensor::StackedSensor(const SensorConfig& config, const ce::CePattern& pa
 
 StackedSensor::CaptureState& StackedSensor::thread_capture_state(bool with_chains) const {
   static thread_local CaptureState state;
-  const int tile = pattern_.tile();
+  const int tile = pattern_->tile();
   const bool pixels_match =
       state.sig_height == config_.height && state.sig_width == config_.width &&
       state.sig_pixel.full_well_electrons == config_.pixel.full_well_electrons &&
@@ -54,11 +59,11 @@ float StackedSensor::code_per_unit() const {
 
 void StackedSensor::run_slot(int slot, const Tensor& scene, Rng& rng,
                              CaptureState& state) const {
-  const int tile = pattern_.tile();
+  const int tile = pattern_->tile();
   const std::int64_t h = config_.height;
   const std::int64_t w = config_.width;
   const std::int64_t tiles_x = w / tile;
-  const auto slot_bits = pattern_.slot_bits(slot);
+  const auto slot_bits = pattern_->slot_bits(slot);
   const NoiseModel noise(config_.noise, h * w);
   auto& pixels = state.pixels;
   auto& chains = state.chains;
@@ -131,10 +136,10 @@ void StackedSensor::run_slot(int slot, const Tensor& scene, Rng& rng,
 Tensor StackedSensor::capture(const Tensor& scene, Rng& rng, CaptureStats* stats_out) const {
   SNAPPIX_CHECK(scene.ndim() == 3, "capture expects a (T, H, W) scene, got "
                                        << scene.shape().to_string());
-  SNAPPIX_CHECK(scene.shape()[0] == pattern_.slots() && scene.shape()[1] == config_.height &&
+  SNAPPIX_CHECK(scene.shape()[0] == pattern_->slots() && scene.shape()[1] == config_.height &&
                     scene.shape()[2] == config_.width,
                 "scene " << scene.shape().to_string() << " does not match sensor ("
-                         << pattern_.slots() << ", " << config_.height << ", " << config_.width
+                         << pattern_->slots() << ", " << config_.height << ", " << config_.width
                          << ")");
   CaptureState& state = thread_capture_state(/*with_chains=*/true);
 
@@ -144,7 +149,7 @@ Tensor StackedSensor::capture(const Tensor& scene, Rng& rng, CaptureStats* stats
     pixel.reset_pd();
   }
 
-  for (int slot = 0; slot < pattern_.slots(); ++slot) {
+  for (int slot = 0; slot < pattern_->slots(); ++slot) {
     run_slot(slot, scene, rng, state);
   }
 
@@ -247,7 +252,7 @@ Tensor StackedSensor::ideal_codes(const Tensor& scene) const {
   NoGradGuard guard;
   const Tensor batched = Tensor::from_vector(
       scene.data(), Shape{1, scene.shape()[0], scene.shape()[1], scene.shape()[2]});
-  Tensor coded = ce::ce_encode(batched, pattern_);  // scene units
+  Tensor coded = ce::ce_encode(batched, *pattern_);  // scene units
   const ColumnAdc adc(config_.adc);
   std::vector<float> out(coded.data().size());
   for (std::size_t i = 0; i < out.size(); ++i) {

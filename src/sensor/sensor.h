@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -66,7 +67,11 @@ struct CaptureStats {
 
 class StackedSensor {
  public:
+  // Copies `pattern` into sensor-owned storage.
   StackedSensor(const SensorConfig& config, const ce::CePattern& pattern);
+  // Shares an existing pattern (no copy): a fleet of sensors programmed with
+  // the same system pattern holds one CePattern instance between them.
+  StackedSensor(const SensorConfig& config, std::shared_ptr<const ce::CePattern> pattern);
 
   // Captures one coded frame from a (T, H, W) scene with intensities in
   // [0, 1]. Returns the digital coded image (H, W) in ADC codes (floats).
@@ -100,7 +105,8 @@ class StackedSensor {
     return stats_;
   }
   const SensorConfig& config() const { return config_; }
-  const ce::CePattern& pattern() const { return pattern_; }
+  const ce::CePattern& pattern() const { return *pattern_; }
+  const std::shared_ptr<const ce::CePattern>& pattern_ref() const { return pattern_; }
   std::int64_t tiles() const { return tiles_; }
 
  private:
@@ -128,7 +134,7 @@ class StackedSensor {
   }
 
   SensorConfig config_;
-  ce::CePattern pattern_;
+  std::shared_ptr<const ce::CePattern> pattern_;
   std::int64_t tiles_;
   mutable std::mutex stats_mutex_;
   mutable CaptureStats stats_;  // last-capture snapshot, guarded by stats_mutex_

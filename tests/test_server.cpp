@@ -1,0 +1,557 @@
+// Task-typed serving tests: pattern hashing, the sharded EngineCache
+// (capacity bounds, eviction/refetch determinism), the fused REC decoder
+// path's bit-exactness, config validation, shared-pattern ownership, and the
+// end-to-end InferenceServer over a heterogeneous multi-pattern AR+REC fleet.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ce/encode.h"
+#include "core/snappix.h"
+#include "runtime/batcher.h"
+#include "runtime/camera.h"
+#include "runtime/engine.h"
+#include "runtime/engine_cache.h"
+#include "runtime/frame_queue.h"
+#include "runtime/runtime.h"
+#include "runtime/server.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using runtime::BatchAggregator;
+using runtime::BatchPolicy;
+using runtime::EngineCache;
+using runtime::EngineCacheConfig;
+using runtime::Frame;
+using runtime::FrameQueue;
+using runtime::InferenceServer;
+using runtime::PatternRef;
+using runtime::ServerConfig;
+using runtime::Task;
+using runtime::TaskResult;
+
+core::SnapPixConfig small_system_config() {
+  core::SnapPixConfig cfg;
+  cfg.image = 16;
+  cfg.frames = 8;
+  cfg.num_classes = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+data::SceneConfig small_scene() {
+  data::SceneConfig scene;
+  scene.frames = 8;
+  scene.height = 16;
+  scene.width = 16;
+  scene.num_classes = 4;
+  return scene;
+}
+
+// --- CePattern::hash ---------------------------------------------------------
+
+TEST(CePatternHash, EqualPatternsHashEqualDistinctDiffer) {
+  Rng rng(5);
+  const ce::CePattern a = ce::CePattern::random(8, 8, rng, 0.5F);
+  const ce::CePattern b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+
+  std::set<std::uint64_t> hashes;
+  hashes.insert(a.hash());
+  for (int i = 0; i < 16; ++i) {
+    hashes.insert(ce::CePattern::random(8, 8, rng, 0.5F).hash());
+  }
+  EXPECT_GT(hashes.size(), 16U);  // 17 distinct patterns, no collisions expected
+
+  // Geometry participates: same all-ones bits, different (slots, tile) split.
+  EXPECT_NE(ce::CePattern::long_exposure(2, 4).hash(),
+            ce::CePattern::long_exposure(4, 2).hash());
+}
+
+TEST(CePatternHash, SingleBitFlipChangesHash) {
+  ce::CePattern a = ce::CePattern::long_exposure(4, 4);
+  ce::CePattern b = a;
+  b.set_bit(2, 1, 3, false);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+// --- config validation -------------------------------------------------------
+
+TEST(ConfigValidation, RejectsBadValuesWithInvalidArgument) {
+  core::SnapPixSystem system(small_system_config());
+  {
+    runtime::RuntimeConfig cfg;
+    cfg.queue_capacity = 0;
+    EXPECT_THROW(runtime::StreamingRuntime(system, cfg), std::invalid_argument);
+  }
+  {
+    runtime::RuntimeConfig cfg;
+    cfg.batch.max_batch = 0;
+    EXPECT_THROW(runtime::StreamingRuntime(system, cfg), std::invalid_argument);
+  }
+  {
+    runtime::RuntimeConfig cfg;
+    cfg.batch.max_delay = std::chrono::microseconds(-1);
+    EXPECT_THROW(runtime::StreamingRuntime(system, cfg), std::invalid_argument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.scheduler_threads = -2;
+    EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.cache.shards = 0;
+    EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.cache.capacity_per_shard = 0;
+    EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
+  }
+  // The messages should say what is wrong, not just that something is.
+  try {
+    BatchPolicy policy;
+    policy.max_batch = -3;
+    runtime::validate(policy);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_batch"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+// --- shared pattern ownership ------------------------------------------------
+
+TEST(PatternSharing, FleetOnSystemPatternHoldsOneInstance) {
+  core::SnapPixSystem system(small_system_config());
+  const PatternRef ref = system.pattern_ref();
+  runtime::SyntheticCameraSource a(0, small_scene(), ref, 1);
+  runtime::SyntheticCameraSource b(1, small_scene(), ref, 2);
+  EXPECT_EQ(&a.pattern(), &system.pattern());
+  EXPECT_EQ(&b.pattern(), &system.pattern());
+  EXPECT_EQ(a.pattern_id(), system.pattern_hash());
+
+  // The sensor camera shares its pattern with its embedded StackedSensor too.
+  runtime::SensorCameraSource sensor_cam(2, system.default_sensor_config(), small_scene(),
+                                         ref, 3);
+  EXPECT_EQ(&sensor_cam.pattern(), &system.pattern());
+  EXPECT_EQ(&sensor_cam.sensor().pattern(), &system.pattern());
+
+  // record() propagates the shared handle, not a copy.
+  auto replay = runtime::ReplayCameraSource::record(a, 2);
+  EXPECT_EQ(&replay->pattern(), &system.pattern());
+
+  // set_pattern is copy-on-write: existing handles keep the old instance.
+  Rng rng(7);
+  system.set_pattern(ce::CePattern::random(8, 8, rng, 0.5F));
+  EXPECT_EQ(&a.pattern(), ref.get());
+  EXPECT_NE(&system.pattern(), ref.get());
+}
+
+// --- FrameQueue shutdown-while-blocked ---------------------------------------
+
+TEST(FrameQueue, CloseUnblocksConsumerBlockedOnEmptyQueue) {
+  FrameQueue queue(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  Frame out;
+  EXPECT_FALSE(queue.pop(out));  // blocked on empty, woken by close
+  closer.join();
+  EXPECT_FALSE(queue.push(std::move(out)));
+}
+
+TEST(FrameQueue, CloseUnblocksTimedConsumerBeforeDeadline) {
+  FrameQueue queue(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  Frame out;
+  const auto t0 = runtime::Clock::now();
+  EXPECT_FALSE(queue.pop_until(out, t0 + std::chrono::seconds(10)));
+  EXPECT_LT(runtime::Clock::now() - t0, std::chrono::seconds(5));  // woke early
+  closer.join();
+}
+
+// --- BatchAggregator key splitting -------------------------------------------
+
+Frame keyed_frame(int camera, std::int64_t sequence, std::uint64_t pattern_id, Task task) {
+  Frame frame;
+  frame.camera_id = camera;
+  frame.sequence = sequence;
+  frame.pattern_id = pattern_id;
+  frame.task = task;
+  frame.coded = Tensor::full(Shape{4, 4}, static_cast<float>(sequence));
+  return frame;
+}
+
+TEST(BatchAggregator, NeverMixesPatternOrTask) {
+  FrameQueue queue(32);
+  // Interleaved streams: pattern 1 classify, pattern 2 classify, pattern 1
+  // reconstruct. FIFO: A A B A R A B.
+  ASSERT_TRUE(queue.push(keyed_frame(0, 0, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed_frame(0, 1, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed_frame(1, 0, 2, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed_frame(0, 2, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed_frame(2, 0, 1, Task::kReconstruct)));
+  ASSERT_TRUE(queue.push(keyed_frame(0, 3, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed_frame(1, 1, 2, Task::kClassify)));
+  queue.close();
+
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  BatchAggregator aggregator(queue, policy);
+  std::vector<Frame> batch;
+  std::vector<std::vector<std::int64_t>> batches;
+  std::vector<runtime::BatchKey> keys;
+  while (aggregator.next_batch(batch)) {
+    std::vector<std::int64_t> ids;
+    for (const Frame& f : batch) {
+      EXPECT_EQ(f.pattern_id, aggregator.last_key().pattern_id);
+      EXPECT_EQ(f.task, aggregator.last_key().task);
+      ids.push_back(f.camera_id * 100 + f.sequence);
+    }
+    batches.push_back(std::move(ids));
+    keys.push_back(aggregator.last_key());
+  }
+  // Splits at every key change, preserving FIFO: [A,A] [B] [A] [R] [A] [B].
+  ASSERT_EQ(batches.size(), 6U);
+  EXPECT_EQ(batches[0], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(batches[1], (std::vector<std::int64_t>{100}));
+  EXPECT_EQ(batches[2], (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(batches[3], (std::vector<std::int64_t>{200}));
+  EXPECT_EQ(keys[3].task, Task::kReconstruct);
+  EXPECT_EQ(batches[4], (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(batches[5], (std::vector<std::int64_t>{101}));
+}
+
+// --- fused REC path ----------------------------------------------------------
+
+TEST(BatchedVitEngine, ReconstructBitIdenticalToTapeFramework) {
+  core::SnapPixSystem system(small_system_config());
+  runtime::BatchedVitEngine engine(*system.classifier(), *system.reconstructor(), 8);
+  ASSERT_TRUE(engine.has_rec_head());
+  EXPECT_EQ(engine.frames(), 8);
+  Rng rng(31);
+  const Tensor batch = Tensor::rand_uniform(Shape{6, 16, 16}, rng);
+  const Tensor tape = system.reconstruct_coded(batch);
+  const Tensor fused = engine.reconstruct(batch);
+  ASSERT_EQ(tape.shape(), fused.shape());
+  for (std::size_t i = 0; i < tape.data().size(); ++i) {
+    ASSERT_EQ(tape.data()[i], fused.data()[i]) << "voxel " << i << " diverges";
+  }
+  // The same engine still classifies bit-identically (shared trunk).
+  const Tensor tape_logits = system.classify_logits_coded(batch);
+  const Tensor fused_logits = engine.classify_logits(batch);
+  for (std::size_t i = 0; i < tape_logits.data().size(); ++i) {
+    ASSERT_EQ(tape_logits.data()[i], fused_logits.data()[i]);
+  }
+}
+
+TEST(BatchedVitEngine, ReconstructBatchSizeDoesNotChangeBits) {
+  core::SnapPixSystem system(small_system_config());
+  runtime::BatchedVitEngine engine(*system.classifier(), *system.reconstructor(), 4);
+  Rng rng(37);
+  const Tensor batch = Tensor::rand_uniform(Shape{5, 16, 16}, rng);
+  const Tensor batched = engine.reconstruct(batch);  // chunked as 4 + 1
+  const std::int64_t elems = 8 * 16 * 16;
+  for (std::int64_t b = 0; b < 5; ++b) {
+    std::vector<float> one(batch.data().begin() + b * 256,
+                           batch.data().begin() + (b + 1) * 256);
+    const Tensor single =
+        engine.reconstruct(Tensor::from_vector(std::move(one), Shape{1, 16, 16}));
+    for (std::int64_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(single.data()[static_cast<std::size_t>(i)],
+                batched.data()[static_cast<std::size_t>(b * elems + i)]);
+    }
+  }
+}
+
+TEST(BatchedVitEngine, ClassifierOnlyEngineRejectsReconstruct) {
+  core::SnapPixSystem system(small_system_config());
+  runtime::BatchedVitEngine engine(*system.classifier(), 4);
+  EXPECT_FALSE(engine.has_rec_head());
+  Rng rng(41);
+  EXPECT_THROW(engine.reconstruct(Tensor::rand_uniform(Shape{1, 16, 16}, rng)),
+               std::runtime_error);
+}
+
+// --- PatternNormalizer -------------------------------------------------------
+
+TEST(PatternNormalizer, MatchesLibraryNormalization) {
+  Rng rng(43);
+  const ce::CePattern pattern = ce::CePattern::random(8, 8, rng, 0.4F);
+  runtime::PatternNormalizer normalizer(pattern);
+  const Tensor coded = Tensor::rand_uniform(Shape{3, 16, 16}, rng);
+  const Tensor expected = ce::normalize_by_exposure(coded, pattern);
+  const Tensor actual = normalizer.apply(coded);
+  ASSERT_EQ(expected.shape(), actual.shape());
+  for (std::size_t i = 0; i < expected.data().size(); ++i) {
+    ASSERT_EQ(expected.data()[i], actual.data()[i]);
+  }
+}
+
+// --- EngineCache -------------------------------------------------------------
+
+std::vector<PatternRef> distinct_patterns(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PatternRef> patterns;
+  for (int i = 0; i < count; ++i) {
+    patterns.push_back(runtime::make_pattern_ref(ce::CePattern::random(8, 8, rng, 0.5F)));
+  }
+  return patterns;
+}
+
+TEST(EngineCache, CountsHitsAndMisses) {
+  core::SnapPixSystem system(small_system_config());
+  EngineCacheConfig cfg;
+  cfg.shards = 2;
+  cfg.capacity_per_shard = 4;
+  EngineCache cache(cfg, [&system](const ce::CePattern&) {
+    return std::make_shared<runtime::BatchedVitEngine>(*system.classifier(), 4);
+  });
+  const auto patterns = distinct_patterns(3, 51);
+  for (const auto& p : patterns) {
+    cache.resolve(p->hash(), p);  // 3 misses
+  }
+  for (int lap = 0; lap < 2; ++lap) {
+    for (const auto& p : patterns) {
+      cache.resolve(p->hash(), p);  // 6 hits
+    }
+  }
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.misses, 3U);
+  EXPECT_EQ(counters.hits, 6U);
+  EXPECT_EQ(counters.evictions, 0U);
+  EXPECT_EQ(cache.resident(), 3U);
+  // A hit returns the SAME resident entry, not a rebuild.
+  const auto first = cache.resolve(patterns[0]->hash(), patterns[0]);
+  const auto second = cache.resolve(patterns[0]->hash(), patterns[0]);
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(EngineCache, NeverExceedsPerShardCapacityAndEvictsLru) {
+  core::SnapPixSystem system(small_system_config());
+  EngineCacheConfig cfg;
+  cfg.shards = 1;  // single shard makes the LRU order observable
+  cfg.capacity_per_shard = 2;
+  int builds = 0;
+  EngineCache cache(cfg, [&system, &builds](const ce::CePattern&) {
+    ++builds;
+    return std::make_shared<runtime::BatchedVitEngine>(*system.classifier(), 4);
+  });
+  const auto patterns = distinct_patterns(3, 53);
+  cache.resolve(patterns[0]->hash(), patterns[0]);
+  cache.resolve(patterns[1]->hash(), patterns[1]);
+  EXPECT_EQ(cache.max_shard_occupancy(), 2U);
+  cache.resolve(patterns[0]->hash(), patterns[0]);      // touch 0: LRU is now 1
+  cache.resolve(patterns[2]->hash(), patterns[2]);      // evicts 1
+  EXPECT_EQ(cache.max_shard_occupancy(), 2U);           // capacity held
+  EXPECT_EQ(cache.counters().evictions, 1U);
+  cache.resolve(patterns[0]->hash(), patterns[0]);      // still resident: hit
+  EXPECT_EQ(builds, 3);
+  cache.resolve(patterns[1]->hash(), patterns[1]);      // evicted: rebuilt
+  EXPECT_EQ(builds, 4);
+}
+
+TEST(EngineCache, EvictedPatternRefetchIsBitIdentical) {
+  core::SnapPixSystem system(small_system_config());
+  EngineCacheConfig cfg;
+  cfg.shards = 1;
+  cfg.capacity_per_shard = 1;  // every alternation evicts
+  EngineCache cache(cfg, [&system](const ce::CePattern&) {
+    return std::make_shared<runtime::BatchedVitEngine>(*system.classifier(),
+                                                       *system.reconstructor(), 4);
+  });
+  const auto patterns = distinct_patterns(2, 57);
+  Rng rng(59);
+  const Tensor coded = Tensor::rand_uniform(Shape{2, 16, 16}, rng);
+
+  const auto first = cache.resolve(patterns[0]->hash(), patterns[0]);
+  const Tensor logits_before = first->engine->classify_logits(coded);
+  const Tensor video_before = first->engine->reconstruct(coded);
+
+  cache.resolve(patterns[1]->hash(), patterns[1]);  // evicts pattern 0
+  EXPECT_EQ(cache.counters().evictions, 1U);
+
+  const auto rebuilt = cache.resolve(patterns[0]->hash(), patterns[0]);  // refetch
+  EXPECT_NE(first.get(), rebuilt.get());  // genuinely rebuilt, not resurrected
+  const Tensor logits_after = rebuilt->engine->classify_logits(coded);
+  const Tensor video_after = rebuilt->engine->reconstruct(coded);
+  for (std::size_t i = 0; i < logits_before.data().size(); ++i) {
+    ASSERT_EQ(logits_before.data()[i], logits_after.data()[i]);
+  }
+  for (std::size_t i = 0; i < video_before.data().size(); ++i) {
+    ASSERT_EQ(video_before.data()[i], video_after.data()[i]);
+  }
+  EXPECT_EQ(cache.counters().misses, 3U);
+}
+
+// --- InferenceServer end-to-end ----------------------------------------------
+
+// A heterogeneous fleet — four distinct patterns, both task heads — must
+// produce results bit-identical to the sequential SnapPixSystem paths.
+TEST(InferenceServer, HeterogeneousFleetMatchesSequentialPaths) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(4, 61);
+
+  ServerConfig config;
+  config.batch.max_batch = 4;
+  config.cache.shards = 2;
+  config.cache.capacity_per_shard = 2;
+  InferenceServer server(system, config);
+
+  const std::int64_t frames_per_camera = 4;
+  for (int cam = 0; cam < 6; ++cam) {
+    auto camera = std::make_unique<runtime::SyntheticCameraSource>(
+        cam, small_scene(), patterns[static_cast<std::size_t>(cam % 4)],
+        700 + static_cast<std::uint64_t>(cam));
+    if (cam >= 4) {
+      camera->set_task(Task::kReconstruct);  // cameras 4, 5 request REC
+    }
+    server.add_camera(std::move(camera));
+  }
+  const std::vector<TaskResult> results = server.run(frames_per_camera);
+  ASSERT_EQ(results.size(), 24U);
+
+  // Sequential reference: identical cameras, tape-based batch-1.
+  NoGradGuard guard;
+  std::size_t i = 0;
+  for (int cam = 0; cam < 6; ++cam) {
+    runtime::SyntheticCameraSource camera(cam, small_scene(),
+                                          patterns[static_cast<std::size_t>(cam % 4)],
+                                          700 + static_cast<std::uint64_t>(cam));
+    for (std::int64_t f = 0; f < frames_per_camera; ++f, ++i) {
+      const Frame frame = camera.next_frame();
+      const Tensor one = Tensor::from_vector(frame.coded.data(), Shape{1, 16, 16});
+      ASSERT_EQ(results[i].camera_id, cam);
+      ASSERT_EQ(results[i].sequence, f);
+      EXPECT_EQ(results[i].pattern_id, patterns[static_cast<std::size_t>(cam % 4)]->hash());
+      if (cam < 4) {
+        ASSERT_EQ(results[i].task, Task::kClassify);
+        EXPECT_EQ(results[i].predicted, system.classify_coded(one)[0])
+            << "camera " << cam << " frame " << f << " diverged";
+        EXPECT_EQ(results[i].label, frame.label);
+      } else {
+        ASSERT_EQ(results[i].task, Task::kReconstruct);
+        const Tensor expected = system.reconstruct_coded(one);  // (1, T, H, W)
+        const Tensor& actual = results[i].reconstruction;       // (T, H, W)
+        ASSERT_EQ(actual.shape(), (Shape{8, 16, 16}));
+        for (std::size_t v = 0; v < actual.data().size(); ++v) {
+          ASSERT_EQ(expected.data()[v], actual.data()[v])
+              << "camera " << cam << " frame " << f << " voxel " << v;
+        }
+      }
+    }
+  }
+
+  const auto summary = server.summary();
+  EXPECT_EQ(summary.frames, 24U);
+  EXPECT_EQ(summary.classify_frames, 16U);
+  EXPECT_EQ(summary.reconstruct_frames, 8U);
+  EXPECT_EQ(summary.cache_misses + summary.cache_hits, summary.batches);
+  EXPECT_GT(summary.cache_misses, 0U);
+  ASSERT_NE(server.engine_cache(), nullptr);
+  EXPECT_LE(server.engine_cache()->max_shard_occupancy(), config.cache.capacity_per_shard);
+}
+
+// The tape backend serves the same fleet without a cache and stays
+// bit-identical to the fused path.
+TEST(InferenceServer, TapeBackendMatchesFusedBackend) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(2, 67);
+
+  const auto run_fleet = [&](runtime::InferenceBackend backend) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.backend = backend;
+    InferenceServer server(system, config);
+    for (int cam = 0; cam < 3; ++cam) {
+      auto camera = std::make_unique<runtime::SyntheticCameraSource>(
+          cam, small_scene(), patterns[static_cast<std::size_t>(cam % 2)],
+          800 + static_cast<std::uint64_t>(cam));
+      if (cam == 2) {
+        camera->set_task(Task::kReconstruct);
+      }
+      server.add_camera(std::move(camera));
+    }
+    return server.run(3);
+  };
+
+  const auto fused = run_fleet(runtime::InferenceBackend::kFusedEngine);
+  const auto tape = run_fleet(runtime::InferenceBackend::kTapeFramework);
+  ASSERT_EQ(fused.size(), tape.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i].camera_id, tape[i].camera_id);
+    EXPECT_EQ(fused[i].sequence, tape[i].sequence);
+    EXPECT_EQ(fused[i].task, tape[i].task);
+    EXPECT_EQ(fused[i].predicted, tape[i].predicted);
+    if (fused[i].task == Task::kReconstruct) {
+      ASSERT_EQ(fused[i].reconstruction.data().size(), tape[i].reconstruction.data().size());
+      for (std::size_t v = 0; v < fused[i].reconstruction.data().size(); ++v) {
+        ASSERT_EQ(fused[i].reconstruction.data()[v], tape[i].reconstruction.data()[v]);
+      }
+    }
+  }
+}
+
+TEST(InferenceServer, RunIsOneShot) {
+  core::SnapPixSystem system(small_system_config());
+  InferenceServer server(system, {});
+  server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+      0, small_scene(), system.pattern_ref(), 1));
+  (void)server.run(1);
+  EXPECT_THROW(server.run(1), std::runtime_error);
+}
+
+// StreamingRuntime remains a faithful classification facade over the server.
+TEST(StreamingRuntimeFacade, MatchesServerClassifyResults) {
+  core::SnapPixSystem system(small_system_config());
+  runtime::RuntimeConfig config;
+  config.batch.max_batch = 4;
+  runtime::StreamingRuntime rt(system, config);
+  for (int cam = 0; cam < 2; ++cam) {
+    rt.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        cam, small_scene(), system.pattern_ref(), 40 + static_cast<std::uint64_t>(cam)));
+  }
+  const auto results = rt.run(3);
+  ASSERT_EQ(results.size(), 6U);
+
+  ServerConfig server_config;
+  server_config.batch.max_batch = 4;
+  InferenceServer server(system, server_config);
+  for (int cam = 0; cam < 2; ++cam) {
+    server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        cam, small_scene(), system.pattern_ref(), 40 + static_cast<std::uint64_t>(cam)));
+  }
+  const auto typed = server.run(3);
+  ASSERT_EQ(typed.size(), results.size());
+  for (std::size_t i = 0; i < typed.size(); ++i) {
+    EXPECT_EQ(results[i].camera_id, typed[i].camera_id);
+    EXPECT_EQ(results[i].sequence, typed[i].sequence);
+    EXPECT_EQ(results[i].predicted, typed[i].predicted);
+    EXPECT_EQ(results[i].label, typed[i].label);
+  }
+}
+
+TEST(StreamingRuntimeFacade, RejectsReconstructionCameras) {
+  core::SnapPixSystem system(small_system_config());
+  runtime::StreamingRuntime rt(system, {});
+  auto camera = std::make_unique<runtime::SyntheticCameraSource>(0, small_scene(),
+                                                                 system.pattern_ref(), 1);
+  camera->set_task(Task::kReconstruct);
+  EXPECT_THROW(rt.add_camera(std::move(camera)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snappix
