@@ -6,11 +6,13 @@
 //      share the system's learned pattern through one PatternRef (zero
 //      copies), one camera carries its own distinct pattern, and one camera
 //      requests video reconstruction instead of classification,
-//   3. serve everything through batched fused-engine inference, with batches
-//      split by (pattern, task) and engines resolved through the sharded
-//      pattern->engine cache,
-//   4. report accuracy, throughput, latency percentiles, cache traffic,
-//      bytes-on-wire, and the fleet's Sec. VI-D energy bill.
+//   3. serve everything through TWO work-stealing consumer shards with
+//      batched fused-engine inference: batches split by (pattern, task),
+//      engines resolved through each shard's private pattern->engine cache,
+//      and an idle shard stealing key-pure tail batches from its sibling,
+//   4. report accuracy, throughput, latency percentiles, cache and steal
+//      traffic per shard, bytes-on-wire, and the fleet's Sec. VI-D energy
+//      bill.
 #include <cstdio>
 #include <memory>
 
@@ -59,6 +61,7 @@ int main() {
   server_cfg.batch.max_delay = std::chrono::microseconds(3000);
   server_cfg.cache.shards = 2;
   server_cfg.cache.capacity_per_shard = 4;
+  server_cfg.shards = 2;  // two consumer workers; idle one steals tail batches
   runtime::InferenceServer server(system, server_cfg);
 
   const runtime::PatternRef learned = system.pattern_ref();

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Docs link check: every relative markdown link in docs/*.md, the top-level
+# README.md, and the per-subsystem src/*/README.md files must resolve to an
+# existing file or directory. External links (http/https/mailto) and pure
+# in-page anchors are skipped; anchors on relative links are stripped before
+# the existence check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+checked=0
+for md in docs/*.md README.md src/*/README.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Pull out every](target) markdown link target, tolerating several per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|"#"*) continue ;;
+    esac
+    path="${target%%#*}"           # strip in-page anchor
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target (no such file: $dir/$path)"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o ']([^)]*)' "$md" 2>/dev/null | sed 's/^](//; s/)$//' || true)
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "docs link check: no links found (suspicious — did the extraction break?)"
+  exit 1
+fi
+if [ "$failures" -gt 0 ]; then
+  echo "docs link check: $failures broken link(s) out of $checked"
+  exit 1
+fi
+echo "docs link check: all $checked relative links resolve"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, run the test suite, then the streaming
-# throughput bench in quick mode (emits BENCH_streaming.json and
-# BENCH_pattern_cache.json in build/).
+# CI entry point: configure, build, run the test suite, check the docs tree's
+# links, then run the streaming throughput bench in quick mode (emits
+# BENCH_streaming.json, BENCH_pattern_cache.json and BENCH_sharded.json in
+# build/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,11 +12,18 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-# Streaming bench: quick mode keeps CI fast; the binary exits non-zero if the
-# batched path is not bit-identical to the sequential path, or if the
-# heterogeneous pattern-cache run fails its hit/eviction gates.
+# Docs: every relative link in docs/*.md and README.md must resolve.
+./scripts/check_docs_links.sh
+
+# Streaming bench: quick mode keeps CI fast; the binary exits non-zero if any
+# serving arm (batched, pattern-cache, sharded work-stealing) diverges
+# bitwise from the sequential path, if the cache misses its hit/eviction
+# gates, or — on hosts with >= 4 hardware threads — if sharded serving falls
+# below 1.5x the single-consumer arm.
 (cd "$BUILD_DIR" && ./bench_streaming_throughput --quick)
 echo "BENCH_streaming.json:"
 cat "$BUILD_DIR/BENCH_streaming.json"
 echo "BENCH_pattern_cache.json:"
 cat "$BUILD_DIR/BENCH_pattern_cache.json"
+echo "BENCH_sharded.json:"
+cat "$BUILD_DIR/BENCH_sharded.json"

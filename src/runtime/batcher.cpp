@@ -41,6 +41,30 @@ bool BatchAggregator::next_batch(std::vector<Frame>& out) {
   } else {
     first.dequeue_time = Clock::now();
   }
+  fill_from(std::move(first), out);
+  return true;
+}
+
+BatchAggregator::Poll BatchAggregator::poll_batch(std::vector<Frame>& out,
+                                                  Clock::time_point idle_deadline) {
+  out.clear();
+  Frame first;
+  if (holdback_.has_value()) {
+    first = std::move(*holdback_);
+    holdback_.reset();
+  } else if (!queue_.pop_until(first, idle_deadline)) {
+    // pop_until conflates "timed out" with "closed and drained"; exhausted()
+    // is sticky (no push can succeed after close), so checking it after the
+    // fact cannot mislabel a queue that still holds frames.
+    return queue_.exhausted() ? Poll::kExhausted : Poll::kIdle;
+  } else {
+    first.dequeue_time = Clock::now();
+  }
+  fill_from(std::move(first), out);
+  return Poll::kBatch;
+}
+
+void BatchAggregator::fill_from(Frame first, std::vector<Frame>& out) {
   last_key_ = BatchKey{first.pattern_id, first.task};
   const Clock::time_point deadline = Clock::now() + policy_.max_delay;
   out.push_back(std::move(first));
@@ -56,7 +80,6 @@ bool BatchAggregator::next_batch(std::vector<Frame>& out) {
     }
     out.push_back(std::move(next));
   }
-  return true;
 }
 
 Tensor BatchAggregator::stack_coded(const std::vector<Frame>& frames) {

@@ -45,6 +45,15 @@ struct BatchKey {
 
 class BatchAggregator {
  public:
+  // Outcome of a bounded-wait poll_batch() call, for consumers that have
+  // other work to do when their own queue runs dry (e.g. a shard worker that
+  // steals from siblings while idle).
+  enum class Poll {
+    kBatch,      // `out` holds a batch; key via last_key()
+    kIdle,       // no frame arrived by the deadline, but more may still come
+    kExhausted,  // queue closed + drained and no held-back frame: terminal
+  };
+
   BatchAggregator(FrameQueue& queue, const BatchPolicy& policy);
 
   // Fills `out` with the next batch (clearing it first). Returns false when
@@ -52,6 +61,12 @@ class BatchAggregator {
   // Batches preserve queue FIFO order and are homogeneous in
   // (pattern_id, task); the batch's key is available via last_key().
   bool next_batch(std::vector<Frame>& out);
+
+  // Like next_batch(), but waits for the batch's FIRST frame only until
+  // `idle_deadline` instead of blocking indefinitely; once a first frame is
+  // in hand the usual max_batch/max_delay policy applies. kIdle means the
+  // caller should come back (or go steal); kExhausted is terminal.
+  Poll poll_batch(std::vector<Frame>& out, Clock::time_point idle_deadline);
 
   // Key of the batch most recently returned by next_batch().
   const BatchKey& last_key() const { return last_key_; }
@@ -62,6 +77,10 @@ class BatchAggregator {
   const BatchPolicy& policy() const { return policy_; }
 
  private:
+  // Shared tail of next_batch/poll_batch: grows a batch around `first` under
+  // the max_batch/max_delay policy, never crossing a key boundary.
+  void fill_from(Frame first, std::vector<Frame>& out);
+
   FrameQueue& queue_;
   BatchPolicy policy_;
   BatchKey last_key_;

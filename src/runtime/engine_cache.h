@@ -1,20 +1,29 @@
-// EngineCache: sharded, LRU-evicting map from pattern_id to resident
-// per-pattern serving state.
-//
-// A SNAPPIX deployment serves a fleet whose cameras carry *different* learned
-// CE patterns; each distinct pattern needs server-side state to serve its
-// frames — the exposure normalizer derived from the pattern bits and a fused
-// BatchedVitEngine workspace. Millions of cameras cannot each keep an engine
-// resident, so the cache bounds residency: N independent shards (keyed by the
-// pattern's stable content hash, so no cross-shard coordination on the hot
-// path) each hold at most `capacity_per_shard` entries and evict the least
-// recently used beyond that. A miss rebuilds the entry through the factory
-// the server installed; because engines are deterministic snapshots of the
-// model, an evicted-and-refetched pattern serves bit-identical results.
-//
-// Thread-safety: resolve() locks only the owning shard. Entries are handed
-// out as shared_ptr, so an entry evicted mid-flight stays alive until its
-// last in-flight batch completes.
+/// \file engine_cache.h
+/// \brief EngineCache: sharded, LRU-evicting map from pattern_id to resident
+/// per-pattern serving state.
+///
+/// A SNAPPIX deployment serves a fleet whose cameras carry *different*
+/// learned CE patterns; each distinct pattern needs server-side state to
+/// serve its frames — the exposure normalizer derived from the pattern bits
+/// and a fused BatchedVitEngine workspace. Millions of cameras cannot each
+/// keep an engine resident, so the cache bounds residency: N independent
+/// shards (keyed by the pattern's stable content hash, so no cross-shard
+/// coordination on the hot path) each hold at most `capacity_per_shard`
+/// entries and evict the least recently used beyond that. A miss rebuilds the
+/// entry through the factory the server installed; because engines are
+/// deterministic snapshots of the model, an evicted-and-refetched pattern
+/// serves bit-identical results.
+///
+/// Topology note: the cache's internal shards (EngineCacheConfig::shards)
+/// are a lock-granularity knob and are unrelated to the InferenceServer's
+/// CONSUMER shards — each consumer shard owns a whole private EngineCache
+/// instance (its "cache view"), so concurrent workers never contend on one
+/// cache, and a work-stealing thief builds its own entry for a stolen
+/// pattern rather than reaching into the victim's view.
+///
+/// Thread-safety: resolve() locks only the owning shard. Entries are handed
+/// out as shared_ptr, so an entry evicted mid-flight stays alive until its
+/// last in-flight batch completes.
 #pragma once
 
 #include <cstdint>
@@ -31,26 +40,30 @@
 
 namespace snappix::runtime {
 
+/// \brief Cache geometry: lock shards x per-shard LRU capacity. Total
+/// residency bound is shards * capacity_per_shard entries.
 struct EngineCacheConfig {
   std::size_t shards = 4;
   std::size_t capacity_per_shard = 8;
 };
 
+/// \brief Monotonic traffic counters, aggregated over the cache's shards.
 struct EngineCacheCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
 };
 
-// Precomputed exposure normalizer for one pattern: the reciprocal exposure
-// counts per within-tile pixel (never-exposed pixels map to 0). apply() is
-// bit-identical to ce::normalize_by_exposure — same reciprocal table, same
-// multiply — but skips recomputing the table per batch.
+/// \brief Precomputed exposure normalizer for one pattern: the reciprocal
+/// exposure counts per within-tile pixel (never-exposed pixels map to 0).
+///
+/// apply() is bit-identical to ce::normalize_by_exposure — same reciprocal
+/// table, same multiply — but skips recomputing the table per batch.
 class PatternNormalizer {
  public:
   explicit PatternNormalizer(const ce::CePattern& pattern);
 
-  // (B, H, W) raw coded images -> exposure-normalized (B, H, W).
+  /// \brief (B, H, W) raw coded images -> exposure-normalized (B, H, W).
   Tensor apply(const Tensor& coded) const;
 
   int tile() const { return tile_; }
@@ -60,13 +73,15 @@ class PatternNormalizer {
   std::vector<float> inv_counts_;  // (tile, tile) reciprocal exposure counts
 };
 
-// One resident cache entry: everything the server needs to serve a pattern.
-// Note on the normalizer: the in-repo camera adapters normalize at the edge
-// (frames arrive exposure-normalized), so the serving loop reads only
-// `engine` — do NOT apply the normalizer to frames from those cameras, that
-// would divide by the exposure counts twice. It is resident state for ingest
-// paths that ship raw coded pixels (e.g. the planned MIPI-framed transport,
-// where the wire carries raw ADC codes and normalization moves server-side).
+/// \brief One resident cache entry: everything a shard worker needs to serve
+/// a pattern.
+///
+/// Note on the normalizer: the in-repo camera adapters normalize at the edge
+/// (frames arrive exposure-normalized), so the serving loop reads only
+/// `engine` — do NOT apply the normalizer to frames from those cameras, that
+/// would divide by the exposure counts twice. It is resident state for ingest
+/// paths that ship raw coded pixels (e.g. the planned MIPI-framed transport,
+/// where the wire carries raw ADC codes and normalization moves server-side).
 struct ServingEntry {
   std::shared_ptr<const ce::CePattern> pattern;
   std::unique_ptr<PatternNormalizer> normalizer;
@@ -75,23 +90,25 @@ struct ServingEntry {
 
 class EngineCache {
  public:
-  // Builds the engine for a newly-resident pattern (called under the owning
-  // shard's lock; per-shard locking keeps concurrent misses on different
-  // shards independent).
+  /// \brief Builds the engine for a newly-resident pattern (called under the
+  /// owning shard's lock; per-shard locking keeps concurrent misses on
+  /// different shards independent).
   using EngineFactory =
       std::function<std::shared_ptr<BatchedVitEngine>(const ce::CePattern&)>;
 
   EngineCache(const EngineCacheConfig& config, EngineFactory factory);
 
-  // Returns the resident entry for `pattern_id`, building it from `pattern`
-  // on a miss and evicting the shard's LRU entry beyond capacity.
+  /// \brief Returns the resident entry for `pattern_id`, building it from
+  /// `pattern` on a miss and evicting the shard's LRU entry beyond capacity.
   std::shared_ptr<const ServingEntry> resolve(
       std::uint64_t pattern_id, const std::shared_ptr<const ce::CePattern>& pattern);
 
-  // Aggregated over all shards.
+  /// \brief Traffic counters aggregated over all shards.
   EngineCacheCounters counters() const;
+  /// \brief Entries currently resident, summed over shards.
   std::size_t resident() const;
-  // Largest current per-shard occupancy — never exceeds capacity_per_shard.
+  /// \brief Largest current per-shard occupancy — never exceeds
+  /// capacity_per_shard.
   std::size_t max_shard_occupancy() const;
 
   const EngineCacheConfig& config() const { return config_; }

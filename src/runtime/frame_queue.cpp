@@ -1,5 +1,7 @@
 #include "runtime/frame_queue.h"
 
+#include <algorithm>
+
 #include "util/common.h"
 
 namespace snappix::runtime {
@@ -51,6 +53,43 @@ bool FrameQueue::pop_until(Frame& out, Clock::time_point deadline) {
   return true;
 }
 
+bool FrameQueue::steal_tail(std::vector<Frame>& out, int max_frames) {
+  SNAPPIX_CHECK(max_frames > 0, "steal_tail needs max_frames >= 1, got " << max_frames);
+  out.clear();
+  std::size_t taken = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (frames_.empty()) {
+      return false;
+    }
+    // Walk backwards over the maximal run sharing the tail frame's serving
+    // key, capped at max_frames — the run is a contiguous suffix, so per-
+    // camera sequence order inside it is preserved.
+    const std::uint64_t pattern_id = frames_.back().pattern_id;
+    const Task task = frames_.back().task;
+    auto first = frames_.end();
+    while (first != frames_.begin() && taken < static_cast<std::size_t>(max_frames)) {
+      auto prev = std::prev(first);
+      if (prev->pattern_id != pattern_id || prev->task != task) {
+        break;
+      }
+      first = prev;
+      ++taken;
+    }
+    out.reserve(taken);
+    for (auto it = first; it != frames_.end(); ++it) {
+      out.push_back(std::move(*it));
+    }
+    frames_.erase(first, frames_.end());
+  }
+  // A steal frees up to max_frames slots at once. notify_one would wake a
+  // single blocked producer and strand the rest until the next pop — with
+  // thieves as the only remaining consumers during shutdown, that is a
+  // deadlock. Wake everyone; each re-checks capacity under the lock.
+  not_full_.notify_all();
+  return true;
+}
+
 void FrameQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -68,6 +107,11 @@ bool FrameQueue::closed() const {
 std::size_t FrameQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return frames_.size();
+}
+
+bool FrameQueue::exhausted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && frames_.empty();
 }
 
 std::uint64_t FrameQueue::total_pushed() const {

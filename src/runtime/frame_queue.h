@@ -1,17 +1,20 @@
-// FrameQueue: bounded MPMC queue connecting camera producers to the server
-// consumer, with blocking backpressure.
+// FrameQueue: bounded MPMC queue connecting camera producers to shard
+// consumers, with blocking backpressure and tail-batch work stealing.
 //
-// Multiple camera threads push concurrently; the batch aggregator pops. When
-// the queue is full, push() blocks — that is the backpressure that keeps a
-// slow server from being buried by fast sensors (frames queue up at the edge,
-// exactly as a real sensor's MIPI link would stall). close() wakes everyone:
-// pending pops drain the remaining frames, then return false.
+// Multiple camera threads push concurrently; the owning shard's batch
+// aggregator pops from the head, and idle sibling shards may steal a
+// key-pure batch from the tail. When the queue is full, push() blocks — that
+// is the backpressure that keeps a slow server from being buried by fast
+// sensors (frames queue up at the edge, exactly as a real sensor's MIPI link
+// would stall). close() wakes everyone: pending pops drain the remaining
+// frames, then return false.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "runtime/frame.h"
 
@@ -34,12 +37,28 @@ class FrameQueue {
   // Like pop(), but gives up at `deadline`; false on timeout or closed+drained.
   bool pop_until(Frame& out, Clock::time_point deadline);
 
+  // Work stealing: removes the maximal (pattern_id, task)-pure run of frames
+  // from the TAIL of the queue — at most `max_frames` of them — and appends
+  // them to `out` in FIFO order (out is cleared first). The stolen run is a
+  // contiguous queue suffix, so a camera's frames inside it keep their
+  // sequence order, and it never mixes serving keys — the thief can serve it
+  // as one batch through one engine. Non-blocking: returns false when the
+  // queue is empty. Frees up to max_frames capacity slots, waking ALL
+  // producers blocked in push() (a single wake here would strand producers
+  // behind capacity that a steal already freed — see the shutdown-while-
+  // stealing regression tests).
+  bool steal_tail(std::vector<Frame>& out, int max_frames);
+
   // Idempotent. After close(), pushes fail and pops drain whatever is left.
   void close();
 
   bool closed() const;
   std::size_t depth() const;
   std::size_t capacity() const { return capacity_; }
+
+  // True once the queue can never yield another frame: closed and drained.
+  // Sticky — no push can succeed after close() — so a true result is final.
+  bool exhausted() const;
 
   // Lifetime counters for RuntimeStats.
   std::uint64_t total_pushed() const;

@@ -15,6 +15,8 @@ ServerConfig to_server_config(const RuntimeConfig& config) {
   server.queue_capacity = config.queue_capacity;
   server.scheduler_threads = config.scheduler_threads;
   server.backend = config.backend;
+  server.shards = config.shards;
+  server.work_stealing = config.work_stealing;
   return server;
 }
 

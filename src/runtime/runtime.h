@@ -26,6 +26,10 @@ struct RuntimeConfig {
   // semantics of an explicit smaller cap).
   int scheduler_threads = 0;
   InferenceBackend backend = InferenceBackend::kFusedEngine;
+  // Consumer shards + work stealing, forwarded to ServerConfig — see
+  // docs/serving.md for sizing guidance.
+  std::size_t shards = 1;
+  bool work_stealing = true;
 };
 
 // Throws std::invalid_argument when the configuration is unusable

@@ -1,31 +1,57 @@
 #include "runtime/scheduler.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/common.h"
 
 namespace snappix::runtime {
 
-StreamScheduler::StreamScheduler(FrameQueue& queue, RuntimeStats& stats, int threads)
-    : queue_(queue), stats_(stats), threads_(threads) {
+StreamScheduler::StreamScheduler(RuntimeStats& stats, int threads)
+    : stats_(stats), threads_(threads) {
   SNAPPIX_CHECK(threads >= 0, "scheduler thread count must be >= 0");
 }
 
 StreamScheduler::~StreamScheduler() {
   // Unblock producers stuck in push() before the pool's destructor joins.
-  queue_.close();
+  close_all_queues();
 }
 
-void StreamScheduler::add_camera(std::unique_ptr<CameraSource> camera) {
+void StreamScheduler::close_all_queues() {
+  for (FrameQueue* queue : unique_queues_) {
+    queue->close();
+  }
+}
+
+void StreamScheduler::register_queue(FrameQueue& queue) {
+  SNAPPIX_CHECK(!started_, "cannot register queues after start()");
+  if (std::find(unique_queues_.begin(), unique_queues_.end(), &queue) ==
+      unique_queues_.end()) {
+    unique_queues_.push_back(&queue);
+  }
+}
+
+void StreamScheduler::add_camera(std::unique_ptr<CameraSource> camera, FrameQueue& queue) {
   SNAPPIX_CHECK(!started_, "cannot add cameras after start()");
   SNAPPIX_CHECK(camera != nullptr, "null camera");
   cameras_.push_back(std::move(camera));
+  routes_.push_back(&queue);
+  register_queue(queue);
 }
 
 void StreamScheduler::start(std::int64_t frames_per_camera) {
+  start(std::vector<std::int64_t>(cameras_.size(), frames_per_camera));
+}
+
+void StreamScheduler::start(const std::vector<std::int64_t>& frames_per_camera) {
   SNAPPIX_CHECK(!started_, "scheduler already started");
   SNAPPIX_CHECK(!cameras_.empty(), "no cameras to schedule");
-  SNAPPIX_CHECK(frames_per_camera > 0, "frames_per_camera must be positive");
+  SNAPPIX_CHECK(frames_per_camera.size() == cameras_.size(),
+                "frames_per_camera has " << frames_per_camera.size() << " entries for "
+                                         << cameras_.size() << " cameras");
+  for (const std::int64_t frames : frames_per_camera) {
+    SNAPPIX_CHECK(frames > 0, "frames_per_camera entries must be positive, got " << frames);
+  }
   started_ = true;
   // One producer thread per camera by default: producers spend most of their
   // time blocked in push() under backpressure, so oversubscribing cores is
@@ -33,16 +59,18 @@ void StreamScheduler::start(std::int64_t frames_per_camera) {
   const int threads = threads_ > 0 ? threads_ : static_cast<int>(cameras_.size());
   pool_ = std::make_unique<ThreadPool>(threads);
   active_producers_.store(static_cast<int>(cameras_.size()));
-  for (const auto& camera : cameras_) {
-    CameraSource* cam = camera.get();
-    pool_->submit([this, cam, frames_per_camera] { produce(*cam, frames_per_camera); });
+  for (std::size_t i = 0; i < cameras_.size(); ++i) {
+    CameraSource* cam = cameras_[i].get();
+    FrameQueue* queue = routes_[i];
+    const std::int64_t frames = frames_per_camera[i];
+    pool_->submit([this, cam, queue, frames] { produce(*cam, *queue, frames); });
   }
 }
 
-void StreamScheduler::produce(CameraSource& camera, std::int64_t frames) {
+void StreamScheduler::produce(CameraSource& camera, FrameQueue& queue, std::int64_t frames) {
   // ThreadPool tasks must not throw (an escaping exception aborts the
   // process), and a producer that dies without the fetch_sub below would
-  // leave the queue open forever. A failing camera therefore logs and drops
+  // leave the queues open forever. A failing camera therefore logs and drops
   // out; the rest of the fleet keeps streaming.
   try {
     for (std::int64_t i = 0; i < frames; ++i) {
@@ -51,7 +79,7 @@ void StreamScheduler::produce(CameraSource& camera, std::int64_t frames) {
       frame.capture_start = t0;
       stats_.record_capture(std::chrono::duration<double>(Clock::now() - t0).count());
       frame.enqueue_time = Clock::now();
-      if (!queue_.push(std::move(frame))) {
+      if (!queue.push(std::move(frame))) {
         break;  // queue closed under us — runtime is shutting down
       }
     }
@@ -59,7 +87,7 @@ void StreamScheduler::produce(CameraSource& camera, std::int64_t frames) {
     std::fprintf(stderr, "runtime: camera %d failed: %s\n", camera.id(), e.what());
   }
   if (active_producers_.fetch_sub(1) == 1) {
-    queue_.close();  // last producer out turns off the lights
+    close_all_queues();  // last producer out turns off the lights, fleet-wide
   }
 }
 

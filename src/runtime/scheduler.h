@@ -1,17 +1,22 @@
-// StreamScheduler: drives N camera producers onto one FrameQueue.
+// StreamScheduler: drives N camera producers onto the server's shard queues.
 //
 // Each camera gets a long-running producer task on the shared ThreadPool
-// (util/parallel.h): loop { capture -> stamp -> blocking push }. The pool
+// (util/parallel.h): loop { capture -> stamp -> blocking push } onto the
+// FrameQueue it was routed to at add_camera() time (the server routes by
+// pattern_id so a shard's queue only ever carries patterns it owns). The pool
 // defaults to one worker per camera (producers mostly block on backpressure,
 // so oversubscribing cores is the right model). Producer tasks run to
 // completion: a pool smaller than the fleet serves cameras in waves, not
 // interleaved.
-// The last producer to finish closes the queue so the consumer drains and
-// exits cleanly. All cameras own their Rng streams, so a camera's frame
-// sequence is reproducible no matter how the producers interleave.
+// The last producer to finish closes EVERY routed queue, so shard consumers
+// drain and exit cleanly — closing queues one by one as their own producers
+// finish would strand work-stealing siblings that still expect to poll them.
+// All cameras own their Rng streams, so a camera's frame sequence is
+// reproducible no matter how the producers interleave.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -28,30 +33,44 @@ class StreamScheduler {
   // fleets should pass an explicit cap — but note producer tasks run to
   // completion, so `threads` < cameras processes cameras in waves rather
   // than interleaving them.
-  StreamScheduler(FrameQueue& queue, RuntimeStats& stats, int threads = 0);
+  explicit StreamScheduler(RuntimeStats& stats, int threads = 0);
   ~StreamScheduler();
 
   StreamScheduler(const StreamScheduler&) = delete;
   StreamScheduler& operator=(const StreamScheduler&) = delete;
 
-  void add_camera(std::unique_ptr<CameraSource> camera);
+  // Registers a queue for end-of-stream close WITHOUT routing a camera to
+  // it. The server registers every shard queue up front: a shard that ends up
+  // with no cameras must still see its queue close when the fleet drains, or
+  // its worker (and every sibling waiting on fleet exhaustion) polls forever.
+  void register_queue(FrameQueue& queue);
+
+  // Routes the camera's frames to `queue` (registering it as with
+  // register_queue). The queue must outlive the scheduler; several cameras
+  // may share one queue.
+  void add_camera(std::unique_ptr<CameraSource> camera, FrameQueue& queue);
   std::size_t camera_count() const { return cameras_.size(); }
 
   // Launches one producer task per camera, each emitting `frames_per_camera`
-  // frames. Returns immediately; the queue is closed when every producer is
-  // done (or the queue was closed externally).
+  // frames. Returns immediately; every routed queue is closed when the last
+  // producer finishes (or the queues were closed externally).
   void start(std::int64_t frames_per_camera);
+  // Skewed-fleet variant: camera i emits frames_per_camera[i] frames. The
+  // vector must be parallel to the add_camera() order.
+  void start(const std::vector<std::int64_t>& frames_per_camera);
 
   // Blocks until all producers have finished.
   void join();
 
  private:
-  void produce(CameraSource& camera, std::int64_t frames);
+  void produce(CameraSource& camera, FrameQueue& queue, std::int64_t frames);
+  void close_all_queues();
 
-  FrameQueue& queue_;
   RuntimeStats& stats_;
   int threads_;
   std::vector<std::unique_ptr<CameraSource>> cameras_;
+  std::vector<FrameQueue*> routes_;         // parallel to cameras_
+  std::vector<FrameQueue*> unique_queues_;  // each routed queue once
   std::atomic<int> active_producers_{0};
   bool started_ = false;
   // Declared last: producer tasks touch every member above, so the pool must

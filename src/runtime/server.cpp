@@ -30,6 +30,23 @@ void validate(const ServerConfig& config) {
         "ServerConfig.cache.capacity_per_shard must be >= 1 (a zero-capacity shard "
         "would evict every entry it admits)");
   }
+  if (config.shards == 0) {
+    throw std::invalid_argument(
+        "ServerConfig.shards must be >= 1 (someone has to serve the batches)");
+  }
+  if (config.backend == InferenceBackend::kTapeFramework && config.shards > 1) {
+    std::ostringstream os;
+    os << "ServerConfig.shards = " << config.shards
+       << " requires the fused-engine backend: the tape framework shares one tape and "
+          "is not safe under concurrent forwards";
+    throw std::invalid_argument(os.str());
+  }
+  if (config.steal_poll.count() <= 0) {
+    std::ostringstream os;
+    os << "ServerConfig.steal_poll must be positive (idle shards would spin), got "
+       << config.steal_poll.count() << " us";
+    throw std::invalid_argument(os.str());
+  }
 }
 
 namespace {
@@ -43,19 +60,30 @@ const ServerConfig& validated(const ServerConfig& config) {
 
 InferenceServer::InferenceServer(const core::SnapPixSystem& system,
                                  const ServerConfig& config)
-    : system_(system), config_(validated(config)), queue_(config_.queue_capacity),
-      stats_(), scheduler_(queue_, stats_, config_.scheduler_threads) {
-  if (config_.backend == InferenceBackend::kFusedEngine) {
-    // The factory snapshots the system's model into a fresh fused engine for
-    // each newly-resident pattern. With today's single shared model the
-    // snapshot is pattern-independent; a deployment with per-pattern
-    // fine-tuned heads swaps this lambda for a weight-store lookup.
-    const int max_batch = std::max(config_.batch.max_batch, 1);
-    cache_ = std::make_unique<EngineCache>(
-        config_.cache, [&system, max_batch](const ce::CePattern&) {
-          return std::make_shared<BatchedVitEngine>(*system.classifier(),
-                                                    *system.reconstructor(), max_batch);
-        });
+    : system_(system), config_(validated(config)),
+      scheduler_(stats_, config_.scheduler_threads) {
+  // The factory snapshots the system's model into a fresh fused engine for
+  // each newly-resident pattern. With today's single shared model the
+  // snapshot is pattern-independent; a deployment with per-pattern
+  // fine-tuned heads swaps this lambda for a weight-store lookup.
+  const int max_batch = std::max(config_.batch.max_batch, 1);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(config_.queue_capacity);
+    if (config_.backend == InferenceBackend::kFusedEngine) {
+      shard->cache = std::make_unique<EngineCache>(
+          config_.cache, [&system, max_batch](const ce::CePattern&) {
+            return std::make_shared<BatchedVitEngine>(*system.classifier(),
+                                                      *system.reconstructor(), max_batch);
+          });
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Every shard queue closes when the fleet drains — including queues of
+  // shards no camera happens to hash to, whose workers would otherwise poll
+  // an open-and-forever-empty queue while siblings wait on fleet exhaustion.
+  for (const auto& shard : shards_) {
+    scheduler_.register_queue(shard->queue);
   }
   pixels_per_frame_ = system.config().image * system.config().image;
 }
@@ -69,91 +97,236 @@ void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
                 "camera " << camera->id() << ": pattern hash collision on id "
                           << camera->pattern_id()
                           << " — two distinct CE patterns share a pattern_id");
-  scheduler_.add_camera(std::move(camera));
+  FrameQueue& queue = shards_[shard_for(camera->pattern_id())]->queue;
+  scheduler_.add_camera(std::move(camera), queue);
+}
+
+const EngineCache* InferenceServer::engine_cache(std::size_t shard) const {
+  SNAPPIX_CHECK(shard < shards_.size(),
+                "engine_cache(" << shard << ") out of range for " << shards_.size()
+                                << " shards");
+  return shards_[shard]->cache.get();
+}
+
+bool InferenceServer::fleet_exhausted(std::size_t index) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i != index && !shards_[i]->queue.exhausted()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
+                                  std::vector<Frame>& batch) {
+  for (const Frame& frame : batch) {
+    stats_.record_queue_wait(
+        std::chrono::duration<double>(frame.dequeue_time - frame.enqueue_time).count());
+  }
+  const Tensor coded = BatchAggregator::stack_coded(batch);
+
+  // Resolve the batch's pattern to resident serving state in THIS shard's
+  // cache view. The registry holds every pattern an added camera carries, so
+  // a thief can build its own entry for a stolen pattern without the frame
+  // shipping its pattern bits — engines are deterministic snapshots, so the
+  // duplicate serves bit-identical results.
+  std::shared_ptr<const ServingEntry> entry;
+  if (self.cache != nullptr) {
+    const auto it = patterns_.find(key.pattern_id);
+    SNAPPIX_CHECK(it != patterns_.end(),
+                  "frame carries unregistered pattern_id " << key.pattern_id
+                      << " — was its camera added through add_camera()?");
+    entry = self.cache->resolve(key.pattern_id, it->second);
+  }
+
+  const Clock::time_point infer_start = Clock::now();
+  if (key.task == Task::kClassify) {
+    const std::vector<std::int64_t> predicted =
+        entry != nullptr ? entry->engine->classify(coded) : system_.classify_coded(coded);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      TaskResult result;
+      result.camera_id = batch[i].camera_id;
+      result.sequence = batch[i].sequence;
+      result.task = Task::kClassify;
+      result.pattern_id = key.pattern_id;
+      result.predicted = predicted[i];
+      result.label = batch[i].label;
+      self.results.push_back(std::move(result));
+    }
+  } else {
+    const Tensor video = entry != nullptr ? entry->engine->reconstruct(coded)
+                                          : system_.reconstruct_coded(coded);
+    const std::int64_t frame_elems = video.shape()[1] * video.shape()[2] * video.shape()[3];
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      TaskResult result;
+      result.camera_id = batch[i].camera_id;
+      result.sequence = batch[i].sequence;
+      result.task = Task::kReconstruct;
+      result.pattern_id = key.pattern_id;
+      result.label = batch[i].label;
+      const auto begin = video.data().begin() + static_cast<std::int64_t>(i) * frame_elems;
+      result.reconstruction = Tensor::from_vector(
+          std::vector<float>(begin, begin + frame_elems),
+          Shape{video.shape()[1], video.shape()[2], video.shape()[3]});
+      self.results.push_back(std::move(result));
+    }
+  }
+  const Clock::time_point infer_end = Clock::now();
+  stats_.record_batch(batch.size(),
+                      std::chrono::duration<double>(infer_end - infer_start).count());
+  stats_.record_task_frames(key.task, batch.size());
+  for (const Frame& frame : batch) {
+    stats_.record_frame_done(
+        frame.raw_bytes, frame.wire_bytes,
+        std::chrono::duration<double>(infer_end - frame.capture_start).count());
+  }
+  self.counters.frames += batch.size();
+  ++self.counters.batches;
+}
+
+void InferenceServer::shard_loop(std::size_t index) {
+  // Grad mode is thread-local, so every worker needs its own guard — the
+  // guard installed on the caller's thread does not reach us.
+  NoGradGuard guard;
+  Shard& self = *shards_[index];
+  BatchAggregator aggregator(self.queue, config_.batch);
+  std::vector<Frame> batch;
+  try {
+    if (!config_.work_stealing || shards_.size() == 1) {
+      // No one to steal from (or stealing disabled): the bounded-wait poll
+      // loop would only add idle wakeups every steal_poll. Block properly.
+      while (aggregator.next_batch(batch)) {
+        serve_batch(self, aggregator.last_key(), batch);
+      }
+      return;
+    }
+    for (;;) {
+      // Own queue first: a shard prefers the patterns routed to it, keeping
+      // its cache view hot.
+      const BatchAggregator::Poll poll =
+          aggregator.poll_batch(batch, Clock::now() + config_.steal_poll);
+      if (poll == BatchAggregator::Poll::kBatch) {
+        serve_batch(self, aggregator.last_key(), batch);
+        continue;
+      }
+      // Idle (or drained for good): probe the siblings for a tail batch so a
+      // hot camera or pattern cannot starve the fleet while we sit here.
+      bool stole = false;
+      for (std::size_t offset = 1; offset < shards_.size() && !stole; ++offset) {
+        Shard& victim = *shards_[(index + offset) % shards_.size()];
+        ++self.counters.steal_attempts;
+        if (victim.queue.steal_tail(batch, config_.batch.max_batch)) {
+          const Clock::time_point now = Clock::now();
+          for (Frame& frame : batch) {
+            frame.dequeue_time = now;
+          }
+          ++self.counters.steal_successes;
+          self.counters.stolen_frames += batch.size();
+          serve_batch(self, BatchKey{batch.front().pattern_id, batch.front().task}, batch);
+          stole = true;
+        }
+      }
+      if (stole) {
+        continue;
+      }
+      if (poll == BatchAggregator::Poll::kExhausted) {
+        if (fleet_exhausted(index)) {
+          break;  // nothing left anywhere
+        }
+        // Our queue is done but siblings may still be filling; poll_batch on
+        // an exhausted queue returns immediately, so pace the probe loop.
+        std::this_thread::sleep_for(config_.steal_poll);
+      }
+    }
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(worker_error_mutex_);
+      if (worker_error_.empty()) {
+        std::ostringstream os;
+        os << "shard " << index << " worker failed: " << e.what();
+        worker_error_ = os.str();
+      }
+    }
+    // Unwind the whole fleet: closing every queue unblocks producers and
+    // lets sibling workers drain and exit; run() rethrows after the join.
+    for (const auto& shard : shards_) {
+      shard->queue.close();
+    }
+  }
 }
 
 std::vector<TaskResult> InferenceServer::run(std::int64_t frames_per_camera) {
+  return run(std::vector<std::int64_t>(camera_count(), frames_per_camera));
+}
+
+std::vector<TaskResult> InferenceServer::run(
+    const std::vector<std::int64_t>& frames_per_camera) {
   SNAPPIX_CHECK(!ran_, "InferenceServer::run() is one-shot");
+  // Validate the request BEFORE committing the one-shot flag: a rejected
+  // call must not poison the server for the corrected retry.
+  SNAPPIX_CHECK(frames_per_camera.size() == camera_count(),
+                "frames_per_camera has " << frames_per_camera.size() << " entries for "
+                                         << camera_count() << " cameras");
+  for (const std::int64_t frames : frames_per_camera) {
+    SNAPPIX_CHECK(frames > 0, "frames_per_camera entries must be positive, got " << frames);
+  }
+  SNAPPIX_CHECK(camera_count() > 0, "no cameras to serve");
   ran_ = true;
-  NoGradGuard guard;
   const Clock::time_point run_start = Clock::now();
   scheduler_.start(frames_per_camera);
 
-  std::vector<TaskResult> results;
-  results.reserve(static_cast<std::size_t>(frames_per_camera) * camera_count());
-  BatchAggregator aggregator(queue_, config_.batch);
-  std::vector<Frame> batch;
-  while (aggregator.next_batch(batch)) {
-    for (const Frame& frame : batch) {
-      stats_.record_queue_wait(
-          std::chrono::duration<double>(frame.dequeue_time - frame.enqueue_time).count());
-    }
-    const BatchKey key = aggregator.last_key();
-    const Tensor coded = BatchAggregator::stack_coded(batch);
-
-    // Resolve the batch's pattern to resident serving state. The registry
-    // holds every pattern an added camera carries, so the cache can rebuild
-    // an evicted entry without the frame shipping its pattern bits.
-    std::shared_ptr<const ServingEntry> entry;
-    if (cache_ != nullptr) {
-      const auto it = patterns_.find(key.pattern_id);
-      SNAPPIX_CHECK(it != patterns_.end(),
-                    "frame carries unregistered pattern_id " << key.pattern_id
-                        << " — was its camera added through add_camera()?");
-      entry = cache_->resolve(key.pattern_id, it->second);
-    }
-
-    const Clock::time_point infer_start = Clock::now();
-    if (key.task == Task::kClassify) {
-      const std::vector<std::int64_t> predicted =
-          entry != nullptr ? entry->engine->classify(coded) : system_.classify_coded(coded);
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        TaskResult result;
-        result.camera_id = batch[i].camera_id;
-        result.sequence = batch[i].sequence;
-        result.task = Task::kClassify;
-        result.pattern_id = key.pattern_id;
-        result.predicted = predicted[i];
-        result.label = batch[i].label;
-        results.push_back(std::move(result));
-      }
-    } else {
-      const Tensor video = entry != nullptr ? entry->engine->reconstruct(coded)
-                                            : system_.reconstruct_coded(coded);
-      const std::int64_t frame_elems = video.shape()[1] * video.shape()[2] * video.shape()[3];
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        TaskResult result;
-        result.camera_id = batch[i].camera_id;
-        result.sequence = batch[i].sequence;
-        result.task = Task::kReconstruct;
-        result.pattern_id = key.pattern_id;
-        result.label = batch[i].label;
-        const auto begin =
-            video.data().begin() + static_cast<std::int64_t>(i) * frame_elems;
-        result.reconstruction = Tensor::from_vector(
-            std::vector<float>(begin, begin + frame_elems),
-            Shape{video.shape()[1], video.shape()[2], video.shape()[3]});
-        results.push_back(std::move(result));
-      }
-    }
-    const Clock::time_point infer_end = Clock::now();
-    stats_.record_batch(batch.size(),
-                        std::chrono::duration<double>(infer_end - infer_start).count());
-    stats_.record_task_frames(key.task, batch.size());
-    for (const Frame& frame : batch) {
-      stats_.record_frame_done(
-          frame.raw_bytes, frame.wire_bytes,
-          std::chrono::duration<double>(infer_end - frame.capture_start).count());
-    }
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    workers.emplace_back([this, i] { shard_loop(i); });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
   }
   scheduler_.join();
   wall_seconds_ = std::chrono::duration<double>(Clock::now() - run_start).count();
-  stats_.set_queue_high_water(queue_.high_water_mark());
-  if (cache_ != nullptr) {
-    const EngineCacheCounters counters = cache_->counters();
-    stats_.set_cache_counters(counters.hits, counters.misses, counters.evictions);
+
+  EngineCacheCounters cache_total;
+  std::vector<ShardStatsView> views;
+  views.reserve(shards_.size());
+  std::size_t total_results = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    shard.counters.shard = i;
+    shard.counters.queue_high_water = shard.queue.high_water_mark();
+    stats_.set_queue_high_water(shard.queue.high_water_mark());
+    if (shard.cache != nullptr) {
+      const EngineCacheCounters counters = shard.cache->counters();
+      shard.counters.cache_hits = counters.hits;
+      shard.counters.cache_misses = counters.misses;
+      shard.counters.cache_evictions = counters.evictions;
+      cache_total.hits += counters.hits;
+      cache_total.misses += counters.misses;
+      cache_total.evictions += counters.evictions;
+    }
+    views.push_back(shard.counters);
+    total_results += shard.results.size();
+  }
+  if (config_.backend == InferenceBackend::kFusedEngine) {
+    stats_.set_cache_counters(cache_total.hits, cache_total.misses, cache_total.evictions);
+  }
+  stats_.set_shard_views(std::move(views));
+
+  {
+    std::lock_guard<std::mutex> lock(worker_error_mutex_);
+    if (!worker_error_.empty()) {
+      throw std::runtime_error(worker_error_);
+    }
   }
 
+  std::vector<TaskResult> results;
+  results.reserve(total_results);
+  for (const auto& shard : shards_) {
+    for (TaskResult& result : shard->results) {
+      results.push_back(std::move(result));
+    }
+    shard->results.clear();
+  }
   std::sort(results.begin(), results.end(), [](const TaskResult& a, const TaskResult& b) {
     return a.camera_id != b.camera_id ? a.camera_id < b.camera_id : a.sequence < b.sequence;
   });

@@ -1,35 +1,51 @@
-// InferenceServer: the task-typed serving surface for heterogeneous CE
-// fleets.
-//
-// Where StreamingRuntime assumed one pattern and one task per server, the
-// InferenceServer serves a fleet in which every camera owns its CE pattern
-// and declares its task (AR classification or REC reconstruction). Frames
-// arrive stamped with (pattern_id, task); the BatchAggregator coalesces them
-// without ever crossing a pattern or task boundary, and the server resolves
-// each batch's pattern_id to resident per-pattern serving state through the
-// sharded, LRU-evicting EngineCache:
-//
-//   camera threads (ThreadPool)          consumer (caller's thread)
-//   ┌─────────────────────┐  push        ┌────────────────────────────────┐
-//   │ capture + CE encode ├───► Frame ──►│ batch by (pattern_id, task),   │
-//   │ stamp pattern_id/   │     Queue    │ EngineCache::resolve(pattern), │──► TaskResults
-//   │ task                │              │ classify / reconstruct,        │
-//   └─────────────────────┘              │ record stats                   │
-//                                        └────────────────────────────────┘
-//
-// Two inference backends serve a batch:
-//   kFusedEngine    per-pattern BatchedVitEngine entries resolved through the
-//                   EngineCache — fused, allocation-free forward for both
-//                   task heads (bit-identical to the tape framework; default)
-//   kTapeFramework  SnapPixSystem::classify_logits_coded / reconstruct_coded —
-//                   the tape-based per-op path; batch-1 with this backend is
-//                   the naive sequential serving baseline benchmarks compare
-//                   against. Bypasses the cache (the tape model IS the
-//                   resident state).
+/// \file server.h
+/// \brief InferenceServer: the sharded, task-typed serving surface for
+/// heterogeneous CE fleets.
+///
+/// Where StreamingRuntime assumed one pattern, one task, and one consumer
+/// thread, the InferenceServer serves a fleet in which every camera owns its
+/// CE pattern and declares its task (AR classification or REC
+/// reconstruction), across N consumer shards. Cameras are routed to shards by
+/// pattern_id, so a shard's run queue only ever carries patterns it owns and
+/// batches stay pattern-pure; each shard worker batches its own queue through
+/// a BatchAggregator and resolves per-pattern serving state through its
+/// private EngineCache view. An idle shard steals a (pattern_id, task)-pure
+/// batch from the TAIL of a loaded sibling's queue, so one hot camera or
+/// pattern cannot starve the fleet:
+///
+///   camera threads (ThreadPool)             shard workers (std::thread x N)
+///   ┌─────────────────────┐ push            ┌──────────────────────────────┐
+///   │ capture + CE encode ├──► shard queue ─►│ batch by (pattern_id, task), │
+///   │ stamp pattern_id/   │    [pattern_id  │ resolve in own EngineCache,  │──► TaskResults
+///   │ task                │     % shards]   │ classify / reconstruct,      │   (merged +
+///   └─────────────────────┘                 │ idle? steal sibling's tail   │    sorted)
+///                                           └──────────────────────────────┘
+///
+/// Bit-exactness: the fused engines are deterministic, batch-invariant
+/// snapshots of the model and batches never mix serving keys, so results are
+/// bit-identical to the sequential SnapPixSystem paths for EVERY shard count
+/// and steal interleaving. Within one batch a camera's frames keep FIFO
+/// order (batches — stolen ones included — are contiguous queue runs).
+///
+/// Two inference backends serve a batch:
+///   kFusedEngine    per-pattern BatchedVitEngine entries resolved through
+///                   each shard's EngineCache — fused, allocation-free
+///                   forward for both task heads (bit-identical to the tape
+///                   framework; default)
+///   kTapeFramework  SnapPixSystem::classify_logits_coded /
+///                   reconstruct_coded — the tape-based per-op path; batch-1
+///                   with this backend is the naive sequential serving
+///                   baseline benchmarks compare against. Bypasses the cache
+///                   (the tape model IS the resident state) and is
+///                   single-shard only: the tape framework is not built for
+///                   concurrent forwards.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -45,74 +61,118 @@ namespace snappix::runtime {
 
 enum class InferenceBackend { kFusedEngine, kTapeFramework };
 
+/// \brief Server topology and policy knobs. See docs/serving.md for sizing
+/// guidance.
 struct ServerConfig {
   BatchPolicy batch;
+  /// Per-shard run-queue capacity (backpressure bound). A full queue blocks
+  /// its producers, exactly as a saturated MIPI link stalls a sensor.
   std::size_t queue_capacity = 64;
-  // 0 = one producer thread per camera (see StreamScheduler for the
-  // semantics of an explicit smaller cap).
+  /// 0 = one producer thread per camera (see StreamScheduler for the
+  /// semantics of an explicit smaller cap).
   int scheduler_threads = 0;
   InferenceBackend backend = InferenceBackend::kFusedEngine;
+  /// Geometry of EACH shard's private EngineCache view.
   EngineCacheConfig cache;
+  /// Consumer shards: worker threads, each owning a run queue + cache view.
+  /// Cameras are routed by pattern_id % shards.
+  std::size_t shards = 1;
+  /// When true (default) an idle shard steals key-pure tail batches from
+  /// loaded siblings. No effect with one shard.
+  bool work_stealing = true;
+  /// How long an idle shard waits on its own empty queue before probing
+  /// victims (and between fruitless probe rounds). Small values tighten
+  /// steal latency at the cost of idle wakeups.
+  std::chrono::microseconds steal_poll{200};
 };
 
-// Throws std::invalid_argument with a descriptive message when the
-// configuration is unusable (zero queue capacity, bad batch policy, negative
-// thread count, zero cache shards/capacity).
+/// \brief Throws std::invalid_argument with a descriptive message when the
+/// configuration is unusable (zero queue capacity, bad batch policy, negative
+/// thread count, zero cache shards/capacity, zero consumer shards, or a
+/// multi-shard tape backend).
 void validate(const ServerConfig& config);
 
-// One served frame's outcome, typed by the task that produced it.
+/// \brief One served frame's outcome, typed by the task that produced it.
 struct TaskResult {
   int camera_id = -1;
   std::int64_t sequence = -1;
   Task task = Task::kClassify;
   std::uint64_t pattern_id = 0;
 
-  // kClassify: predicted class (argmax of the AR head's logits).
+  /// kClassify: predicted class (argmax of the AR head's logits).
   std::int64_t predicted = -1;
-  std::int64_t label = -1;  // ground truth when the camera knows it
+  std::int64_t label = -1;  ///< ground truth when the camera knows it
 
-  // kReconstruct: the decoded (T, H, W) video.
+  /// kReconstruct: the decoded (T, H, W) video.
   Tensor reconstruction;
 };
 
 class InferenceServer {
  public:
-  // The system provides the served model weights. The server keeps a
-  // reference — the system must outlive it.
+  /// \brief The system provides the served model weights. The server keeps a
+  /// reference — the system must outlive it.
   explicit InferenceServer(const core::SnapPixSystem& system,
                            const ServerConfig& config = {});
 
-  // Registers the camera's pattern in the server's pattern registry (the
-  // EngineCache rebuilds evicted entries from it) and hands the camera to the
-  // scheduler.
+  /// \brief Registers the camera's pattern in the server's pattern registry
+  /// (shard caches rebuild evicted entries from it), routes the camera to the
+  /// shard owning its pattern_id, and hands it to the scheduler.
   void add_camera(std::unique_ptr<CameraSource> camera);
   std::size_t camera_count() const { return scheduler_.camera_count(); }
 
-  // Runs every camera for `frames_per_camera` frames, serving batches on the
-  // calling thread until the stream drains. One-shot. Results are returned
-  // sorted by (camera_id, sequence) so runs are comparable.
+  /// \brief Runs every camera for `frames_per_camera` frames, serving batches
+  /// on the shard workers until every stream drains. One-shot. Results are
+  /// returned sorted by (camera_id, sequence) so runs are comparable across
+  /// shard counts and steal interleavings.
   std::vector<TaskResult> run(std::int64_t frames_per_camera);
+  /// \brief Skewed-fleet variant: camera i (in add_camera order) emits
+  /// frames_per_camera[i] frames.
+  std::vector<TaskResult> run(const std::vector<std::int64_t>& frames_per_camera);
 
-  // Valid after run().
+  /// \brief Valid after run(). Includes per-shard views (RuntimeSummary::shards).
   RuntimeSummary summary() const;
   FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
                                  energy::WirelessTech tech) const;
 
   const RuntimeStats& stats() const { return stats_; }
   const ServerConfig& config() const { return config_; }
-  // Null when serving through the tape backend.
-  const EngineCache* engine_cache() const { return cache_.get(); }
+  /// \brief Shard `shard`'s private cache view; null when serving through the
+  /// tape backend.
+  const EngineCache* engine_cache(std::size_t shard = 0) const;
 
  private:
+  /// One consumer shard: run queue + private cache view + worker-owned
+  /// counters and result rows (touched lock-free by exactly one worker
+  /// during a run, merged after the join).
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    FrameQueue queue;
+    std::unique_ptr<EngineCache> cache;  // null for kTapeFramework
+    ShardStatsView counters;
+    std::vector<TaskResult> results;
+  };
+
+  std::size_t shard_for(std::uint64_t pattern_id) const {
+    return pattern_id % shards_.size();
+  }
+  void shard_loop(std::size_t index);
+  /// Serves one key-pure batch on shard `self`, appending its TaskResults.
+  void serve_batch(Shard& self, const BatchKey& key, std::vector<Frame>& batch);
+  /// True when no shard queue can ever yield another frame to `index`'s
+  /// worker: its own queue is exhausted and every sibling queue is too.
+  bool fleet_exhausted(std::size_t index) const;
+
   const core::SnapPixSystem& system_;
   ServerConfig config_;
-  std::unique_ptr<EngineCache> cache_;  // null for kTapeFramework
-  // pattern_id -> the pattern itself, fed to the cache on (re)build. Shared
-  // handles: a fleet on the system pattern contributes one entry, zero copies.
+  // pattern_id -> the pattern itself, fed to shard caches on (re)build.
+  // Shared handles: a fleet on the system pattern contributes one entry, zero
+  // copies. Mutated only by add_camera (before run); workers read it freely.
   std::unordered_map<std::uint64_t, PatternRef> patterns_;
-  FrameQueue queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   RuntimeStats stats_;
   StreamScheduler scheduler_;
+  std::string worker_error_;  // first exception a shard worker caught
+  std::mutex worker_error_mutex_;
   double wall_seconds_ = 0.0;
   std::int64_t pixels_per_frame_ = 0;
   bool ran_ = false;

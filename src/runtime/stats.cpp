@@ -95,6 +95,11 @@ void RuntimeStats::set_cache_counters(std::uint64_t hits, std::uint64_t misses,
   cache_evictions_ = evictions;
 }
 
+void RuntimeStats::set_shard_views(std::vector<ShardStatsView> shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_ = std::move(shards);
+}
+
 RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   std::lock_guard<std::mutex> lock(mutex_);
   RuntimeSummary out;
@@ -114,6 +119,12 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   const std::uint64_t lookups = cache_hits_ + cache_misses_;
   out.cache_hit_rate =
       lookups > 0 ? static_cast<double>(cache_hits_) / static_cast<double>(lookups) : 0.0;
+  out.shards = shards_;
+  for (const ShardStatsView& shard : shards_) {
+    out.steal_attempts += shard.steal_attempts;
+    out.steal_successes += shard.steal_successes;
+    out.stolen_frames += shard.stolen_frames;
+  }
   out.capture = summarize(capture_);
   out.queue_wait = summarize(queue_wait_);
   out.inference = summarize(inference_);
@@ -166,7 +177,42 @@ std::string to_string(const RuntimeSummary& s) {
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.cache_evictions), s.cache_hit_rate);
-  return buf;
+  std::string out(buf);
+  if (!s.shards.empty()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  steals: %llu/%llu succeeded (%llu frames stolen)\n",
+                  static_cast<unsigned long long>(s.steal_successes),
+                  static_cast<unsigned long long>(s.steal_attempts),
+                  static_cast<unsigned long long>(s.stolen_frames));
+    out += line;
+    for (const ShardStatsView& shard : s.shards) {
+      std::snprintf(line, sizeof(line),
+                    "  shard %zu: frames %llu batches %llu stolen %llu (%llu frames) "
+                    "cache %llu/%llu/%llu qhw %zu\n",
+                    shard.shard, static_cast<unsigned long long>(shard.frames),
+                    static_cast<unsigned long long>(shard.batches),
+                    static_cast<unsigned long long>(shard.steal_successes),
+                    static_cast<unsigned long long>(shard.stolen_frames),
+                    static_cast<unsigned long long>(shard.cache_hits),
+                    static_cast<unsigned long long>(shard.cache_misses),
+                    static_cast<unsigned long long>(shard.cache_evictions),
+                    shard.queue_high_water);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string to_json(const ShardStatsView& s) {
+  std::ostringstream os;
+  os << "{\"shard\": " << s.shard << ", \"frames\": " << s.frames
+     << ", \"batches\": " << s.batches << ", \"steal_attempts\": " << s.steal_attempts
+     << ", \"steal_successes\": " << s.steal_successes
+     << ", \"stolen_frames\": " << s.stolen_frames << ", \"cache_hits\": " << s.cache_hits
+     << ", \"cache_misses\": " << s.cache_misses
+     << ", \"cache_evictions\": " << s.cache_evictions
+     << ", \"queue_high_water\": " << s.queue_high_water << "}";
+  return os.str();
 }
 
 std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
@@ -192,6 +238,13 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
      << ", \"cache_hits\": " << s.cache_hits << ", \"cache_misses\": " << s.cache_misses
      << ", \"cache_evictions\": " << s.cache_evictions
      << ", \"cache_hit_rate\": " << s.cache_hit_rate
+     << ", \"steal_attempts\": " << s.steal_attempts
+     << ", \"steal_successes\": " << s.steal_successes
+     << ", \"stolen_frames\": " << s.stolen_frames << ", \"shards\": [";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    os << (i > 0 ? ", " : "") << to_json(s.shards[i]);
+  }
+  os << "]"
      << ", \"energy_conventional_j\": " << energy.conventional_j
      << ", \"energy_snappix_j\": " << energy.snappix_j
      << ", \"energy_saving_factor\": " << energy.saving_factor << "}";

@@ -1,12 +1,15 @@
-// RuntimeStats: thread-safe per-stage instrumentation for the streaming
-// runtime, plus the bridge into the Sec. VI-D energy model.
-//
-// Producers record capture latencies; the consumer records queue waits,
-// batch assembly, inference and end-to-end latencies plus byte counters.
-// summary() condenses everything into percentiles/throughput, and
-// fleet_energy() prices the recorded traffic with energy::EnergyModel so a
-// streaming run reports the same baseline-vs-SNAPPIX numbers as the static
-// scenario calculators.
+/// \file stats.h
+/// \brief RuntimeStats: thread-safe per-stage instrumentation for the
+/// streaming runtime, plus the bridge into the Sec. VI-D energy model.
+///
+/// Producers record capture latencies; shard consumers record queue waits,
+/// batch assembly, inference and end-to-end latencies plus byte counters.
+/// summary() condenses everything into percentiles/throughput — including
+/// per-shard views (queue depth, batches served, steal traffic, cache
+/// hit/miss) installed by the sharded InferenceServer — and fleet_energy()
+/// prices the recorded traffic with energy::EnergyModel so a streaming run
+/// reports the same baseline-vs-SNAPPIX numbers as the static scenario
+/// calculators.
 #pragma once
 
 #include <cstdint>
@@ -19,19 +22,21 @@
 
 namespace snappix::runtime {
 
-// Append-only latency series with percentile queries (seconds).
+/// \brief Append-only latency series with percentile queries (seconds).
 class LatencySeries {
  public:
   void record(double seconds);
   std::size_t count() const { return samples_.size(); }
   double mean() const;
-  // p in [0, 100]; nearest-rank on the sorted series. 0 when empty.
+  /// \brief Nearest-rank percentile on the sorted series.
+  /// \param p percentile in [0, 100]. Returns 0 when the series is empty.
   double percentile(double p) const;
 
  private:
   std::vector<double> samples_;
 };
 
+/// \brief Condensed view of one pipeline stage's latency series.
 struct StageSummary {
   std::size_t count = 0;
   double mean_ms = 0.0;
@@ -39,65 +44,106 @@ struct StageSummary {
   double p99_ms = 0.0;
 };
 
+/// \brief One consumer shard's share of a run, as installed by the sharded
+/// InferenceServer after the workers join.
+///
+/// `frames`/`batches` count everything THIS shard's worker served, including
+/// batches it stole; `steal_*` describe its thieving (attempts = victim
+/// queues probed while idle, successes = non-empty tail batches taken,
+/// stolen_frames = frames inside them). The cache counters are the shard's
+/// private EngineCache view. Summing shard frames/batches/cache counters
+/// over all shards reproduces the run totals.
+struct ShardStatsView {
+  std::size_t shard = 0;                ///< shard index in [0, ServerConfig::shards)
+  std::uint64_t frames = 0;             ///< frames served by this shard's worker
+  std::uint64_t batches = 0;            ///< batches dispatched (own + stolen)
+  std::uint64_t steal_attempts = 0;     ///< victim-queue probes while idle
+  std::uint64_t steal_successes = 0;    ///< probes that came back with a batch
+  std::uint64_t stolen_frames = 0;      ///< frames served out of stolen batches
+  std::uint64_t cache_hits = 0;         ///< this shard's EngineCache hits
+  std::uint64_t cache_misses = 0;       ///< misses (entry rebuilds)
+  std::uint64_t cache_evictions = 0;    ///< LRU evictions under capacity pressure
+  std::size_t queue_high_water = 0;     ///< deepest this shard's run queue got
+};
+
+/// \brief Everything a completed run reports: throughput, per-stage latency
+/// percentiles, task/cache/steal counters, per-shard views, byte volumes.
 struct RuntimeSummary {
   std::uint64_t frames = 0;
   std::uint64_t batches = 0;
   double wall_seconds = 0.0;
-  double aggregate_fps = 0.0;     // frames / wall_seconds
+  double aggregate_fps = 0.0;     ///< frames / wall_seconds
   double mean_batch_size = 0.0;
-  std::size_t queue_high_water = 0;
+  std::size_t queue_high_water = 0;  ///< max over all shard queues
 
-  // Per-task frame counts (classify + reconstruct == frames when the server
-  // records tasks; both zero under direct RuntimeStats use).
+  /// Per-task frame counts (classify + reconstruct == frames when the server
+  /// records tasks; both zero under direct RuntimeStats use).
   std::uint64_t classify_frames = 0;
   std::uint64_t reconstruct_frames = 0;
 
-  // EngineCache traffic (zero when serving through the tape backend, which
-  // bypasses the cache).
+  /// EngineCache traffic summed over every shard's cache (zero when serving
+  /// through the tape backend, which bypasses the cache).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
-  double cache_hit_rate = 0.0;  // hits / (hits + misses)
+  double cache_hit_rate = 0.0;  ///< hits / (hits + misses)
 
-  StageSummary capture;      // camera next_frame()
-  StageSummary queue_wait;   // enqueue -> pop
-  StageSummary inference;    // model forward per batch
-  StageSummary end_to_end;   // capture start -> result recorded
+  /// Work-stealing totals summed over shards (all zero with one shard).
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_successes = 0;
+  std::uint64_t stolen_frames = 0;
 
-  std::uint64_t raw_bytes = 0;   // conventional readout volume
-  std::uint64_t wire_bytes = 0;  // coded volume actually shipped
-  double compression_ratio = 0.0;  // raw / wire
+  /// Per-shard breakdown; empty unless a sharded server installed views.
+  std::vector<ShardStatsView> shards;
+
+  StageSummary capture;      ///< camera next_frame()
+  StageSummary queue_wait;   ///< enqueue -> pop (or steal)
+  StageSummary inference;    ///< model forward per batch
+  StageSummary end_to_end;   ///< capture start -> result recorded
+
+  std::uint64_t raw_bytes = 0;     ///< conventional readout volume
+  std::uint64_t wire_bytes = 0;    ///< coded volume actually shipped
+  double compression_ratio = 0.0;  ///< raw / wire
 };
 
+/// \brief Whole-run energy bill priced through energy::EnergyModel.
 struct FleetEnergyReport {
-  double conventional_j = 0.0;  // T-frame readout + transmit, whole run
-  double snappix_j = 0.0;       // CE capture + coded transmit, whole run
+  double conventional_j = 0.0;  ///< T-frame readout + transmit, whole run
+  double snappix_j = 0.0;       ///< CE capture + coded transmit, whole run
   double saving_factor = 0.0;
 };
 
+/// \brief Thread-safe run-wide counters. Producers, shard workers, and the
+/// server all record into one instance; every method locks internally.
 class RuntimeStats {
  public:
   // --- producer side ---------------------------------------------------------
   void record_capture(double seconds);
 
-  // --- consumer side ---------------------------------------------------------
+  // --- consumer side (any shard worker) --------------------------------------
   void record_queue_wait(double seconds);
   void record_batch(std::size_t batch_size, double inference_seconds);
-  // Attributes a served batch's frames to its task head.
+  /// \brief Attributes a served batch's frames to its task head.
   void record_task_frames(Task task, std::size_t count);
   void record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                          double end_to_end_seconds);
+  /// \brief Raises the recorded high water to `depth` (max over calls, so the
+  /// server feeds it each shard queue's own mark).
   void set_queue_high_water(std::size_t depth);
-  // Installed once by the server after a run; EngineCache keeps the live
-  // counters, the summary just reports the final snapshot.
+  /// \brief Installs the final cache snapshot (summed over shard caches by
+  /// the server); the EngineCache itself keeps the live counters.
   void set_cache_counters(std::uint64_t hits, std::uint64_t misses, std::uint64_t evictions);
+  /// \brief Installs the per-shard views once after a run; also derives the
+  /// steal totals reported in RuntimeSummary.
+  void set_shard_views(std::vector<ShardStatsView> shards);
 
   // --- reporting -------------------------------------------------------------
   RuntimeSummary summary(double wall_seconds) const;
 
-  // Prices the recorded frame traffic: every served frame represents one
-  // T-slot capture that a conventional pipeline would read out and transmit
-  // T times. `pixels_per_frame`/`slots` describe the camera geometry.
+  /// \brief Prices the recorded frame traffic: every served frame represents
+  /// one T-slot capture that a conventional pipeline would read out and
+  /// transmit T times. `pixels_per_frame`/`slots` describe the camera
+  /// geometry.
   FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
                                  std::int64_t pixels_per_frame, int slots,
                                  energy::WirelessTech tech) const;
@@ -119,11 +165,14 @@ class RuntimeStats {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
+  std::vector<ShardStatsView> shards_;
 };
 
-// Renders a summary as an aligned human-readable block / flat JSON object
-// (used by bench/streaming_throughput.cpp to emit BENCH_streaming.json).
+/// \brief Renders a summary as an aligned human-readable block / flat JSON
+/// object (used by bench/streaming_throughput.cpp to emit the BENCH_*.json
+/// artifacts). The JSON carries the per-shard views as a "shards" array.
 std::string to_string(const RuntimeSummary& summary);
+std::string to_json(const ShardStatsView& shard);
 std::string to_json(const RuntimeSummary& summary, const FleetEnergyReport& energy,
                     const std::string& label);
 

@@ -4,8 +4,10 @@
 // end-to-end InferenceServer over a heterogeneous multi-pattern AR+REC fleet.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -183,9 +185,9 @@ TEST(FrameQueue, CloseUnblocksTimedConsumerBeforeDeadline) {
   closer.join();
 }
 
-// --- BatchAggregator key splitting -------------------------------------------
+// --- FrameQueue tail stealing ------------------------------------------------
 
-Frame keyed_frame(int camera, std::int64_t sequence, std::uint64_t pattern_id, Task task) {
+Frame keyed(int camera, std::int64_t sequence, std::uint64_t pattern_id, Task task) {
   Frame frame;
   frame.camera_id = camera;
   frame.sequence = sequence;
@@ -195,17 +197,121 @@ Frame keyed_frame(int camera, std::int64_t sequence, std::uint64_t pattern_id, T
   return frame;
 }
 
+TEST(FrameQueueSteal, TakesKeyPureTailSuffixInFifoOrder) {
+  FrameQueue queue(16);
+  ASSERT_TRUE(queue.push(keyed(0, 0, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(0, 1, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(1, 0, 2, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(1, 1, 2, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(2, 0, 2, Task::kReconstruct)));  // same pattern, other task
+
+  std::vector<Frame> stolen;
+  ASSERT_TRUE(queue.steal_tail(stolen, 8));
+  ASSERT_EQ(stolen.size(), 1U);  // the REC frame alone: key purity beats greed
+  EXPECT_EQ(stolen[0].task, Task::kReconstruct);
+
+  ASSERT_TRUE(queue.steal_tail(stolen, 8));  // now the pattern-2 classify run
+  ASSERT_EQ(stolen.size(), 2U);
+  EXPECT_EQ(stolen[0].sequence, 0);  // FIFO inside the stolen batch
+  EXPECT_EQ(stolen[1].sequence, 1);
+  EXPECT_EQ(stolen[0].pattern_id, 2U);
+
+  EXPECT_EQ(queue.depth(), 2U);  // head run untouched
+  Frame out;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out.pattern_id, 1U);
+  EXPECT_EQ(out.sequence, 0);
+}
+
+TEST(FrameQueueSteal, RespectsMaxFramesTakingTheNewestRun) {
+  FrameQueue queue(16);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.push(keyed(0, i, 1, Task::kClassify)));
+  }
+  std::vector<Frame> stolen;
+  ASSERT_TRUE(queue.steal_tail(stolen, 3));
+  ASSERT_EQ(stolen.size(), 3U);  // capped, and taken from the tail...
+  EXPECT_EQ(stolen[0].sequence, 2);
+  EXPECT_EQ(stolen[2].sequence, 4);
+  EXPECT_EQ(queue.depth(), 2U);  // ...leaving the oldest frames for the owner
+  ASSERT_TRUE(queue.steal_tail(stolen, 3));  // the shortened run is still stealable
+  EXPECT_EQ(stolen.size(), 2U);
+  EXPECT_EQ(stolen[0].sequence, 0);
+  FrameQueue empty(4);
+  EXPECT_FALSE(empty.steal_tail(stolen, 3));
+}
+
+// Regression (shutdown race): a steal frees several capacity slots at once,
+// so it must wake EVERY producer blocked in push — with a single wake, the
+// other producers would keep waiting on capacity that is already free, and
+// during shutdown (thieves being the only consumers left draining the queue)
+// that is a deadlock.
+TEST(FrameQueueSteal, FreesCapacityForAllBlockedProducers) {
+  FrameQueue queue(2);
+  ASSERT_TRUE(queue.push(keyed(0, 0, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(0, 1, 1, Task::kClassify)));
+  std::atomic<int> pushed{0};
+  std::thread p1([&] {
+    EXPECT_TRUE(queue.push(keyed(1, 0, 1, Task::kClassify)));
+    pushed.fetch_add(1);
+  });
+  std::thread p2([&] {
+    EXPECT_TRUE(queue.push(keyed(2, 0, 1, Task::kClassify)));
+    pushed.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(pushed.load(), 0);  // backpressure holds both
+  std::vector<Frame> stolen;
+  ASSERT_TRUE(queue.steal_tail(stolen, 8));  // frees both slots in one steal
+  EXPECT_EQ(stolen.size(), 2U);
+  p1.join();  // both producers must complete — a lost wakeup would hang here
+  p2.join();
+  EXPECT_EQ(pushed.load(), 2);
+  EXPECT_EQ(queue.depth(), 2U);
+}
+
+// Regression (shutdown race): a producer blocked in push while shards drain
+// the queue via steals must observe shutdown — first the steal lets it
+// complete the push, then close() fails it instead of deadlocking.
+TEST(FrameQueueSteal, ProducerBlockedInPushObservesShutdownWhileShardsDrain) {
+  FrameQueue queue(1);
+  ASSERT_TRUE(queue.push(keyed(0, 0, 1, Task::kClassify)));
+  std::atomic<bool> first_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(keyed(0, 1, 1, Task::kClassify)));  // blocked until a drain
+    first_done.store(true);
+    EXPECT_FALSE(queue.push(keyed(0, 2, 1, Task::kClassify)));  // blocked until close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(first_done.load());
+  std::vector<Frame> stolen;
+  ASSERT_TRUE(queue.steal_tail(stolen, 8));  // shard drains; push #2 completes
+  while (!first_done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // push #3 now blocked
+  queue.close();  // shutdown: the blocked producer must fail, not hang
+  producer.join();
+  EXPECT_TRUE(queue.exhausted() || queue.depth() > 0);
+  Frame out;
+  EXPECT_TRUE(queue.pop(out));  // push #2's frame drains even after close
+  EXPECT_FALSE(queue.pop(out));
+  EXPECT_TRUE(queue.exhausted());
+}
+
+// --- BatchAggregator key splitting -------------------------------------------
+
 TEST(BatchAggregator, NeverMixesPatternOrTask) {
   FrameQueue queue(32);
   // Interleaved streams: pattern 1 classify, pattern 2 classify, pattern 1
   // reconstruct. FIFO: A A B A R A B.
-  ASSERT_TRUE(queue.push(keyed_frame(0, 0, 1, Task::kClassify)));
-  ASSERT_TRUE(queue.push(keyed_frame(0, 1, 1, Task::kClassify)));
-  ASSERT_TRUE(queue.push(keyed_frame(1, 0, 2, Task::kClassify)));
-  ASSERT_TRUE(queue.push(keyed_frame(0, 2, 1, Task::kClassify)));
-  ASSERT_TRUE(queue.push(keyed_frame(2, 0, 1, Task::kReconstruct)));
-  ASSERT_TRUE(queue.push(keyed_frame(0, 3, 1, Task::kClassify)));
-  ASSERT_TRUE(queue.push(keyed_frame(1, 1, 2, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(0, 0, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(0, 1, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(1, 0, 2, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(0, 2, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(2, 0, 1, Task::kReconstruct)));
+  ASSERT_TRUE(queue.push(keyed(0, 3, 1, Task::kClassify)));
+  ASSERT_TRUE(queue.push(keyed(1, 1, 2, Task::kClassify)));
   queue.close();
 
   BatchPolicy policy;
@@ -463,6 +569,173 @@ TEST(InferenceServer, HeterogeneousFleetMatchesSequentialPaths) {
   EXPECT_GT(summary.cache_misses, 0U);
   ASSERT_NE(server.engine_cache(), nullptr);
   EXPECT_LE(server.engine_cache()->max_shard_occupancy(), config.cache.capacity_per_shard);
+}
+
+// --- sharded serving ---------------------------------------------------------
+
+// Builds the heterogeneous AR+REC fleet used by the sharding tests: 6
+// cameras over 4 distinct patterns, the last two requesting reconstruction.
+void add_hetero_fleet(InferenceServer& server, const std::vector<PatternRef>& patterns) {
+  for (int cam = 0; cam < 6; ++cam) {
+    auto camera = std::make_unique<runtime::SyntheticCameraSource>(
+        cam, small_scene(), patterns[static_cast<std::size_t>(cam % 4)],
+        700 + static_cast<std::uint64_t>(cam));
+    if (cam >= 4) {
+      camera->set_task(Task::kReconstruct);
+    }
+    server.add_camera(std::move(camera));
+  }
+}
+
+void expect_results_identical(const std::vector<TaskResult>& a,
+                              const std::vector<TaskResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].camera_id, b[i].camera_id);
+    EXPECT_EQ(a[i].sequence, b[i].sequence);
+    EXPECT_EQ(a[i].task, b[i].task);
+    EXPECT_EQ(a[i].pattern_id, b[i].pattern_id);
+    EXPECT_EQ(a[i].predicted, b[i].predicted);
+    EXPECT_EQ(a[i].label, b[i].label);
+    if (a[i].task != Task::kReconstruct) {
+      continue;  // classify results carry no (defined) reconstruction tensor
+    }
+    ASSERT_EQ(a[i].reconstruction.data().size(), b[i].reconstruction.data().size());
+    for (std::size_t v = 0; v < a[i].reconstruction.data().size(); ++v) {
+      ASSERT_EQ(a[i].reconstruction.data()[v], b[i].reconstruction.data()[v])
+          << "result " << i << " voxel " << v << " diverges";
+    }
+  }
+}
+
+// The tentpole invariant: shard count and steal interleaving never change a
+// single output bit. Serve the heterogeneous AR+REC fleet at several shard
+// counts and require every run to match the single-consumer one exactly.
+TEST(ShardedServer, ShardCountNeverChangesBitsOnHeterogeneousFleet) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(4, 61);
+
+  const auto run_with_shards = [&](std::size_t shards) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.cache.shards = 2;
+    config.cache.capacity_per_shard = 2;
+    config.shards = shards;
+    InferenceServer server(system, config);
+    add_hetero_fleet(server, patterns);
+    auto results = server.run(4);
+    return std::make_pair(std::move(results), server.summary());
+  };
+
+  const auto [single, single_summary] = run_with_shards(1);
+  ASSERT_EQ(single.size(), 24U);
+  for (const std::size_t shards : {2U, 3U, 5U}) {
+    const auto [sharded, summary] = run_with_shards(shards);
+    expect_results_identical(single, sharded);
+
+    // Per-shard views exist and aggregate to the run totals.
+    ASSERT_EQ(summary.shards.size(), shards);
+    std::uint64_t shard_frames = 0;
+    std::uint64_t shard_batches = 0;
+    std::uint64_t shard_hits = 0;
+    std::uint64_t shard_misses = 0;
+    for (const auto& view : summary.shards) {
+      shard_frames += view.frames;
+      shard_batches += view.batches;
+      shard_hits += view.cache_hits;
+      shard_misses += view.cache_misses;
+    }
+    EXPECT_EQ(shard_frames, summary.frames);
+    EXPECT_EQ(shard_batches, summary.batches);
+    EXPECT_EQ(shard_hits, summary.cache_hits);
+    EXPECT_EQ(shard_misses, summary.cache_misses);
+    EXPECT_EQ(summary.frames, single_summary.frames);
+  }
+}
+
+// A skewed fleet — one hot camera pouring frames while seven cold cameras
+// trickle — must (a) record successful steals (idle shards relieving the hot
+// one) and (b) stay bit-identical to the single-consumer run.
+TEST(ShardedServer, SkewedFleetStealsWorkAndStaysBitIdentical) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(8, 71);
+
+  // Pre-record every camera's stream so producers are memcpy-fast: the hot
+  // camera's queue then stays deep under backpressure, which is what gives
+  // idle shards something to steal. Camera 0 is hot, 1..7 are cold.
+  const std::vector<std::int64_t> frames_per_camera = {64, 4, 4, 4, 4, 4, 4, 4};
+  std::vector<std::vector<Tensor>> coded(8);
+  std::vector<std::vector<std::int64_t>> labels(8);
+  for (int cam = 0; cam < 8; ++cam) {
+    runtime::SyntheticCameraSource source(cam, small_scene(),
+                                          patterns[static_cast<std::size_t>(cam)],
+                                          900 + static_cast<std::uint64_t>(cam));
+    for (std::int64_t f = 0; f < frames_per_camera[static_cast<std::size_t>(cam)]; ++f) {
+      Frame frame = source.next_frame();
+      coded[static_cast<std::size_t>(cam)].push_back(std::move(frame.coded));
+      labels[static_cast<std::size_t>(cam)].push_back(frame.label);
+    }
+  }
+
+  const auto run_with_shards = [&](std::size_t shards) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.queue_capacity = 8;  // small: keeps the hot producer under backpressure
+    config.shards = shards;
+    InferenceServer server(system, config);
+    for (int cam = 0; cam < 8; ++cam) {
+      server.add_camera(std::make_unique<runtime::ReplayCameraSource>(
+          cam, patterns[static_cast<std::size_t>(cam)], coded[static_cast<std::size_t>(cam)],
+          labels[static_cast<std::size_t>(cam)]));
+    }
+    auto results = server.run(frames_per_camera);
+    return std::make_pair(std::move(results), server.summary());
+  };
+
+  const auto [single, single_summary] = run_with_shards(1);
+  ASSERT_EQ(single.size(), 92U);  // 64 + 7 * 4
+  EXPECT_EQ(single_summary.steal_attempts, 0U);  // one shard has no one to rob
+
+  const auto [sharded, summary] = run_with_shards(4);
+  expect_results_identical(single, sharded);
+  EXPECT_GT(summary.steal_attempts, 0U);
+  EXPECT_GT(summary.steal_successes, 0U) << "idle shards never relieved the hot one";
+  EXPECT_GT(summary.stolen_frames, 0U);
+  ASSERT_EQ(summary.shards.size(), 4U);
+  const std::uint64_t stolen =
+      std::accumulate(summary.shards.begin(), summary.shards.end(), std::uint64_t{0},
+                      [](std::uint64_t acc, const runtime::ShardStatsView& v) {
+                        return acc + v.stolen_frames;
+                      });
+  EXPECT_EQ(stolen, summary.stolen_frames);
+}
+
+TEST(ShardedServer, ValidatesShardConfiguration) {
+  core::SnapPixSystem system(small_system_config());
+  {
+    ServerConfig cfg;
+    cfg.shards = 0;
+    EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
+  }
+  {
+    // The tape framework serializes on one tape: no concurrent consumers.
+    ServerConfig cfg;
+    cfg.shards = 2;
+    cfg.backend = runtime::InferenceBackend::kTapeFramework;
+    EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
+  }
+  {
+    ServerConfig cfg;
+    cfg.steal_poll = std::chrono::microseconds(0);
+    EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
+  }
+  {
+    // Per-camera frame counts must be parallel to the fleet and positive.
+    InferenceServer server(system, {});
+    server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        0, small_scene(), system.pattern_ref(), 1));
+    EXPECT_THROW(server.run(std::vector<std::int64_t>{1, 1}), std::runtime_error);
+  }
 }
 
 // The tape backend serves the same fleet without a cache and stays
