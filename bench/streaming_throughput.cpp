@@ -30,8 +30,17 @@
 // real parallelism, and on a 1-2 core runner the arm measures scheduling
 // overhead, not scaling (same spirit as the regression floor below).
 //
-// Writes BENCH_streaming.json, BENCH_pattern_cache.json and
-// BENCH_sharded.json next to the working directory. `--quick` shrinks the
+// A sixth section benches the FRAMED MIPI transport path: the heterogeneous
+// fleet with every frame serialized into CSI-2-style packets (header + CRC +
+// lane model, src/transport/) and reassembled server-side. At zero fault
+// rate the framed arm must be bit-identical to the in-memory arm (gated);
+// the framed byte overhead ratio (wire bytes / float32 payload bytes) is
+// reported. A lossy sub-arm injects seeded packet drops under the kDrop
+// policy and gates that the observed drop counters match the links'
+// injected-fault ground truth exactly.
+//
+// Writes BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json
+// and BENCH_framed.json next to the working directory. `--quick` shrinks the
 // streams for CI smoke runs.
 #include <cstdio>
 #include <cstring>
@@ -39,6 +48,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_util.h"
@@ -46,6 +56,7 @@
 #include "runtime/camera.h"
 #include "runtime/runtime.h"
 #include "runtime/server.h"
+#include "transport/link.h"
 
 namespace {
 
@@ -85,6 +96,35 @@ std::unique_ptr<runtime::ReplayCameraSource> make_camera(int id, const RecordedS
                                                          const ce::CePattern& pattern) {
   return std::make_unique<runtime::ReplayCameraSource>(id, pattern, stream.coded,
                                                        stream.labels);
+}
+
+// Bitwise identity over two (camera, sequence)-sorted result sets: identity,
+// task, prediction, and every reconstruction voxel. Shared by the sharded and
+// framed arms' gates.
+bool results_identical(const std::vector<runtime::TaskResult>& a,
+                       const std::vector<runtime::TaskResult>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].camera_id != b[i].camera_id || a[i].sequence != b[i].sequence ||
+        a[i].task != b[i].task || a[i].predicted != b[i].predicted) {
+      return false;
+    }
+    if (a[i].task == runtime::Task::kReconstruct) {
+      const auto& va = a[i].reconstruction.data();
+      const auto& vb = b[i].reconstruction.data();
+      if (va.size() != vb.size()) {
+        return false;
+      }
+      for (std::size_t v = 0; v < va.size(); ++v) {
+        if (va[v] != vb[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
 }
 
 ArmResult run_runtime_arm(const std::string& label, const core::SnapPixSystem& system,
@@ -288,6 +328,20 @@ int main(int argc, char** argv) {
     hetero_streams.push_back(std::move(stream));
   }
 
+  // The ONE definition of the heterogeneous fleet's shape (pattern mix +
+  // AR/REC task split), shared by the cache, sharded, and framed arms so
+  // their bit-identity gates always compare the same fleet.
+  const auto make_hetero_camera = [&](int cam) {
+    auto camera = std::make_unique<runtime::ReplayCameraSource>(
+        cam, patterns[static_cast<std::size_t>(cam % kHeteroPatterns)],
+        hetero_streams[static_cast<std::size_t>(cam)].coded,
+        hetero_streams[static_cast<std::size_t>(cam)].labels);
+    if (cam >= kCameras - 2) {
+      camera->set_task(runtime::Task::kReconstruct);
+    }
+    return camera;
+  };
+
   const auto run_hetero = [&](const char* label, const runtime::EngineCacheConfig& cache_cfg,
                               std::int64_t frames, std::size_t shards = 1) {
     runtime::ServerConfig server_cfg;
@@ -297,14 +351,7 @@ int main(int argc, char** argv) {
     server_cfg.shards = shards;
     runtime::InferenceServer server(system, server_cfg);
     for (int cam = 0; cam < kCameras; ++cam) {
-      auto camera = std::make_unique<runtime::ReplayCameraSource>(
-          cam, patterns[static_cast<std::size_t>(cam % kHeteroPatterns)],
-          hetero_streams[static_cast<std::size_t>(cam)].coded,
-          hetero_streams[static_cast<std::size_t>(cam)].labels);
-      if (cam >= kCameras - 2) {
-        camera->set_task(runtime::Task::kReconstruct);
-      }
-      server.add_camera(std::move(camera));
+      server.add_camera(make_hetero_camera(cam));
     }
     auto results = server.run(frames);
     auto summary = server.summary();
@@ -404,23 +451,7 @@ int main(int argc, char** argv) {
   auto [sharded_results, sharded_summary] =
       run_hetero("sharded_x4", roomy, hetero_frames, kShards);
 
-  bool sharded_identical = sharded_results.size() == hetero_results.size();
-  if (sharded_identical) {
-    for (std::size_t i = 0; i < sharded_results.size(); ++i) {
-      const auto& a = hetero_results[i];
-      const auto& b = sharded_results[i];
-      sharded_identical &= a.camera_id == b.camera_id && a.sequence == b.sequence &&
-                           a.task == b.task && a.predicted == b.predicted;
-      if (sharded_identical && a.task == runtime::Task::kReconstruct) {
-        const auto& va = a.reconstruction.data();
-        const auto& vb = b.reconstruction.data();
-        sharded_identical &= va.size() == vb.size();
-        for (std::size_t v = 0; sharded_identical && v < va.size(); ++v) {
-          sharded_identical &= va[v] == vb[v];
-        }
-      }
-    }
-  }
+  const bool sharded_identical = results_identical(hetero_results, sharded_results);
   const double sharded_speedup =
       hetero_summary.aggregate_fps > 0.0
           ? sharded_summary.aggregate_fps / hetero_summary.aggregate_fps
@@ -469,6 +500,103 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote BENCH_sharded.json\n");
 
+  // --- framed MIPI transport: CSI-2 packets + CRC vs the in-memory hop ------
+  bench::print_rule();
+  std::printf("framed transport: hetero fleet over CSI-2-style packets vs in-memory\n");
+
+  const auto run_framed = [&](const char* label, double drop_rate,
+                              runtime::TransportPolicy policy) {
+    runtime::ServerConfig server_cfg;
+    server_cfg.batch.max_batch = kCameras;
+    server_cfg.batch.max_delay = std::chrono::microseconds(2000);
+    server_cfg.cache = roomy;
+    server_cfg.transport = policy;
+    runtime::InferenceServer server(system, server_cfg);
+    std::vector<const runtime::CameraSource*> cameras;
+    for (int cam = 0; cam < kCameras; ++cam) {
+      auto camera = make_hetero_camera(cam);
+      transport::LinkConfig link;
+      link.mipi.lanes = 2;
+      link.virtual_channel = cam % 4;
+      link.faults.packet_drop_rate = drop_rate;
+      link.faults.seed = 4000 + static_cast<std::uint64_t>(cam);
+      camera->set_framed(link);
+      cameras.push_back(camera.get());  // server-owned; alive until it dies
+      server.add_camera(std::move(camera));
+    }
+    auto results = server.run(hetero_frames);
+    auto summary = server.summary();
+    std::uint64_t injected_faulted = 0;
+    for (const auto* camera : cameras) {
+      injected_faulted += camera->framed_link()->injector().stats().frames_faulted;
+    }
+    std::printf("\n[%s] drop_rate=%.3f\n%s", label, drop_rate,
+                runtime::to_string(summary).c_str());
+    return std::make_tuple(std::move(results), summary, injected_faulted);
+  };
+
+  const auto [framed_results, framed_summary, framed_injected] =
+      run_framed("framed_clean", 0.0, {});
+
+  // Zero faults: the framed arm must reproduce the in-memory arm bit for bit.
+  const bool framed_identical = results_identical(hetero_results, framed_results);
+  const bool framed_all_ok =
+      framed_summary.transport.framed_frames == framed_summary.frames &&
+      framed_summary.transport.ok_frames == framed_summary.transport.framed_frames &&
+      framed_summary.transport.dropped_frames == 0 && framed_injected == 0;
+  // Transport overhead: framed wire bytes over the raw float32 payload.
+  const double framed_payload_bytes = static_cast<double>(framed_summary.frames) *
+                                      kStreamImage * kStreamImage * 4.0;
+  const double framed_overhead_ratio =
+      framed_payload_bytes > 0.0
+          ? static_cast<double>(framed_summary.wire_bytes) / framed_payload_bytes
+          : 0.0;
+  const double framed_fps_ratio =
+      hetero_summary.aggregate_fps > 0.0
+          ? framed_summary.aggregate_fps / hetero_summary.aggregate_fps
+          : 0.0;
+
+  // Lossy sub-arm: seeded packet drops under the kDrop policy. The gate is
+  // exactness: observed drop counters == the links' injected ground truth.
+  runtime::TransportPolicy drop_policy;
+  drop_policy.corrupt = runtime::TransportPolicy::Corrupt::kDrop;
+  const auto [lossy_results, lossy_summary, lossy_injected] =
+      run_framed("framed_lossy", 0.02, drop_policy);
+  const bool drops_exact = lossy_summary.transport.dropped_frames == lossy_injected &&
+                           lossy_results.size() + lossy_injected ==
+                               static_cast<std::size_t>(kCameras) *
+                                   static_cast<std::size_t>(hetero_frames);
+
+  std::printf("\nframed bit-identical at zero faults: %s   transport all-ok: %s   "
+              "overhead %.3fx   fps vs in-memory %.2fx\n",
+              framed_identical ? "yes" : "NO", framed_all_ok ? "yes" : "NO",
+              framed_overhead_ratio, framed_fps_ratio);
+  std::printf("lossy arm: %llu dropped vs %llu injected (%s), %zu/%lld frames served\n",
+              static_cast<unsigned long long>(lossy_summary.transport.dropped_frames),
+              static_cast<unsigned long long>(lossy_injected),
+              drops_exact ? "exact" : "MISMATCH", lossy_results.size(),
+              static_cast<long long>(kCameras * hetero_frames));
+
+  {
+    std::ofstream framed_json("BENCH_framed.json");
+    framed_json << "{\n  \"cameras\": " << kCameras
+                << ",\n  \"patterns\": " << kHeteroPatterns
+                << ",\n  \"frames_per_camera\": " << hetero_frames
+                << ",\n  \"in_memory_fps\": " << hetero_summary.aggregate_fps
+                << ",\n  \"framed_fps\": " << framed_summary.aggregate_fps
+                << ",\n  \"framed_fps_ratio\": " << framed_fps_ratio
+                << ",\n  \"framed_wire_bytes\": " << framed_summary.wire_bytes
+                << ",\n  \"framed_overhead_ratio\": " << framed_overhead_ratio
+                << ",\n  \"bit_identical\": " << (framed_identical ? "true" : "false")
+                << ",\n  \"transport\": " << runtime::to_json(framed_summary.transport)
+                << ",\n  \"lossy_drop_rate\": 0.02"
+                << ",\n  \"lossy_injected_faulted_frames\": " << lossy_injected
+                << ",\n  \"lossy_transport\": " << runtime::to_json(lossy_summary.transport)
+                << ",\n  \"lossy_drops_exact\": " << (drops_exact ? "true" : "false")
+                << "\n}\n";
+  }
+  std::printf("wrote BENCH_framed.json\n");
+
   // Gate numerics strictly; gate throughput with a regression floor below
   // the 3x target so noisy shared CI runners don't flake the build (the
   // measured ratio on a quiet single core is 3.3-4.3x).
@@ -495,8 +623,20 @@ int main(int argc, char** argv) {
     std::printf("FAIL: sharded serving only %.2fx over single consumer on %u threads "
                 "(gate 1.5x)\n", sharded_speedup, hw_threads);
   }
+  if (!framed_identical) {
+    std::printf("FAIL: framed transport at zero faults diverged bitwise from the "
+                "in-memory arm\n");
+  }
+  if (!framed_all_ok) {
+    std::printf("FAIL: clean framed arm reported transport errors or drops\n");
+  }
+  if (!drops_exact) {
+    std::printf("FAIL: lossy framed arm's drop counters diverge from the injected "
+                "ground truth\n");
+  }
   const bool ok = identical_predictions && identical_logits && fast_enough &&
                   hetero_identical && cache_hits_nonzero && pressure_evicted &&
-                  sharded_identical && sharded_fast_enough;
+                  sharded_identical && sharded_fast_enough && framed_identical &&
+                  framed_all_ok && drops_exact;
   return ok ? 0 : 1;
 }

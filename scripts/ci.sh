@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the test suite, check the docs tree's
 # links, then run the streaming throughput bench in quick mode (emits
-# BENCH_streaming.json, BENCH_pattern_cache.json and BENCH_sharded.json in
-# build/).
+# BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json and
+# BENCH_framed.json in build/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +16,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 ./scripts/check_docs_links.sh
 
 # Streaming bench: quick mode keeps CI fast; the binary exits non-zero if any
-# serving arm (batched, pattern-cache, sharded work-stealing) diverges
-# bitwise from the sequential path, if the cache misses its hit/eviction
-# gates, or — on hosts with >= 4 hardware threads — if sharded serving falls
-# below 1.5x the single-consumer arm.
+# serving arm (batched, pattern-cache, sharded work-stealing, framed MIPI
+# transport at zero faults) diverges bitwise from the sequential path, if the
+# cache misses its hit/eviction gates, if the lossy framed arm's drop
+# counters diverge from the injected ground truth, or — on hosts with >= 4
+# hardware threads — if sharded serving falls below 1.5x the single-consumer
+# arm.
 (cd "$BUILD_DIR" && ./bench_streaming_throughput --quick)
 echo "BENCH_streaming.json:"
 cat "$BUILD_DIR/BENCH_streaming.json"
@@ -27,3 +29,5 @@ echo "BENCH_pattern_cache.json:"
 cat "$BUILD_DIR/BENCH_pattern_cache.json"
 echo "BENCH_sharded.json:"
 cat "$BUILD_DIR/BENCH_sharded.json"
+echo "BENCH_framed.json:"
+cat "$BUILD_DIR/BENCH_framed.json"

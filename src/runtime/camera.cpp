@@ -13,6 +13,70 @@ CameraSource::CameraSource(int id, PatternRef pattern)
   pattern_id_ = pattern_->hash();  // computed once, stamped on every frame
 }
 
+Frame CameraSource::next_frame() {
+  Frame frame = capture_frame();
+  if (link_ != nullptr) {
+    // Kept for TransportPolicy::kRetransmit; a move, since transfer_framed
+    // replaces frame.coded with the receiver-side reassembly anyway.
+    last_coded_ = std::move(frame.coded);
+    last_sequence_ = frame.sequence;
+    transfer_framed(frame);
+  }
+  return frame;
+}
+
+void CameraSource::set_framed(const transport::LinkConfig& link) {
+  link_ = std::make_unique<transport::FramedLink>(link);
+}
+
+void CameraSource::retransmit(Frame& frame) {
+  SNAPPIX_CHECK(link_ != nullptr, "camera " << id_ << " is not framed");
+  SNAPPIX_CHECK(frame.camera_id == id_ && frame.sequence == last_sequence_,
+                "camera " << id_ << " can only retransmit its latest frame (sequence "
+                          << last_sequence_ << "), got camera " << frame.camera_id
+                          << " sequence " << frame.sequence);
+  const std::uint64_t prior_wire_bytes = frame.wire_bytes;
+  transfer_framed(frame);
+  // Every attempt's bytes crossed the wire; the frame's traffic accumulates
+  // (raw_bytes stays per-attempt: a conventional pipeline has no retries).
+  frame.wire_bytes += prior_wire_bytes;
+  ++frame.retransmits;
+}
+
+namespace {
+
+TransportStatus to_status(transport::RxOutcome outcome) {
+  switch (outcome) {
+    case transport::RxOutcome::kOk:
+      return TransportStatus::kFramedOk;
+    case transport::RxOutcome::kCrcError:
+      return TransportStatus::kCrcError;
+    case transport::RxOutcome::kTruncated:
+      return TransportStatus::kTruncated;
+    default:
+      return TransportStatus::kMissingLines;
+  }
+}
+
+}  // namespace
+
+void CameraSource::transfer_framed(Frame& frame) {
+  transport::TransferResult result =
+      link_->transfer(last_coded_, static_cast<std::uint16_t>(frame.sequence & 0xFFFF));
+  frame.transport = to_status(result.outcome);
+  // The receiver only ever has what the wire delivered — corrupt transfers
+  // hand over the partial/damaged reassembly, not the transmitter's tensor.
+  frame.coded = std::move(result.coded);
+  // Framed accounting replaces the analytic estimate on BOTH sides of the
+  // ratio, keeping it an apples-to-apples transport comparison: wire_bytes
+  // is the coded frame as actually framed (float32 payload + header/CRC/
+  // short-packet overhead), raw_bytes is what a conventional pipeline would
+  // ship over the SAME framed link — all T slot frames, identically framed.
+  // The compression ratio therefore stays T, as in the analytic model.
+  frame.wire_bytes = result.wire_bytes;
+  frame.raw_bytes = result.wire_bytes * static_cast<std::uint64_t>(pattern_->slots());
+}
+
 Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
   Frame frame;
   frame.camera_id = id_;
@@ -44,7 +108,7 @@ SyntheticCameraSource::SyntheticCameraSource(int id, const data::SceneConfig& sc
                           << " != pattern slots " << pattern_->slots());
 }
 
-Frame SyntheticCameraSource::next_frame() {
+Frame SyntheticCameraSource::capture_frame() {
   const data::VideoSample sample = generator_.sample(rng_);
   Frame frame = begin_frame(sample.video.shape()[1], sample.video.shape()[2]);
   frame.coded = encode_normalized(sample.video);
@@ -64,7 +128,7 @@ DatasetCameraSource::DatasetCameraSource(int id,
   cursor_ %= dataset_->test_size();
 }
 
-Frame DatasetCameraSource::next_frame() {
+Frame DatasetCameraSource::capture_frame() {
   const data::VideoSample& sample = dataset_->test_sample(cursor_);
   cursor_ = (cursor_ + 1) % dataset_->test_size();
   Frame frame = begin_frame(sample.video.shape()[1], sample.video.shape()[2]);
@@ -87,7 +151,7 @@ SensorCameraSource::SensorCameraSource(int id, const sensor::SensorConfig& senso
                 "camera " << id << ": scene geometry does not match sensor");
 }
 
-Frame SensorCameraSource::next_frame() {
+Frame SensorCameraSource::capture_frame() {
   NoGradGuard guard;
   const data::VideoSample sample = generator_.sample(rng_);
   Frame frame = begin_frame(sensor_.config().height, sensor_.config().width);
@@ -143,7 +207,7 @@ std::unique_ptr<ReplayCameraSource> ReplayCameraSource::record(CameraSource& sou
   return replay;
 }
 
-Frame ReplayCameraSource::next_frame() {
+Frame ReplayCameraSource::capture_frame() {
   const std::size_t i = cursor_;
   cursor_ = (cursor_ + 1) % coded_.size();
   Frame frame = begin_frame(coded_[i].shape()[0], coded_[i].shape()[1]);

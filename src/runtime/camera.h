@@ -32,6 +32,7 @@
 #include "data/synthetic.h"
 #include "runtime/frame.h"
 #include "sensor/sensor.h"
+#include "transport/link.h"
 #include "util/rng.h"
 
 namespace snappix::runtime {
@@ -51,9 +52,28 @@ class CameraSource {
   virtual ~CameraSource() = default;
 
   // Produces the camera's next coded frame (blocking, called from a producer
-  // thread). Implementations fill coded/label/byte counters; the scheduler
-  // stamps the timing fields.
-  virtual Frame next_frame() = 0;
+  // thread). Captures via the adapter's capture_frame(), then — in framed
+  // mode — serializes the coded image into CSI-2-style packets, pushes them
+  // through the camera's FramedLink (byte/lane accounting + seeded fault
+  // injection), and replaces `coded` with whatever the depacketizer
+  // reassembled, stamping `transport` and the framed byte accounting.
+  // Without framed mode the frame hops in memory unchanged.
+  Frame next_frame();
+
+  // Switches this camera onto a framed MIPI link. Call before scheduling;
+  // the link (and its fault Rng) lives as long as the camera. With all fault
+  // rates zero the framed path is bit-identical to the in-memory one.
+  void set_framed(const transport::LinkConfig& link);
+  bool framed() const { return link_ != nullptr; }
+  // The camera's link, for reading its byte/outcome/injected-fault counters;
+  // null when not framed.
+  const transport::FramedLink* framed_link() const { return link_.get(); }
+
+  // Re-runs the framed transfer of the most recently captured frame (same
+  // payload, fresh fault draws), restamping the transport fields and bumping
+  // frame.retransmits — the mechanism behind TransportPolicy::kRetransmit.
+  // Only the frame returned by the last next_frame() call may be retried.
+  void retransmit(Frame& frame);
 
   int id() const { return id_; }
   const ce::CePattern& pattern() const { return *pattern_; }
@@ -67,6 +87,11 @@ class CameraSource {
 
  protected:
   CameraSource(int id, PatternRef pattern);
+
+  // Adapter hook: produce the next coded frame (the pre-transport capture).
+  // Implementations fill coded/label/byte counters; next_frame() layers the
+  // framed transport on top and the scheduler stamps the timing fields.
+  virtual Frame capture_frame() = 0;
 
   // Starts a Frame with identity, sequence number, routing metadata
   // (pattern_id + task), and the conventional (raw_bytes) vs coded
@@ -84,6 +109,15 @@ class CameraSource {
   std::uint64_t pattern_id_;
   Task task_ = Task::kClassify;
   std::int64_t next_sequence_ = 0;
+
+ private:
+  // Runs one framed transfer of last_coded_, restamping `frame`'s transport
+  // fields and coded payload with the receiver-side view.
+  void transfer_framed(Frame& frame);
+
+  std::unique_ptr<transport::FramedLink> link_;  // null = in-memory hop
+  Tensor last_coded_;        // pre-transport payload of the latest capture
+  std::int64_t last_sequence_ = -1;
 };
 
 // Procedural scene generator + mathematical CE encoder.
@@ -95,7 +129,8 @@ class SyntheticCameraSource : public CameraSource {
                         std::uint64_t seed)
       : SyntheticCameraSource(id, scene, make_pattern_ref(std::move(pattern)), seed) {}
 
-  Frame next_frame() override;
+ protected:
+  Frame capture_frame() override;
 
  private:
   data::SyntheticVideoGenerator generator_;
@@ -113,7 +148,8 @@ class DatasetCameraSource : public CameraSource {
       : DatasetCameraSource(id, std::move(dataset), make_pattern_ref(std::move(pattern)),
                             offset) {}
 
-  Frame next_frame() override;
+ protected:
+  Frame capture_frame() override;
 
  private:
   std::shared_ptr<const data::VideoDataset> dataset_;
@@ -133,8 +169,10 @@ class SensorCameraSource : public CameraSource {
       : SensorCameraSource(id, sensor_config, scene, make_pattern_ref(std::move(pattern)),
                            seed) {}
 
-  Frame next_frame() override;
   const sensor::StackedSensor& sensor() const { return sensor_; }
+
+ protected:
+  Frame capture_frame() override;
 
  private:
   sensor::StackedSensor sensor_;
@@ -160,7 +198,8 @@ class ReplayCameraSource : public CameraSource {
   // id/pattern handle/task.
   static std::unique_ptr<ReplayCameraSource> record(CameraSource& source, int frames);
 
-  Frame next_frame() override;
+ protected:
+  Frame capture_frame() override;
 
  private:
   std::vector<Tensor> coded_;

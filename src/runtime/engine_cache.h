@@ -80,8 +80,9 @@ class PatternNormalizer {
 /// (frames arrive exposure-normalized), so the serving loop reads only
 /// `engine` — do NOT apply the normalizer to frames from those cameras, that
 /// would divide by the exposure counts twice. It is resident state for ingest
-/// paths that ship raw coded pixels (e.g. the planned MIPI-framed transport,
-/// where the wire carries raw ADC codes and normalization moves server-side).
+/// paths that ship raw coded pixels. (The framed MIPI transport in
+/// src/transport/ is NOT such a path: it serializes the already-normalized
+/// float32 coded image, so framed frames arrive normalized like every other.)
 struct ServingEntry {
   std::shared_ptr<const ce::CePattern> pattern;
   std::unique_ptr<PatternNormalizer> normalizer;

@@ -28,6 +28,41 @@ inline const char* to_string(Task task) {
   return task == Task::kClassify ? "classify" : "reconstruct";
 }
 
+// How the frame's coded image reached the server. kInMemory is the direct
+// tensor hop (no transport modeled); the framed states mirror
+// transport::RxOutcome for frames that crossed a framed MIPI link
+// (src/transport/): kFramedOk round-tripped bit-exactly, the rest name the
+// fault class that corrupted the frame.
+enum class TransportStatus : std::uint8_t {
+  kInMemory,
+  kFramedOk,
+  kCrcError,
+  kTruncated,
+  kMissingLines,
+};
+
+inline const char* to_string(TransportStatus status) {
+  switch (status) {
+    case TransportStatus::kInMemory:
+      return "in_memory";
+    case TransportStatus::kFramedOk:
+      return "framed_ok";
+    case TransportStatus::kCrcError:
+      return "crc_error";
+    case TransportStatus::kTruncated:
+      return "truncated";
+    default:
+      return "missing_lines";
+  }
+}
+
+// True when the framed transfer failed to deliver the frame intact — the
+// states the server's TransportPolicy (drop or retransmit) acts on.
+inline bool is_corrupt(TransportStatus status) {
+  return status == TransportStatus::kCrcError || status == TransportStatus::kTruncated ||
+         status == TransportStatus::kMissingLines;
+}
+
 struct Frame {
   int camera_id = -1;
   std::int64_t sequence = -1;  // per-camera frame index, starts at 0
@@ -42,6 +77,14 @@ struct Frame {
 
   std::uint64_t raw_bytes = 0;   // conventional T-frame readout volume
   std::uint64_t wire_bytes = 0;  // coded-image volume actually transmitted
+                                 // (framed mode: total framed bytes, overhead included)
+
+  // Transport outcome of the LAST framed transfer attempt (kInMemory when the
+  // camera is not framed), plus the retry accounting. Finer receiver-side
+  // detail (per-row CRC failures, lost packets) lives on the camera's
+  // FramedLink counters, not on every frame.
+  TransportStatus transport = TransportStatus::kInMemory;
+  std::uint16_t retransmits = 0;  // framed re-transfers spent on this frame
 
   Clock::time_point capture_start{};  // camera began producing this frame
   Clock::time_point enqueue_time{};   // frame entered the FrameQueue

@@ -2,14 +2,28 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <stdexcept>
 
 #include "util/common.h"
 
 namespace snappix::runtime {
 
-StreamScheduler::StreamScheduler(RuntimeStats& stats, int threads)
-    : stats_(stats), threads_(threads) {
+void validate(const TransportPolicy& policy) {
+  // The upper bound matches Frame::retransmits (uint16): a larger budget
+  // would wrap the counter and the retry loop's guard would never trip.
+  if (policy.max_retransmits < 0 || policy.max_retransmits > 0xFFFF) {
+    std::ostringstream os;
+    os << "TransportPolicy.max_retransmits must be in [0, 65535], got "
+       << policy.max_retransmits;
+    throw std::invalid_argument(os.str());
+  }
+}
+
+StreamScheduler::StreamScheduler(RuntimeStats& stats, int threads, TransportPolicy transport)
+    : stats_(stats), threads_(threads), transport_(transport) {
   SNAPPIX_CHECK(threads >= 0, "scheduler thread count must be >= 0");
+  validate(transport);
 }
 
 StreamScheduler::~StreamScheduler() {
@@ -77,7 +91,26 @@ void StreamScheduler::produce(CameraSource& camera, FrameQueue& queue, std::int6
       const Clock::time_point t0 = Clock::now();
       Frame frame = camera.next_frame();
       frame.capture_start = t0;
+      if (camera.framed()) {
+        // Edge-side integrity gate: a corrupt framed frame is retried (fresh
+        // fault draws over the same payload) or dropped, so the queues only
+        // ever carry intact coded images.
+        while (is_corrupt(frame.transport) &&
+               transport_.corrupt == TransportPolicy::Corrupt::kRetransmit &&
+               frame.retransmits < transport_.max_retransmits) {
+          camera.retransmit(frame);
+        }
+        stats_.record_transport(camera.id(), frame.transport, frame.retransmits,
+                                is_corrupt(frame.transport));
+      }
+      // The capture stage owns everything edge-side: scene synthesis, CE
+      // encoding, and — in framed mode — every transport attempt including
+      // retries, so retry storms are visible in the capture percentiles
+      // rather than silently widening the capture->e2e gap.
       stats_.record_capture(std::chrono::duration<double>(Clock::now() - t0).count());
+      if (is_corrupt(frame.transport)) {
+        continue;  // counted, never enqueued: the fleet serves one fewer frame
+      }
       frame.enqueue_time = Clock::now();
       if (!queue.push(std::move(frame))) {
         break;  // queue closed under us — runtime is shutting down

@@ -27,13 +27,34 @@
 
 namespace snappix::runtime {
 
+// What the producer loop does with a framed frame that arrives corrupt
+// (CRC error, truncated, or missing lines). Applied per frame, edge-side,
+// before the frame can enter a FrameQueue — the server only ever serves
+// intact payloads.
+struct TransportPolicy {
+  enum class Corrupt : std::uint8_t {
+    kDrop,        // count it and move on (the fleet serves one fewer frame)
+    kRetransmit,  // re-run the framed transfer (fresh fault draws), up to
+                  // max_retransmits times; still corrupt after that => drop
+  };
+  Corrupt corrupt = Corrupt::kDrop;
+  int max_retransmits = 3;  // per-frame retry budget under kRetransmit
+};
+
+// Throws std::invalid_argument when the policy is unusable (negative
+// max_retransmits). The single validation site for both the scheduler and
+// ServerConfig.
+void validate(const TransportPolicy& policy);
+
 class StreamScheduler {
  public:
   // `threads` = 0 spawns one producer thread per camera at start(). Huge
   // fleets should pass an explicit cap — but note producer tasks run to
   // completion, so `threads` < cameras processes cameras in waves rather
-  // than interleaving them.
-  explicit StreamScheduler(RuntimeStats& stats, int threads = 0);
+  // than interleaving them. `transport` governs corrupt framed frames; it is
+  // inert for cameras without framed mode.
+  explicit StreamScheduler(RuntimeStats& stats, int threads = 0,
+                           TransportPolicy transport = {});
   ~StreamScheduler();
 
   StreamScheduler(const StreamScheduler&) = delete;
@@ -68,6 +89,7 @@ class StreamScheduler {
 
   RuntimeStats& stats_;
   int threads_;
+  TransportPolicy transport_;
   std::vector<std::unique_ptr<CameraSource>> cameras_;
   std::vector<FrameQueue*> routes_;         // parallel to cameras_
   std::vector<FrameQueue*> unique_queues_;  // each routed queue once

@@ -47,6 +47,7 @@ void validate(const ServerConfig& config) {
        << config.steal_poll.count() << " us";
     throw std::invalid_argument(os.str());
   }
+  validate(config.transport);
 }
 
 namespace {
@@ -61,7 +62,7 @@ const ServerConfig& validated(const ServerConfig& config) {
 InferenceServer::InferenceServer(const core::SnapPixSystem& system,
                                  const ServerConfig& config)
     : system_(system), config_(validated(config)),
-      scheduler_(stats_, config_.scheduler_threads) {
+      scheduler_(stats_, config_.scheduler_threads, config_.transport) {
   // The factory snapshots the system's model into a fresh fused engine for
   // each newly-resident pattern. With today's single shared model the
   // snapshot is pattern-independent; a deployment with per-pattern

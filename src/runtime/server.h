@@ -84,6 +84,11 @@ struct ServerConfig {
   /// victims (and between fruitless probe rounds). Small values tighten
   /// steal latency at the cost of idle wakeups.
   std::chrono::microseconds steal_poll{200};
+  /// What to do with framed frames that arrive corrupt (CRC error,
+  /// truncated, missing lines): drop them, or retransmit up to
+  /// `transport.max_retransmits` times before dropping. Inert for cameras
+  /// without framed mode. See docs/serving.md.
+  TransportPolicy transport;
 };
 
 /// \brief Throws std::invalid_argument with a descriptive message when the

@@ -73,6 +73,33 @@ void RuntimeStats::record_task_frames(Task task, std::size_t count) {
   }
 }
 
+void RuntimeStats::record_transport(int camera_id, TransportStatus status, int retransmits,
+                                    bool dropped) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TransportCounters& c = transport_[camera_id];
+  ++c.framed_frames;
+  switch (status) {
+    case TransportStatus::kFramedOk:
+      ++c.ok_frames;
+      break;
+    case TransportStatus::kCrcError:
+      ++c.crc_errors;
+      break;
+    case TransportStatus::kTruncated:
+      ++c.truncated;
+      break;
+    case TransportStatus::kMissingLines:
+      ++c.missing_lines;
+      break;
+    default:
+      break;  // kInMemory frames are never recorded here
+  }
+  c.retransmits += static_cast<std::uint64_t>(retransmits);
+  if (dropped) {
+    ++c.dropped_frames;
+  }
+}
+
 void RuntimeStats::record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                                      double end_to_end_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -124,6 +151,16 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
     out.steal_attempts += shard.steal_attempts;
     out.steal_successes += shard.steal_successes;
     out.stolen_frames += shard.stolen_frames;
+  }
+  for (const auto& [camera_id, counters] : transport_) {
+    out.transport_cameras.emplace_back(camera_id, counters);
+    out.transport.framed_frames += counters.framed_frames;
+    out.transport.ok_frames += counters.ok_frames;
+    out.transport.crc_errors += counters.crc_errors;
+    out.transport.truncated += counters.truncated;
+    out.transport.missing_lines += counters.missing_lines;
+    out.transport.retransmits += counters.retransmits;
+    out.transport.dropped_frames += counters.dropped_frames;
   }
   out.capture = summarize(capture_);
   out.queue_wait = summarize(queue_wait_);
@@ -200,7 +237,44 @@ std::string to_string(const RuntimeSummary& s) {
       out += line;
     }
   }
+  if (s.transport.framed_frames > 0) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "  transport: framed %llu ok %llu crc %llu trunc %llu missing %llu "
+                  "retransmits %llu dropped %llu\n",
+                  static_cast<unsigned long long>(s.transport.framed_frames),
+                  static_cast<unsigned long long>(s.transport.ok_frames),
+                  static_cast<unsigned long long>(s.transport.crc_errors),
+                  static_cast<unsigned long long>(s.transport.truncated),
+                  static_cast<unsigned long long>(s.transport.missing_lines),
+                  static_cast<unsigned long long>(s.transport.retransmits),
+                  static_cast<unsigned long long>(s.transport.dropped_frames));
+    out += line;
+    for (const auto& [camera_id, c] : s.transport_cameras) {
+      std::snprintf(line, sizeof(line),
+                    "    camera %d: framed %llu ok %llu crc %llu trunc %llu missing %llu "
+                    "retransmits %llu dropped %llu\n",
+                    camera_id, static_cast<unsigned long long>(c.framed_frames),
+                    static_cast<unsigned long long>(c.ok_frames),
+                    static_cast<unsigned long long>(c.crc_errors),
+                    static_cast<unsigned long long>(c.truncated),
+                    static_cast<unsigned long long>(c.missing_lines),
+                    static_cast<unsigned long long>(c.retransmits),
+                    static_cast<unsigned long long>(c.dropped_frames));
+      out += line;
+    }
+  }
   return out;
+}
+
+std::string to_json(const TransportCounters& c) {
+  std::ostringstream os;
+  os << "{\"framed_frames\": " << c.framed_frames << ", \"ok_frames\": " << c.ok_frames
+     << ", \"crc_errors\": " << c.crc_errors << ", \"truncated\": " << c.truncated
+     << ", \"missing_lines\": " << c.missing_lines
+     << ", \"retransmits\": " << c.retransmits
+     << ", \"dropped_frames\": " << c.dropped_frames << "}";
+  return os.str();
 }
 
 std::string to_json(const ShardStatsView& s) {
@@ -243,6 +317,12 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
      << ", \"stolen_frames\": " << s.stolen_frames << ", \"shards\": [";
   for (std::size_t i = 0; i < s.shards.size(); ++i) {
     os << (i > 0 ? ", " : "") << to_json(s.shards[i]);
+  }
+  os << "]"
+     << ", \"transport\": " << to_json(s.transport) << ", \"transport_cameras\": [";
+  for (std::size_t i = 0; i < s.transport_cameras.size(); ++i) {
+    os << (i > 0 ? ", " : "") << "{\"camera_id\": " << s.transport_cameras[i].first
+       << ", \"counters\": " << to_json(s.transport_cameras[i].second) << "}";
   }
   os << "]"
      << ", \"energy_conventional_j\": " << energy.conventional_j

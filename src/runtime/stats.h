@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "energy/model.h"
@@ -66,6 +68,21 @@ struct ShardStatsView {
   std::size_t queue_high_water = 0;     ///< deepest this shard's run queue got
 };
 
+/// \brief One camera's framed-transport tally: how its frames fared on the
+/// wire, by FINAL outcome (a frame that recovers via retransmit counts as ok;
+/// the retries it burned show up in `retransmits`). All zero for cameras that
+/// hop in memory. Summing over cameras gives the fleet totals in
+/// RuntimeSummary::transport.
+struct TransportCounters {
+  std::uint64_t framed_frames = 0;   ///< frames that crossed a framed link
+  std::uint64_t ok_frames = 0;       ///< delivered intact (possibly after retries)
+  std::uint64_t crc_errors = 0;      ///< final outcome: payload CRC failure
+  std::uint64_t truncated = 0;       ///< final outcome: stream cut mid-frame
+  std::uint64_t missing_lines = 0;   ///< final outcome: row packets lost
+  std::uint64_t retransmits = 0;     ///< framed re-transfers spent by the policy
+  std::uint64_t dropped_frames = 0;  ///< corrupt after the policy: never served
+};
+
 /// \brief Everything a completed run reports: throughput, per-stage latency
 /// percentiles, task/cache/steal counters, per-shard views, byte volumes.
 struct RuntimeSummary {
@@ -96,7 +113,12 @@ struct RuntimeSummary {
   /// Per-shard breakdown; empty unless a sharded server installed views.
   std::vector<ShardStatsView> shards;
 
-  StageSummary capture;      ///< camera next_frame()
+  /// Framed-transport totals summed over cameras (all zero when every frame
+  /// hops in memory), plus the per-camera breakdown sorted by camera id.
+  TransportCounters transport;
+  std::vector<std::pair<int, TransportCounters>> transport_cameras;
+
+  StageSummary capture;      ///< camera next_frame() + framed transport retries
   StageSummary queue_wait;   ///< enqueue -> pop (or steal)
   StageSummary inference;    ///< model forward per batch
   StageSummary end_to_end;   ///< capture start -> result recorded
@@ -125,6 +147,12 @@ class RuntimeStats {
   void record_batch(std::size_t batch_size, double inference_seconds);
   /// \brief Attributes a served batch's frames to its task head.
   void record_task_frames(Task task, std::size_t count);
+  /// \brief Records one framed frame's FINAL transport fate: its last
+  /// outcome (`status`), the retries the policy spent on it, and whether it
+  /// was dropped instead of enqueued. Called once per framed frame by the
+  /// producer loop; never for in-memory cameras.
+  void record_transport(int camera_id, TransportStatus status, int retransmits,
+                        bool dropped);
   void record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                          double end_to_end_seconds);
   /// \brief Raises the recorded high water to `depth` (max over calls, so the
@@ -166,12 +194,14 @@ class RuntimeStats {
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
   std::vector<ShardStatsView> shards_;
+  std::map<int, TransportCounters> transport_;  // camera_id -> tally (sorted)
 };
 
 /// \brief Renders a summary as an aligned human-readable block / flat JSON
 /// object (used by bench/streaming_throughput.cpp to emit the BENCH_*.json
 /// artifacts). The JSON carries the per-shard views as a "shards" array.
 std::string to_string(const RuntimeSummary& summary);
+std::string to_json(const TransportCounters& counters);
 std::string to_json(const ShardStatsView& shard);
 std::string to_json(const RuntimeSummary& summary, const FleetEnergyReport& energy,
                     const std::string& label);

@@ -1,0 +1,310 @@
+#include "transport/csi2.h"
+
+#include <cstring>
+
+#include "util/common.h"
+
+namespace snappix::transport {
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(data[i]) << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) != 0
+                ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+// --- header ECC --------------------------------------------------------------
+//
+// SEC-DED Hamming code over the 24 header bits. Codeword positions 1..29:
+// positions 1, 2, 4, 8, 16 hold the five Hamming parity bits, the remaining
+// 24 positions hold data bits d0..d23 in increasing position order. A sixth,
+// overall parity bit covers the whole codeword, turning single-error
+// correction into single-correct/double-detect.
+
+namespace {
+
+constexpr int kCodewordBits = 29;  // 24 data + 5 Hamming parity positions
+
+inline bool is_parity_position(int pos) { return (pos & (pos - 1)) == 0; }
+
+// Spreads the 24 data bits over the non-parity codeword positions.
+// codeword[pos] for pos in 1..29; index 0 unused.
+void fill_data_positions(std::uint32_t data24, bool (&codeword)[kCodewordBits + 1]) {
+  int bit = 0;
+  for (int pos = 1; pos <= kCodewordBits; ++pos) {
+    if (is_parity_position(pos)) {
+      codeword[pos] = false;
+    } else {
+      codeword[pos] = ((data24 >> bit) & 1U) != 0;
+      ++bit;
+    }
+  }
+}
+
+// Hamming parity for the position-group `mask` (1, 2, 4, 8 or 16): XOR of
+// every codeword bit whose position has that bit set.
+bool group_parity(const bool (&codeword)[kCodewordBits + 1], int mask) {
+  bool parity = false;
+  for (int pos = 1; pos <= kCodewordBits; ++pos) {
+    if ((pos & mask) != 0) {
+      parity ^= codeword[pos];
+    }
+  }
+  return parity;
+}
+
+// Packs the data positions of a codeword back into 24 bits.
+std::uint32_t collect_data_positions(const bool (&codeword)[kCodewordBits + 1]) {
+  std::uint32_t data = 0;
+  int bit = 0;
+  for (int pos = 1; pos <= kCodewordBits; ++pos) {
+    if (!is_parity_position(pos)) {
+      data |= static_cast<std::uint32_t>(codeword[pos] ? 1U : 0U) << bit;
+      ++bit;
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::uint8_t ecc_encode(std::uint32_t header24) {
+  SNAPPIX_CHECK((header24 >> 24) == 0, "header ECC covers 24 bits, got " << header24);
+  bool codeword[kCodewordBits + 1];
+  fill_data_positions(header24, codeword);
+  std::uint8_t ecc = 0;
+  bool overall = false;
+  int ecc_bit = 0;
+  for (int mask = 1; mask <= 16; mask <<= 1, ++ecc_bit) {
+    const bool p = group_parity(codeword, mask);
+    codeword[mask] = p;
+    ecc |= static_cast<std::uint8_t>((p ? 1U : 0U) << ecc_bit);
+  }
+  for (int pos = 1; pos <= kCodewordBits; ++pos) {
+    overall ^= codeword[pos];
+  }
+  ecc |= static_cast<std::uint8_t>((overall ? 1U : 0U) << 5);
+  return ecc;
+}
+
+EccDecode ecc_decode(std::uint32_t header24, std::uint8_t ecc) {
+  EccDecode out;
+  if ((header24 >> 24) != 0 || (ecc >> 6) != 0) {
+    return out;  // reserved bits set: not a parseable header
+  }
+  bool codeword[kCodewordBits + 1];
+  fill_data_positions(header24, codeword);
+  int ecc_bit = 0;
+  for (int mask = 1; mask <= 16; mask <<= 1, ++ecc_bit) {
+    codeword[mask] = ((ecc >> ecc_bit) & 1U) != 0;
+  }
+  const bool overall_rx = ((ecc >> 5) & 1U) != 0;
+
+  // Syndrome: which parity groups disagree. Nonzero => its value is the
+  // (claimed) position of a single-bit error.
+  int syndrome = 0;
+  for (int mask = 1; mask <= 16; mask <<= 1) {
+    if (group_parity(codeword, mask)) {
+      syndrome |= mask;
+    }
+  }
+  bool overall_calc = false;
+  for (int pos = 1; pos <= kCodewordBits; ++pos) {
+    overall_calc ^= codeword[pos];
+  }
+  const bool overall_ok = overall_calc == overall_rx;
+
+  if (syndrome == 0 && overall_ok) {
+    out.status = EccDecode::Status::kClean;
+    out.header24 = header24;
+    return out;
+  }
+  if (syndrome == 0) {
+    // Only the overall parity bit itself flipped; the data is intact.
+    out.status = EccDecode::Status::kCorrected;
+    out.header24 = header24;
+    return out;
+  }
+  if (!overall_ok && syndrome <= kCodewordBits) {
+    // Single-bit error at position `syndrome`: flip it back.
+    codeword[syndrome] = !codeword[syndrome];
+    out.status = EccDecode::Status::kCorrected;
+    out.header24 = collect_data_positions(codeword);
+    return out;
+  }
+  // syndrome != 0 with overall parity consistent (or an impossible position):
+  // at least two bits flipped — uncorrectable.
+  return out;
+}
+
+// --- WireFrame ---------------------------------------------------------------
+
+std::uint64_t WireFrame::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Packet& packet : packets) {
+    total += packet.size();
+  }
+  return total;
+}
+
+std::uint64_t WireFrame::payload_bytes() const {
+  std::uint64_t payload = 0;
+  for (const Packet& packet : packets) {
+    if (packet.size() > static_cast<std::size_t>(kHeaderBytes + kCrcBytes)) {
+      payload += packet.size() - kHeaderBytes - kCrcBytes;
+    }
+  }
+  return payload;
+}
+
+// --- CodedFramePacketizer ----------------------------------------------------
+
+CodedFramePacketizer::CodedFramePacketizer(int virtual_channel)
+    : virtual_channel_(virtual_channel) {
+  SNAPPIX_CHECK(virtual_channel >= 0 && virtual_channel <= 3,
+                "CSI-2 virtual channel " << virtual_channel << " out of [0, 3]");
+}
+
+Packet CodedFramePacketizer::short_packet(std::uint8_t data_id, std::uint16_t value) {
+  const std::uint32_t header24 = static_cast<std::uint32_t>(data_id) |
+                                 (static_cast<std::uint32_t>(value) << 8);
+  return Packet{data_id, static_cast<std::uint8_t>(value & 0xFF),
+                static_cast<std::uint8_t>(value >> 8), ecc_encode(header24)};
+}
+
+Packet CodedFramePacketizer::long_packet(std::uint8_t data_id, const std::uint8_t* payload,
+                                         std::uint16_t word_count) {
+  Packet packet = short_packet(data_id, word_count);  // same 4-byte header layout
+  packet.insert(packet.end(), payload, payload + word_count);
+  const std::uint16_t crc = crc16_ccitt(payload, word_count);
+  packet.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  packet.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return packet;
+}
+
+WireFrame CodedFramePacketizer::packetize(const Tensor& coded,
+                                          std::uint16_t frame_number) const {
+  SNAPPIX_CHECK(coded.shape().ndim() == 2,
+                "packetize expects a (H, W) coded frame, got rank " << coded.shape().ndim());
+  const std::int64_t height = coded.shape()[0];
+  const std::int64_t width = coded.shape()[1];
+  SNAPPIX_CHECK(height >= 1 && width >= 1, "empty coded frame");
+  SNAPPIX_CHECK(width * 4 <= 0xFFFF,
+                "row of " << width << " float32 pixels overflows the 16-bit word count");
+  const std::uint8_t vc_bits = static_cast<std::uint8_t>(virtual_channel_ << 6);
+
+  WireFrame wire;
+  wire.packets.reserve(static_cast<std::size_t>(height) + 2);
+  wire.packets.push_back(
+      short_packet(static_cast<std::uint8_t>(vc_bits | kDtFrameStart), frame_number));
+  const std::uint16_t wc = static_cast<std::uint16_t>(width * 4);
+  for (std::int64_t r = 0; r < height; ++r) {
+    wire.packets.push_back(long_packet(
+        static_cast<std::uint8_t>(vc_bits | kDtRaw32),
+        reinterpret_cast<const std::uint8_t*>(coded.data().data() + r * width), wc));
+  }
+  wire.packets.push_back(
+      short_packet(static_cast<std::uint8_t>(vc_bits | kDtFrameEnd), frame_number));
+  return wire;
+}
+
+// --- Depacketizer ------------------------------------------------------------
+
+const char* to_string(RxOutcome outcome) {
+  switch (outcome) {
+    case RxOutcome::kOk:
+      return "ok";
+    case RxOutcome::kCrcError:
+      return "crc_error";
+    case RxOutcome::kTruncated:
+      return "truncated";
+    default:
+      return "missing_lines";
+  }
+}
+
+RxFrame Depacketizer::depacketize(const WireFrame& wire, std::int64_t height,
+                                  std::int64_t width) const {
+  SNAPPIX_CHECK(height >= 1 && width >= 1,
+                "depacketize needs positive geometry, got " << height << "x" << width);
+  RxFrame rx;
+  std::vector<float> pixels(static_cast<std::size_t>(height * width), 0.0F);
+  bool saw_fs = false;
+  bool saw_fe = false;
+  bool truncated = false;
+  std::int64_t row = 0;
+  const std::uint16_t expected_wc = static_cast<std::uint16_t>(width * 4);
+
+  for (const Packet& packet : wire.packets) {
+    if (packet.size() < static_cast<std::size_t>(kHeaderBytes)) {
+      truncated = true;  // the stream died mid-header
+      break;
+    }
+    const std::uint32_t header24 = static_cast<std::uint32_t>(packet[0]) |
+                                   (static_cast<std::uint32_t>(packet[1]) << 8) |
+                                   (static_cast<std::uint32_t>(packet[2]) << 16);
+    // Full ECC byte on purpose: a flip in its two reserved (always-zero) bits
+    // is outside the Hamming code's reach, and ecc_decode classifies such a
+    // header as uncorrectable rather than silently passing corruption.
+    const EccDecode dec = ecc_decode(header24, packet[3]);
+    if (dec.status == EccDecode::Status::kUncorrectable) {
+      ++rx.lost_packets;  // unparseable noise: whatever it carried is gone
+      continue;
+    }
+    if (dec.status == EccDecode::Status::kCorrected) {
+      ++rx.corrected_headers;
+    }
+    const std::uint8_t data_type = static_cast<std::uint8_t>(dec.header24 & 0x3F);
+    const std::uint16_t wc = static_cast<std::uint16_t>((dec.header24 >> 8) & 0xFFFF);
+    if (data_type < 0x10) {  // short packet: wc field carries the value
+      if (data_type == kDtFrameStart) {
+        saw_fs = true;
+        rx.frame_number = wc;
+      } else if (data_type == kDtFrameEnd) {
+        saw_fe = true;
+      }
+      continue;
+    }
+    // Long packet: header promises wc payload bytes + CRC.
+    if (packet.size() < static_cast<std::size_t>(kHeaderBytes) + wc + kCrcBytes) {
+      truncated = true;  // a stalled lane cut the packet short
+      break;
+    }
+    const std::uint8_t* payload = packet.data() + kHeaderBytes;
+    const std::uint16_t crc_rx =
+        static_cast<std::uint16_t>(packet[static_cast<std::size_t>(kHeaderBytes) + wc]) |
+        static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(packet[static_cast<std::size_t>(kHeaderBytes) + wc + 1])
+            << 8);
+    if (crc16_ccitt(payload, wc) != crc_rx) {
+      ++rx.crc_errors;
+    }
+    if (wc == expected_wc && row < height) {
+      std::memcpy(pixels.data() + row * width, payload, wc);
+      ++row;
+      ++rx.lines_received;
+    } else {
+      ++rx.lost_packets;  // wrong geometry or surplus line: unusable
+    }
+  }
+
+  rx.coded = Tensor::from_vector(std::move(pixels), Shape{height, width});
+  if (truncated || !saw_fs || !saw_fe) {
+    rx.outcome = RxOutcome::kTruncated;
+  } else if (rx.lines_received < static_cast<std::uint32_t>(height)) {
+    rx.outcome = RxOutcome::kMissingLines;
+  } else if (rx.crc_errors > 0) {
+    rx.outcome = RxOutcome::kCrcError;
+  } else {
+    rx.outcome = RxOutcome::kOk;
+  }
+  return rx;
+}
+
+}  // namespace snappix::transport

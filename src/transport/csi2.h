@@ -1,0 +1,133 @@
+// MIPI CSI-2-style framed transport for coded frames.
+//
+// A coded (H, W) frame leaves the sensor as a sequence of packets modeled on
+// the CSI-2 low-level protocol, so transport errors and partial frames become
+// first-class, testable events instead of an accounting fiction:
+//
+//   Frame Start   short packet   [DI][frame#lo][frame#hi][ECC]
+//   row 0..H-1    long packets   [DI][wc lo][wc hi][ECC] payload[wc] [CRC16]
+//   Frame End     short packet   [DI][frame#lo][frame#hi][ECC]
+//
+// DI (data identifier) carries the virtual channel in bits 7..6 and the data
+// type in bits 5..0; `wc` (word count) is the payload byte count. The payload
+// of a row packet is the row's float32 pixels in host byte order (a RAW32-
+// style user-defined data type — full precision, so the framed path can be
+// bit-identical to the in-memory path). The footer is CRC-16/CCITT-FALSE over
+// the payload; the header is protected by a 6-bit SEC-DED Hamming code over
+// its 24 bits (single-bit errors corrected, double-bit errors detected), in
+// the spirit of the CSI-2 packet-header ECC.
+//
+// `CodedFramePacketizer` serializes; `Depacketizer` reassembles, verifies
+// CRC/ECC, and classifies the frame-level outcome (`RxOutcome`). The wire
+// model between them — byte/lane accounting and fault injection — lives in
+// transport/link.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snappix::transport {
+
+// --- integrity primitives ----------------------------------------------------
+
+// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, MSB-first, no final
+// xor. crc16_ccitt("123456789") == 0x29B1 (the standard check value).
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size);
+
+// Encodes the 24 header bits (DI | wc_lo << 8 | wc_hi << 16) into the 6-bit
+// SEC-DED code stored in the header's fourth byte (upper two bits zero).
+std::uint8_t ecc_encode(std::uint32_t header24);
+
+struct EccDecode {
+  enum class Status : std::uint8_t {
+    kClean,          // no error
+    kCorrected,      // single-bit error (data or ECC) fixed
+    kUncorrectable,  // >= 2 bit errors: the header cannot be trusted
+  };
+  Status status = Status::kUncorrectable;
+  std::uint32_t header24 = 0;  // corrected header bits (valid unless uncorrectable)
+};
+EccDecode ecc_decode(std::uint32_t header24, std::uint8_t ecc);
+
+// --- packet layout -----------------------------------------------------------
+
+constexpr int kHeaderBytes = 4;  // DI + 16-bit wc/value + ECC
+constexpr int kCrcBytes = 2;     // long-packet footer, little-endian on the wire
+
+// Data types (DI bits 5..0). Types below 0x10 are short packets.
+constexpr std::uint8_t kDtFrameStart = 0x00;
+constexpr std::uint8_t kDtFrameEnd = 0x01;
+constexpr std::uint8_t kDtRaw32 = 0x30;  // user-defined: one row of float32 pixels
+
+// One packet's bytes exactly as they travel the link.
+using Packet = std::vector<std::uint8_t>;
+
+// A whole frame on the wire: Frame Start, H row packets, Frame End.
+struct WireFrame {
+  std::vector<Packet> packets;
+
+  std::uint64_t total_bytes() const;
+  // Long-packet payload bytes only (headers, CRCs and short packets excluded).
+  std::uint64_t payload_bytes() const;
+};
+
+class CodedFramePacketizer {
+ public:
+  // `virtual_channel` in [0, 3] is stamped into every packet's DI bits 7..6.
+  explicit CodedFramePacketizer(int virtual_channel = 0);
+
+  // Serializes a (H, W) coded frame: FS, one RAW32 long packet per row
+  // (wc = W * 4, so W must stay under 16384 pixels), FE. `frame_number`
+  // rides in the FS/FE short packets.
+  WireFrame packetize(const Tensor& coded, std::uint16_t frame_number) const;
+
+  // Building blocks, exposed so tests can pin byte-exact golden vectors.
+  static Packet short_packet(std::uint8_t data_id, std::uint16_t value);
+  static Packet long_packet(std::uint8_t data_id, const std::uint8_t* payload,
+                            std::uint16_t word_count);
+
+  int virtual_channel() const { return virtual_channel_; }
+
+ private:
+  int virtual_channel_;
+};
+
+// --- reassembly --------------------------------------------------------------
+
+// Frame-level outcome, by severity: a truncated stream beats missing lines
+// beats a payload CRC failure beats clean.
+enum class RxOutcome : std::uint8_t { kOk, kCrcError, kTruncated, kMissingLines };
+const char* to_string(RxOutcome outcome);
+
+struct RxFrame {
+  RxOutcome outcome = RxOutcome::kTruncated;
+  // Reassembled (H, W) image. Bit-identical to the transmitted frame when the
+  // outcome is kOk. Row packets carry no line index (as in real CSI-2, order
+  // is implicit), so rows fill in ARRIVAL order: when a mid-frame row is
+  // lost, every later row shifts up one slot and only the trailing rows stay
+  // zero — a kMissingLines frame's pixel content is not positionally
+  // trustworthy, which is why the serving policy drops or retries it.
+  Tensor coded;
+  std::uint16_t frame_number = 0;
+  std::uint32_t lines_received = 0;
+  std::uint32_t crc_errors = 0;         // row packets whose payload CRC failed
+  std::uint32_t corrected_headers = 0;  // single-bit header errors fixed by ECC
+  std::uint32_t lost_packets = 0;       // headers the ECC could not rescue
+};
+
+class Depacketizer {
+ public:
+  // Reassembles a frame of known geometry. Classification:
+  //   kTruncated     the stream cut off mid-packet, or FS/FE never arrived
+  //   kMissingLines  fewer than `height` row packets survived
+  //   kCrcError      geometry complete but >= 1 row failed its CRC
+  //   kOk            every row present and CRC-verified
+  // A packet whose header is uncorrectable is skipped (counted in
+  // lost_packets) — on a real link it would be unparseable noise.
+  RxFrame depacketize(const WireFrame& wire, std::int64_t height,
+                      std::int64_t width) const;
+};
+
+}  // namespace snappix::transport

@@ -1,0 +1,77 @@
+#include "transport/fault.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace snappix::transport {
+
+void validate(const FaultConfig& config) {
+  const auto check_rate = [](const char* name, double rate) {
+    if (rate < 0.0 || rate > 1.0) {
+      std::ostringstream os;
+      os << "FaultConfig." << name << " must be a probability in [0, 1], got " << rate;
+      throw std::invalid_argument(os.str());
+    }
+  };
+  check_rate("bit_flip_per_byte", config.bit_flip_per_byte);
+  check_rate("packet_drop_rate", config.packet_drop_rate);
+  check_rate("lane_stall_rate", config.lane_stall_rate);
+}
+
+namespace {
+
+const FaultConfig& validated(const FaultConfig& config) {
+  validate(config);
+  return config;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(validated(config)), rng_(config.seed) {}
+
+bool FaultInjector::apply(WireFrame& wire) {
+  ++stats_.frames;
+  if (!config_.any()) {
+    return false;
+  }
+  bool faulted = false;
+  std::vector<Packet> survivors;
+  survivors.reserve(wire.packets.size());
+  for (Packet& packet : wire.packets) {
+    if (config_.packet_drop_rate > 0.0 &&
+        rng_.bernoulli(static_cast<float>(config_.packet_drop_rate))) {
+      ++stats_.packets_dropped;
+      faulted = true;
+      continue;  // lost whole: the receiver never sees a byte of it
+    }
+    if (config_.lane_stall_rate > 0.0 &&
+        rng_.bernoulli(static_cast<float>(config_.lane_stall_rate))) {
+      // The lane died mid-packet: keep a strict prefix (at least one byte so
+      // the cut is observable, never the full packet).
+      const std::int64_t keep =
+          rng_.uniform_int(1, static_cast<std::int64_t>(packet.size()) - 1);
+      packet.resize(static_cast<std::size_t>(keep));
+      ++stats_.lane_stalls;
+      faulted = true;
+    }
+    if (config_.bit_flip_per_byte > 0.0) {
+      for (std::uint8_t& byte : packet) {
+        if (rng_.bernoulli(static_cast<float>(config_.bit_flip_per_byte))) {
+          byte = static_cast<std::uint8_t>(byte ^ (1U << rng_.uniform_int(0, 7)));
+          ++stats_.bits_flipped;
+          faulted = true;
+        }
+      }
+    }
+    survivors.push_back(std::move(packet));
+  }
+  wire.packets = std::move(survivors);
+  if (faulted) {
+    ++stats_.frames_faulted;
+  }
+  return faulted;
+}
+
+}  // namespace snappix::transport

@@ -1,0 +1,67 @@
+// Deterministic, seeded fault injection for the framed MIPI link.
+//
+// Three fault classes, matched to how real CSI-2 links fail and to the
+// Depacketizer outcome they provoke:
+//
+//   bit flips      random single-bit corruption of wire bytes. Payload/CRC
+//                  hits surface as kCrcError; a single header hit is repaired
+//                  by the ECC (frame stays kOk, corrected_headers counts it)
+//                  unless it lands on the ECC byte's reserved bits, which the
+//                  code cannot repair; double header hits lose the packet.
+//   packet drops   a whole packet vanishes in transit. A dropped row packet
+//                  => kMissingLines; a dropped FS/FE => kTruncated.
+//   lane stalls    a lane dies mid-packet, cutting its tail off => kTruncated.
+//
+// Every injector owns its Rng, seeded from FaultConfig::seed, and draws in a
+// fixed packet order — so a camera's fault sequence is a pure function of its
+// seed, reproducible no matter how producer threads interleave.
+#pragma once
+
+#include <cstdint>
+
+#include "transport/csi2.h"
+#include "util/rng.h"
+
+namespace snappix::transport {
+
+struct FaultConfig {
+  double bit_flip_per_byte = 0.0;  // P(one bit of a wire byte flips)
+  double packet_drop_rate = 0.0;   // P(a packet is lost whole)
+  double lane_stall_rate = 0.0;    // P(a packet is truncated mid-flight)
+  std::uint64_t seed = 0x5eedULL;
+
+  bool any() const {
+    return bit_flip_per_byte > 0.0 || packet_drop_rate > 0.0 || lane_stall_rate > 0.0;
+  }
+};
+
+// Throws std::invalid_argument when a rate is outside [0, 1].
+void validate(const FaultConfig& config);
+
+struct FaultStats {
+  std::uint64_t frames = 0;          // frames passed through apply()
+  std::uint64_t frames_faulted = 0;  // frames that took >= 1 injected fault
+  std::uint64_t bits_flipped = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t lane_stalls = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  // Mutates `wire` in place (dropping, truncating, and corrupting packets).
+  // Returns true when at least one fault touched this frame. With all rates
+  // zero this is a counted no-op.
+  bool apply(WireFrame& wire);
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace snappix::transport

@@ -1,0 +1,52 @@
+#include "transport/link.h"
+
+#include <utility>
+
+namespace snappix::transport {
+
+FramedLink::FramedLink(const LinkConfig& config)
+    : config_(config), packetizer_(config.virtual_channel), mipi_(config.mipi),
+      injector_(config.faults) {}
+
+TransferResult FramedLink::transfer(const Tensor& coded, std::uint16_t frame_number) {
+  WireFrame wire = packetizer_.packetize(coded, frame_number);
+
+  // Account the transmit side first: every framed byte goes on the wire and
+  // costs its lane time whether or not it survives the trip.
+  TransferResult result;
+  for (const Packet& packet : wire.packets) {
+    const std::uint64_t payload =
+        packet.size() > static_cast<std::size_t>(kHeaderBytes + kCrcBytes)
+            ? packet.size() - kHeaderBytes - kCrcBytes
+            : 0;
+    result.wire_bytes += mipi_.send_packet(packet.size(), payload);
+  }
+
+  injector_.apply(wire);
+
+  RxFrame rx = depacketizer_.depacketize(wire, coded.shape()[0], coded.shape()[1]);
+  result.outcome = rx.outcome;
+  result.coded = std::move(rx.coded);
+  result.crc_errors = rx.crc_errors;
+  result.corrected_headers = rx.corrected_headers;
+  result.lost_packets = rx.lost_packets;
+
+  ++counters_.frames;
+  switch (rx.outcome) {
+    case RxOutcome::kOk:
+      ++counters_.ok_frames;
+      break;
+    case RxOutcome::kCrcError:
+      ++counters_.crc_error_frames;
+      break;
+    case RxOutcome::kTruncated:
+      ++counters_.truncated_frames;
+      break;
+    default:
+      ++counters_.missing_line_frames;
+      break;
+  }
+  return result;
+}
+
+}  // namespace snappix::transport

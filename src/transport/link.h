@@ -1,0 +1,76 @@
+// FramedLink: one camera's end-to-end framed MIPI transport.
+//
+// transfer() pushes a coded frame through the whole wire model:
+//
+//   CodedFramePacketizer ──► MipiCsi2Link accounting ──► FaultInjector ──►
+//   (FS + row packets + FE)  (bytes, lanes, wire time)   (seeded corruption)
+//   ──► Depacketizer ──► TransferResult {outcome, reassembled tensor, counters}
+//
+// Byte/time accounting happens BEFORE fault injection: a dropped or corrupted
+// packet still cost its transmit energy — loss happens in transit, not at the
+// transmitter. With all fault rates zero the reassembled tensor is
+// bit-identical to the input (float payloads round-trip exactly), which is
+// the invariant the framed serving path is pinned to.
+//
+// A FramedLink is owned by one camera and driven from that camera's producer
+// thread only; its Rng stream makes the fault sequence a pure function of
+// FaultConfig::seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sensor/mipi.h"
+#include "transport/csi2.h"
+#include "transport/fault.h"
+
+namespace snappix::transport {
+
+struct LinkConfig {
+  sensor::MipiConfig mipi;  // lanes + byte clock; drives the wire-time model
+  FaultConfig faults;       // all-zero rates = clean link
+  int virtual_channel = 0;  // stamped into every packet's DI (in [0, 3])
+};
+
+// One transfer's receiver-side view.
+struct TransferResult {
+  RxOutcome outcome = RxOutcome::kTruncated;
+  Tensor coded;                      // reassembled (H, W); see RxFrame::coded
+  std::uint64_t wire_bytes = 0;      // framed bytes transmitted for this frame
+  std::uint32_t crc_errors = 0;      // rows failing CRC
+  std::uint32_t corrected_headers = 0;
+  std::uint32_t lost_packets = 0;    // uncorrectable headers
+};
+
+// Lifetime outcome counters (frames classified by final receive outcome).
+struct LinkCounters {
+  std::uint64_t frames = 0;
+  std::uint64_t ok_frames = 0;
+  std::uint64_t crc_error_frames = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t missing_line_frames = 0;
+};
+
+class FramedLink {
+ public:
+  explicit FramedLink(const LinkConfig& config);
+
+  // Serializes, accounts, (maybe) corrupts, and reassembles one coded frame.
+  TransferResult transfer(const Tensor& coded, std::uint16_t frame_number);
+
+  // Byte / lane / wire-time accounting for everything transferred so far.
+  const sensor::MipiCsi2Link& mipi() const { return mipi_; }
+  // Injected-fault ground truth (what the tests compare observed drops to).
+  const FaultInjector& injector() const { return injector_; }
+  const LinkCounters& counters() const { return counters_; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  LinkConfig config_;
+  CodedFramePacketizer packetizer_;
+  sensor::MipiCsi2Link mipi_;
+  FaultInjector injector_;
+  Depacketizer depacketizer_;
+  LinkCounters counters_;
+};
+
+}  // namespace snappix::transport

@@ -147,12 +147,41 @@ TEST(MipiTest, PacketOverheadAccounting) {
   EXPECT_NEAR(link.transmit_seconds(), 212e-6, 1e-9);
 }
 
-TEST(MipiTest, LanesDivideTime) {
+TEST(MipiTest, LanesDivideTimeOnLaneAlignedPackets) {
+  // 994 payload + 6 overhead = 1000 wire bytes: divisible by 4, so four lanes
+  // really do cut the time by exactly 4.
   MipiCsi2Link one(MipiConfig{.lanes = 1, .byte_clock_hz = 1e6});
   MipiCsi2Link four(MipiConfig{.lanes = 4, .byte_clock_hz = 1e6});
-  one.send_line(1000);
-  four.send_line(1000);
+  one.send_line(994);
+  four.send_line(994);
   EXPECT_NEAR(one.transmit_seconds() / four.transmit_seconds(), 4.0, 1e-9);
+}
+
+// Regression: wire time must follow the MOST-LOADED lane. 1000 payload + 6
+// overhead = 1006 bytes on 4 lanes puts 252 bytes on lanes 0-1 and 251 on
+// lanes 2-3 — the packet takes 252 byte-times, not the 251.5 that
+// total_bytes / lanes used to claim.
+TEST(MipiTest, TransmitTimeFollowsMostLoadedLane) {
+  MipiCsi2Link four(MipiConfig{.lanes = 4, .byte_clock_hz = 1e6});
+  four.send_line(1000);
+  EXPECT_EQ(four.lane_bytes(0), 252U);
+  EXPECT_EQ(four.lane_bytes(1), 252U);
+  EXPECT_EQ(four.lane_bytes(2), 251U);
+  EXPECT_EQ(four.lane_bytes(3), 251U);
+  EXPECT_NEAR(four.transmit_seconds(), 252e-6, 1e-12);
+  // Ceilings accumulate per packet: two 1006-byte packets cost 2 x 252
+  // byte-times, not ceil(2012 / 4) = 503 — each packet waits for its own
+  // slowest lane before the next begins.
+  four.send_line(1000);
+  EXPECT_NEAR(four.transmit_seconds(), 504e-6, 1e-12);
+  // The framed-transport entry point shares the accounting.
+  MipiCsi2Link framed(MipiConfig{.lanes = 2, .byte_clock_hz = 1e6});
+  framed.send_packet(7, 1);  // 7 bytes on 2 lanes: 4 + 3, time = 4 byte-times
+  EXPECT_EQ(framed.lane_bytes(0), 4U);
+  EXPECT_EQ(framed.lane_bytes(1), 3U);
+  EXPECT_NEAR(framed.transmit_seconds(), 4e-6, 1e-12);
+  EXPECT_EQ(framed.total_bytes(), 7U);
+  EXPECT_EQ(framed.payload_bytes(), 1U);
 }
 
 TEST(NoiseTest, DisabledIsIdentity) {

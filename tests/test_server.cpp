@@ -11,9 +11,11 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "ce/encode.h"
+#include "transport/link.h"
 #include "core/snappix.h"
 #include "runtime/batcher.h"
 #include "runtime/camera.h"
@@ -573,15 +575,25 @@ TEST(InferenceServer, HeterogeneousFleetMatchesSequentialPaths) {
 
 // --- sharded serving ---------------------------------------------------------
 
-// Builds the heterogeneous AR+REC fleet used by the sharding tests: 6
-// cameras over 4 distinct patterns, the last two requesting reconstruction.
-void add_hetero_fleet(InferenceServer& server, const std::vector<PatternRef>& patterns) {
+// Builds the heterogeneous AR+REC fleet used by the sharding and framed-
+// transport tests: 6 cameras over 4 distinct patterns, the last two
+// requesting reconstruction. With `framed`, every camera ships its frames
+// through a clean (zero-fault) CSI-2 framed link instead of the in-memory
+// hop.
+void add_hetero_fleet(InferenceServer& server, const std::vector<PatternRef>& patterns,
+                      bool framed = false) {
   for (int cam = 0; cam < 6; ++cam) {
     auto camera = std::make_unique<runtime::SyntheticCameraSource>(
         cam, small_scene(), patterns[static_cast<std::size_t>(cam % 4)],
         700 + static_cast<std::uint64_t>(cam));
     if (cam >= 4) {
       camera->set_task(Task::kReconstruct);
+    }
+    if (framed) {
+      transport::LinkConfig link;
+      link.mipi.lanes = 1 + cam % 4;  // mixed lane counts: accounting only
+      link.virtual_channel = cam % 4;
+      camera->set_framed(link);
     }
     server.add_camera(std::move(camera));
   }
@@ -708,6 +720,205 @@ TEST(ShardedServer, SkewedFleetStealsWorkAndStaysBitIdentical) {
                         return acc + v.stolen_frames;
                       });
   EXPECT_EQ(stolen, summary.stolen_frames);
+}
+
+// --- framed transport serving ------------------------------------------------
+
+// The framed-path invariant: at zero fault rate, serializing every frame into
+// CSI-2 packets and reassembling it on the far side must not change a single
+// served bit — for any shard count.
+TEST(FramedServing, ZeroFaultFramedPathBitIdenticalAcrossShards) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(4, 61);
+
+  const auto run_fleet = [&](bool framed, std::size_t shards) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.cache.shards = 2;
+    config.cache.capacity_per_shard = 2;
+    config.shards = shards;
+    InferenceServer server(system, config);
+    add_hetero_fleet(server, patterns, framed);
+    auto results = server.run(4);
+    return std::make_pair(std::move(results), server.summary());
+  };
+
+  const auto [in_memory, in_memory_summary] = run_fleet(false, 1);
+  ASSERT_EQ(in_memory.size(), 24U);
+  EXPECT_EQ(in_memory_summary.transport.framed_frames, 0U);  // nothing framed
+
+  for (const std::size_t shards : {1U, 3U}) {
+    const auto [framed, summary] = run_fleet(true, shards);
+    expect_results_identical(in_memory, framed);
+
+    // Every frame crossed the framed link, intact, with nothing dropped.
+    EXPECT_EQ(summary.transport.framed_frames, 24U);
+    EXPECT_EQ(summary.transport.ok_frames, 24U);
+    EXPECT_EQ(summary.transport.crc_errors, 0U);
+    EXPECT_EQ(summary.transport.truncated, 0U);
+    EXPECT_EQ(summary.transport.missing_lines, 0U);
+    EXPECT_EQ(summary.transport.dropped_frames, 0U);
+    EXPECT_EQ(summary.transport.retransmits, 0U);
+    ASSERT_EQ(summary.transport_cameras.size(), 6U);
+    for (const auto& [camera_id, counters] : summary.transport_cameras) {
+      EXPECT_EQ(counters.framed_frames, 4U) << "camera " << camera_id;
+      EXPECT_EQ(counters.ok_frames, 4U) << "camera " << camera_id;
+    }
+    // Framed wire accounting carries the float32 payload plus packet
+    // overhead: 16 rows of (4 + 64 + 2) + FS/FE, per frame.
+    EXPECT_EQ(summary.wire_bytes, 24U * (2 * 4U + 16U * (4U + 64U + 2U)));
+  }
+}
+
+// At a nonzero drop rate under the kDrop policy, the per-camera dropped_frames
+// counters must match the links' injected ground truth EXACTLY, and every
+// frame that did survive must serve bit-identically to the in-memory run.
+TEST(FramedServing, DropPolicyCountsMatchInjectedDropsExactly) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(3, 83);
+  const std::int64_t frames_per_camera = 24;
+
+  // Pre-record each camera's stream so the framed and in-memory runs replay
+  // identical payloads.
+  std::vector<std::vector<Tensor>> coded(3);
+  std::vector<std::vector<std::int64_t>> labels(3);
+  for (int cam = 0; cam < 3; ++cam) {
+    runtime::SyntheticCameraSource source(cam, small_scene(),
+                                          patterns[static_cast<std::size_t>(cam)],
+                                          500 + static_cast<std::uint64_t>(cam));
+    for (std::int64_t f = 0; f < frames_per_camera; ++f) {
+      Frame frame = source.next_frame();
+      coded[static_cast<std::size_t>(cam)].push_back(std::move(frame.coded));
+      labels[static_cast<std::size_t>(cam)].push_back(frame.label);
+    }
+  }
+
+  const auto run_fleet = [&](double drop_rate) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.transport.corrupt = runtime::TransportPolicy::Corrupt::kDrop;
+    InferenceServer server(system, config);
+    std::vector<const runtime::CameraSource*> cameras;
+    for (int cam = 0; cam < 3; ++cam) {
+      auto camera = std::make_unique<runtime::ReplayCameraSource>(
+          cam, patterns[static_cast<std::size_t>(cam)],
+          coded[static_cast<std::size_t>(cam)], labels[static_cast<std::size_t>(cam)]);
+      if (cam == 2) {
+        camera->set_task(Task::kReconstruct);
+      }
+      transport::LinkConfig link;
+      link.faults.packet_drop_rate = drop_rate;
+      link.faults.seed = 40 + static_cast<std::uint64_t>(cam);
+      camera->set_framed(link);
+      cameras.push_back(camera.get());  // owned by the server; alive until it dies
+      server.add_camera(std::move(camera));
+    }
+    auto results = server.run(frames_per_camera);
+    std::vector<transport::FaultStats> injected;
+    for (const auto* camera : cameras) {
+      injected.push_back(camera->framed_link()->injector().stats());
+    }
+    return std::make_tuple(std::move(results), server.summary(), std::move(injected));
+  };
+
+  const auto [clean, clean_summary, clean_injected] = run_fleet(0.0);
+  ASSERT_EQ(clean.size(), 72U);
+  EXPECT_EQ(clean_summary.transport.dropped_frames, 0U);
+
+  const auto [lossy, summary, injected] = run_fleet(0.05);
+  // Exactness, fleet-wide and per camera: a frame is dropped IFF its link
+  // injected at least one fault into it (drop-only faults).
+  std::uint64_t injected_total = 0;
+  ASSERT_EQ(summary.transport_cameras.size(), 3U);
+  for (std::size_t cam = 0; cam < 3; ++cam) {
+    const auto& [camera_id, counters] = summary.transport_cameras[cam];
+    ASSERT_EQ(camera_id, static_cast<int>(cam));
+    EXPECT_EQ(counters.dropped_frames, injected[cam].frames_faulted)
+        << "camera " << cam << " drop counter diverges from injected ground truth";
+    EXPECT_EQ(counters.framed_frames, static_cast<std::uint64_t>(frames_per_camera));
+    EXPECT_EQ(counters.ok_frames + counters.dropped_frames,
+              static_cast<std::uint64_t>(frames_per_camera));
+    injected_total += injected[cam].frames_faulted;
+  }
+  EXPECT_GT(injected_total, 0U);  // the drop rate actually bit
+  EXPECT_EQ(summary.transport.dropped_frames, injected_total);
+  EXPECT_EQ(lossy.size(), 72U - injected_total);
+  EXPECT_EQ(summary.frames, 72U - injected_total);
+
+  // Deterministic across runs: same seeds, same drops.
+  const auto [lossy2, summary2, injected2] = run_fleet(0.05);
+  ASSERT_EQ(lossy2.size(), lossy.size());
+  EXPECT_EQ(summary2.transport.dropped_frames, summary.transport.dropped_frames);
+
+  // The frames that survived are bit-identical to their in-memory versions.
+  std::size_t clean_idx = 0;
+  for (const TaskResult& result : lossy) {
+    while (clean_idx < clean.size() &&
+           (clean[clean_idx].camera_id != result.camera_id ||
+            clean[clean_idx].sequence != result.sequence)) {
+      ++clean_idx;  // both runs are (camera, sequence)-sorted: walk forward
+    }
+    ASSERT_LT(clean_idx, clean.size())
+        << "served frame (" << result.camera_id << ", " << result.sequence
+        << ") missing from the clean run";
+    const TaskResult& expected = clean[clean_idx];
+    EXPECT_EQ(result.predicted, expected.predicted);
+    if (result.task != Task::kReconstruct) {
+      continue;  // classify results carry no (defined) reconstruction tensor
+    }
+    ASSERT_EQ(result.reconstruction.data().size(), expected.reconstruction.data().size());
+    for (std::size_t v = 0; v < result.reconstruction.data().size(); ++v) {
+      ASSERT_EQ(result.reconstruction.data()[v], expected.reconstruction.data()[v]);
+    }
+  }
+}
+
+// The kRetransmit policy re-runs corrupt transfers with fresh fault draws:
+// with a generous budget every frame eventually lands intact, the full fleet
+// serves bit-identically to the clean run, and the retries show up in the
+// retransmit counters.
+TEST(FramedServing, RetransmitPolicyRecoversEveryFrame) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(2, 89);
+
+  const auto run_fleet = [&](double drop_rate, runtime::TransportPolicy policy) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.transport = policy;
+    InferenceServer server(system, config);
+    for (int cam = 0; cam < 2; ++cam) {
+      auto camera = std::make_unique<runtime::SyntheticCameraSource>(
+          cam, small_scene(), patterns[static_cast<std::size_t>(cam)],
+          300 + static_cast<std::uint64_t>(cam));
+      transport::LinkConfig link;
+      link.faults.packet_drop_rate = drop_rate;
+      link.faults.seed = 60 + static_cast<std::uint64_t>(cam);
+      camera->set_framed(link);
+      server.add_camera(std::move(camera));
+    }
+    auto results = server.run(16);
+    return std::make_pair(std::move(results), server.summary());
+  };
+
+  runtime::TransportPolicy retry;
+  retry.corrupt = runtime::TransportPolicy::Corrupt::kRetransmit;
+  retry.max_retransmits = 64;  // generous: a 2% drop rate recovers in a few tries
+
+  const auto [clean, clean_summary] = run_fleet(0.0, retry);
+  const auto [recovered, summary] = run_fleet(0.02, retry);
+  ASSERT_EQ(clean.size(), 32U);
+  expect_results_identical(clean, recovered);  // nothing lost, nothing changed
+  EXPECT_EQ(summary.transport.framed_frames, 32U);
+  EXPECT_EQ(summary.transport.ok_frames, 32U);
+  EXPECT_EQ(summary.transport.dropped_frames, 0U);
+  EXPECT_GT(summary.transport.retransmits, 0U) << "the drop rate never bit — raise it?";
+}
+
+TEST(FramedServing, ValidatesTransportPolicy) {
+  core::SnapPixSystem system(small_system_config());
+  ServerConfig cfg;
+  cfg.transport.max_retransmits = -1;
+  EXPECT_THROW(InferenceServer(system, cfg), std::invalid_argument);
 }
 
 TEST(ShardedServer, ValidatesShardConfiguration) {

@@ -1,0 +1,416 @@
+// Transport test suite: golden CSI-2 packet layouts (byte-exact header / CRC
+// vectors), header-ECC correction behavior, packetize -> depacketize
+// round-trip bit-identity across frame sizes and lane counts, the
+// deterministic fault-injection matrix (each fault class -> its expected
+// Depacketizer outcome), and the FramedLink's byte/lane/outcome accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sensor/mipi.h"
+#include "transport/csi2.h"
+#include "transport/fault.h"
+#include "transport/link.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using transport::CodedFramePacketizer;
+using transport::Depacketizer;
+using transport::EccDecode;
+using transport::FaultConfig;
+using transport::FaultInjector;
+using transport::FramedLink;
+using transport::LinkConfig;
+using transport::Packet;
+using transport::RxFrame;
+using transport::RxOutcome;
+using transport::TransferResult;
+using transport::WireFrame;
+
+// --- integrity primitives ----------------------------------------------------
+
+TEST(Crc16, MatchesSpecCheckValue) {
+  // CRC-16/CCITT-FALSE over "123456789" is 0x29B1 in every published table.
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(transport::crc16_ccitt(check, sizeof(check)), 0x29B1);
+  EXPECT_EQ(transport::crc16_ccitt(nullptr, 0), 0xFFFF);  // init value
+  // Any single-bit change moves the CRC.
+  std::uint8_t flipped[sizeof(check)];
+  std::memcpy(flipped, check, sizeof(check));
+  flipped[4] ^= 0x10;
+  EXPECT_NE(transport::crc16_ccitt(flipped, sizeof(check)), 0x29B1);
+}
+
+TEST(HeaderEcc, CleanHeaderDecodesClean) {
+  for (const std::uint32_t header : {0x000000U, 0xFFFFFFU, 0x300830U, 0x123456U}) {
+    const std::uint8_t ecc = transport::ecc_encode(header);
+    const EccDecode dec = transport::ecc_decode(header, ecc);
+    EXPECT_EQ(dec.status, EccDecode::Status::kClean);
+    EXPECT_EQ(dec.header24, header);
+  }
+}
+
+TEST(HeaderEcc, CorrectsEverySingleBitFlip) {
+  const std::uint32_t header = 0x30A55AU;
+  const std::uint8_t ecc = transport::ecc_encode(header);
+  for (int bit = 0; bit < 24; ++bit) {  // data bits
+    const EccDecode dec = transport::ecc_decode(header ^ (1U << bit), ecc);
+    ASSERT_EQ(dec.status, EccDecode::Status::kCorrected) << "data bit " << bit;
+    ASSERT_EQ(dec.header24, header) << "data bit " << bit;
+  }
+  for (int bit = 0; bit < 6; ++bit) {  // ECC bits themselves
+    const EccDecode dec =
+        transport::ecc_decode(header, static_cast<std::uint8_t>(ecc ^ (1U << bit)));
+    ASSERT_EQ(dec.status, EccDecode::Status::kCorrected) << "ecc bit " << bit;
+    ASSERT_EQ(dec.header24, header) << "ecc bit " << bit;
+  }
+}
+
+TEST(HeaderEcc, DetectsDoubleBitFlips) {
+  // Every double flip over the WHOLE 30-bit received word (24 data bits +
+  // 6 ECC bits, including the overall-parity bit) must be detected as
+  // uncorrectable or — at minimum — never silently hand back wrong data.
+  const std::uint32_t header = 0x30A55AU;
+  const std::uint8_t ecc = transport::ecc_encode(header);
+  int uncorrectable = 0;
+  int miscorrected = 0;
+  const auto decode_with_flips = [&](int a, int b) {
+    std::uint32_t h = header;
+    std::uint8_t e = ecc;
+    for (const int bit : {a, b}) {
+      if (bit < 24) {
+        h ^= 1U << bit;
+      } else {
+        e = static_cast<std::uint8_t>(e ^ (1U << (bit - 24)));
+      }
+    }
+    return transport::ecc_decode(h, e);
+  };
+  for (int a = 0; a < 30; ++a) {
+    for (int b = a + 1; b < 30; ++b) {
+      const EccDecode dec = decode_with_flips(a, b);
+      if (dec.status == EccDecode::Status::kUncorrectable) {
+        ++uncorrectable;
+      } else if (dec.header24 != header) {
+        ++miscorrected;  // silently wrong data would defeat the whole point
+      }
+    }
+  }
+  EXPECT_EQ(uncorrectable, 30 * 29 / 2);  // SEC-DED: every double flip detected
+  EXPECT_EQ(miscorrected, 0);
+}
+
+// --- golden packet layout ----------------------------------------------------
+
+TEST(PacketLayout, GoldenShortPacketBytes) {
+  // Frame Start, virtual channel 1, frame number 5:
+  //   DI = (1 << 6) | 0x00, value little-endian, 6-bit SEC-DED ECC.
+  const Packet fs = CodedFramePacketizer::short_packet(0x40, 5);
+  EXPECT_EQ(fs, (Packet{0x40, 0x05, 0x00, 0x29}));
+  const Packet fe = CodedFramePacketizer::short_packet(0x41, 5);
+  EXPECT_EQ(fe, (Packet{0x41, 0x05, 0x00, 0x0A}));
+}
+
+TEST(PacketLayout, GoldenLongPacketBytes) {
+  // RAW32 row of two floats {1.0f, -2.0f} on virtual channel 0:
+  //   header [0x30, wc=8 LE, ECC=0x32], IEEE-754 payload, CRC-16 0x5545 LE.
+  const float row[2] = {1.0F, -2.0F};
+  const Packet lp = CodedFramePacketizer::long_packet(
+      transport::kDtRaw32, reinterpret_cast<const std::uint8_t*>(row), 8);
+  EXPECT_EQ(lp, (Packet{0x30, 0x08, 0x00, 0x32,              // header + ECC
+                        0x00, 0x00, 0x80, 0x3F,              // 1.0f
+                        0x00, 0x00, 0x00, 0xC0,              // -2.0f
+                        0x45, 0x55}));                       // CRC-16/CCITT-FALSE
+}
+
+TEST(PacketLayout, FrameStructureAndByteBudget) {
+  Rng rng(3);
+  const Tensor coded = Tensor::rand_uniform(Shape{4, 6}, rng);
+  CodedFramePacketizer packetizer(/*virtual_channel=*/2);
+  const WireFrame wire = packetizer.packetize(coded, 77);
+  ASSERT_EQ(wire.packets.size(), 6U);  // FS + 4 rows + FE
+  EXPECT_EQ(wire.packets.front().size(), 4U);
+  EXPECT_EQ(wire.packets.back().size(), 4U);
+  for (std::size_t r = 1; r + 1 < wire.packets.size(); ++r) {
+    EXPECT_EQ(wire.packets[r].size(), 4U + 6 * 4 + 2U);
+    EXPECT_EQ(wire.packets[r][0], 0x80 | 0x30);  // VC 2 in DI bits 7..6
+  }
+  EXPECT_EQ(wire.total_bytes(), 2 * 4U + 4 * (4 + 24 + 2U));
+  EXPECT_EQ(wire.payload_bytes(), 4 * 24U);
+}
+
+TEST(PacketLayout, RejectsBadGeometry) {
+  EXPECT_THROW(CodedFramePacketizer(4), std::runtime_error);  // VC out of range
+  CodedFramePacketizer packetizer;
+  Rng rng(5);
+  EXPECT_THROW(packetizer.packetize(Tensor::rand_uniform(Shape{2, 3, 4}, rng), 0),
+               std::runtime_error);  // not (H, W)
+}
+
+// --- round trip --------------------------------------------------------------
+
+struct Geometry {
+  std::int64_t height;
+  std::int64_t width;
+  int lanes;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(RoundTripTest, PacketizeDepacketizeIsBitIdentical) {
+  const Geometry g = GetParam();
+  Rng rng(static_cast<std::uint64_t>(g.height * 100 + g.width * 10 + g.lanes));
+  const Tensor coded = Tensor::rand_uniform(Shape{g.height, g.width}, rng, -3.0F, 3.0F);
+
+  CodedFramePacketizer packetizer(/*virtual_channel=*/1);
+  Depacketizer depacketizer;
+  const WireFrame wire = packetizer.packetize(coded, 123);
+  const RxFrame rx = depacketizer.depacketize(wire, g.height, g.width);
+  ASSERT_EQ(rx.outcome, RxOutcome::kOk);
+  EXPECT_EQ(rx.frame_number, 123);
+  EXPECT_EQ(rx.lines_received, static_cast<std::uint32_t>(g.height));
+  EXPECT_EQ(rx.crc_errors, 0U);
+  EXPECT_EQ(rx.corrected_headers, 0U);
+  ASSERT_EQ(rx.coded.shape(), coded.shape());
+  for (std::size_t i = 0; i < coded.data().size(); ++i) {
+    ASSERT_EQ(rx.coded.data()[i], coded.data()[i]) << "pixel " << i;
+  }
+
+  // Through the clean FramedLink the lane count changes time, never bits.
+  LinkConfig link_cfg;
+  link_cfg.mipi.lanes = g.lanes;
+  link_cfg.virtual_channel = 1;
+  FramedLink link(link_cfg);
+  const TransferResult result = link.transfer(coded, 123);
+  ASSERT_EQ(result.outcome, RxOutcome::kOk);
+  EXPECT_EQ(result.wire_bytes, wire.total_bytes());
+  for (std::size_t i = 0; i < coded.data().size(); ++i) {
+    ASSERT_EQ(result.coded.data()[i], coded.data()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, RoundTripTest,
+                         ::testing::Values(Geometry{1, 1, 1}, Geometry{16, 16, 1},
+                                           Geometry{16, 16, 2}, Geometry{16, 16, 4},
+                                           Geometry{7, 5, 2}, Geometry{32, 8, 4},
+                                           Geometry{3, 17, 4}));
+
+// --- fault matrix: each fault class -> its expected outcome ------------------
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  FaultMatrixTest() {
+    Rng rng(11);
+    coded_ = Tensor::rand_uniform(Shape{8, 8}, rng);
+    wire_ = CodedFramePacketizer(0).packetize(coded_, 9);
+  }
+  RxFrame receive() const { return Depacketizer().depacketize(wire_, 8, 8); }
+
+  Tensor coded_;
+  WireFrame wire_;  // FS + 8 rows + FE; packets[1..8] are the rows
+};
+
+TEST_F(FaultMatrixTest, PayloadBitFlipIsCrcError) {
+  wire_.packets[3][transport::kHeaderBytes + 5] ^= 0x04;
+  const RxFrame rx = receive();
+  EXPECT_EQ(rx.outcome, RxOutcome::kCrcError);
+  EXPECT_EQ(rx.crc_errors, 1U);
+  EXPECT_EQ(rx.lines_received, 8U);  // geometry complete, payload damaged
+}
+
+TEST_F(FaultMatrixTest, CrcFooterBitFlipIsCrcError) {
+  wire_.packets[5].back() ^= 0x80;
+  EXPECT_EQ(receive().outcome, RxOutcome::kCrcError);
+}
+
+TEST_F(FaultMatrixTest, SingleHeaderBitFlipIsCorrectedToOk) {
+  wire_.packets[4][1] ^= 0x01;  // word-count byte takes a hit
+  const RxFrame rx = receive();
+  EXPECT_EQ(rx.outcome, RxOutcome::kOk);  // ECC repaired it: frame intact
+  EXPECT_EQ(rx.corrected_headers, 1U);
+  for (std::size_t i = 0; i < coded_.data().size(); ++i) {
+    ASSERT_EQ(rx.coded.data()[i], coded_.data()[i]);
+  }
+}
+
+TEST_F(FaultMatrixTest, ReservedEccBitFlipLosesTheLine) {
+  // The ECC byte's two reserved (always-zero) bits are outside the Hamming
+  // code's reach: a flip there cannot be repaired, only rejected.
+  wire_.packets[4][3] ^= 0x40;
+  const RxFrame rx = receive();
+  EXPECT_EQ(rx.outcome, RxOutcome::kMissingLines);
+  EXPECT_EQ(rx.lost_packets, 1U);
+  EXPECT_EQ(rx.corrected_headers, 0U);
+}
+
+TEST_F(FaultMatrixTest, DoubleHeaderBitFlipLosesTheLine) {
+  wire_.packets[4][0] ^= 0x01;
+  wire_.packets[4][2] ^= 0x40;
+  const RxFrame rx = receive();
+  EXPECT_EQ(rx.outcome, RxOutcome::kMissingLines);
+  EXPECT_EQ(rx.lost_packets, 1U);
+  EXPECT_EQ(rx.lines_received, 7U);
+}
+
+TEST_F(FaultMatrixTest, DroppedRowPacketIsMissingLines) {
+  wire_.packets.erase(wire_.packets.begin() + 2);
+  const RxFrame rx = receive();
+  EXPECT_EQ(rx.outcome, RxOutcome::kMissingLines);
+  EXPECT_EQ(rx.lines_received, 7U);
+}
+
+TEST_F(FaultMatrixTest, DroppedFrameStartIsTruncated) {
+  wire_.packets.erase(wire_.packets.begin());
+  EXPECT_EQ(receive().outcome, RxOutcome::kTruncated);
+}
+
+TEST_F(FaultMatrixTest, DroppedFrameEndIsTruncated) {
+  wire_.packets.pop_back();
+  EXPECT_EQ(receive().outcome, RxOutcome::kTruncated);
+}
+
+TEST_F(FaultMatrixTest, LaneStallMidPacketIsTruncated) {
+  wire_.packets[6].resize(transport::kHeaderBytes + 10);  // tail cut mid-payload
+  EXPECT_EQ(receive().outcome, RxOutcome::kTruncated);
+}
+
+TEST_F(FaultMatrixTest, StreamDyingMidHeaderIsTruncated) {
+  wire_.packets[6].resize(2);
+  EXPECT_EQ(receive().outcome, RxOutcome::kTruncated);
+}
+
+// --- seeded injector ---------------------------------------------------------
+
+TEST(FaultInjector, ValidatesRates) {
+  FaultConfig bad;
+  bad.packet_drop_rate = 1.5;
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+  bad.packet_drop_rate = -0.1;
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultInjector, ZeroRatesAreACountedNoOp) {
+  Rng rng(13);
+  const Tensor coded = Tensor::rand_uniform(Shape{4, 4}, rng);
+  WireFrame wire = CodedFramePacketizer(0).packetize(coded, 1);
+  const WireFrame original = wire;
+  FaultInjector injector{FaultConfig{}};
+  EXPECT_FALSE(injector.apply(wire));
+  EXPECT_EQ(injector.stats().frames, 1U);
+  EXPECT_EQ(injector.stats().frames_faulted, 0U);
+  ASSERT_EQ(wire.packets.size(), original.packets.size());
+  for (std::size_t i = 0; i < wire.packets.size(); ++i) {
+    EXPECT_EQ(wire.packets[i], original.packets[i]);
+  }
+}
+
+// The same seed must reproduce the exact same corruption — outcomes, counters
+// and bytes — across independent injector instances.
+TEST(FaultInjector, SeededFaultsAreDeterministicAcrossRuns) {
+  FaultConfig cfg;
+  cfg.bit_flip_per_byte = 0.002;
+  cfg.packet_drop_rate = 0.05;
+  cfg.lane_stall_rate = 0.02;
+  cfg.seed = 99;
+
+  const auto run = [&cfg] {
+    Rng rng(17);
+    FaultInjector injector(cfg);
+    Depacketizer depacketizer;
+    std::vector<RxOutcome> outcomes;
+    for (int f = 0; f < 40; ++f) {
+      const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng);
+      WireFrame wire = CodedFramePacketizer(0).packetize(
+          coded, static_cast<std::uint16_t>(f));
+      injector.apply(wire);
+      outcomes.push_back(depacketizer.depacketize(wire, 8, 8).outcome);
+    }
+    return std::make_pair(outcomes, injector.stats());
+  };
+
+  const auto [outcomes_a, stats_a] = run();
+  const auto [outcomes_b, stats_b] = run();
+  EXPECT_EQ(outcomes_a, outcomes_b);
+  EXPECT_EQ(stats_a.bits_flipped, stats_b.bits_flipped);
+  EXPECT_EQ(stats_a.packets_dropped, stats_b.packets_dropped);
+  EXPECT_EQ(stats_a.lane_stalls, stats_b.lane_stalls);
+  EXPECT_EQ(stats_a.frames_faulted, stats_b.frames_faulted);
+  EXPECT_GT(stats_a.frames_faulted, 0U);  // the rates actually did something
+  int corrupted = 0;
+  for (const RxOutcome outcome : outcomes_a) {
+    corrupted += outcome != RxOutcome::kOk ? 1 : 0;
+  }
+  EXPECT_GT(corrupted, 0);
+}
+
+// Under drop-only faults, a frame is corrupt IFF the injector touched it —
+// the exactness the serving-level drop counters are pinned to.
+TEST(FaultInjector, DropOnlyFaultsCorruptExactlyTheFaultedFrames) {
+  FaultConfig cfg;
+  cfg.packet_drop_rate = 0.08;
+  cfg.seed = 7;
+  Rng rng(19);
+  FaultInjector injector(cfg);
+  Depacketizer depacketizer;
+  std::uint64_t corrupt_frames = 0;
+  for (int f = 0; f < 60; ++f) {
+    const Tensor coded = Tensor::rand_uniform(Shape{6, 6}, rng);
+    WireFrame wire =
+        CodedFramePacketizer(0).packetize(coded, static_cast<std::uint16_t>(f));
+    const bool faulted = injector.apply(wire);
+    const RxOutcome outcome = depacketizer.depacketize(wire, 6, 6).outcome;
+    ASSERT_EQ(faulted, outcome != RxOutcome::kOk) << "frame " << f;
+    corrupt_frames += outcome != RxOutcome::kOk ? 1 : 0;
+  }
+  EXPECT_EQ(corrupt_frames, injector.stats().frames_faulted);
+  EXPECT_GT(corrupt_frames, 0U);
+}
+
+// --- FramedLink accounting ---------------------------------------------------
+
+TEST(FramedLinkTest, CleanTransferAccountsBytesAndOutcomes) {
+  Rng rng(23);
+  const Tensor coded = Tensor::rand_uniform(Shape{16, 16}, rng);
+  LinkConfig cfg;
+  cfg.mipi.lanes = 2;
+  FramedLink link(cfg);
+  const TransferResult result = link.transfer(coded, 0);
+  ASSERT_EQ(result.outcome, RxOutcome::kOk);
+  // FS + FE (4 bytes each) + 16 rows of (4 + 64 + 2).
+  const std::uint64_t expected = 2 * 4U + 16 * (4 + 64 + 2U);
+  EXPECT_EQ(result.wire_bytes, expected);
+  EXPECT_EQ(link.mipi().total_bytes(), expected);
+  EXPECT_EQ(link.mipi().payload_bytes(), 16 * 64U);
+  EXPECT_EQ(link.mipi().packets(), 18U);
+  EXPECT_EQ(link.counters().frames, 1U);
+  EXPECT_EQ(link.counters().ok_frames, 1U);
+  // Lane accounting: every packet striped over 2 lanes, per-packet ceilings.
+  EXPECT_EQ(link.mipi().lane_bytes(0), 2 * 2U + 16 * 35U);
+  EXPECT_EQ(link.mipi().lane_bytes(1), 2 * 2U + 16 * 35U);
+}
+
+TEST(FramedLinkTest, FaultyTransfersLandInOutcomeCounters) {
+  Rng rng(29);
+  LinkConfig cfg;
+  cfg.faults.packet_drop_rate = 0.10;
+  cfg.faults.seed = 31;
+  FramedLink link(cfg);
+  for (int f = 0; f < 30; ++f) {
+    (void)link.transfer(Tensor::rand_uniform(Shape{6, 6}, rng),
+                        static_cast<std::uint16_t>(f));
+  }
+  const auto& counters = link.counters();
+  EXPECT_EQ(counters.frames, 30U);
+  EXPECT_EQ(counters.ok_frames + counters.crc_error_frames + counters.truncated_frames +
+                counters.missing_line_frames,
+            30U);
+  EXPECT_LT(counters.ok_frames, 30U);  // the drop rate bit someone
+  EXPECT_EQ(30U - counters.ok_frames, link.injector().stats().frames_faulted);
+}
+
+}  // namespace
+}  // namespace snappix
