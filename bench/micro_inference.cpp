@@ -1,10 +1,17 @@
 // google-benchmark micro-benchmarks for model inference latency — the
 // relative speeds behind Table I's inference/sec column (CE single-image
-// models must beat video-input models).
+// models must beat video-input models), plus the serving-engine frontier:
+// the tape-framework forward against the fused BatchedVitEngine (fp32,
+// bit-exact) and the calibrated QuantizedVitEngine (int8), for both task
+// heads. Comparing BM_TapeClassify / BM_FusedClassifyFp32 /
+// BM_FusedClassifyInt8 items-per-second gives the fused-vs-tape speedup per
+// precision in one report.
 #include <benchmark/benchmark.h>
 
 #include "models/baselines.h"
 #include "models/vit.h"
+#include "runtime/engine.h"
+#include "runtime/quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -15,6 +22,33 @@ using namespace snappix;
 constexpr int kImage = 32;
 constexpr int kFrames = 16;
 constexpr int kBatch = 8;
+
+// Shared fixture for the engine-frontier benches: one classifier +
+// reconstructor pair (shared encoder), calibrated once.
+struct EngineBench {
+  EngineBench()
+      : rng(21),
+        classifier(models::ViTConfig::snappix_s(kImage, 10), rng),
+        reconstructor(classifier.encoder(), 8, rng),
+        coded(Tensor::rand_uniform(Shape{kBatch, kImage, kImage}, rng)),
+        spec(runtime::calibrate(classifier, reconstructor,
+                                Tensor::rand_uniform(Shape{16, kImage, kImage}, rng))),
+        fused(classifier, reconstructor, kBatch),
+        quantized(classifier, reconstructor, spec, kBatch) {}
+
+  static EngineBench& instance() {
+    static EngineBench bench;
+    return bench;
+  }
+
+  Rng rng;
+  models::SnapPixClassifier classifier;
+  models::SnapPixReconstructor reconstructor;
+  Tensor coded;
+  runtime::QuantSpec spec;
+  runtime::BatchedVitEngine fused;
+  runtime::QuantizedVitEngine quantized;
+};
 
 void BM_SnapPixS(benchmark::State& state) {
   Rng rng(1);
@@ -39,6 +73,68 @@ void BM_SnapPixB(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_SnapPixB);
+
+// --- serving-engine frontier: tape vs fused fp32 vs fused int8 --------------
+
+void BM_TapeClassify(benchmark::State& state) {
+  NoGradGuard guard;
+  EngineBench& bench = EngineBench::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.classifier.forward(bench.coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TapeClassify);
+
+void BM_FusedClassifyFp32(benchmark::State& state) {
+  NoGradGuard guard;
+  EngineBench& bench = EngineBench::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.fused.classify_logits(bench.coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FusedClassifyFp32);
+
+void BM_FusedClassifyInt8(benchmark::State& state) {
+  NoGradGuard guard;
+  EngineBench& bench = EngineBench::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.quantized.classify_logits(bench.coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FusedClassifyInt8);
+
+void BM_TapeReconstruct(benchmark::State& state) {
+  NoGradGuard guard;
+  EngineBench& bench = EngineBench::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.reconstructor.forward(bench.coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TapeReconstruct);
+
+void BM_FusedReconstructFp32(benchmark::State& state) {
+  NoGradGuard guard;
+  EngineBench& bench = EngineBench::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.fused.reconstruct(bench.coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FusedReconstructFp32);
+
+void BM_FusedReconstructInt8(benchmark::State& state) {
+  NoGradGuard guard;
+  EngineBench& bench = EngineBench::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.quantized.reconstruct(bench.coded).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FusedReconstructInt8);
 
 void BM_Svc2d(benchmark::State& state) {
   Rng rng(3);

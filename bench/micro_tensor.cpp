@@ -1,7 +1,11 @@
 // google-benchmark micro-benchmarks for the tensor/autograd hot paths.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "nn/attention.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -35,6 +39,69 @@ void BM_MatmulTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatmulTrainStep)->Arg(32)->Arg(64)->Arg(128);
+
+// Raw backward GEMM kernels (matmul's gradient path): the register-tiled
+// rewrites must show up here as items/sec gains over the old streaming
+// versions while the gradcheck/bit-identity suites pin their exactness.
+void BM_GemmNtBackward(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(31);
+  std::vector<float> a(static_cast<std::size_t>(n * n)), b(static_cast<std::size_t>(n * n)),
+      c(static_cast<std::size_t>(n * n), 0.0F);
+  for (auto& v : a) {
+    v = rng.uniform(-1.0F, 1.0F);
+  }
+  for (auto& v : b) {
+    v = rng.uniform(-1.0F, 1.0F);
+  }
+  for (auto _ : state) {
+    detail::gemm_nt(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNtBackward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTnBackward(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(37);
+  std::vector<float> a(static_cast<std::size_t>(n * n)), b(static_cast<std::size_t>(n * n)),
+      c(static_cast<std::size_t>(n * n), 0.0F);
+  for (auto& v : a) {
+    v = rng.uniform(-1.0F, 1.0F);
+  }
+  for (auto& v : b) {
+    v = rng.uniform(-1.0F, 1.0F);
+  }
+  for (auto _ : state) {
+    detail::gemm_tn(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTnBackward)->Arg(64)->Arg(128)->Arg(256);
+
+// The int8 serving GEMM against the fp32 forward kernel at the same shape —
+// the kernel-level slice of the BENCH_int8.json frontier.
+void BM_GemmS8Forward(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(41);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n));
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform() * 255.0F) - 127);
+  }
+  for (auto& v : b) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform() * 255.0F) - 127);
+  }
+  for (auto _ : state) {
+    detail::gemm_s8_nt(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmS8Forward)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_SoftmaxForward(benchmark::State& state) {
   Rng rng(3);

@@ -39,9 +39,17 @@
 // policy and gates that the observed drop counters match the links'
 // injected-fault ground truth exactly.
 //
-// Writes BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json
-// and BENCH_framed.json next to the working directory. `--quick` shrinks the
-// streams for CI smoke runs.
+// A seventh section measures the ACCURACY-VS-THROUGHPUT FRONTIER of the int8
+// serving tier (BENCH_int8.json): a calibrated QuantizedVitEngine against
+// the bit-exact fp32 engine at a GEMM-heavy geometry — classify/REC
+// throughput ratios, top-1 agreement (gated >= 0.98 always), REC PSNR delta
+// against ground-truth clips, plus a mixed-precision served fleet whose fp32
+// cameras are gated bit-identical to the all-fp32 arm. The >= 1.8x classify
+// speedup gate binds only where the AVX2 int8 kernels compiled in.
+//
+// Writes BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json,
+// BENCH_framed.json and BENCH_int8.json next to the working directory.
+// `--quick` shrinks the streams for CI smoke runs.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,9 +61,13 @@
 
 #include "bench_util.h"
 #include "core/snappix.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
 #include "runtime/camera.h"
+#include "runtime/quant.h"
 #include "runtime/runtime.h"
 #include "runtime/server.h"
+#include "tensor/gemm_s8.h"
 #include "transport/link.h"
 
 namespace {
@@ -597,6 +609,198 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote BENCH_framed.json\n");
 
+  // --- int8 frontier: calibrated QuantizedVitEngine vs bit-exact fp32 ------
+  bench::print_rule();
+  const bool avx2_int8 = snappix::detail::gemm_s8_simd_enabled();
+  std::printf("int8 frontier: calibrated engine vs fp32 at 32x32 (int8 SIMD: %s)\n",
+              avx2_int8 ? "AVX2" : "scalar fallback");
+
+  // A GEMM-heavy geometry (16 tokens instead of 4) so the ratio measures the
+  // compute backends, not patchify glue; same backbone family as the fleet.
+  core::SnapPixConfig frontier_cfg;
+  frontier_cfg.image = 32;
+  frontier_cfg.frames = kStreamFrames;
+  frontier_cfg.num_classes = 6;
+  frontier_cfg.seed = 42;
+  core::SnapPixSystem frontier(frontier_cfg);
+  {
+    Rng frontier_rng(7);
+    frontier.set_pattern(
+        ce::CePattern::random(kStreamFrames, frontier_cfg.tile, frontier_rng, 0.5F));
+  }
+
+  const std::int64_t frontier_frames = quick ? 32 : 96;
+  const int frontier_reps = quick ? 3 : 5;
+  double fp32_classify_fps = 0.0, int8_classify_fps = 0.0;
+  double fp32_rec_fps = 0.0, int8_rec_fps = 0.0;
+  double top1_agreement = 0.0, mean_abs_logit_diff = 0.0;
+  double psnr_fp32 = 0.0, psnr_int8 = 0.0;
+  {
+    NoGradGuard guard;
+    // Ground-truth clips (for REC PSNR) and their coded frames.
+    data::SceneConfig scene;
+    scene.frames = kStreamFrames;
+    scene.height = 32;
+    scene.width = 32;
+    scene.num_classes = 6;
+    data::SyntheticVideoGenerator generator(scene);
+    Rng scene_rng(31337);
+    std::vector<float> clips(static_cast<std::size_t>(frontier_frames) * kStreamFrames * 32 *
+                             32);
+    for (std::int64_t i = 0; i < frontier_frames; ++i) {
+      const data::VideoSample sample = generator.sample(scene_rng);
+      std::copy(sample.video.data().begin(), sample.video.data().end(),
+                clips.begin() + i * kStreamFrames * 32 * 32);
+    }
+    const Tensor videos = Tensor::from_vector(
+        std::move(clips), Shape{frontier_frames, kStreamFrames, 32, 32});
+    const Tensor eval_coded = frontier.encode(videos);
+
+    // Calibrate exactly the way the serving tier does on an int8 cache miss.
+    const runtime::ServerConfig defaults;
+    const Tensor calib = runtime::make_calibration_frames(frontier.pattern(), 32, 32,
+                                                          defaults.calibration);
+    const runtime::QuantSpec spec =
+        runtime::calibrate(*frontier.classifier(), *frontier.reconstructor(), calib);
+    const runtime::BatchedVitEngine fp32_engine(*frontier.classifier(),
+                                                *frontier.reconstructor(), 32);
+    const runtime::QuantizedVitEngine int8_engine(*frontier.classifier(),
+                                                  *frontier.reconstructor(), spec, 32);
+
+    const auto fps_of = [&](const auto& fn) {
+      fn();  // warm the workspace
+      const runtime::Clock::time_point t0 = runtime::Clock::now();
+      for (int r = 0; r < frontier_reps; ++r) {
+        fn();
+      }
+      const double seconds =
+          std::chrono::duration<double>(runtime::Clock::now() - t0).count();
+      return static_cast<double>(frontier_frames * frontier_reps) / seconds;
+    };
+    fp32_classify_fps = fps_of([&] { fp32_engine.classify_logits(eval_coded); });
+    int8_classify_fps = fps_of([&] { int8_engine.classify_logits(eval_coded); });
+    fp32_rec_fps = fps_of([&] { fp32_engine.reconstruct(eval_coded); });
+    int8_rec_fps = fps_of([&] { int8_engine.reconstruct(eval_coded); });
+
+    const Tensor fp32_logits = fp32_engine.classify_logits(eval_coded);
+    const Tensor int8_logits = int8_engine.classify_logits(eval_coded);
+    const auto fp32_pred = argmax_last_axis(fp32_logits);
+    const auto int8_pred = argmax_last_axis(int8_logits);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < fp32_pred.size(); ++i) {
+      agree += fp32_pred[i] == int8_pred[i] ? 1U : 0U;
+    }
+    top1_agreement = static_cast<double>(agree) / static_cast<double>(fp32_pred.size());
+    for (std::size_t i = 0; i < fp32_logits.data().size(); ++i) {
+      mean_abs_logit_diff += std::fabs(fp32_logits.data()[i] - int8_logits.data()[i]);
+    }
+    mean_abs_logit_diff /= static_cast<double>(fp32_logits.data().size());
+
+    psnr_fp32 = eval::psnr_db(fp32_engine.reconstruct(eval_coded), videos);
+    psnr_int8 = eval::psnr_db(int8_engine.reconstruct(eval_coded), videos);
+  }
+  const double int8_classify_speedup =
+      fp32_classify_fps > 0.0 ? int8_classify_fps / fp32_classify_fps : 0.0;
+  const double int8_rec_speedup = fp32_rec_fps > 0.0 ? int8_rec_fps / fp32_rec_fps : 0.0;
+  const double psnr_delta = psnr_fp32 - psnr_int8;
+
+  std::printf("\nclassify fps: fp32 %.1f vs int8 %.1f (%.2fx)   rec fps: fp32 %.1f vs "
+              "int8 %.1f (%.2fx)\n",
+              fp32_classify_fps, int8_classify_fps, int8_classify_speedup, fp32_rec_fps,
+              int8_rec_fps, int8_rec_speedup);
+  std::printf("top-1 agreement %.4f   mean |dlogit| %.5f   REC PSNR fp32 %.2f dB vs int8 "
+              "%.2f dB (delta %.3f dB)\n",
+              top1_agreement, mean_abs_logit_diff, psnr_fp32, psnr_int8, psnr_delta);
+
+  // Mixed-precision served fleet: odd cameras opt into int8, the server keys
+  // batches and cache entries by precision, and the fp32 cameras must stay
+  // bit-identical to the all-fp32 arm above.
+  std::vector<runtime::TaskResult> mixed_results;
+  runtime::RuntimeSummary mixed_summary;
+  {
+    runtime::ServerConfig server_cfg;
+    server_cfg.batch.max_batch = kCameras;
+    server_cfg.batch.max_delay = std::chrono::microseconds(2000);
+    server_cfg.cache = roomy;
+    server_cfg.shards = 2;
+    runtime::InferenceServer server(system, server_cfg);
+    for (int cam = 0; cam < kCameras; ++cam) {
+      auto camera = make_hetero_camera(cam);
+      if (cam % 2 == 1) {
+        camera->set_precision(runtime::Precision::kInt8);
+      }
+      server.add_camera(std::move(camera));
+    }
+    mixed_results = server.run(hetero_frames);
+    mixed_summary = server.summary();
+    std::printf("\n[int8_mixed_fleet]\n%s", runtime::to_string(mixed_summary).c_str());
+  }
+  bool mixed_fp32_identical = true;
+  std::size_t mixed_int8_frames = 0, mixed_int8_agree = 0;
+  for (std::size_t i = 0; i < mixed_results.size(); ++i) {
+    const auto& mixed = mixed_results[i];
+    const auto& reference = hetero_results[i];
+    if (mixed.camera_id % 2 == 0) {
+      mixed_fp32_identical &= mixed.precision == runtime::Precision::kFp32 &&
+                              mixed.camera_id == reference.camera_id &&
+                              mixed.sequence == reference.sequence &&
+                              mixed.predicted == reference.predicted;
+      if (mixed.task == runtime::Task::kReconstruct && mixed_fp32_identical) {
+        const auto& va = mixed.reconstruction.data();
+        const auto& vb = reference.reconstruction.data();
+        mixed_fp32_identical &= va.size() == vb.size();
+        for (std::size_t v = 0; mixed_fp32_identical && v < va.size(); ++v) {
+          mixed_fp32_identical &= va[v] == vb[v];
+        }
+      }
+    } else if (mixed.task == runtime::Task::kClassify) {
+      ++mixed_int8_frames;
+      mixed_int8_agree += mixed.predicted == reference.predicted ? 1U : 0U;
+    }
+  }
+  const double mixed_agreement =
+      mixed_int8_frames > 0
+          ? static_cast<double>(mixed_int8_agree) / static_cast<double>(mixed_int8_frames)
+          : 1.0;
+  std::printf("mixed fleet: fp32 cameras bit-identical: %s   served int8 top-1 agreement "
+              "%.4f   cache fp32 %llu/%llu int8 %llu/%llu (hit/miss)\n",
+              mixed_fp32_identical ? "yes" : "NO", mixed_agreement,
+              static_cast<unsigned long long>(mixed_summary.cache_fp32.hits),
+              static_cast<unsigned long long>(mixed_summary.cache_fp32.misses),
+              static_cast<unsigned long long>(mixed_summary.cache_int8.hits),
+              static_cast<unsigned long long>(mixed_summary.cache_int8.misses));
+
+  {
+    std::ofstream int8_json("BENCH_int8.json");
+    int8_json << "{\n  \"image\": 32,\n  \"tokens\": 16,\n  \"frames\": " << frontier_frames
+              << ",\n  \"reps\": " << frontier_reps
+              << ",\n  \"int8_simd\": " << (avx2_int8 ? "true" : "false")
+              << ",\n  \"fp32_classify_fps\": " << fp32_classify_fps
+              << ",\n  \"int8_classify_fps\": " << int8_classify_fps
+              << ",\n  \"int8_classify_speedup\": " << int8_classify_speedup
+              << ",\n  \"fp32_rec_fps\": " << fp32_rec_fps
+              << ",\n  \"int8_rec_fps\": " << int8_rec_fps
+              << ",\n  \"int8_rec_speedup\": " << int8_rec_speedup
+              << ",\n  \"top1_agreement\": " << top1_agreement
+              << ",\n  \"mean_abs_logit_diff\": " << mean_abs_logit_diff
+              << ",\n  \"rec_psnr_fp32_db\": " << psnr_fp32
+              << ",\n  \"rec_psnr_int8_db\": " << psnr_int8
+              << ",\n  \"rec_psnr_delta_db\": " << psnr_delta
+              << ",\n  \"agreement_gate\": 0.98"
+              << ",\n  \"speedup_gate\": 1.8"
+              << ",\n  \"speedup_gate_enforced\": " << (avx2_int8 ? "true" : "false")
+              << ",\n  \"mixed_fleet\": {\"cameras\": " << kCameras
+              << ", \"int8_cameras\": " << kCameras / 2
+              << ", \"aggregate_fps\": " << mixed_summary.aggregate_fps
+              << ", \"fp32_frames\": " << mixed_summary.fp32_frames
+              << ", \"int8_frames\": " << mixed_summary.int8_frames
+              << ", \"cache_fp32\": " << runtime::to_json(mixed_summary.cache_fp32)
+              << ", \"cache_int8\": " << runtime::to_json(mixed_summary.cache_int8)
+              << ", \"fp32_bit_identical\": " << (mixed_fp32_identical ? "true" : "false")
+              << ", \"int8_top1_agreement\": " << mixed_agreement << "}\n}\n";
+  }
+  std::printf("wrote BENCH_int8.json\n");
+
   // Gate numerics strictly; gate throughput with a regression floor below
   // the 3x target so noisy shared CI runners don't flake the build (the
   // measured ratio on a quiet single core is 3.3-4.3x).
@@ -634,9 +838,25 @@ int main(int argc, char** argv) {
     std::printf("FAIL: lossy framed arm's drop counters diverge from the injected "
                 "ground truth\n");
   }
+  const bool int8_agrees = top1_agreement >= 0.98;
+  if (!int8_agrees) {
+    std::printf("FAIL: int8 top-1 agreement %.4f below the 0.98 gate\n", top1_agreement);
+  }
+  // The 1.8x gate measures the AVX2 int8 kernels; the scalar fallback build
+  // (non-x86 hosts) still gates agreement and reports the measured ratio.
+  const bool int8_fast_enough = !avx2_int8 || int8_classify_speedup >= 1.8;
+  if (!int8_fast_enough) {
+    std::printf("FAIL: int8 classify only %.2fx over fp32 on an AVX2 host (gate 1.8x)\n",
+                int8_classify_speedup);
+  }
+  if (!mixed_fp32_identical) {
+    std::printf("FAIL: mixed-precision fleet's fp32 cameras diverged bitwise from the "
+                "all-fp32 arm\n");
+  }
   const bool ok = identical_predictions && identical_logits && fast_enough &&
                   hetero_identical && cache_hits_nonzero && pressure_evicted &&
                   sharded_identical && sharded_fast_enough && framed_identical &&
-                  framed_all_ok && drops_exact;
+                  framed_all_ok && drops_exact && int8_agrees && int8_fast_enough &&
+                  mixed_fp32_identical;
   return ok ? 0 : 1;
 }

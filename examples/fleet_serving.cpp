@@ -4,8 +4,9 @@
 //   1. train a small SNAPPIX system (pattern + AR head) on synthetic data,
 //   2. stand up a runtime::InferenceServer over a mixed fleet — most cameras
 //      share the system's learned pattern through one PatternRef (zero
-//      copies), one camera carries its own distinct pattern, and one camera
-//      requests video reconstruction instead of classification,
+//      copies), one camera carries its own distinct pattern, one camera
+//      requests video reconstruction instead of classification, and one
+//      camera opts into the int8 quantized engine tier,
 //   3. serve everything through TWO work-stealing consumer shards with
 //      batched fused-engine inference: batches split by (pattern, task),
 //      engines resolved through each shard's private pattern->engine cache,
@@ -69,8 +70,15 @@ int main() {
     server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
         cam, scene, learned, 900 + static_cast<std::uint64_t>(cam)));
   }
-  server.add_camera(std::make_unique<runtime::DatasetCameraSource>(
-      3, std::make_shared<const data::VideoDataset>(data_cfg), learned));
+  {
+    // Camera 3 serves through the int8 tier: the server calibrates a
+    // QuantizedVitEngine for the learned pattern on first touch (seeded, so
+    // rebuilds are identical) and keeps it cached next to the fp32 engine.
+    auto int8_camera = std::make_unique<runtime::DatasetCameraSource>(
+        3, std::make_shared<const data::VideoDataset>(data_cfg), learned);
+    int8_camera->set_precision(runtime::Precision::kInt8);
+    server.add_camera(std::move(int8_camera));
+  }
   server.add_camera(std::make_unique<runtime::SensorCameraSource>(
       4, system.default_sensor_config(), scene, learned, 906));
   {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the test suite, check the docs tree's
 # links, then run the streaming throughput bench in quick mode (emits
-# BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json and
-# BENCH_framed.json in build/).
+# BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json,
+# BENCH_framed.json and BENCH_int8.json in build/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,11 +17,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 # Streaming bench: quick mode keeps CI fast; the binary exits non-zero if any
 # serving arm (batched, pattern-cache, sharded work-stealing, framed MIPI
-# transport at zero faults) diverges bitwise from the sequential path, if the
-# cache misses its hit/eviction gates, if the lossy framed arm's drop
-# counters diverge from the injected ground truth, or — on hosts with >= 4
-# hardware threads — if sharded serving falls below 1.5x the single-consumer
-# arm.
+# transport at zero faults, the fp32 half of the mixed-precision fleet)
+# diverges bitwise from the sequential path, if the cache misses its
+# hit/eviction gates, if the lossy framed arm's drop counters diverge from
+# the injected ground truth, if int8-vs-fp32 top-1 agreement falls below
+# 0.98, or — where the hardware supports it — if sharded serving falls below
+# 1.5x the single-consumer arm (>= 4 hw threads) / int8 below 1.8x fp32
+# classify throughput (AVX2 hosts).
 (cd "$BUILD_DIR" && ./bench_streaming_throughput --quick)
 echo "BENCH_streaming.json:"
 cat "$BUILD_DIR/BENCH_streaming.json"
@@ -31,3 +33,5 @@ echo "BENCH_sharded.json:"
 cat "$BUILD_DIR/BENCH_sharded.json"
 echo "BENCH_framed.json:"
 cat "$BUILD_DIR/BENCH_framed.json"
+echo "BENCH_int8.json:"
+cat "$BUILD_DIR/BENCH_int8.json"

@@ -65,7 +65,7 @@ BatchAggregator::Poll BatchAggregator::poll_batch(std::vector<Frame>& out,
 }
 
 void BatchAggregator::fill_from(Frame first, std::vector<Frame>& out) {
-  last_key_ = BatchKey{first.pattern_id, first.task};
+  last_key_ = BatchKey{first.pattern_id, first.task, first.precision};
   const Clock::time_point deadline = Clock::now() + policy_.max_delay;
   out.push_back(std::move(first));
   while (static_cast<int>(out.size()) < policy_.max_batch) {
@@ -75,7 +75,7 @@ void BatchAggregator::fill_from(Frame first, std::vector<Frame>& out) {
     }
     next.dequeue_time = Clock::now();
     if (!last_key_.matches(next)) {
-      holdback_ = std::move(next);  // different pattern/task opens the next batch
+      holdback_ = std::move(next);  // different pattern/task/precision opens the next batch
       break;
     }
     out.push_back(std::move(next));

@@ -7,10 +7,10 @@
 // the deadline bounds how long an early frame can sit waiting for company.
 //
 // Heterogeneous fleets add a constraint: a batch runs through ONE engine with
-// ONE task head, so coalescing must never cross a (pattern_id, task)
-// boundary. When a frame with a different key arrives mid-batch it is held
-// back (one-frame holdback, preserving global FIFO order) and opens the next
-// batch instead.
+// ONE task head at ONE precision, so coalescing must never cross a
+// (pattern_id, task, precision) boundary. When a frame with a different key
+// arrives mid-batch it is held back (one-frame holdback, preserving global
+// FIFO order) and opens the next batch instead.
 #pragma once
 
 #include <chrono>
@@ -33,13 +33,17 @@ struct BatchPolicy {
 // unusable (max_batch < 1 or negative max_delay).
 void validate(const BatchPolicy& policy);
 
-// The serving key: batches are homogeneous in both pattern and task.
+// The serving key: batches are homogeneous in pattern, task, AND precision —
+// a batch runs through ONE engine, and fp32/int8 engines are distinct
+// residents of the cache.
 struct BatchKey {
   std::uint64_t pattern_id = 0;
   Task task = Task::kClassify;
+  Precision precision = Precision::kFp32;
 
   bool matches(const Frame& frame) const {
-    return frame.pattern_id == pattern_id && frame.task == task;
+    return frame.pattern_id == pattern_id && frame.task == task &&
+           frame.precision == precision;
   }
 };
 

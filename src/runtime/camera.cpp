@@ -83,6 +83,7 @@ Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
   frame.sequence = next_sequence_++;
   frame.pattern_id = pattern_id_;
   frame.task = task_;
+  frame.precision = precision();
   // 8-bit readout: a conventional pipeline ships all T slot frames, the CE
   // sensor ships one coded image of the same geometry.
   frame.wire_bytes = static_cast<std::uint64_t>(height * width);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ce/pattern.h"
@@ -85,6 +86,15 @@ class CameraSource {
   Task task() const { return task_; }
   void set_task(Task task) { task_ = task; }
 
+  // Which precision tier serves this camera's frames. Explicit set_precision
+  // wins; otherwise the server's default (ServerConfig::precision, installed
+  // via set_default_precision at add_camera time) applies, so a fleet can be
+  // flipped to int8 wholesale or opted in per camera.
+  Precision precision() const { return precision_override_.value_or(default_precision_); }
+  void set_precision(Precision precision) { precision_override_ = precision; }
+  bool precision_overridden() const { return precision_override_.has_value(); }
+  void set_default_precision(Precision precision) { default_precision_ = precision; }
+
  protected:
   CameraSource(int id, PatternRef pattern);
 
@@ -108,6 +118,8 @@ class CameraSource {
   PatternRef pattern_;
   std::uint64_t pattern_id_;
   Task task_ = Task::kClassify;
+  Precision default_precision_ = Precision::kFp32;
+  std::optional<Precision> precision_override_;
   std::int64_t next_sequence_ = 0;
 
  private:

@@ -61,30 +61,39 @@ EngineCache::Shard& EngineCache::shard_for(std::uint64_t pattern_id) {
 }
 
 std::shared_ptr<const ServingEntry> EngineCache::resolve(
-    std::uint64_t pattern_id, const std::shared_ptr<const ce::CePattern>& pattern) {
+    std::uint64_t pattern_id, const std::shared_ptr<const ce::CePattern>& pattern,
+    Precision precision) {
   SNAPPIX_CHECK(pattern != nullptr, "resolve() needs the pattern to build on a miss");
   Shard& shard = shard_for(pattern_id);
+  const CacheKey key{pattern_id, precision};
+  EngineCacheCounters& counters = shard.counters[static_cast<std::size_t>(precision)];
   std::lock_guard<std::mutex> lock(shard.mutex);
 
-  const auto it = shard.index.find(pattern_id);
+  const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    ++shard.counters.hits;
+    ++counters.hits;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
     return it->second->second;
   }
 
-  ++shard.counters.misses;
+  ++counters.misses;
   auto entry = std::make_shared<ServingEntry>();
   entry->pattern = pattern;
   entry->normalizer = std::make_unique<PatternNormalizer>(*pattern);
-  entry->engine = factory_(*pattern);
+  entry->engine = factory_(*pattern, precision);
+  entry->precision = precision;
   SNAPPIX_CHECK(entry->engine != nullptr, "engine factory returned null");
+  SNAPPIX_CHECK(entry->engine->precision() == precision,
+                "engine factory built a " << to_string(entry->engine->precision())
+                                          << " engine for a " << to_string(precision)
+                                          << " miss");
 
-  shard.lru.emplace_front(pattern_id, entry);
-  shard.index.emplace(pattern_id, shard.lru.begin());
+  shard.lru.emplace_front(key, entry);
+  shard.index.emplace(key, shard.lru.begin());
   while (shard.lru.size() > config_.capacity_per_shard) {
-    ++shard.counters.evictions;
-    shard.index.erase(shard.lru.back().first);
+    const CacheKey& victim = shard.lru.back().first;
+    ++shard.counters[static_cast<std::size_t>(victim.precision)].evictions;
+    shard.index.erase(victim);
     shard.lru.pop_back();  // in-flight holders keep the entry alive
   }
   return entry;
@@ -92,11 +101,23 @@ std::shared_ptr<const ServingEntry> EngineCache::resolve(
 
 EngineCacheCounters EngineCache::counters() const {
   EngineCacheCounters total;
+  for (const Precision precision : {Precision::kFp32, Precision::kInt8}) {
+    const EngineCacheCounters tier = counters(precision);
+    total.hits += tier.hits;
+    total.misses += tier.misses;
+    total.evictions += tier.evictions;
+  }
+  return total;
+}
+
+EngineCacheCounters EngineCache::counters(Precision precision) const {
+  EngineCacheCounters total;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total.hits += shard->counters.hits;
-    total.misses += shard->counters.misses;
-    total.evictions += shard->counters.evictions;
+    const EngineCacheCounters& tier = shard->counters[static_cast<std::size_t>(precision)];
+    total.hits += tier.hits;
+    total.misses += tier.misses;
+    total.evictions += tier.evictions;
   }
   return total;
 }

@@ -21,6 +21,12 @@
 /// cache, and a work-stealing thief builds its own entry for a stolen
 /// pattern rather than reaching into the victim's view.
 ///
+/// Precision tiers: entries are keyed by (pattern_id, Precision), so one
+/// pattern's fp32 (bit-exact BatchedVitEngine) and int8 (calibrated
+/// QuantizedVitEngine) engines coexist independently — a fleet can serve
+/// some cameras at each tier. Traffic counters are kept per tier;
+/// counters() sums them, counters(Precision) reads one tier.
+///
 /// Thread-safety: resolve() locks only the owning shard. Entries are handed
 /// out as shared_ptr, so an entry evicted mid-flight stays alive until its
 /// last in-flight batch completes.
@@ -36,6 +42,7 @@
 
 #include "ce/pattern.h"
 #include "runtime/engine.h"
+#include "runtime/precision.h"
 #include "tensor/tensor.h"
 
 namespace snappix::runtime {
@@ -86,26 +93,32 @@ class PatternNormalizer {
 struct ServingEntry {
   std::shared_ptr<const ce::CePattern> pattern;
   std::unique_ptr<PatternNormalizer> normalizer;
-  std::shared_ptr<BatchedVitEngine> engine;
+  std::shared_ptr<VitEngine> engine;
+  Precision precision = Precision::kFp32;
 };
 
 class EngineCache {
  public:
-  /// \brief Builds the engine for a newly-resident pattern (called under the
-  /// owning shard's lock; per-shard locking keeps concurrent misses on
-  /// different shards independent).
+  /// \brief Builds the engine for a newly-resident (pattern, precision) pair
+  /// (called under the owning shard's lock; per-shard locking keeps
+  /// concurrent misses on different shards independent).
   using EngineFactory =
-      std::function<std::shared_ptr<BatchedVitEngine>(const ce::CePattern&)>;
+      std::function<std::shared_ptr<VitEngine>(const ce::CePattern&, Precision)>;
 
   EngineCache(const EngineCacheConfig& config, EngineFactory factory);
 
-  /// \brief Returns the resident entry for `pattern_id`, building it from
-  /// `pattern` on a miss and evicting the shard's LRU entry beyond capacity.
+  /// \brief Returns the resident entry for (`pattern_id`, `precision`),
+  /// building it from `pattern` on a miss and evicting the shard's LRU entry
+  /// beyond capacity.
   std::shared_ptr<const ServingEntry> resolve(
-      std::uint64_t pattern_id, const std::shared_ptr<const ce::CePattern>& pattern);
+      std::uint64_t pattern_id, const std::shared_ptr<const ce::CePattern>& pattern,
+      Precision precision = Precision::kFp32);
 
-  /// \brief Traffic counters aggregated over all shards.
+  /// \brief Traffic counters aggregated over all shards and both precision
+  /// tiers.
   EngineCacheCounters counters() const;
+  /// \brief Traffic counters for one precision tier, aggregated over shards.
+  EngineCacheCounters counters(Precision precision) const;
   /// \brief Entries currently resident, summed over shards.
   std::size_t resident() const;
   /// \brief Largest current per-shard occupancy — never exceeds
@@ -115,16 +128,36 @@ class EngineCache {
   const EngineCacheConfig& config() const { return config_; }
 
  private:
+  /// Composite residency key: one pattern may be resident once per tier.
+  struct CacheKey {
+    std::uint64_t pattern_id = 0;
+    Precision precision = Precision::kFp32;
+    bool operator==(const CacheKey& other) const {
+      return pattern_id == other.pattern_id && precision == other.precision;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const {
+      // pattern_id is an FNV-1a hash, already well mixed; fold the tier bit
+      // in without disturbing the shard routing (which uses pattern_id only).
+      return static_cast<std::size_t>(key.pattern_id ^
+                                      (0x9E3779B97F4A7C15ULL *
+                                       (static_cast<std::uint64_t>(key.precision) + 1)));
+    }
+  };
+
   struct Shard {
     mutable std::mutex mutex;
     // Front = most recently used. The list owns the entries; the index maps
-    // pattern_id -> list node for O(1) touch.
-    std::list<std::pair<std::uint64_t, std::shared_ptr<const ServingEntry>>> lru;
-    std::unordered_map<std::uint64_t,
-                       std::list<std::pair<std::uint64_t,
-                                           std::shared_ptr<const ServingEntry>>>::iterator>
+    // (pattern_id, precision) -> list node for O(1) touch.
+    std::list<std::pair<CacheKey, std::shared_ptr<const ServingEntry>>> lru;
+    std::unordered_map<CacheKey,
+                       std::list<std::pair<CacheKey,
+                                           std::shared_ptr<const ServingEntry>>>::iterator,
+                       CacheKeyHash>
         index;
-    EngineCacheCounters counters;
+    // Indexed by Precision: [0] = kFp32, [1] = kInt8.
+    EngineCacheCounters counters[2];
   };
 
   Shard& shard_for(std::uint64_t pattern_id);

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "runtime/precision.h"
 #include "tensor/tensor.h"
 
 namespace snappix::runtime {
@@ -74,6 +75,10 @@ struct Frame {
   // EngineCache; batches never mix pattern ids.
   std::uint64_t pattern_id = 0;
   Task task = Task::kClassify;
+  // Which engine tier serves this frame (see precision.h). Part of the
+  // serving key: batches never mix precisions, and the EngineCache keeps one
+  // entry per (pattern_id, precision).
+  Precision precision = Precision::kFp32;
 
   std::uint64_t raw_bytes = 0;   // conventional T-frame readout volume
   std::uint64_t wire_bytes = 0;  // coded-image volume actually transmitted

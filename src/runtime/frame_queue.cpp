@@ -67,10 +67,12 @@ bool FrameQueue::steal_tail(std::vector<Frame>& out, int max_frames) {
     // camera sequence order inside it is preserved.
     const std::uint64_t pattern_id = frames_.back().pattern_id;
     const Task task = frames_.back().task;
+    const Precision precision = frames_.back().precision;
     auto first = frames_.end();
     while (first != frames_.begin() && taken < static_cast<std::size_t>(max_frames)) {
       auto prev = std::prev(first);
-      if (prev->pattern_id != pattern_id || prev->task != task) {
+      if (prev->pattern_id != pattern_id || prev->task != task ||
+          prev->precision != precision) {
         break;
       }
       first = prev;

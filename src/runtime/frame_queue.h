@@ -37,7 +37,7 @@ class FrameQueue {
   // Like pop(), but gives up at `deadline`; false on timeout or closed+drained.
   bool pop_until(Frame& out, Clock::time_point deadline);
 
-  // Work stealing: removes the maximal (pattern_id, task)-pure run of frames
+  // Work stealing: removes the maximal (pattern_id, task, precision)-pure run of frames
   // from the TAIL of the queue — at most `max_frames` of them — and appends
   // them to `out` in FIFO order (out is cleared first). The stolen run is a
   // contiguous queue suffix, so a camera's frames inside it keep their

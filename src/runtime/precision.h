@@ -1,0 +1,23 @@
+// Precision: the serving tier's accuracy-vs-throughput knob.
+//
+// kFp32 is the bit-exact reference path (BatchedVitEngine, identical to the
+// tape framework down to the last bit). kInt8 serves through the calibrated
+// QuantizedVitEngine — int8 weights/activations with int32 accumulation —
+// which is deterministic and batch-invariant but NOT bit-identical to fp32:
+// it trades a bounded quantization error for higher throughput, the same
+// fidelity-for-efficiency trade SNAPPIX makes at the sensor. Precision rides
+// on every Frame (like Task), keys batches and EngineCache entries, so fp32
+// and int8 cameras coexist on one server.
+#pragma once
+
+#include <cstdint>
+
+namespace snappix::runtime {
+
+enum class Precision : std::uint8_t { kFp32, kInt8 };
+
+inline const char* to_string(Precision precision) {
+  return precision == Precision::kFp32 ? "fp32" : "int8";
+}
+
+}  // namespace snappix::runtime

@@ -47,6 +47,19 @@ void validate(const ServerConfig& config) {
        << config.steal_poll.count() << " us";
     throw std::invalid_argument(os.str());
   }
+  if (config.backend == InferenceBackend::kTapeFramework &&
+      config.precision == Precision::kInt8) {
+    throw std::invalid_argument(
+        "ServerConfig.precision = int8 requires the fused-engine backend: the tape "
+        "framework has no quantized path");
+  }
+  if (config.calibration.frames < 1) {
+    std::ostringstream os;
+    os << "ServerConfig.calibration.frames must be >= 1 (an int8 engine cannot be "
+          "calibrated on zero frames), got "
+       << config.calibration.frames;
+    throw std::invalid_argument(os.str());
+  }
   validate(config.transport);
 }
 
@@ -64,18 +77,34 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
     : system_(system), config_(validated(config)),
       scheduler_(stats_, config_.scheduler_threads, config_.transport) {
   // The factory snapshots the system's model into a fresh fused engine for
-  // each newly-resident pattern. With today's single shared model the
-  // snapshot is pattern-independent; a deployment with per-pattern
-  // fine-tuned heads swaps this lambda for a weight-store lookup.
+  // each newly-resident (pattern, precision) pair. The fp32 snapshot is
+  // pattern-independent (one shared model today; a deployment with
+  // per-pattern fine-tuned heads swaps this lambda for a weight-store
+  // lookup). An int8 miss first CALIBRATES against the missing pattern:
+  // synthetic clips are CE-encoded with it and pushed through the fp32
+  // engine to collect activation ranges — coded-image statistics depend on
+  // the pattern's exposure counts, so the scales are per-pattern. The
+  // calibration seed is fixed by config, so rebuilds are bit-identical.
   const int max_batch = std::max(config_.batch.max_batch, 1);
+  const QuantCalibration calibration = config_.calibration;
+  const std::int64_t image = system.config().image;
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>(config_.queue_capacity);
     if (config_.backend == InferenceBackend::kFusedEngine) {
       shard->cache = std::make_unique<EngineCache>(
-          config_.cache, [&system, max_batch](const ce::CePattern&) {
-            return std::make_shared<BatchedVitEngine>(*system.classifier(),
-                                                      *system.reconstructor(), max_batch);
+          config_.cache,
+          [&system, max_batch, calibration, image](
+              const ce::CePattern& pattern, Precision precision) -> std::shared_ptr<VitEngine> {
+            if (precision == Precision::kFp32) {
+              return std::make_shared<BatchedVitEngine>(*system.classifier(),
+                                                        *system.reconstructor(), max_batch);
+            }
+            const Tensor frames = make_calibration_frames(pattern, image, image, calibration);
+            const QuantSpec spec =
+                calibrate(*system.classifier(), *system.reconstructor(), frames);
+            return std::make_shared<QuantizedVitEngine>(
+                *system.classifier(), *system.reconstructor(), spec, max_batch);
           });
     }
     shards_.push_back(std::move(shard));
@@ -91,6 +120,15 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
 
 void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
   SNAPPIX_CHECK(camera != nullptr, "null camera");
+  camera->set_default_precision(config_.precision);
+  if (camera->precision() == Precision::kInt8 &&
+      config_.backend == InferenceBackend::kTapeFramework) {
+    std::ostringstream os;
+    os << "camera " << camera->id()
+       << " requests int8 serving, but the server runs the tape backend — int8 needs "
+          "the fused-engine backend";
+    throw std::invalid_argument(os.str());
+  }
   const auto [it, inserted] = patterns_.emplace(camera->pattern_id(), camera->pattern_ref());
   // Same 64-bit id must mean same pattern bits: a silent hash collision would
   // merge two patterns' batches and serve both through one cache entry.
@@ -137,7 +175,7 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
     SNAPPIX_CHECK(it != patterns_.end(),
                   "frame carries unregistered pattern_id " << key.pattern_id
                       << " — was its camera added through add_camera()?");
-    entry = self.cache->resolve(key.pattern_id, it->second);
+    entry = self.cache->resolve(key.pattern_id, it->second, key.precision);
   }
 
   const Clock::time_point infer_start = Clock::now();
@@ -150,6 +188,7 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
       result.sequence = batch[i].sequence;
       result.task = Task::kClassify;
       result.pattern_id = key.pattern_id;
+      result.precision = key.precision;
       result.predicted = predicted[i];
       result.label = batch[i].label;
       self.results.push_back(std::move(result));
@@ -164,6 +203,7 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
       result.sequence = batch[i].sequence;
       result.task = Task::kReconstruct;
       result.pattern_id = key.pattern_id;
+      result.precision = key.precision;
       result.label = batch[i].label;
       const auto begin = video.data().begin() + static_cast<std::int64_t>(i) * frame_elems;
       result.reconstruction = Tensor::from_vector(
@@ -176,6 +216,7 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
   stats_.record_batch(batch.size(),
                       std::chrono::duration<double>(infer_end - infer_start).count());
   stats_.record_task_frames(key.task, batch.size());
+  stats_.record_precision_frames(key.precision, batch.size());
   for (const Frame& frame : batch) {
     stats_.record_frame_done(
         frame.raw_bytes, frame.wire_bytes,
@@ -223,7 +264,8 @@ void InferenceServer::shard_loop(std::size_t index) {
           }
           ++self.counters.steal_successes;
           self.counters.stolen_frames += batch.size();
-          serve_batch(self, BatchKey{batch.front().pattern_id, batch.front().task}, batch);
+          serve_batch(self, BatchKey{batch.front().pattern_id, batch.front().task,
+                                     batch.front().precision}, batch);
           stole = true;
         }
       }
@@ -288,6 +330,8 @@ std::vector<TaskResult> InferenceServer::run(
   wall_seconds_ = std::chrono::duration<double>(Clock::now() - run_start).count();
 
   EngineCacheCounters cache_total;
+  CacheTierCounters cache_fp32;
+  CacheTierCounters cache_int8;
   std::vector<ShardStatsView> views;
   views.reserve(shards_.size());
   std::size_t total_results = 0;
@@ -297,19 +341,30 @@ std::vector<TaskResult> InferenceServer::run(
     shard.counters.queue_high_water = shard.queue.high_water_mark();
     stats_.set_queue_high_water(shard.queue.high_water_mark());
     if (shard.cache != nullptr) {
-      const EngineCacheCounters counters = shard.cache->counters();
-      shard.counters.cache_hits = counters.hits;
-      shard.counters.cache_misses = counters.misses;
-      shard.counters.cache_evictions = counters.evictions;
-      cache_total.hits += counters.hits;
-      cache_total.misses += counters.misses;
-      cache_total.evictions += counters.evictions;
+      // One snapshot per tier; the total is their sum BY CONSTRUCTION (a
+      // separately-locked counters() read could disagree with the tier reads
+      // if a resolve were still in flight).
+      const EngineCacheCounters fp32 = shard.cache->counters(Precision::kFp32);
+      const EngineCacheCounters int8 = shard.cache->counters(Precision::kInt8);
+      shard.counters.cache_hits = fp32.hits + int8.hits;
+      shard.counters.cache_misses = fp32.misses + int8.misses;
+      shard.counters.cache_evictions = fp32.evictions + int8.evictions;
+      cache_total.hits += shard.counters.cache_hits;
+      cache_total.misses += shard.counters.cache_misses;
+      cache_total.evictions += shard.counters.cache_evictions;
+      cache_fp32.hits += fp32.hits;
+      cache_fp32.misses += fp32.misses;
+      cache_fp32.evictions += fp32.evictions;
+      cache_int8.hits += int8.hits;
+      cache_int8.misses += int8.misses;
+      cache_int8.evictions += int8.evictions;
     }
     views.push_back(shard.counters);
     total_results += shard.results.size();
   }
   if (config_.backend == InferenceBackend::kFusedEngine) {
     stats_.set_cache_counters(cache_total.hits, cache_total.misses, cache_total.evictions);
+    stats_.set_cache_tier_counters(cache_fp32, cache_int8);
   }
   stats_.set_shard_views(std::move(views));
 

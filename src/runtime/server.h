@@ -89,12 +89,25 @@ struct ServerConfig {
   /// `transport.max_retransmits` times before dropping. Inert for cameras
   /// without framed mode. See docs/serving.md.
   TransportPolicy transport;
+  /// Default precision tier for cameras that did not call set_precision:
+  /// kFp32 serves bit-exactly, kInt8 through the calibrated quantized engine
+  /// (deterministic + batch-invariant, NOT bit-equal to fp32 — see
+  /// docs/serving.md). Requires the fused-engine backend; the tape framework
+  /// has no int8 path.
+  Precision precision = Precision::kFp32;
+  /// How int8 engines are calibrated on a cache miss: `frames` synthetic
+  /// clips (seeded by `seed`) are CE-encoded with the missing pattern and
+  /// pushed through the fp32 engine to collect activation ranges. Same seed
+  /// => same QuantSpec => an evicted-and-rebuilt int8 entry serves
+  /// bit-identical int8 results.
+  QuantCalibration calibration;
 };
 
 /// \brief Throws std::invalid_argument with a descriptive message when the
 /// configuration is unusable (zero queue capacity, bad batch policy, negative
-/// thread count, zero cache shards/capacity, zero consumer shards, or a
-/// multi-shard tape backend).
+/// thread count, zero cache shards/capacity, zero consumer shards, a
+/// multi-shard tape backend, an int8 default on the tape backend, or zero
+/// calibration frames).
 void validate(const ServerConfig& config);
 
 /// \brief One served frame's outcome, typed by the task that produced it.
@@ -103,6 +116,7 @@ struct TaskResult {
   std::int64_t sequence = -1;
   Task task = Task::kClassify;
   std::uint64_t pattern_id = 0;
+  Precision precision = Precision::kFp32;  ///< tier that served the frame
 
   /// kClassify: predicted class (argmax of the AR head's logits).
   std::int64_t predicted = -1;

@@ -73,6 +73,15 @@ void RuntimeStats::record_task_frames(Task task, std::size_t count) {
   }
 }
 
+void RuntimeStats::record_precision_frames(Precision precision, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (precision == Precision::kFp32) {
+    fp32_frames_ += count;
+  } else {
+    int8_frames_ += count;
+  }
+}
+
 void RuntimeStats::record_transport(int camera_id, TransportStatus status, int retransmits,
                                     bool dropped) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -122,6 +131,13 @@ void RuntimeStats::set_cache_counters(std::uint64_t hits, std::uint64_t misses,
   cache_evictions_ = evictions;
 }
 
+void RuntimeStats::set_cache_tier_counters(const CacheTierCounters& fp32,
+                                           const CacheTierCounters& int8) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_fp32_ = fp32;
+  cache_int8_ = int8;
+}
+
 void RuntimeStats::set_shard_views(std::vector<ShardStatsView> shards) {
   std::lock_guard<std::mutex> lock(mutex_);
   shards_ = std::move(shards);
@@ -140,6 +156,10 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   out.queue_high_water = queue_high_water_;
   out.classify_frames = classify_frames_;
   out.reconstruct_frames = reconstruct_frames_;
+  out.fp32_frames = fp32_frames_;
+  out.int8_frames = int8_frames_;
+  out.cache_fp32 = cache_fp32_;
+  out.cache_int8 = cache_int8_;
   out.cache_hits = cache_hits_;
   out.cache_misses = cache_misses_;
   out.cache_evictions = cache_evictions_;
@@ -215,6 +235,21 @@ std::string to_string(const RuntimeSummary& s) {
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.cache_evictions), s.cache_hit_rate);
   std::string out(buf);
+  if (s.int8_frames > 0) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "  precision: fp32 %llu / int8 %llu frames; cache fp32 %llu/%llu/%llu "
+                  "int8 %llu/%llu/%llu (hit/miss/evict)\n",
+                  static_cast<unsigned long long>(s.fp32_frames),
+                  static_cast<unsigned long long>(s.int8_frames),
+                  static_cast<unsigned long long>(s.cache_fp32.hits),
+                  static_cast<unsigned long long>(s.cache_fp32.misses),
+                  static_cast<unsigned long long>(s.cache_fp32.evictions),
+                  static_cast<unsigned long long>(s.cache_int8.hits),
+                  static_cast<unsigned long long>(s.cache_int8.misses),
+                  static_cast<unsigned long long>(s.cache_int8.evictions));
+    out += line;
+  }
   if (!s.shards.empty()) {
     char line[256];
     std::snprintf(line, sizeof(line), "  steals: %llu/%llu succeeded (%llu frames stolen)\n",
@@ -267,6 +302,13 @@ std::string to_string(const RuntimeSummary& s) {
   return out;
 }
 
+std::string to_json(const CacheTierCounters& c) {
+  std::ostringstream os;
+  os << "{\"hits\": " << c.hits << ", \"misses\": " << c.misses
+     << ", \"evictions\": " << c.evictions << "}";
+  return os.str();
+}
+
 std::string to_json(const TransportCounters& c) {
   std::ostringstream os;
   os << "{\"framed_frames\": " << c.framed_frames << ", \"ok_frames\": " << c.ok_frames
@@ -309,9 +351,12 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
      << ", \"compression_ratio\": " << s.compression_ratio
      << ", \"classify_frames\": " << s.classify_frames
      << ", \"reconstruct_frames\": " << s.reconstruct_frames
+     << ", \"fp32_frames\": " << s.fp32_frames << ", \"int8_frames\": " << s.int8_frames
      << ", \"cache_hits\": " << s.cache_hits << ", \"cache_misses\": " << s.cache_misses
      << ", \"cache_evictions\": " << s.cache_evictions
      << ", \"cache_hit_rate\": " << s.cache_hit_rate
+     << ", \"cache_fp32\": " << to_json(s.cache_fp32)
+     << ", \"cache_int8\": " << to_json(s.cache_int8)
      << ", \"steal_attempts\": " << s.steal_attempts
      << ", \"steal_successes\": " << s.steal_successes
      << ", \"stolen_frames\": " << s.stolen_frames << ", \"shards\": [";

@@ -68,6 +68,16 @@ struct ShardStatsView {
   std::size_t queue_high_water = 0;     ///< deepest this shard's run queue got
 };
 
+/// \brief One precision tier's EngineCache traffic (hits/misses/evictions
+/// summed over every shard's cache view for that tier). The serving tier
+/// keeps fp32 and int8 engines as distinct cache residents, so the split
+/// shows which tier's working set is thrashing.
+struct CacheTierCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
 /// \brief One camera's framed-transport tally: how its frames fared on the
 /// wire, by FINAL outcome (a frame that recovers via retransmit counts as ok;
 /// the retries it burned show up in `retransmits`). All zero for cameras that
@@ -98,12 +108,21 @@ struct RuntimeSummary {
   std::uint64_t classify_frames = 0;
   std::uint64_t reconstruct_frames = 0;
 
+  /// Per-precision frame counts (fp32 + int8 == frames when the server
+  /// records precisions; both zero under direct RuntimeStats use).
+  std::uint64_t fp32_frames = 0;
+  std::uint64_t int8_frames = 0;
+
   /// EngineCache traffic summed over every shard's cache (zero when serving
   /// through the tape backend, which bypasses the cache).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   double cache_hit_rate = 0.0;  ///< hits / (hits + misses)
+
+  /// The same cache traffic split by precision tier (fp32 + int8 == totals).
+  CacheTierCounters cache_fp32;
+  CacheTierCounters cache_int8;
 
   /// Work-stealing totals summed over shards (all zero with one shard).
   std::uint64_t steal_attempts = 0;
@@ -147,6 +166,8 @@ class RuntimeStats {
   void record_batch(std::size_t batch_size, double inference_seconds);
   /// \brief Attributes a served batch's frames to its task head.
   void record_task_frames(Task task, std::size_t count);
+  /// \brief Attributes a served batch's frames to its precision tier.
+  void record_precision_frames(Precision precision, std::size_t count);
   /// \brief Records one framed frame's FINAL transport fate: its last
   /// outcome (`status`), the retries the policy spent on it, and whether it
   /// was dropped instead of enqueued. Called once per framed frame by the
@@ -161,6 +182,9 @@ class RuntimeStats {
   /// \brief Installs the final cache snapshot (summed over shard caches by
   /// the server); the EngineCache itself keeps the live counters.
   void set_cache_counters(std::uint64_t hits, std::uint64_t misses, std::uint64_t evictions);
+  /// \brief Installs the per-precision cache split (fp32 + int8 must sum to
+  /// the totals installed by set_cache_counters).
+  void set_cache_tier_counters(const CacheTierCounters& fp32, const CacheTierCounters& int8);
   /// \brief Installs the per-shard views once after a run; also derives the
   /// steal totals reported in RuntimeSummary.
   void set_shard_views(std::vector<ShardStatsView> shards);
@@ -187,6 +211,10 @@ class RuntimeStats {
   std::uint64_t batched_frames_ = 0;
   std::uint64_t classify_frames_ = 0;
   std::uint64_t reconstruct_frames_ = 0;
+  std::uint64_t fp32_frames_ = 0;
+  std::uint64_t int8_frames_ = 0;
+  CacheTierCounters cache_fp32_;
+  CacheTierCounters cache_int8_;
   std::uint64_t raw_bytes_ = 0;
   std::uint64_t wire_bytes_ = 0;
   std::size_t queue_high_water_ = 0;
@@ -201,6 +229,7 @@ class RuntimeStats {
 /// object (used by bench/streaming_throughput.cpp to emit the BENCH_*.json
 /// artifacts). The JSON carries the per-shard views as a "shards" array.
 std::string to_string(const RuntimeSummary& summary);
+std::string to_json(const CacheTierCounters& counters);
 std::string to_json(const TransportCounters& counters);
 std::string to_json(const ShardStatsView& shard);
 std::string to_json(const RuntimeSummary& summary, const FleetEnergyReport& energy,

@@ -18,11 +18,17 @@ namespace snappix::detail {
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n);
 
-// c(m,k) += a(m,n) * b(k,n)^T  (i.e. a * b^T)
+// c(m,k) += a(m,n) * b(k,n)^T  (i.e. a * b^T). Register-tiled like gemm_nn;
+// each element still sums its n products in ascending order into a fresh
+// accumulator and folds it into c with one add, so results are bit-identical
+// to the naive loop.
 void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
              std::int64_t k);
 
-// c(k,n) += a(m,k)^T * b(m,n)
+// c(k,n) += a(m,k)^T * b(m,n). Register-tiled; each element's read-modify-
+// write chain ((c + p_0) + p_1) + ... runs in ascending-m order with the
+// historical av == 0 skip preserved, so results are bit-identical to the
+// naive loop even when c starts nonzero (grad accumulation relies on this).
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n);
 

@@ -1,0 +1,71 @@
+// Int8 GEMM kernels + symmetric quantization helpers for the quantized
+// serving engine (runtime/engine.cpp).
+//
+// Unlike the float kernels in gemm.h — whose accumulation ORDER is part of
+// the bit-exactness contract — int8 x int8 products accumulate into int32
+// exactly (no rounding), so the AVX2 path, the scalar fallback, and any
+// row partition produce identical results by construction. The contract
+// here is exactness against the naive reference (gemm_s8_nt_ref), which the
+// quantization tests pin down.
+//
+// Weights are stored PRE-TRANSPOSED: b is (n, k) row-major, one output
+// channel per row, so both operands stream contiguously along k and the
+// per-output-channel dequantization scale lives next to its weights.
+#pragma once
+
+#include <cstdint>
+
+namespace snappix::detail {
+
+// c(m, n) = a(m, k) @ b(n, k)^T with int32 accumulation. `c` is fully
+// overwritten. AVX2 (vpmaddwd over sign-extended int8 lanes) when compiled
+// in, scalar otherwise — bit-identical either way. Rows are independent, so
+// large problems fan out across threads without changing any output.
+void gemm_s8_nt(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                std::int64_t m, std::int64_t k, std::int64_t n);
+
+// Naive triple-loop reference, always scalar; the exactness oracle for tests.
+void gemm_s8_nt_ref(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                    std::int64_t m, std::int64_t k, std::int64_t n);
+
+// True when gemm_s8_nt runs the AVX2 path (build had -mavx2).
+bool gemm_s8_simd_enabled();
+
+// max(|x[i]|) over n values; 0 for an empty range.
+float absmax(const float* x, std::int64_t n);
+
+// Symmetric scale for the int8 grid [-127, 127]: absmax / 127, or 1 when the
+// tensor is all zero (any scale quantizes zero to zero).
+float symmetric_scale(float absmax_value);
+
+// q[i] = clamp(nearbyint(x[i] / scale), -127, 127). Round-to-nearest-even
+// (the default FP environment), deterministic across runs and hosts. AVX2
+// (clamp in fp32, then vcvtps2dq's nearest-even rounding + saturating packs)
+// when compiled in, scalar otherwise — bit-identical either way, pinned by
+// quantize_symmetric_ref in the tests.
+void quantize_symmetric(const float* x, std::int64_t n, float scale, std::int8_t* q);
+
+// Always-scalar reference for quantize_symmetric; the exactness oracle.
+void quantize_symmetric_ref(const float* x, std::int64_t n, float scale, std::int8_t* q);
+
+// Per-channel requantization of int32 GEMM output straight onto an int8
+// grid: q[r, j] = clamp(nearbyint((acc[r, j] * deq[j] + bias[j]) * inv_scale))
+// — the fused dequantize + rescale the quantized engine uses between
+// back-to-back int8 GEMMs (fc1 -> GELU LUT -> fc2). Same AVX2
+// clamp-before-round pack pipeline as quantize_symmetric, bit-identical to
+// the scalar reference.
+void requantize_rows(const std::int32_t* acc, const float* deq, const float* bias,
+                     float inv_scale, std::int8_t* q, std::int64_t rows, std::int64_t n);
+
+// Always-scalar reference for requantize_rows; the exactness oracle.
+void requantize_rows_ref(const std::int32_t* acc, const float* deq, const float* bias,
+                         float inv_scale, std::int8_t* q, std::int64_t rows, std::int64_t n);
+
+// Per-output-channel symmetric weight quantization with layout transpose:
+// w is (k, n) with one output channel per COLUMN (the layout Linear weights
+// use); wq is (n, k) with channel j's weights contiguous in row j, quantized
+// with its own scale scales[j] = absmax(w[:, j]) / 127.
+void quantize_weights_per_channel(const float* w, std::int64_t k, std::int64_t n,
+                                  std::int8_t* wq, float* scales);
+
+}  // namespace snappix::detail

@@ -92,12 +92,74 @@ void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int6
   parallel_for(m, rows, /*grain=*/std::max<std::int64_t>(1, kParallelWork / (k * n)));
 }
 
-// c(m,k) += a(m,n) * b(k,n)^T  (i.e. a * b^T)
+// c(m,k) += a(m,n) * b(k,n)^T  (i.e. a * b^T), register-tiled.
+//
+// 4x4 output tiles hold their dot-product accumulators in registers, so each
+// a and b element is loaded once per 4 outputs instead of once per output.
+// Per element the operation sequence is unchanged from the streaming kernel:
+// a zero-initialized accumulator sums the n products in ascending-l order
+// with separate mul and add, then one add folds it into c — so the tiled
+// kernel is bit-identical to the naive loop (training gradients depend on
+// this; see the GemmBackwardKernels regression tests).
 void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
-           std::int64_t k) {
-  for (std::int64_t i = 0; i < m; ++i) {
+             std::int64_t k) {
+  std::int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + i * n;
+    const float* a1 = a0 + n;
+    const float* a2 = a1 + n;
+    const float* a3 = a2 + n;
+    std::int64_t j = 0;
+    for (; j + 4 <= k; j += 4) {
+      const float* b0 = b + j * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      float acc[4][4] = {};
+      for (std::int64_t l = 0; l < n; ++l) {
+        const float av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
+        const float bv0 = b0[l], bv1 = b1[l], bv2 = b2[l], bv3 = b3[l];
+        acc[0][0] += av0 * bv0;
+        acc[0][1] += av0 * bv1;
+        acc[0][2] += av0 * bv2;
+        acc[0][3] += av0 * bv3;
+        acc[1][0] += av1 * bv0;
+        acc[1][1] += av1 * bv1;
+        acc[1][2] += av1 * bv2;
+        acc[1][3] += av1 * bv3;
+        acc[2][0] += av2 * bv0;
+        acc[2][1] += av2 * bv1;
+        acc[2][2] += av2 * bv2;
+        acc[2][3] += av2 * bv3;
+        acc[3][0] += av3 * bv0;
+        acc[3][1] += av3 * bv1;
+        acc[3][2] += av3 * bv2;
+        acc[3][3] += av3 * bv3;
+      }
+      for (int r = 0; r < 4; ++r) {
+        for (int q = 0; q < 4; ++q) {
+          c[(i + r) * k + j + q] += acc[r][q];
+        }
+      }
+    }
+    for (; j < k; ++j) {  // column tail: 4 rows x 1 output
+      const float* brow = b + j * n;
+      float acc[4] = {};
+      for (std::int64_t l = 0; l < n; ++l) {
+        const float bv = brow[l];
+        acc[0] += a0[l] * bv;
+        acc[1] += a1[l] * bv;
+        acc[2] += a2[l] * bv;
+        acc[3] += a3[l] * bv;
+      }
+      for (int r = 0; r < 4; ++r) {
+        c[(i + r) * k + j] += acc[r];
+      }
+    }
+  }
+  for (; i < m; ++i) {  // row tail: the original streaming loop
+    const float* arow = a + i * n;
     for (std::int64_t j = 0; j < k; ++j) {
-      const float* arow = a + i * n;
       const float* brow = b + j * n;
       float acc = 0.0F;
       for (std::int64_t l = 0; l < n; ++l) {
@@ -108,20 +170,78 @@ void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int6
   }
 }
 
-// c(k,n) += a(m,k)^T * b(m,n)
+// c(k,n) += a(m,k)^T * b(m,n), register-tiled.
+//
+// The streaming kernel walked l (the reduction over m) in the OUTER loop,
+// re-reading and re-writing all of c every iteration. Here a 4x8 c tile is
+// loaded into registers once, accumulates its m products in the same
+// ascending-l order — including the av == 0 skip, which is observable in
+// floating point (it can preserve a -0.0 an explicit +0.0 add would erase) —
+// and is stored once. Per element the operation sequence
+// ((c + p_0) + p_1) + ... is exactly the streaming kernel's, so results are
+// bit-identical while c traffic drops by a factor of m.
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-           std::int64_t n) {
-  for (std::int64_t l = 0; l < m; ++l) {
-    const float* arow = a + l * k;
-    const float* brow = b + l * n;
-    for (std::int64_t i = 0; i < k; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) {
-        continue;
+             std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      float acc[4][8];
+      for (int r = 0; r < 4; ++r) {
+        for (int q = 0; q < 8; ++q) {
+          acc[r][q] = c[(i + r) * n + j + q];
+        }
       }
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+      for (std::int64_t l = 0; l < m; ++l) {
+        const float* arow = a + l * k + i;
+        const float* bp = b + l * n + j;
+        for (int r = 0; r < 4; ++r) {
+          const float av = arow[r];
+          if (av == 0.0F) {
+            continue;
+          }
+          for (int q = 0; q < 8; ++q) {
+            acc[r][q] += av * bp[q];
+          }
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        for (int q = 0; q < 8; ++q) {
+          c[(i + r) * n + j + q] = acc[r][q];
+        }
+      }
+    }
+    if (j < n) {  // column tail: same order over the remaining columns
+      const std::int64_t nt = n - j;
+      for (std::int64_t l = 0; l < m; ++l) {
+        const float* arow = a + l * k + i;
+        const float* bp = b + l * n + j;
+        for (int r = 0; r < 4; ++r) {
+          const float av = arow[r];
+          if (av == 0.0F) {
+            continue;
+          }
+          float* crow = c + (i + r) * n + j;
+          for (std::int64_t q = 0; q < nt; ++q) {
+            crow[q] += av * bp[q];
+          }
+        }
+      }
+    }
+  }
+  if (i < k) {  // row tail: the original streaming loop over the last rows
+    for (std::int64_t l = 0; l < m; ++l) {
+      const float* arow = a + l * k;
+      const float* brow = b + l * n;
+      for (std::int64_t r = i; r < k; ++r) {
+        const float av = arow[r];
+        if (av == 0.0F) {
+          continue;
+        }
+        float* crow = c + r * n;
+        for (std::int64_t q = 0; q < n; ++q) {
+          crow[q] += av * brow[q];
+        }
       }
     }
   }

@@ -2,7 +2,9 @@
 // differences, plus tape-engine behaviour (accumulation, reuse, no-grad).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <vector>
 
 #include "gradcheck.h"
 #include "tensor/tensor.h"
@@ -90,6 +92,22 @@ TEST(Autograd, MatmulBackwardBroadcastRhs) {
   Tensor a = Tensor::randn(Shape{2, 3, 4}, rng, 1.0F, true);
   Tensor b = Tensor::randn(Shape{4, 2}, rng, 1.0F, true);
   EXPECT_LT(max_grad_error([&] { return sum_all(matmul(a, b)); }, {a, b}), kTol);
+}
+
+TEST(Autograd, MatmulBackwardTileBoundaryShapes) {
+  // The register-tiled backward kernels (gemm_nt 4x4 tiles, gemm_tn 4x8
+  // tiles) have row/column tails at every non-multiple size; gradcheck a
+  // spread of shapes that straddle the boundaries from both sides.
+  const std::vector<std::array<std::int64_t, 3>> shapes = {
+      {1, 1, 1}, {3, 5, 2}, {4, 4, 8}, {5, 9, 11}, {8, 16, 4}, {13, 7, 9}};
+  std::uint64_t seed = 100;
+  for (const auto& [m, k, n] : shapes) {
+    Rng rng(seed++);
+    Tensor a = Tensor::randn(Shape{m, k}, rng, 1.0F, true);
+    Tensor b = Tensor::randn(Shape{k, n}, rng, 1.0F, true);
+    EXPECT_LT(max_grad_error([&] { return sum_all(matmul(a, b)); }, {a, b}), kTol)
+        << "shape " << m << "x" << k << "x" << n;
+  }
 }
 
 TEST(Autograd, SumMeanAxisBackward) {

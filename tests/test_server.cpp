@@ -425,7 +425,7 @@ TEST(EngineCache, CountsHitsAndMisses) {
   EngineCacheConfig cfg;
   cfg.shards = 2;
   cfg.capacity_per_shard = 4;
-  EngineCache cache(cfg, [&system](const ce::CePattern&) {
+  EngineCache cache(cfg, [&system](const ce::CePattern&, runtime::Precision) {
     return std::make_shared<runtime::BatchedVitEngine>(*system.classifier(), 4);
   });
   const auto patterns = distinct_patterns(3, 51);
@@ -454,7 +454,7 @@ TEST(EngineCache, NeverExceedsPerShardCapacityAndEvictsLru) {
   cfg.shards = 1;  // single shard makes the LRU order observable
   cfg.capacity_per_shard = 2;
   int builds = 0;
-  EngineCache cache(cfg, [&system, &builds](const ce::CePattern&) {
+  EngineCache cache(cfg, [&system, &builds](const ce::CePattern&, runtime::Precision) {
     ++builds;
     return std::make_shared<runtime::BatchedVitEngine>(*system.classifier(), 4);
   });
@@ -477,7 +477,7 @@ TEST(EngineCache, EvictedPatternRefetchIsBitIdentical) {
   EngineCacheConfig cfg;
   cfg.shards = 1;
   cfg.capacity_per_shard = 1;  // every alternation evicts
-  EngineCache cache(cfg, [&system](const ce::CePattern&) {
+  EngineCache cache(cfg, [&system](const ce::CePattern&, runtime::Precision) {
     return std::make_shared<runtime::BatchedVitEngine>(*system.classifier(),
                                                        *system.reconstructor(), 4);
   });

@@ -1,10 +1,13 @@
 // Unit tests for tensor structure, factories, and forward-only semantics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "tensor/broadcast.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -163,6 +166,107 @@ TEST(MatmulForward, BatchBroadcastRhs) {
 TEST(MatmulForward, MismatchThrows) {
   EXPECT_THROW(matmul(Tensor::zeros(Shape{2, 3}), Tensor::zeros(Shape{4, 2})),
                std::runtime_error);
+}
+
+// --- backward GEMM kernels ---------------------------------------------------
+//
+// The register-tiled gemm_nt/gemm_tn must stay BIT-identical to the
+// historical streaming loops — per-element ascending-order accumulation,
+// read-modify-write semantics on a nonzero c, and gemm_tn's av == 0 skip —
+// because training gradients (and their optimizer trajectories) are pinned
+// by the determinism suites.
+
+namespace {
+
+// The pre-tiling streaming kernels, verbatim: the bit-exactness oracles.
+void gemm_nt_naive(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+                   std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float* arow = a + i * n;
+      const float* brow = b + j * n;
+      float acc = 0.0F;
+      for (std::int64_t l = 0; l < n; ++l) {
+        acc += arow[l] * brow[l];
+      }
+      c[i * k + j] += acc;
+    }
+  }
+}
+
+void gemm_tn_naive(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) {
+  for (std::int64_t l = 0; l < m; ++l) {
+    const float* arow = a + l * k;
+    const float* brow = b + l * n;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) {
+        continue;
+      }
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// Random data with a sprinkling of exact zeros (so gemm_tn's skip is
+// exercised) and a NONZERO initial c (so read-modify-write order matters).
+struct GemmCase {
+  std::vector<float> a, b, c;
+};
+
+GemmCase make_case(std::int64_t a_elems, std::int64_t b_elems, std::int64_t c_elems,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  GemmCase gc;
+  gc.a.resize(static_cast<std::size_t>(a_elems));
+  gc.b.resize(static_cast<std::size_t>(b_elems));
+  gc.c.resize(static_cast<std::size_t>(c_elems));
+  for (auto& v : gc.a) {
+    v = rng.uniform() < 0.2F ? 0.0F : rng.uniform(-2.0F, 2.0F);
+  }
+  for (auto& v : gc.b) {
+    v = rng.uniform(-2.0F, 2.0F);
+  }
+  for (auto& v : gc.c) {
+    v = rng.uniform(-1.0F, 1.0F);
+  }
+  return gc;
+}
+
+}  // namespace
+
+TEST(GemmBackwardKernels, TiledNtBitIdenticalToStreaming) {
+  std::uint64_t seed = 200;
+  for (const auto& [m, n, k] : std::vector<std::array<std::int64_t, 3>>{
+           {1, 1, 1}, {3, 5, 2}, {4, 8, 4}, {5, 9, 11}, {12, 16, 8}, {13, 7, 9}}) {
+    GemmCase gc = make_case(m * n, k * n, m * k, seed++);
+    std::vector<float> expected = gc.c;
+    detail::gemm_nt(gc.a.data(), gc.b.data(), gc.c.data(), m, n, k);
+    gemm_nt_naive(gc.a.data(), gc.b.data(), expected.data(), m, n, k);
+    for (std::int64_t i = 0; i < m * k; ++i) {
+      ASSERT_EQ(gc.c[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)])
+          << "nt m=" << m << " n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(GemmBackwardKernels, TiledTnBitIdenticalToStreaming) {
+  std::uint64_t seed = 300;
+  for (const auto& [m, k, n] : std::vector<std::array<std::int64_t, 3>>{
+           {1, 1, 1}, {3, 5, 2}, {4, 4, 8}, {5, 9, 11}, {12, 8, 16}, {13, 7, 9}}) {
+    GemmCase gc = make_case(m * k, m * n, k * n, seed++);
+    std::vector<float> expected = gc.c;
+    detail::gemm_tn(gc.a.data(), gc.b.data(), gc.c.data(), m, k, n);
+    gemm_tn_naive(gc.a.data(), gc.b.data(), expected.data(), m, k, n);
+    for (std::int64_t i = 0; i < k * n; ++i) {
+      ASSERT_EQ(gc.c[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)])
+          << "tn m=" << m << " k=" << k << " n=" << n << " i=" << i;
+    }
+  }
 }
 
 TEST(ReduceForward, SumMeanAxes) {
