@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the test suite, check the docs tree's
-# links, then run the streaming throughput bench in quick mode (emits
-# BENCH_streaming.json, BENCH_pattern_cache.json, BENCH_sharded.json,
-# BENCH_framed.json and BENCH_int8.json in build/).
+# links, then run the streaming throughput and observability benches in quick
+# mode (emits BENCH_streaming.json, BENCH_pattern_cache.json,
+# BENCH_sharded.json, BENCH_framed.json, BENCH_int8.json, BENCH_obs.json and
+# trace_obs.json in build/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,3 +36,28 @@ echo "BENCH_framed.json:"
 cat "$BUILD_DIR/BENCH_framed.json"
 echo "BENCH_int8.json:"
 cat "$BUILD_DIR/BENCH_int8.json"
+
+# Observability bench: exits non-zero if tracing with no frames sampled costs
+# more than 2% throughput, 1-in-8 per-camera sampling costs more than 5%, any
+# served bit differs between the traced and untraced arms, or the sampled
+# arm's trace is incomplete (a sampled served frame missing any of its
+# frame/capture/queue_wait/batch_assembly/infer spans), unsorted, truncated,
+# or not valid JSON. Emits BENCH_obs.json and the Perfetto-loadable
+# trace_obs.json.
+(cd "$BUILD_DIR" && ./bench_obs_overhead --quick)
+echo "BENCH_obs.json:"
+cat "$BUILD_DIR/BENCH_obs.json"
+
+# Independent check that the exported trace parses as JSON (the bench already
+# validates it with the in-repo parser; this cross-checks with a second
+# implementation when python3 is around).
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$BUILD_DIR/trace_obs.json" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f, parse_constant=lambda tok: sys.exit(f"non-finite token {tok!r} in trace"))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+print(f"trace_obs.json: valid JSON, {len(events)} trace events")
+EOF
+fi

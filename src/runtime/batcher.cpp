@@ -66,16 +66,22 @@ BatchAggregator::Poll BatchAggregator::poll_batch(std::vector<Frame>& out,
 
 void BatchAggregator::fill_from(Frame first, std::vector<Frame>& out) {
   last_key_ = BatchKey{first.pattern_id, first.task, first.precision};
+  last_flush_reason_ = FlushReason::kMaxBatch;
   const Clock::time_point deadline = Clock::now() + policy_.max_delay;
   out.push_back(std::move(first));
   while (static_cast<int>(out.size()) < policy_.max_batch) {
     Frame next;
     if (!queue_.pop_until(next, deadline)) {
-      break;  // deadline hit, or queue closed and drained
+      // exhausted() is sticky, so this cleanly splits "queue is gone" from
+      // "the max_delay deadline fired before the batch filled".
+      last_flush_reason_ =
+          queue_.exhausted() ? FlushReason::kExhausted : FlushReason::kMaxLatency;
+      break;
     }
     next.dequeue_time = Clock::now();
     if (!last_key_.matches(next)) {
       holdback_ = std::move(next);  // different pattern/task/precision opens the next batch
+      last_flush_reason_ = FlushReason::kHoldback;
       break;
     }
     out.push_back(std::move(next));

@@ -75,6 +75,11 @@ class BatchAggregator {
   // Key of the batch most recently returned by next_batch().
   const BatchKey& last_key() const { return last_key_; }
 
+  // Why the batch most recently returned by next_batch()/poll_batch() was
+  // closed (kMaxBatch / kMaxLatency / kExhausted / kHoldback — kSteal is
+  // stamped by the server for batches that bypass the aggregator).
+  FlushReason last_flush_reason() const { return last_flush_reason_; }
+
   // Stacks the batch's coded images into one (B, H, W) tensor.
   static Tensor stack_coded(const std::vector<Frame>& frames);
 
@@ -88,6 +93,7 @@ class BatchAggregator {
   FrameQueue& queue_;
   BatchPolicy policy_;
   BatchKey last_key_;
+  FlushReason last_flush_reason_ = FlushReason::kMaxBatch;
   // A frame popped mid-batch whose key differed: it opens the next batch.
   std::optional<Frame> holdback_;
 };

@@ -20,7 +20,9 @@ Frame CameraSource::next_frame() {
     // replaces frame.coded with the receiver-side reassembly anyway.
     last_coded_ = std::move(frame.coded);
     last_sequence_ = frame.sequence;
+    frame.transport_start = Clock::now();
     transfer_framed(frame);
+    frame.transport_end = Clock::now();
   }
   return frame;
 }
@@ -37,6 +39,7 @@ void CameraSource::retransmit(Frame& frame) {
                           << " sequence " << frame.sequence);
   const std::uint64_t prior_wire_bytes = frame.wire_bytes;
   transfer_framed(frame);
+  frame.transport_end = Clock::now();  // the transport span absorbs retries
   // Every attempt's bytes crossed the wire; the frame's traffic accumulates
   // (raw_bytes stays per-attempt: a conventional pipeline has no retries).
   frame.wire_bytes += prior_wire_bytes;
@@ -84,6 +87,8 @@ Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
   frame.pattern_id = pattern_id_;
   frame.task = task_;
   frame.precision = precision();
+  const int sample_every = trace_sampling();
+  frame.trace_sampled = sample_every > 0 && frame.sequence % sample_every == 0;
   // 8-bit readout: a conventional pipeline ships all T slot frames, the CE
   // sensor ships one coded image of the same geometry.
   frame.wire_bytes = static_cast<std::uint64_t>(height * width);

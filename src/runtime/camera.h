@@ -95,6 +95,19 @@ class CameraSource {
   bool precision_overridden() const { return precision_override_.has_value(); }
   void set_default_precision(Precision precision) { default_precision_ = precision; }
 
+  // Per-camera trace sampling period: every Nth frame (sequence % N == 0) is
+  // emitted with trace_sampled set; 0 samples nothing. Same default/override
+  // split as precision: the server installs its TraceConfig::sample_every as
+  // the default at add_camera time, an explicit set_trace_sampling wins — so
+  // one noisy camera can be traced densely while the fleet stays at 1-in-N.
+  int trace_sampling() const {
+    return trace_sampling_override_.value_or(default_trace_sampling_);
+  }
+  void set_trace_sampling(int sample_every) { trace_sampling_override_ = sample_every; }
+  void set_default_trace_sampling(int sample_every) {
+    default_trace_sampling_ = sample_every;
+  }
+
  protected:
   CameraSource(int id, PatternRef pattern);
 
@@ -120,6 +133,8 @@ class CameraSource {
   Task task_ = Task::kClassify;
   Precision default_precision_ = Precision::kFp32;
   std::optional<Precision> precision_override_;
+  int default_trace_sampling_ = 0;  // 0 = tracing off for this camera
+  std::optional<int> trace_sampling_override_;
   std::int64_t next_sequence_ = 0;
 
  private:

@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_s8.h"
 #include "util/common.h"
@@ -511,21 +512,26 @@ void BatchedVitEngine::encode_chunk(const float* coded, std::int64_t batch,
   const std::int64_t rows = batch * n;
   const std::int64_t heads = config_.heads;
 
+  obs::ScopedSpan encode_span("encode");
+
   patchify_rows(coded, ws_.patches.data(), batch, config_);
   if (ranges != nullptr) {
     fold_absmax(ranges->embed_in, ws_.patches.data(), rows * pp);
   }
 
-  // Embedding: (patches @ We + be) + pos — bias first, then the positional
-  // add, matching Linear::forward followed by ViTEncoder::embed's add().
-  std::memset(ws_.x.data(), 0, static_cast<std::size_t>(rows * d) * sizeof(float));
-  detail::gemm_nn(ws_.patches.data(), embed_w.data(), ws_.x.data(), rows, pp, d);
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t t = 0; t < n; ++t) {
-      float* row = ws_.x.data() + (b * n + t) * d;
-      const float* pos = pos_embed.data() + t * d;
-      for (std::int64_t j = 0; j < d; ++j) {
-        row[j] = (row[j] + embed_b[j]) + pos[j];
+  {
+    // Embedding: (patches @ We + be) + pos — bias first, then the positional
+    // add, matching Linear::forward followed by ViTEncoder::embed's add().
+    obs::ScopedSpan span("embed");
+    std::memset(ws_.x.data(), 0, static_cast<std::size_t>(rows * d) * sizeof(float));
+    detail::gemm_nn(ws_.patches.data(), embed_w.data(), ws_.x.data(), rows, pp, d);
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t t = 0; t < n; ++t) {
+        float* row = ws_.x.data() + (b * n + t) * d;
+        const float* pos = pos_embed.data() + t * d;
+        for (std::int64_t j = 0; j < d; ++j) {
+          row[j] = (row[j] + embed_b[j]) + pos[j];
+        }
       }
     }
   }
@@ -535,25 +541,35 @@ void BatchedVitEngine::encode_chunk(const float* coded, std::int64_t batch,
     ActivationRanges::BlockRanges* blk_ranges =
         ranges != nullptr ? &ranges->blocks[bi] : nullptr;
     // --- attention sublayer ---------------------------------------------
-    layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, d, blk.norm1_gamma.data(),
-                    blk.norm1_beta.data());
-    if (blk_ranges != nullptr) {
-      fold_absmax(blk_ranges->qkv_in, ws_.norm.data(), rows * d);
+    {
+      obs::ScopedSpan span("qkv");
+      layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, d, blk.norm1_gamma.data(),
+                      blk.norm1_beta.data());
+      if (blk_ranges != nullptr) {
+        fold_absmax(blk_ranges->qkv_in, ws_.norm.data(), rows * d);
+      }
+      linear_rows(ws_.norm.data(), blk.qkv_w.data(), blk.qkv_b.data(), ws_.qkv.data(), rows, d,
+                  3 * d);
     }
-    linear_rows(ws_.norm.data(), blk.qkv_w.data(), blk.qkv_b.data(), ws_.qkv.data(), rows, d,
-                3 * d);
-    attention_rows(ws_.qkv.data(), ws_.ctx.data(), ws_.scores.data(), batch, n, d, heads);
+    {
+      obs::ScopedSpan span("attention");
+      attention_rows(ws_.qkv.data(), ws_.ctx.data(), ws_.scores.data(), batch, n, d, heads);
+    }
     if (blk_ranges != nullptr) {
       fold_absmax(blk_ranges->proj_in, ws_.ctx.data(), rows * d);
     }
-    linear_rows(ws_.ctx.data(), blk.proj_w.data(), blk.proj_b.data(), ws_.proj.data(), rows, d,
-                d);
-    for (std::int64_t i = 0; i < rows * d; ++i) {
-      ws_.x[static_cast<std::size_t>(i)] =
-          ws_.x[static_cast<std::size_t>(i)] + ws_.proj[static_cast<std::size_t>(i)];
+    {
+      obs::ScopedSpan span("proj");
+      linear_rows(ws_.ctx.data(), blk.proj_w.data(), blk.proj_b.data(), ws_.proj.data(), rows,
+                  d, d);
+      for (std::int64_t i = 0; i < rows * d; ++i) {
+        ws_.x[static_cast<std::size_t>(i)] =
+            ws_.x[static_cast<std::size_t>(i)] + ws_.proj[static_cast<std::size_t>(i)];
+      }
     }
 
     // --- MLP sublayer ----------------------------------------------------
+    obs::ScopedSpan mlp_span("mlp");
     layer_norm_rows(ws_.x.data(), ws_.norm.data(), rows, d, blk.norm2_gamma.data(),
                     blk.norm2_beta.data());
     if (blk_ranges != nullptr) {
@@ -585,6 +601,7 @@ void BatchedVitEngine::encode_chunk(const float* coded, std::int64_t batch,
 }
 
 void BatchedVitEngine::classify_chunk(std::int64_t batch, float* logits) const {
+  obs::ScopedSpan span("classify_head");
   const std::int64_t d = config_.dim;
   const std::int64_t n = config_.tokens();
 
@@ -609,6 +626,7 @@ void BatchedVitEngine::classify_chunk(std::int64_t batch, float* logits) const {
 }
 
 void BatchedVitEngine::reconstruct_chunk(std::int64_t batch, float* video) const {
+  obs::ScopedSpan span("rec_decode");
   const std::int64_t d = config_.dim;
   const std::int64_t n = config_.tokens();
   const std::int64_t out =
@@ -802,35 +820,56 @@ QuantizedVitEngine::QuantizedVitEngine(const models::SnapPixClassifier& model,
 
 void QuantizedVitEngine::linear_s8(const float* in, const QuantLinear& lin, float* out,
                                    std::int64_t rows) const {
-  detail::quantize_symmetric(in, rows * lin.k, lin.act_scale, ws_.qin.data());
-  detail::gemm_s8_nt(ws_.qin.data(), lin.wq.data(), ws_.acc.data(), rows, lin.k, lin.n);
+  {
+    obs::ScopedSpan span("quantize");
+    detail::quantize_symmetric(in, rows * lin.k, lin.act_scale, ws_.qin.data());
+  }
+  {
+    obs::ScopedSpan span("gemm_s8");
+    detail::gemm_s8_nt(ws_.qin.data(), lin.wq.data(), ws_.acc.data(), rows, lin.k, lin.n);
+  }
+  obs::ScopedSpan span("requant");
   dequant_rows_fast(ws_.acc.data(), lin.deq.data(), lin.bias.data(), out, rows, lin.n);
 }
 
 void QuantizedVitEngine::mlp_s8(const float* in, const BlockWeights& blk, float* out,
                                 std::int64_t rows) const {
-  detail::quantize_symmetric(in, rows * blk.fc1.k, blk.fc1.act_scale, ws_.qin.data());
-  detail::gemm_s8_nt(ws_.qin.data(), blk.fc1.wq.data(), ws_.acc.data(), rows, blk.fc1.k,
-                     blk.fc1.n);
-  // fc1 output -> GELU -> fc2 input without leaving int8: requantize each
-  // accumulator onto the gelu_in grid (tensor/gemm_s8.h's shared pack
-  // pipeline), then map through the 256-entry LUT. ws_.qin is rewritten in
-  // place (the fc1 input it held is spent).
-  const std::int64_t total = rows * blk.fc1.n;
-  detail::requantize_rows(ws_.acc.data(), blk.fc1.deq.data(), blk.fc1.bias.data(),
-                          blk.gelu_inv_scale, ws_.qin.data(), rows, blk.fc1.n);
-  const std::int8_t* lut = blk.gelu_lut.data();
-  std::int8_t* q = ws_.qin.data();
-  for (std::int64_t i = 0; i < total; ++i) {
-    q[i] = lut[static_cast<std::uint8_t>(q[i])];
+  {
+    obs::ScopedSpan span("quantize");
+    detail::quantize_symmetric(in, rows * blk.fc1.k, blk.fc1.act_scale, ws_.qin.data());
   }
-  detail::gemm_s8_nt(ws_.qin.data(), blk.fc2.wq.data(), ws_.acc.data(), rows, blk.fc2.k,
-                     blk.fc2.n);
+  {
+    obs::ScopedSpan span("gemm_s8");
+    detail::gemm_s8_nt(ws_.qin.data(), blk.fc1.wq.data(), ws_.acc.data(), rows, blk.fc1.k,
+                       blk.fc1.n);
+  }
+  {
+    // fc1 output -> GELU -> fc2 input without leaving int8: requantize each
+    // accumulator onto the gelu_in grid (tensor/gemm_s8.h's shared pack
+    // pipeline), then map through the 256-entry LUT. ws_.qin is rewritten in
+    // place (the fc1 input it held is spent).
+    obs::ScopedSpan span("requant");
+    const std::int64_t total = rows * blk.fc1.n;
+    detail::requantize_rows(ws_.acc.data(), blk.fc1.deq.data(), blk.fc1.bias.data(),
+                            blk.gelu_inv_scale, ws_.qin.data(), rows, blk.fc1.n);
+    const std::int8_t* lut = blk.gelu_lut.data();
+    std::int8_t* q = ws_.qin.data();
+    for (std::int64_t i = 0; i < total; ++i) {
+      q[i] = lut[static_cast<std::uint8_t>(q[i])];
+    }
+  }
+  {
+    obs::ScopedSpan span("gemm_s8");
+    detail::gemm_s8_nt(ws_.qin.data(), blk.fc2.wq.data(), ws_.acc.data(), rows, blk.fc2.k,
+                       blk.fc2.n);
+  }
+  obs::ScopedSpan span("requant");
   dequant_rows_fast(ws_.acc.data(), blk.fc2.deq.data(), blk.fc2.bias.data(), out, rows,
                     blk.fc2.n);
 }
 
 void QuantizedVitEngine::encode_chunk(const float* coded, std::int64_t batch) const {
+  obs::ScopedSpan encode_span("encode");
   const std::int64_t d = config_.dim;
   const std::int64_t n = config_.tokens();
   const std::int64_t rows = batch * n;
@@ -864,6 +903,7 @@ void QuantizedVitEngine::encode_chunk(const float* coded, std::int64_t batch) co
 }
 
 void QuantizedVitEngine::classify_chunk(std::int64_t batch, float* logits) const {
+  obs::ScopedSpan span("classify_head");
   const std::int64_t d = config_.dim;
   const std::int64_t n = config_.tokens();
   const float inv_n = 1.0F / static_cast<float>(n);
@@ -881,6 +921,7 @@ void QuantizedVitEngine::classify_chunk(std::int64_t batch, float* logits) const
 }
 
 void QuantizedVitEngine::reconstruct_chunk(std::int64_t batch, float* video) const {
+  obs::ScopedSpan span("rec_decode");
   linear_s8(ws_.norm.data(), rec_, ws_.rec.data(), batch * config_.tokens());
   scatter_video(ws_.rec.data(), video, batch, frames_, config_);
 }

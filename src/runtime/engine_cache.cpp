@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace snappix::runtime {
@@ -67,12 +68,24 @@ std::shared_ptr<const ServingEntry> EngineCache::resolve(
   Shard& shard = shard_for(pattern_id);
   const CacheKey key{pattern_id, precision};
   EngineCacheCounters& counters = shard.counters[static_cast<std::size_t>(precision)];
+
+  // A hit is a map lookup; a miss builds (and for int8, calibrates) an
+  // engine. The hit/miss arg on the span makes the difference visible in the
+  // trace without a separate event type.
+  obs::TraceLane* lane = obs::current_lane();
+  obs::TraceRecorder* recorder = obs::current_recorder();
+  const std::int64_t span_start = lane != nullptr ? recorder->now_ns() : 0;
+
   std::lock_guard<std::mutex> lock(shard.mutex);
 
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     ++counters.hits;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+    if (lane != nullptr) {
+      lane->add_complete("cache_resolve", span_start, recorder->now_ns() - span_start,
+                         "\"hit\": true");
+    }
     return it->second->second;
   }
 
@@ -95,6 +108,10 @@ std::shared_ptr<const ServingEntry> EngineCache::resolve(
     ++shard.counters[static_cast<std::size_t>(victim.precision)].evictions;
     shard.index.erase(victim);
     shard.lru.pop_back();  // in-flight holders keep the entry alive
+  }
+  if (lane != nullptr) {
+    lane->add_complete("cache_resolve", span_start, recorder->now_ns() - span_start,
+                       "\"hit\": false");
   }
   return entry;
 }

@@ -64,6 +64,33 @@ inline bool is_corrupt(TransportStatus status) {
          status == TransportStatus::kMissingLines;
 }
 
+// Why a BatchAggregator closed a batch. Recorded per batch for the per-reason
+// counters in ShardStatsView / the metrics registry and stamped on the trace
+// span, so a latency regression can be attributed to policy (deadline
+// flushes) vs load (full batches) vs drain/steal behavior.
+enum class FlushReason : std::uint8_t {
+  kMaxBatch,    // batch reached BatchPolicy::max_batch
+  kMaxLatency,  // max_delay elapsed before the batch filled
+  kExhausted,   // the queue closed and drained mid-batch
+  kHoldback,    // a frame with a different serving key closed the batch
+  kSteal,       // the batch was stolen from a sibling's queue tail
+};
+
+inline const char* to_string(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kMaxBatch:
+      return "max_batch";
+    case FlushReason::kMaxLatency:
+      return "max_latency";
+    case FlushReason::kExhausted:
+      return "exhausted";
+    case FlushReason::kHoldback:
+      return "holdback";
+    default:
+      return "steal";
+  }
+}
+
 struct Frame {
   int camera_id = -1;
   std::int64_t sequence = -1;  // per-camera frame index, starts at 0
@@ -91,9 +118,19 @@ struct Frame {
   TransportStatus transport = TransportStatus::kInMemory;
   std::uint16_t retransmits = 0;  // framed re-transfers spent on this frame
 
-  Clock::time_point capture_start{};  // camera began producing this frame
-  Clock::time_point enqueue_time{};   // frame entered the FrameQueue
-  Clock::time_point dequeue_time{};   // aggregator popped it (even if held back)
+  // Trace context: true when this frame was selected by its camera's 1-in-N
+  // trace sampling. The serving shard synthesizes the frame's full lifecycle
+  // spans (capture/transport/queue_wait/batch_assembly/infer) from the
+  // timestamps below, so sampling a frame costs one bool at capture time and
+  // the span emission rides on the shard worker, off the camera threads.
+  bool trace_sampled = false;
+
+  Clock::time_point capture_start{};    // camera began producing this frame
+  Clock::time_point capture_end{};      // capture + transport retries finished
+  Clock::time_point transport_start{};  // first framed transfer began (framed only)
+  Clock::time_point transport_end{};    // last framed transfer ended (framed only)
+  Clock::time_point enqueue_time{};     // frame entered the FrameQueue
+  Clock::time_point dequeue_time{};     // aggregator popped it (even if held back)
 };
 
 }  // namespace snappix::runtime

@@ -107,7 +107,8 @@ void StreamScheduler::produce(CameraSource& camera, FrameQueue& queue, std::int6
       // encoding, and — in framed mode — every transport attempt including
       // retries, so retry storms are visible in the capture percentiles
       // rather than silently widening the capture->e2e gap.
-      stats_.record_capture(std::chrono::duration<double>(Clock::now() - t0).count());
+      frame.capture_end = Clock::now();
+      stats_.record_capture(std::chrono::duration<double>(frame.capture_end - t0).count());
       if (is_corrupt(frame.transport)) {
         continue;  // counted, never enqueued: the fleet serves one fewer frame
       }

@@ -1,6 +1,7 @@
 #include "runtime/server.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -61,6 +62,7 @@ void validate(const ServerConfig& config) {
     throw std::invalid_argument(os.str());
   }
   validate(config.transport);
+  obs::validate(config.trace);
 }
 
 namespace {
@@ -109,6 +111,14 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
     }
     shards_.push_back(std::move(shard));
   }
+  if (config_.trace.enabled) {
+    trace_recorder_ = std::make_unique<obs::TraceRecorder>(config_.trace);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::ostringstream name;
+      name << "shard " << i;
+      shards_[i]->lane = trace_recorder_->create_lane(name.str());
+    }
+  }
   // Every shard queue closes when the fleet drains — including queues of
   // shards no camera happens to hash to, whose workers would otherwise poll
   // an open-and-forever-empty queue while siblings wait on fleet exhaustion.
@@ -121,6 +131,9 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
 void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
   SNAPPIX_CHECK(camera != nullptr, "null camera");
   camera->set_default_precision(config_.precision);
+  // Tracing off => default sampling 0 (no frame stamps trace_sampled); an
+  // explicit set_trace_sampling on the camera still wins either way.
+  camera->set_default_trace_sampling(config_.trace.enabled ? config_.trace.sample_every : 0);
   if (camera->precision() == Precision::kInt8 &&
       config_.backend == InferenceBackend::kTapeFramework) {
     std::ostringstream os;
@@ -157,11 +170,32 @@ bool InferenceServer::fleet_exhausted(std::size_t index) const {
 }
 
 void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
-                                  std::vector<Frame>& batch) {
+                                  std::vector<Frame>& batch, FlushReason reason) {
   for (const Frame& frame : batch) {
     stats_.record_queue_wait(
         std::chrono::duration<double>(frame.dequeue_time - frame.enqueue_time).count());
   }
+
+  // Tracing: only batches carrying at least one sampled frame pay for span
+  // emission. Installing the shard's lane in TLS lets the EngineCache and the
+  // engines emit their stage spans with no API changes; everything lands in
+  // this worker's single-writer lane.
+  bool traced = false;
+  if (trace_recorder_ != nullptr && self.lane != nullptr) {
+    for (const Frame& frame : batch) {
+      if (frame.trace_sampled) {
+        traced = true;
+        break;
+      }
+    }
+  }
+  std::optional<obs::ScopedTraceLane> lane_scope;
+  std::int64_t serve_start_ns = 0;
+  if (traced) {
+    lane_scope.emplace(trace_recorder_.get(), self.lane);
+    serve_start_ns = trace_recorder_->now_ns();
+  }
+
   const Tensor coded = BatchAggregator::stack_coded(batch);
 
   // Resolve the batch's pattern to resident serving state in THIS shard's
@@ -213,8 +247,20 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
     }
   }
   const Clock::time_point infer_end = Clock::now();
+
+  if (traced) {
+    std::ostringstream args;
+    args << "\"frames\": " << batch.size() << ", \"reason\": \"" << to_string(reason)
+         << "\", \"task\": \"" << to_string(key.task) << "\", \"precision\": \""
+         << to_string(key.precision) << "\"";
+    self.lane->add_complete("serve_batch", serve_start_ns,
+                            trace_recorder_->now_ns() - serve_start_ns, args.str());
+    emit_frame_lifecycles(*self.lane, batch, infer_start, infer_end);
+  }
+
   stats_.record_batch(batch.size(),
-                      std::chrono::duration<double>(infer_end - infer_start).count());
+                      std::chrono::duration<double>(infer_end - infer_start).count(),
+                      reason);
   stats_.record_task_frames(key.task, batch.size());
   stats_.record_precision_frames(key.precision, batch.size());
   for (const Frame& frame : batch) {
@@ -224,6 +270,62 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
   }
   self.counters.frames += batch.size();
   ++self.counters.batches;
+  switch (reason) {
+    case FlushReason::kMaxBatch: ++self.counters.flush_max_batch; break;
+    case FlushReason::kMaxLatency: ++self.counters.flush_max_latency; break;
+    case FlushReason::kExhausted: ++self.counters.flush_exhausted; break;
+    case FlushReason::kHoldback: ++self.counters.flush_holdback; break;
+    case FlushReason::kSteal: ++self.counters.flush_steal; break;
+  }
+}
+
+void InferenceServer::emit_frame_lifecycles(obs::TraceLane& lane,
+                                            const std::vector<Frame>& batch,
+                                            Clock::time_point infer_start,
+                                            Clock::time_point infer_end) const {
+  const obs::TraceRecorder& rec = *trace_recorder_;
+  const std::int64_t infer_b = rec.to_ns(infer_start);
+  const std::int64_t infer_e = rec.to_ns(infer_end);
+  for (const Frame& f : batch) {
+    if (!f.trace_sampled) {
+      continue;
+    }
+    // One async track per frame: camera_id in the high half, sequence in the
+    // low half. Chrome/Perfetto nest same-(cat, id) b/e events by timestamp,
+    // so the stage spans render as children of the enclosing "frame" span.
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.camera_id)) << 32) |
+        static_cast<std::uint64_t>(f.sequence & 0xFFFFFFFF);
+    std::ostringstream args;
+    args << "\"camera\": " << f.camera_id << ", \"sequence\": " << f.sequence;
+    const std::int64_t capture_b = rec.to_ns(f.capture_start);
+    lane.add_async_begin("frame", "frame", id, capture_b, args.str());
+    lane.add_async_begin("capture", "frame", id, capture_b);
+    if (f.transport_start != Clock::time_point{}) {
+      lane.add_async_begin("transport", "frame", id, rec.to_ns(f.transport_start));
+      lane.add_async_end("transport", "frame", id, rec.to_ns(f.transport_end));
+    }
+    lane.add_async_end("capture", "frame", id, rec.to_ns(f.capture_end));
+    lane.add_async_begin("queue_wait", "frame", id, rec.to_ns(f.enqueue_time));
+    lane.add_async_end("queue_wait", "frame", id, rec.to_ns(f.dequeue_time));
+    lane.add_async_begin("batch_assembly", "frame", id, rec.to_ns(f.dequeue_time));
+    lane.add_async_end("batch_assembly", "frame", id, infer_b);
+    lane.add_async_begin("infer", "frame", id, infer_b);
+    lane.add_async_end("infer", "frame", id, infer_e);
+    lane.add_async_end("frame", "frame", id, infer_e);
+  }
+}
+
+std::string InferenceServer::trace_json() const {
+  SNAPPIX_CHECK(trace_recorder_ != nullptr,
+                "trace_json() requires ServerConfig::trace.enabled = true");
+  return trace_recorder_->chrome_json();
+}
+
+void InferenceServer::write_trace(const std::string& path) const {
+  SNAPPIX_CHECK(trace_recorder_ != nullptr,
+                "write_trace() requires ServerConfig::trace.enabled = true");
+  trace_recorder_->write(path);
 }
 
 void InferenceServer::shard_loop(std::size_t index) {
@@ -238,7 +340,7 @@ void InferenceServer::shard_loop(std::size_t index) {
       // No one to steal from (or stealing disabled): the bounded-wait poll
       // loop would only add idle wakeups every steal_poll. Block properly.
       while (aggregator.next_batch(batch)) {
-        serve_batch(self, aggregator.last_key(), batch);
+        serve_batch(self, aggregator.last_key(), batch, aggregator.last_flush_reason());
       }
       return;
     }
@@ -248,7 +350,7 @@ void InferenceServer::shard_loop(std::size_t index) {
       const BatchAggregator::Poll poll =
           aggregator.poll_batch(batch, Clock::now() + config_.steal_poll);
       if (poll == BatchAggregator::Poll::kBatch) {
-        serve_batch(self, aggregator.last_key(), batch);
+        serve_batch(self, aggregator.last_key(), batch, aggregator.last_flush_reason());
         continue;
       }
       // Idle (or drained for good): probe the siblings for a tail batch so a
@@ -265,7 +367,7 @@ void InferenceServer::shard_loop(std::size_t index) {
           ++self.counters.steal_successes;
           self.counters.stolen_frames += batch.size();
           serve_batch(self, BatchKey{batch.front().pattern_id, batch.front().task,
-                                     batch.front().precision}, batch);
+                                     batch.front().precision}, batch, FlushReason::kSteal);
           stole = true;
         }
       }

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "core/snappix.h"
+#include "obs/trace.h"
 #include "runtime/batcher.h"
 #include "runtime/camera.h"
 #include "runtime/engine_cache.h"
@@ -101,6 +102,12 @@ struct ServerConfig {
   /// => same QuantSpec => an evicted-and-rebuilt int8 entry serves
   /// bit-identical int8 results.
   QuantCalibration calibration;
+  /// Frame-lifecycle tracing (see docs/observability.md). When enabled, each
+  /// shard worker owns a lock-free span lane; cameras sample 1-in-
+  /// `trace.sample_every` frames (installed as the camera default at
+  /// add_camera time — set_trace_sampling on a camera overrides), and served
+  /// outputs stay bit-identical. Export via trace_json()/write_trace().
+  obs::TraceConfig trace;
 };
 
 /// \brief Throws std::invalid_argument with a descriptive message when the
@@ -153,6 +160,20 @@ class InferenceServer {
   FleetEnergyReport fleet_energy(const energy::EnergyModel& model,
                                  energy::WirelessTech tech) const;
 
+  /// \brief Point-in-time copy of the live metrics registry. Safe to call
+  /// MID-RUN from any thread (lock-free value reads — see obs/metrics.h);
+  /// render with obs::to_json or obs::to_prometheus.
+  obs::MetricsSnapshot metrics_snapshot() const { return stats_.registry().snapshot(); }
+
+  /// \brief The trace recorder, or null when ServerConfig::trace.enabled is
+  /// false. Read spans only after run() returns (lanes are single-writer).
+  const obs::TraceRecorder* trace_recorder() const { return trace_recorder_.get(); }
+  /// \brief Chrome trace-event JSON of the recorded spans (requires tracing
+  /// enabled; call after run()). Loadable in Perfetto / chrome://tracing.
+  std::string trace_json() const;
+  /// \brief Writes trace_json() to `path`.
+  void write_trace(const std::string& path) const;
+
   const RuntimeStats& stats() const { return stats_; }
   const ServerConfig& config() const { return config_; }
   /// \brief Shard `shard`'s private cache view; null when serving through the
@@ -167,6 +188,7 @@ class InferenceServer {
     explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
     FrameQueue queue;
     std::unique_ptr<EngineCache> cache;  // null for kTapeFramework
+    obs::TraceLane* lane = nullptr;      // null when tracing is off
     ShardStatsView counters;
     std::vector<TaskResult> results;
   };
@@ -176,7 +198,14 @@ class InferenceServer {
   }
   void shard_loop(std::size_t index);
   /// Serves one key-pure batch on shard `self`, appending its TaskResults.
-  void serve_batch(Shard& self, const BatchKey& key, std::vector<Frame>& batch);
+  /// `reason` is why the batch closed (kSteal for stolen batches).
+  void serve_batch(Shard& self, const BatchKey& key, std::vector<Frame>& batch,
+                   FlushReason reason);
+  /// Emits the synthesized per-frame lifecycle spans (async b/e events, cat
+  /// "frame") for every trace-sampled frame of a served batch onto `lane`.
+  void emit_frame_lifecycles(obs::TraceLane& lane, const std::vector<Frame>& batch,
+                             Clock::time_point infer_start,
+                             Clock::time_point infer_end) const;
   /// True when no shard queue can ever yield another frame to `index`'s
   /// worker: its own queue is exhausted and every sibling queue is too.
   bool fleet_exhausted(std::size_t index) const;
@@ -188,6 +217,7 @@ class InferenceServer {
   // copies. Mutated only by add_camera (before run); workers read it freely.
   std::unordered_map<std::uint64_t, PatternRef> patterns_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<obs::TraceRecorder> trace_recorder_;  // null when tracing off
   RuntimeStats stats_;
   StreamScheduler scheduler_;
   std::string worker_error_;  // first exception a shard worker caught

@@ -9,77 +9,62 @@
 
 namespace snappix::runtime {
 
-void LatencySeries::record(double seconds) { samples_.push_back(seconds); }
-
-double LatencySeries::mean() const {
-  if (samples_.empty()) {
-    return 0.0;
-  }
-  double acc = 0.0;
-  for (const double s : samples_) {
-    acc += s;
-  }
-  return acc / static_cast<double>(samples_.size());
-}
-
-double LatencySeries::percentile(double p) const {
-  if (samples_.empty()) {
-    return 0.0;
-  }
-  SNAPPIX_CHECK(p >= 0.0 && p <= 100.0, "percentile " << p << " out of [0, 100]");
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[rank == 0 ? 0 : rank - 1];
-}
-
 namespace {
 
-StageSummary summarize(const LatencySeries& series) {
+StageSummary summarize(const obs::Histogram& h) {
   StageSummary out;
-  out.count = series.count();
-  out.mean_ms = series.mean() * 1e3;
-  out.p50_ms = series.percentile(50.0) * 1e3;
-  out.p99_ms = series.percentile(99.0) * 1e3;
+  out.count = static_cast<std::size_t>(h.count());
+  out.mean_ms = h.mean() * 1e3;
+  out.p50_ms = h.percentile(50.0) * 1e3;
+  out.p95_ms = h.percentile(95.0) * 1e3;
+  out.p99_ms = h.percentile(99.0) * 1e3;
   return out;
 }
 
 }  // namespace
 
-void RuntimeStats::record_capture(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  capture_.record(seconds);
+RuntimeStats::RuntimeStats()
+    : capture_(registry_.histogram("snappix_capture_seconds")),
+      queue_wait_(registry_.histogram("snappix_queue_wait_seconds")),
+      inference_(registry_.histogram("snappix_inference_seconds")),
+      end_to_end_(registry_.histogram("snappix_e2e_seconds")),
+      frames_(registry_.counter("snappix_frames_total")),
+      batches_(registry_.counter("snappix_batches_total")),
+      batched_frames_(registry_.counter("snappix_batched_frames_total")),
+      classify_frames_(registry_.counter("snappix_task_frames_total{task=\"classify\"}")),
+      reconstruct_frames_(
+          registry_.counter("snappix_task_frames_total{task=\"reconstruct\"}")),
+      fp32_frames_(registry_.counter("snappix_precision_frames_total{precision=\"fp32\"}")),
+      int8_frames_(registry_.counter("snappix_precision_frames_total{precision=\"int8\"}")),
+      raw_bytes_(registry_.counter("snappix_raw_bytes_total")),
+      wire_bytes_(registry_.counter("snappix_wire_bytes_total")),
+      queue_high_water_(registry_.gauge("snappix_queue_high_water")) {
+  for (const FlushReason reason :
+       {FlushReason::kMaxBatch, FlushReason::kMaxLatency, FlushReason::kExhausted,
+        FlushReason::kHoldback, FlushReason::kSteal}) {
+    flush_[static_cast<std::size_t>(reason)] = &registry_.counter(
+        std::string("snappix_batch_flush_total{reason=\"") + to_string(reason) + "\"}");
+  }
 }
 
-void RuntimeStats::record_queue_wait(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_wait_.record(seconds);
-}
+void RuntimeStats::record_capture(double seconds) { capture_.observe(seconds); }
 
-void RuntimeStats::record_batch(std::size_t batch_size, double inference_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++batches_;
-  batched_frames_ += batch_size;
-  inference_.record(inference_seconds);
+void RuntimeStats::record_queue_wait(double seconds) { queue_wait_.observe(seconds); }
+
+void RuntimeStats::record_batch(std::size_t batch_size, double inference_seconds,
+                                FlushReason reason) {
+  batches_.add();
+  batched_frames_.add(batch_size);
+  flush_[static_cast<std::size_t>(reason)]->add();
+  inference_.observe(inference_seconds);
 }
 
 void RuntimeStats::record_task_frames(Task task, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (task == Task::kClassify) {
-    classify_frames_ += count;
-  } else {
-    reconstruct_frames_ += count;
-  }
+  (task == Task::kClassify ? classify_frames_ : reconstruct_frames_).add(count);
 }
 
 void RuntimeStats::record_precision_frames(Precision precision, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (precision == Precision::kFp32) {
-    fp32_frames_ += count;
-  } else {
-    int8_frames_ += count;
-  }
+  (precision == Precision::kFp32 ? fp32_frames_ : int8_frames_).add(count);
 }
 
 void RuntimeStats::record_transport(int camera_id, TransportStatus status, int retransmits,
@@ -111,16 +96,14 @@ void RuntimeStats::record_transport(int camera_id, TransportStatus status, int r
 
 void RuntimeStats::record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                                      double end_to_end_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++frames_;
-  raw_bytes_ += raw_bytes;
-  wire_bytes_ += wire_bytes;
-  end_to_end_.record(end_to_end_seconds);
+  frames_.add();
+  raw_bytes_.add(raw_bytes);
+  wire_bytes_.add(wire_bytes);
+  end_to_end_.observe(end_to_end_seconds);
 }
 
 void RuntimeStats::set_queue_high_water(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_high_water_ = std::max(queue_high_water_, depth);
+  queue_high_water_.set_max(static_cast<double>(depth));
 }
 
 void RuntimeStats::set_cache_counters(std::uint64_t hits, std::uint64_t misses,
@@ -144,20 +127,40 @@ void RuntimeStats::set_shard_views(std::vector<ShardStatsView> shards) {
 }
 
 RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   RuntimeSummary out;
-  out.frames = frames_;
-  out.batches = batches_;
+  const std::uint64_t frames = frames_.value();
+  const std::uint64_t batches = batches_.value();
+  const std::uint64_t batched_frames = batched_frames_.value();
+  const std::uint64_t raw_bytes = raw_bytes_.value();
+  const std::uint64_t wire_bytes = wire_bytes_.value();
+  out.frames = frames;
+  out.batches = batches;
   out.wall_seconds = wall_seconds;
   out.aggregate_fps =
-      wall_seconds > 0.0 ? static_cast<double>(frames_) / wall_seconds : 0.0;
+      wall_seconds > 0.0 ? static_cast<double>(frames) / wall_seconds : 0.0;
   out.mean_batch_size =
-      batches_ > 0 ? static_cast<double>(batched_frames_) / static_cast<double>(batches_) : 0.0;
-  out.queue_high_water = queue_high_water_;
-  out.classify_frames = classify_frames_;
-  out.reconstruct_frames = reconstruct_frames_;
-  out.fp32_frames = fp32_frames_;
-  out.int8_frames = int8_frames_;
+      batches > 0 ? static_cast<double>(batched_frames) / static_cast<double>(batches) : 0.0;
+  out.queue_high_water = static_cast<std::size_t>(queue_high_water_.value());
+  out.classify_frames = classify_frames_.value();
+  out.reconstruct_frames = reconstruct_frames_.value();
+  out.fp32_frames = fp32_frames_.value();
+  out.int8_frames = int8_frames_.value();
+  out.flush_max_batch = flush_[static_cast<std::size_t>(FlushReason::kMaxBatch)]->value();
+  out.flush_max_latency =
+      flush_[static_cast<std::size_t>(FlushReason::kMaxLatency)]->value();
+  out.flush_exhausted = flush_[static_cast<std::size_t>(FlushReason::kExhausted)]->value();
+  out.flush_holdback = flush_[static_cast<std::size_t>(FlushReason::kHoldback)]->value();
+  out.flush_steal = flush_[static_cast<std::size_t>(FlushReason::kSteal)]->value();
+  out.capture = summarize(capture_);
+  out.queue_wait = summarize(queue_wait_);
+  out.inference = summarize(inference_);
+  out.end_to_end = summarize(end_to_end_);
+  out.raw_bytes = raw_bytes;
+  out.wire_bytes = wire_bytes;
+  out.compression_ratio =
+      wire_bytes > 0 ? static_cast<double>(raw_bytes) / static_cast<double>(wire_bytes) : 0.0;
+
+  std::lock_guard<std::mutex> lock(mutex_);
   out.cache_fp32 = cache_fp32_;
   out.cache_int8 = cache_int8_;
   out.cache_hits = cache_hits_;
@@ -182,25 +185,13 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
     out.transport.retransmits += counters.retransmits;
     out.transport.dropped_frames += counters.dropped_frames;
   }
-  out.capture = summarize(capture_);
-  out.queue_wait = summarize(queue_wait_);
-  out.inference = summarize(inference_);
-  out.end_to_end = summarize(end_to_end_);
-  out.raw_bytes = raw_bytes_;
-  out.wire_bytes = wire_bytes_;
-  out.compression_ratio =
-      wire_bytes_ > 0 ? static_cast<double>(raw_bytes_) / static_cast<double>(wire_bytes_) : 0.0;
   return out;
 }
 
 FleetEnergyReport RuntimeStats::fleet_energy(const energy::EnergyModel& model,
                                              std::int64_t pixels_per_frame, int slots,
                                              energy::WirelessTech tech) const {
-  std::uint64_t frames = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    frames = frames_;
-  }
+  const std::uint64_t frames = frames_.value();
   FleetEnergyReport report;
   report.conventional_j =
       static_cast<double>(frames) *
@@ -213,20 +204,30 @@ FleetEnergyReport RuntimeStats::fleet_energy(const energy::EnergyModel& model,
 }
 
 std::string to_string(const RuntimeSummary& s) {
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "  frames %llu in %.3f s -> %.1f fps (batches %llu, mean size %.2f)\n"
-      "  latency ms (mean/p50/p99): capture %.3f/%.3f/%.3f  queue %.3f/%.3f/%.3f\n"
-      "                             infer %.3f/%.3f/%.3f  e2e %.3f/%.3f/%.3f\n"
+      "  latency ms (mean/p50/p95/p99): capture %.3f/%.3f/%.3f/%.3f  queue "
+      "%.3f/%.3f/%.3f/%.3f\n"
+      "                                 infer %.3f/%.3f/%.3f/%.3f  e2e "
+      "%.3f/%.3f/%.3f/%.3f\n"
+      "  flushes: max_batch %llu max_latency %llu exhausted %llu holdback %llu "
+      "steal %llu\n"
       "  queue high water %zu; bytes raw %llu vs wire %llu (%.1fx compression)\n"
       "  tasks: classify %llu / reconstruct %llu; engine cache hit %llu miss %llu "
       "evict %llu (hit rate %.2f)\n",
       static_cast<unsigned long long>(s.frames), s.wall_seconds, s.aggregate_fps,
       static_cast<unsigned long long>(s.batches), s.mean_batch_size, s.capture.mean_ms,
-      s.capture.p50_ms, s.capture.p99_ms, s.queue_wait.mean_ms, s.queue_wait.p50_ms,
-      s.queue_wait.p99_ms, s.inference.mean_ms, s.inference.p50_ms, s.inference.p99_ms,
-      s.end_to_end.mean_ms, s.end_to_end.p50_ms, s.end_to_end.p99_ms, s.queue_high_water,
+      s.capture.p50_ms, s.capture.p95_ms, s.capture.p99_ms, s.queue_wait.mean_ms,
+      s.queue_wait.p50_ms, s.queue_wait.p95_ms, s.queue_wait.p99_ms, s.inference.mean_ms,
+      s.inference.p50_ms, s.inference.p95_ms, s.inference.p99_ms, s.end_to_end.mean_ms,
+      s.end_to_end.p50_ms, s.end_to_end.p95_ms, s.end_to_end.p99_ms,
+      static_cast<unsigned long long>(s.flush_max_batch),
+      static_cast<unsigned long long>(s.flush_max_latency),
+      static_cast<unsigned long long>(s.flush_exhausted),
+      static_cast<unsigned long long>(s.flush_holdback),
+      static_cast<unsigned long long>(s.flush_steal), s.queue_high_water,
       static_cast<unsigned long long>(s.raw_bytes),
       static_cast<unsigned long long>(s.wire_bytes), s.compression_ratio,
       static_cast<unsigned long long>(s.classify_frames),
@@ -327,34 +328,52 @@ std::string to_json(const ShardStatsView& s) {
      << ", \"stolen_frames\": " << s.stolen_frames << ", \"cache_hits\": " << s.cache_hits
      << ", \"cache_misses\": " << s.cache_misses
      << ", \"cache_evictions\": " << s.cache_evictions
-     << ", \"queue_high_water\": " << s.queue_high_water << "}";
+     << ", \"queue_high_water\": " << s.queue_high_water
+     << ", \"flush_max_batch\": " << s.flush_max_batch
+     << ", \"flush_max_latency\": " << s.flush_max_latency
+     << ", \"flush_exhausted\": " << s.flush_exhausted
+     << ", \"flush_holdback\": " << s.flush_holdback
+     << ", \"flush_steal\": " << s.flush_steal << "}";
   return os.str();
 }
 
 std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
                     const std::string& label) {
+  // Every double goes through obs::json_number: an empty run's 0s and any
+  // non-finite ratio render as valid JSON, never "nan"/"inf".
+  const auto num = [](double v) { return obs::json_number(v); };
   std::ostringstream os;
   os << "{\"label\": \"" << label << "\", \"frames\": " << s.frames
-     << ", \"batches\": " << s.batches << ", \"wall_seconds\": " << s.wall_seconds
-     << ", \"aggregate_fps\": " << s.aggregate_fps
-     << ", \"mean_batch_size\": " << s.mean_batch_size
+     << ", \"batches\": " << s.batches << ", \"wall_seconds\": " << num(s.wall_seconds)
+     << ", \"aggregate_fps\": " << num(s.aggregate_fps)
+     << ", \"mean_batch_size\": " << num(s.mean_batch_size)
      << ", \"queue_high_water\": " << s.queue_high_water
-     << ", \"capture_p50_ms\": " << s.capture.p50_ms
-     << ", \"capture_p99_ms\": " << s.capture.p99_ms
-     << ", \"queue_wait_p50_ms\": " << s.queue_wait.p50_ms
-     << ", \"queue_wait_p99_ms\": " << s.queue_wait.p99_ms
-     << ", \"inference_p50_ms\": " << s.inference.p50_ms
-     << ", \"inference_p99_ms\": " << s.inference.p99_ms
-     << ", \"e2e_p50_ms\": " << s.end_to_end.p50_ms
-     << ", \"e2e_p99_ms\": " << s.end_to_end.p99_ms << ", \"raw_bytes\": " << s.raw_bytes
+     << ", \"capture_p50_ms\": " << num(s.capture.p50_ms)
+     << ", \"capture_p95_ms\": " << num(s.capture.p95_ms)
+     << ", \"capture_p99_ms\": " << num(s.capture.p99_ms)
+     << ", \"queue_wait_p50_ms\": " << num(s.queue_wait.p50_ms)
+     << ", \"queue_wait_p95_ms\": " << num(s.queue_wait.p95_ms)
+     << ", \"queue_wait_p99_ms\": " << num(s.queue_wait.p99_ms)
+     << ", \"inference_p50_ms\": " << num(s.inference.p50_ms)
+     << ", \"inference_p95_ms\": " << num(s.inference.p95_ms)
+     << ", \"inference_p99_ms\": " << num(s.inference.p99_ms)
+     << ", \"e2e_p50_ms\": " << num(s.end_to_end.p50_ms)
+     << ", \"e2e_p95_ms\": " << num(s.end_to_end.p95_ms)
+     << ", \"e2e_p99_ms\": " << num(s.end_to_end.p99_ms)
+     << ", \"raw_bytes\": " << s.raw_bytes
      << ", \"wire_bytes\": " << s.wire_bytes
-     << ", \"compression_ratio\": " << s.compression_ratio
+     << ", \"compression_ratio\": " << num(s.compression_ratio)
+     << ", \"flush_max_batch\": " << s.flush_max_batch
+     << ", \"flush_max_latency\": " << s.flush_max_latency
+     << ", \"flush_exhausted\": " << s.flush_exhausted
+     << ", \"flush_holdback\": " << s.flush_holdback
+     << ", \"flush_steal\": " << s.flush_steal
      << ", \"classify_frames\": " << s.classify_frames
      << ", \"reconstruct_frames\": " << s.reconstruct_frames
      << ", \"fp32_frames\": " << s.fp32_frames << ", \"int8_frames\": " << s.int8_frames
      << ", \"cache_hits\": " << s.cache_hits << ", \"cache_misses\": " << s.cache_misses
      << ", \"cache_evictions\": " << s.cache_evictions
-     << ", \"cache_hit_rate\": " << s.cache_hit_rate
+     << ", \"cache_hit_rate\": " << num(s.cache_hit_rate)
      << ", \"cache_fp32\": " << to_json(s.cache_fp32)
      << ", \"cache_int8\": " << to_json(s.cache_int8)
      << ", \"steal_attempts\": " << s.steal_attempts
@@ -370,9 +389,9 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
        << ", \"counters\": " << to_json(s.transport_cameras[i].second) << "}";
   }
   os << "]"
-     << ", \"energy_conventional_j\": " << energy.conventional_j
-     << ", \"energy_snappix_j\": " << energy.snappix_j
-     << ", \"energy_saving_factor\": " << energy.saving_factor << "}";
+     << ", \"energy_conventional_j\": " << num(energy.conventional_j)
+     << ", \"energy_snappix_j\": " << num(energy.snappix_j)
+     << ", \"energy_saving_factor\": " << num(energy.saving_factor) << "}";
   return os.str();
 }
 

@@ -2,14 +2,21 @@
 /// \brief RuntimeStats: thread-safe per-stage instrumentation for the
 /// streaming runtime, plus the bridge into the Sec. VI-D energy model.
 ///
-/// Producers record capture latencies; shard consumers record queue waits,
-/// batch assembly, inference and end-to-end latencies plus byte counters.
-/// summary() condenses everything into percentiles/throughput — including
-/// per-shard views (queue depth, batches served, steal traffic, cache
-/// hit/miss) installed by the sharded InferenceServer — and fleet_energy()
-/// prices the recorded traffic with energy::EnergyModel so a streaming run
-/// reports the same baseline-vs-SNAPPIX numbers as the static scenario
-/// calculators.
+/// RuntimeStats is a VIEW over an obs::MetricsRegistry it owns: every frame/
+/// batch/byte counter is a registry Counter and every latency series a
+/// registry Histogram, so the hot-path record_* methods are lock-free
+/// (relaxed atomics) and the registry can be snapshotted MID-RUN — that is
+/// what InferenceServer::metrics_snapshot() hands out, in JSON or Prometheus
+/// form via obs::to_json / obs::to_prometheus. The only mutex left guards
+/// the cold structures: the per-camera transport map and the post-run
+/// installs (shard views, cache counters).
+///
+/// summary() condenses the registry into percentiles/throughput — including
+/// per-shard views (queue depth, batches served, steal traffic, per-reason
+/// batch flush counts, cache hit/miss) installed by the sharded
+/// InferenceServer — and fleet_energy() prices the recorded traffic with
+/// energy::EnergyModel so a streaming run reports the same
+/// baseline-vs-SNAPPIX numbers as the static scenario calculators.
 #pragma once
 
 #include <cstdint>
@@ -20,22 +27,32 @@
 #include <vector>
 
 #include "energy/model.h"
+#include "obs/metrics.h"
 #include "runtime/frame.h"
 
 namespace snappix::runtime {
 
-/// \brief Append-only latency series with percentile queries (seconds).
+/// \brief Latency series with percentile queries (seconds), backed by a
+/// fixed-bucket obs::Histogram (the same representation the metrics registry
+/// serves), so record() is lock-free and count-independent in memory.
+///
+/// Empty-series contract (pinned by tests/test_obs.cpp): count 0 reports 0
+/// for mean and every percentile — never NaN or infinity — so zero-frame
+/// runs render valid JSON. Percentiles interpolate linearly inside the
+/// bucket holding the rank and clamp into [min, max] observed; p50 <= p95 <=
+/// p99 always.
 class LatencySeries {
  public:
-  void record(double seconds);
-  std::size_t count() const { return samples_.size(); }
-  double mean() const;
-  /// \brief Nearest-rank percentile on the sorted series.
-  /// \param p percentile in [0, 100]. Returns 0 when the series is empty.
-  double percentile(double p) const;
+  void record(double seconds) { histogram_.observe(seconds); }
+  std::size_t count() const { return static_cast<std::size_t>(histogram_.count()); }
+  double mean() const { return histogram_.mean(); }
+  /// \brief Interpolated percentile, `p` in [0, 100]; 0 when empty.
+  double percentile(double p) const { return histogram_.percentile(p); }
+
+  const obs::Histogram& histogram() const { return histogram_; }
 
  private:
-  std::vector<double> samples_;
+  obs::Histogram histogram_;
 };
 
 /// \brief Condensed view of one pipeline stage's latency series.
@@ -43,6 +60,7 @@ struct StageSummary {
   std::size_t count = 0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
 };
 
@@ -66,6 +84,14 @@ struct ShardStatsView {
   std::uint64_t cache_misses = 0;       ///< misses (entry rebuilds)
   std::uint64_t cache_evictions = 0;    ///< LRU evictions under capacity pressure
   std::size_t queue_high_water = 0;     ///< deepest this shard's run queue got
+
+  /// Why this shard's batches closed, by FlushReason. The sum over reasons
+  /// equals `batches`; `flush_steal` equals `steal_successes`.
+  std::uint64_t flush_max_batch = 0;
+  std::uint64_t flush_max_latency = 0;
+  std::uint64_t flush_exhausted = 0;
+  std::uint64_t flush_holdback = 0;
+  std::uint64_t flush_steal = 0;
 };
 
 /// \brief One precision tier's EngineCache traffic (hits/misses/evictions
@@ -129,6 +155,14 @@ struct RuntimeSummary {
   std::uint64_t steal_successes = 0;
   std::uint64_t stolen_frames = 0;
 
+  /// Batch flush reasons, run-wide (sum over reasons == batches when every
+  /// record_batch carried a reason; all under kMaxBatch for legacy callers).
+  std::uint64_t flush_max_batch = 0;
+  std::uint64_t flush_max_latency = 0;
+  std::uint64_t flush_exhausted = 0;
+  std::uint64_t flush_holdback = 0;
+  std::uint64_t flush_steal = 0;
+
   /// Per-shard breakdown; empty unless a sharded server installed views.
   std::vector<ShardStatsView> shards;
 
@@ -155,15 +189,23 @@ struct FleetEnergyReport {
 };
 
 /// \brief Thread-safe run-wide counters. Producers, shard workers, and the
-/// server all record into one instance; every method locks internally.
+/// server all record into one instance. The record_* hot paths write
+/// registry counters/histograms lock-free; the cold installs and the
+/// transport map lock internally.
 class RuntimeStats {
  public:
+  RuntimeStats();
+
   // --- producer side ---------------------------------------------------------
   void record_capture(double seconds);
 
   // --- consumer side (any shard worker) --------------------------------------
   void record_queue_wait(double seconds);
-  void record_batch(std::size_t batch_size, double inference_seconds);
+  /// \brief `reason` feeds the per-reason flush counters
+  /// (snappix_batch_flush_total{reason=...}); legacy callers without a
+  /// batching policy default to kMaxBatch.
+  void record_batch(std::size_t batch_size, double inference_seconds,
+                    FlushReason reason = FlushReason::kMaxBatch);
   /// \brief Attributes a served batch's frames to its task head.
   void record_task_frames(Task task, std::size_t count);
   /// \brief Attributes a served batch's frames to its precision tier.
@@ -192,6 +234,12 @@ class RuntimeStats {
   // --- reporting -------------------------------------------------------------
   RuntimeSummary summary(double wall_seconds) const;
 
+  /// \brief The live metrics registry backing every record_* path. Safe to
+  /// snapshot mid-run (obs::MetricsRegistry::snapshot is lock-free on the
+  /// value reads); InferenceServer::metrics_snapshot() is a thin wrapper.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  obs::MetricsRegistry& registry() { return registry_; }
+
   /// \brief Prices the recorded frame traffic: every served frame represents
   /// one T-slot capture that a conventional pipeline would read out and
   /// transmit T times. `pixels_per_frame`/`slots` describe the camera
@@ -201,23 +249,29 @@ class RuntimeStats {
                                  energy::WirelessTech tech) const;
 
  private:
+  obs::MetricsRegistry registry_;
+  // References resolved once at construction; recording through them is
+  // lock-free (see obs/metrics.h).
+  obs::Histogram& capture_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& inference_;
+  obs::Histogram& end_to_end_;
+  obs::Counter& frames_;
+  obs::Counter& batches_;
+  obs::Counter& batched_frames_;
+  obs::Counter& classify_frames_;
+  obs::Counter& reconstruct_frames_;
+  obs::Counter& fp32_frames_;
+  obs::Counter& int8_frames_;
+  obs::Counter& raw_bytes_;
+  obs::Counter& wire_bytes_;
+  obs::Counter* flush_[5];  // indexed by FlushReason
+  obs::Gauge& queue_high_water_;
+
+  // Cold structures: per-camera transport tallies and post-run installs.
   mutable std::mutex mutex_;
-  LatencySeries capture_;
-  LatencySeries queue_wait_;
-  LatencySeries inference_;
-  LatencySeries end_to_end_;
-  std::uint64_t frames_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_frames_ = 0;
-  std::uint64_t classify_frames_ = 0;
-  std::uint64_t reconstruct_frames_ = 0;
-  std::uint64_t fp32_frames_ = 0;
-  std::uint64_t int8_frames_ = 0;
   CacheTierCounters cache_fp32_;
   CacheTierCounters cache_int8_;
-  std::uint64_t raw_bytes_ = 0;
-  std::uint64_t wire_bytes_ = 0;
-  std::size_t queue_high_water_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;

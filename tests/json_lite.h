@@ -1,0 +1,260 @@
+// Minimal validating JSON parser for tests: strict enough to reject the
+// artifacts the observability layer must never emit (bare nan/inf tokens,
+// trailing commas, unterminated strings), small enough to read in one sitting.
+// Parses into a tree of Value nodes; throws std::runtime_error on any syntax
+// error with a byte offset in the message.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace snappix::testing::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  bool has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  const Value& at(const std::string& key) const {
+    if (!has(key)) {
+      throw std::runtime_error("json: missing key \"" + key + "\"");
+    }
+    return object.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after top-level value");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "json parse error at byte " << pos_ << ": " << what;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+        if (literal("true")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.boolean = true;
+          return v;
+        }
+        fail("bad literal");
+      case 'f':
+        if (literal("false")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          return v;
+        }
+        fail("bad literal");
+      case 'n':
+        if (literal("null")) {
+          return Value{};
+        }
+        fail("bad literal");  // catches a bare "nan" token
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+            }
+            // Validation only: keep the escape verbatim rather than decoding.
+            out.append("\\u").append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          default: fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("bad number");  // catches bare "inf", "-inf", ".5"
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad fraction");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace snappix::testing::json
