@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# In-repo static lint gate (docs/static-analysis.md). Two layers:
+#
+#   1. clang-tidy over src/ via the .clang-tidy profile — runs only when
+#      clang-tidy AND a compile_commands.json are available (CMake exports
+#      one into the build dir). Absence is a skip, not a pass-with-warning:
+#      layer 2 always runs, so the repo invariants below gate every CI job
+#      even on toolchains without clang.
+#
+#   2. Portable grep-based lints enforcing repo invariants that no compiler
+#      flag covers:
+#        - the sanitizer suppressions file stays EMPTY (a suppression is a
+#          deferred bug; see scripts/san_env.sh)
+#        - no naked `new` / `delete` in src/ — ownership goes through
+#          make_unique/make_shared/containers (there is no arena allocator
+#          in-tree; if one lands, exempt its files here, not call sites)
+#        - every std::atomic member/global declared in src/obs/ and
+#          src/runtime/ carries an adjacent `// order:` comment (same line
+#          or within the 3 lines above) stating its memory-ordering
+#          argument — the happens-before reasoning is part of the code
+#        - no rand()/srand()/time() in src/ — all randomness flows through
+#          the seeded util/rng.h so every run is reproducible
+#        - no %f/%e/%a printf conversions in the JSON/stats emitters
+#          (src/obs/, src/runtime/stats.cpp) — fixed-point rendering of
+#          doubles bloats artifacts and invites locale/precision drift;
+#          use %g forms via obs::json_number
+#
+# Usage: scripts/check_static.sh [build-dir]   (default: build)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-${BUILD_DIR:-build}}
+FAILURES=0
+
+fail() {
+  echo "check_static: FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# Strips // line comments and string literal CONTENTS (quotes stay, so
+# format-string lints keep their own matching) to keep the greps below from
+# tripping on prose. Not a full lexer; good enough for this codebase's style.
+strip_noise() {
+  sed -e 's://.*$::' -e 's:"[^"]*":"":g' "$1"
+}
+
+SRC_FILES=$(find src -name '*.cpp' -o -name '*.h' | sort)
+
+# --- 1. suppressions file must be empty -------------------------------------
+if grep -vE '^\s*(#|$)' scripts/sanitizer.supp > /dev/null 2>&1; then
+  fail "scripts/sanitizer.supp has active suppressions — fix the bug instead:
+$(grep -nvE '^\s*(#|$)' scripts/sanitizer.supp)"
+fi
+
+# --- 2. no naked new/delete in src/ -----------------------------------------
+for f in $SRC_FILES; do
+  HITS=$(strip_noise "$f" | grep -nE '(^|[^_[:alnum:]])(new[[:space:]]+[[:alnum:]_:<(]|new[[:space:]]*\[|delete[[:space:]]*\[|delete[[:space:]]+[[:alnum:]_*(])' | grep -vE 'order:')
+  if [ -n "$HITS" ]; then
+    fail "naked new/delete in $f (use make_unique/make_shared/containers):
+$HITS"
+  fi
+done
+
+# --- 3. std::atomic declarations need an adjacent '// order:' comment -------
+for f in $(find src/obs src/runtime -name '*.h' -o -name '*.cpp' | sort); do
+  HITS=$(awk '
+    /\/\/.*order:/ { last_order = NR }
+    # a contiguous // comment block extends an order: annotation downward,
+    # so multi-line happens-before arguments count as adjacent
+    /^[[:space:]]*\/\// { if (last_order && NR - last_order == 1) last_order = NR }
+    /std::atomic</ {
+      # a declaration (or local) introducing an atomic: require an order
+      # comment on this line or within the 3 lines above
+      if ($0 !~ /\/\/.*order:/ && (last_order == 0 || NR - last_order > 3)) {
+        printf "%d:%s\n", NR, $0
+      }
+    }
+  ' "$f")
+  if [ -n "$HITS" ]; then
+    fail "std::atomic without an adjacent '// order:' justification in $f:
+$HITS"
+  fi
+done
+
+# --- 4. no unseeded libc randomness / wall-clock seeding in src/ ------------
+for f in $SRC_FILES; do
+  HITS=$(strip_noise "$f" | grep -nE '(^|[^_[:alnum:]:.>])(rand|srand|time)\(' )
+  if [ -n "$HITS" ]; then
+    fail "rand()/srand()/time() in $f — use the seeded util/rng.h Rng:
+$HITS"
+  fi
+done
+
+# --- 5. no fixed-point float printf conversions in the JSON emitters --------
+for f in src/obs/*.cpp src/obs/*.h src/runtime/stats.cpp; do
+  HITS=$(grep -nE '%[-+ #0-9.]*l?[feFEaA]["0-9]' "$f")
+  if [ -n "$HITS" ]; then
+    fail "%f/%e/%a printf conversion in JSON emitter $f — use %g via json_number:
+$HITS"
+  fi
+done
+
+# --- clang-tidy (when available) --------------------------------------------
+if command -v clang-tidy > /dev/null 2>&1 && [ -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "check_static: running clang-tidy over src/ (profile: .clang-tidy)"
+  if ! find src -name '*.cpp' | sort | xargs clang-tidy -p "$BUILD_DIR" --quiet; then
+    fail "clang-tidy reported errors (see output above)"
+  fi
+else
+  echo "check_static: clang-tidy or $BUILD_DIR/compile_commands.json not found — grep lints only"
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "check_static: $FAILURES lint failure(s)" >&2
+  exit 1
+fi
+echo "check_static: OK"

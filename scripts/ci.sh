@@ -1,17 +1,53 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, run the test suite, check the docs tree's
-# links, then run the streaming throughput and observability benches in quick
-# mode (emits BENCH_streaming.json, BENCH_pattern_cache.json,
-# BENCH_sharded.json, BENCH_framed.json, BENCH_int8.json, BENCH_obs.json and
-# trace_obs.json in build/).
+# CI entry point, in two modes selected by SANITIZER (docs/static-analysis.md):
+#
+#   SANITIZER=off (default)  configure, build (-Werror), run the test suite,
+#                            run the static lint gate (scripts/check_static.sh),
+#                            check the docs tree's links, then run the
+#                            streaming throughput and observability benches in
+#                            quick mode (emits BENCH_streaming.json,
+#                            BENCH_pattern_cache.json, BENCH_sharded.json,
+#                            BENCH_framed.json, BENCH_int8.json, BENCH_obs.json
+#                            and trace_obs.json in build/).
+#   SANITIZER=tsan           build everything under -fsanitize=thread and run
+#                            the full test suite (the stress suite included)
+#                            with the pinned runtime options from
+#                            scripts/san_env.sh. halt_on_error=1: the first
+#                            finding fails CI.
+#   SANITIZER=asan           same, under -fsanitize=address,undefined (+LSan).
+#
+# Sanitizer modes skip the benches and lints: their job is the race/UB gate,
+# and sanitized timings would only add noise. Perf claims come from the
+# default job's benches.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
+SANITIZER=${SANITIZER:-off}
+case "$SANITIZER" in
+  off)  BUILD_DIR=${BUILD_DIR:-build};      SAN_PRESET="off" ;;
+  tsan) BUILD_DIR=${BUILD_DIR:-build-tsan}; SAN_PRESET="thread" ;;
+  asan) BUILD_DIR=${BUILD_DIR:-build-asan}; SAN_PRESET="address;undefined" ;;
+  *) echo "ci.sh: SANITIZER must be off, tsan, or asan (got '$SANITIZER')" >&2
+     exit 2 ;;
+esac
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . -DSNAPPIX_SANITIZE="$SAN_PRESET"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+if [ "$SANITIZER" != "off" ]; then
+  # Pinned runtime options: halt on the first finding, no suppressions,
+  # reports mirrored to $BUILD_DIR/san_report.* (uploaded as CI artifacts).
+  # shellcheck source=scripts/san_env.sh
+  SNAPPIX_SAN_LOG="$PWD/$BUILD_DIR/san_report" source scripts/san_env.sh
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+  echo "ci.sh: $SANITIZER run clean (suppressions file empty by policy)"
+  exit 0
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Static lint gate: clang-tidy (when installed) + the portable grep lints.
+./scripts/check_static.sh "$BUILD_DIR"
 
 # Docs: every relative link in docs/*.md and README.md must resolve.
 ./scripts/check_docs_links.sh

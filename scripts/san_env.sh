@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer runtime options, pinned in ONE place so local repros run exactly
+# what CI runs (docs/static-analysis.md). Source this before running any
+# binary from a sanitized build:
+#
+#   source scripts/san_env.sh
+#   ctest --test-dir build-tsan --output-on-failure
+#
+# Policy:
+#   - halt_on_error=1: the first finding fails the run. Sanitizer findings
+#     are bugs, not warnings.
+#   - The suppressions file (scripts/sanitizer.supp) MUST stay empty — a
+#     suppression is a deferred bug. It is wired anyway so that any future
+#     entry is at least visible in review, and CI's empty-file check
+#     (scripts/check_static.sh) makes sneaking one in a lint failure.
+#   - abort_on_error=0: exit(1) instead of SIGABRT so ctest reports a plain
+#     failure and log files flush.
+#   - log_path: findings also land in build*/san_report.* files, which CI
+#     uploads as artifacts.
+
+SNAPPIX_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SNAPPIX_SUPP="$SNAPPIX_ROOT/scripts/sanitizer.supp"
+SNAPPIX_SAN_LOG="${SNAPPIX_SAN_LOG:-san_report}"
+
+export TSAN_OPTIONS="halt_on_error=1 abort_on_error=0 second_deadlock_stack=1 suppressions=$SNAPPIX_SUPP log_path=$SNAPPIX_SAN_LOG"
+export ASAN_OPTIONS="halt_on_error=1 abort_on_error=0 detect_leaks=1 strict_string_checks=1 detect_stack_use_after_return=1 suppressions=$SNAPPIX_SUPP log_path=$SNAPPIX_SAN_LOG"
+export UBSAN_OPTIONS="halt_on_error=1 abort_on_error=0 print_stacktrace=1 report_error_type=1 log_path=$SNAPPIX_SAN_LOG"
+export LSAN_OPTIONS="suppressions=$SNAPPIX_SUPP"

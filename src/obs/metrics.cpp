@@ -13,6 +13,10 @@ namespace {
 
 // CAS-folds `value` into `target` through `fold` (atomic<double> has no
 // fetch_add/fetch_max in C++17).
+// order: relaxed CAS — the fold is commutative and touches one variable;
+// readers need atomicity, not ordering against other statistics (the
+// documented one-event snapshot skew). The loop terminates because a failed
+// CAS reloads `current` and some thread's CAS always succeeds.
 template <typename Fold>
 void atomic_fold(std::atomic<double>& target, double value, Fold fold) {
   double current = target.load(std::memory_order_relaxed);
@@ -57,16 +61,15 @@ void Histogram::observe(double value) {
   buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
       1, std::memory_order_relaxed);
   atomic_fold(sum_, value, [](double a, double b) { return a + b; });
-  // min_/max_ are meaningless until the first sample lands; racing first
-  // observers may briefly disagree with count_, which a snapshot tolerates
-  // (the clamp below only ever narrows the interpolated value).
-  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
-    min_.store(value, std::memory_order_relaxed);
-    max_.store(value, std::memory_order_relaxed);
-  } else {
-    atomic_fold(min_, value, [](double a, double b) { return a < b ? a : b; });
-    atomic_fold(max_, value, [](double a, double b) { return a > b ? a : b; });
-  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // min_/max_ are seeded to +/-inf, so the first observation folds exactly
+  // like every later one. (The previous "first sample stores" protocol had
+  // a lost-update window: observer A winning the count race could STORE its
+  // value over the smaller min a racing observer B had already folded.
+  // Folding unconditionally is idempotent and order-free; readers sanitize
+  // the unset infinities.)
+  atomic_fold(min_, value, [](double a, double b) { return a < b ? a : b; });
+  atomic_fold(max_, value, [](double a, double b) { return a > b ? a : b; });
 }
 
 double Histogram::mean() const {
@@ -87,8 +90,17 @@ double Histogram::percentile(double p) const {
   if (total == 0) {
     return 0.0;  // the empty-series contract: never NaN, never inf
   }
-  const double lo = min_.load(std::memory_order_relaxed);
-  const double hi = max_.load(std::memory_order_relaxed);
+  // A mid-run reader can observe a bucket count whose min/max folds have not
+  // landed yet (relaxed, independent variables) — sanitize the unset
+  // infinities so they can never leak into a percentile.
+  double lo = min_.load(std::memory_order_relaxed);
+  double hi = max_.load(std::memory_order_relaxed);
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+  }
+  if (!std::isfinite(hi)) {
+    hi = bounds_.back();
+  }
   const double rank = p / 100.0 * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -118,8 +130,12 @@ HistogramSnapshot Histogram::snapshot() const {
   out.sum = sum();
   out.mean = mean();
   if (out.count > 0) {
-    out.min = min_.load(std::memory_order_relaxed);
-    out.max = max_.load(std::memory_order_relaxed);
+    // Same transient-unset sanitation as percentile(): a count published
+    // before the first min/max fold lands must not export an infinity.
+    const double lo = min_.load(std::memory_order_relaxed);
+    const double hi = max_.load(std::memory_order_relaxed);
+    out.min = std::isfinite(lo) ? lo : 0.0;
+    out.max = std::isfinite(hi) ? hi : 0.0;
   }
   out.p50 = percentile(50.0);
   out.p95 = percentile(95.0);

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,10 +41,14 @@ namespace snappix::obs {
 /// \brief Monotonic counter. add() is a relaxed atomic increment.
 class Counter {
  public:
+  // order: relaxed — a counter carries no cross-variable invariant; each
+  // increment is independent and a reader needs no ordering with any other
+  // memory, only atomicity (a snapshot may be one event stale, never torn).
   void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // order: relaxed on every access — see add()/value() above.
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -51,12 +56,16 @@ class Counter {
 /// high-water marks.
 class Gauge {
  public:
+  // order: relaxed — last-write-wins semantics by design; there is no
+  // happens-before a reader could rely on (which write "won" is already
+  // unspecified), so stronger orderings would buy nothing.
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
   /// \brief Raises the gauge to `value` if larger (CAS loop; lock-free).
   void set_max(double value);
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // order: relaxed on every access — see set()/value() above.
   std::atomic<double> value_{0.0};
 };
 
@@ -91,6 +100,10 @@ class Histogram {
 
   void observe(double value);
 
+  // order: relaxed — each statistic is folded independently (observe() is
+  // not one transaction); readers tolerate the documented one-event skew
+  // between count/sum/buckets, and no reader dereferences anything through
+  // these values, so no release/acquire pairing is required.
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
@@ -104,11 +117,22 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  // order: relaxed adds/loads — bucket counts are independent monotonic
+  // counters; percentile() reads one consistent local copy and tolerates
+  // skew against count_ (it derives the total from the buckets themselves).
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  // order: relaxed — see count()/sum() above.
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};  // valid only when count_ > 0
-  std::atomic<double> max_{0.0};
+  // order: relaxed CAS folds. Seeded to +/-inf so racing first observers
+  // both fold (a plain "first sample stores" protocol would let a later
+  // store overwrite a smaller concurrent min); readers sanitize the
+  // still-unset infinities to 0 / a bucket bound, never exporting them.
+  std::atomic<double> min_{kUnsetMin};
+  std::atomic<double> max_{kUnsetMax};
+
+  static constexpr double kUnsetMin = std::numeric_limits<double>::infinity();
+  static constexpr double kUnsetMax = -std::numeric_limits<double>::infinity();
 };
 
 /// \brief Point-in-time copy of every registered metric.

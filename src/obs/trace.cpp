@@ -24,13 +24,30 @@ void validate(const TraceConfig& config) {
   }
 }
 
+TraceLane::TraceLane(PassKey, std::uint64_t tid, std::string thread_name,
+                     std::size_t capacity)
+    : tid_(tid), thread_name_(std::move(thread_name)), capacity_(capacity),
+      chunks_((capacity + kChunkEvents - 1) / kChunkEvents) {}
+
 void TraceLane::add(TraceEvent event) {
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+  // order: relaxed self-read — only this (owning) thread ever advances
+  // size_, so it reads its own last store.
+  const std::size_t n = size_.load(std::memory_order_relaxed);
+  if (n >= capacity_) {
+    // order: relaxed — monotonic counter, no ordering relationship needed.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  const std::size_t chunk = n / kChunkEvents;
+  if (chunks_[chunk] == nullptr) {
+    chunks_[chunk] = std::make_unique<TraceEvent[]>(kChunkEvents);
+  }
   event.tid = tid_;
-  events_.push_back(std::move(event));
+  chunks_[chunk][n % kChunkEvents] = std::move(event);
+  // order: release publishes the slot (and, on a chunk boundary, the chunk
+  // pointer) to readers that acquire size_ — the single-writer protocol the
+  // header documents.
+  size_.store(n + 1, std::memory_order_release);
 }
 
 void TraceLane::add_complete(std::string name, std::int64_t ts_ns, std::int64_t dur_ns,
@@ -74,16 +91,22 @@ TraceRecorder::TraceRecorder(TraceConfig config)
 
 TraceLane* TraceRecorder::create_lane(const std::string& thread_name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  lanes_.emplace_back(new TraceLane(lanes_.size(), thread_name, config_.max_events_per_lane));
+  lanes_.push_back(std::make_unique<TraceLane>(TraceLane::PassKey{}, lanes_.size(),
+                                               thread_name, config_.max_events_per_lane));
   return lanes_.back().get();
 }
 
 std::vector<TraceEvent> TraceRecorder::all_events() const {
   std::vector<TraceEvent> out;
   {
+    // The mutex guards only the lane LIST; each lane's published prefix is
+    // read through its own acquire, so this races active writers safely.
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& lane : lanes_) {
-      out.insert(out.end(), lane->events_.begin(), lane->events_.end());
+      const std::size_t published = lane->size();
+      for (std::size_t i = 0; i < published; ++i) {
+        out.push_back(lane->event(i));
+      }
     }
   }
   std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
@@ -96,7 +119,7 @@ std::size_t TraceRecorder::dropped_events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t dropped = 0;
   for (const auto& lane : lanes_) {
-    dropped += lane->dropped_;
+    dropped += lane->dropped();
   }
   return dropped;
 }

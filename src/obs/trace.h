@@ -4,10 +4,14 @@
 ///
 /// Recording model: a TraceRecorder owns one TraceLane per writer thread
 /// (one per server shard, plus auxiliaries). A lane is a SINGLE-WRITER
-/// append buffer — the owning worker pushes events with no locking; the
-/// recorder's mutex guards only lane creation and the read side
-/// (chrome_json() / all_events(), called after the workers join or while
-/// they are parked). That keeps the hot path to a vector push_back per
+/// append buffer — the owning worker pushes events with no locking into
+/// chunked storage and publishes each event with one release store; the
+/// recorder's mutex guards only the lane list (creation vs. enumeration).
+/// Readers (chrome_json() / all_events() / dropped_events()) may therefore
+/// run MID-SERVE, racing the lane writers: an export observes a consistent
+/// prefix of every lane — each event either fully present or not yet
+/// published, never torn (pinned by tests/test_stress.cpp TraceExportRaces*
+/// under TSan). The hot path stays one slot write + one release store per
 /// span, and exactly zero work when tracing is off.
 ///
 /// Sampling: per-camera 1-in-N. A frame is sampled when
@@ -71,9 +75,28 @@ struct TraceEvent {
 };
 
 /// \brief Single-writer append buffer of trace events. The owning thread
-/// writes without synchronization; readers go through the recorder.
+/// writes without locking; any thread may read the published prefix
+/// concurrently (size()/event(i) below, normally via the recorder).
+///
+/// Storage is chunked: a fixed, never-reallocated vector of chunk slots is
+/// sized at construction, and the writer materializes chunks lazily. The
+/// writer fills the event slot FIRST, then publishes it with a release
+/// store of the new size; a reader that acquires the size therefore sees
+/// every byte of every event below it. Published events are never mutated
+/// again, so readers index them without further synchronization.
 class TraceLane {
  public:
+  /// Passkey: only TraceRecorder::create_lane constructs lanes, but the
+  /// constructor must be public for std::make_unique (no naked `new` — see
+  /// scripts/check_static.sh).
+  class PassKey {
+   private:
+    PassKey() = default;
+    friend class TraceRecorder;
+  };
+
+  TraceLane(PassKey key, std::uint64_t tid, std::string thread_name, std::size_t capacity);
+
   void add(TraceEvent event);
   void add_complete(std::string name, std::int64_t ts_ns, std::int64_t dur_ns,
                     std::string args_json = {});
@@ -84,19 +107,41 @@ class TraceLane {
 
   std::uint64_t tid() const { return tid_; }
   const std::string& thread_name() const { return thread_name_; }
-  std::size_t size() const { return events_.size(); }
-  std::size_t dropped() const { return dropped_; }
+  /// \brief Number of PUBLISHED events — safe to call while the owner writes.
+  std::size_t size() const {
+    // order: acquire pairs with the writer's release in add(); every event
+    // below the returned count is fully written and immutable.
+    return size_.load(std::memory_order_acquire);
+  }
+  /// \brief Event `index`, which must be < a size() read by THIS thread
+  /// (that acquire is what makes the slot safe to touch).
+  const TraceEvent& event(std::size_t index) const {
+    return chunks_[index / kChunkEvents][index % kChunkEvents];
+  }
+  std::uint64_t dropped() const {
+    // order: relaxed — independent monotonic counter, no cross-variable
+    // invariant with size_; a snapshot may be one drop stale, never torn.
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class TraceRecorder;
-  TraceLane(std::uint64_t tid, std::string thread_name, std::size_t capacity)
-      : tid_(tid), thread_name_(std::move(thread_name)), capacity_(capacity) {}
+
+  static constexpr std::size_t kChunkEvents = 1024;
 
   std::uint64_t tid_;
   std::string thread_name_;
   std::size_t capacity_;
-  std::size_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
+  // order: single-writer publish protocol. Only the owning thread stores
+  // size_ (release, after filling the slot and — on a chunk boundary — the
+  // chunk pointer); readers acquire it and touch only entries below it.
+  std::atomic<std::size_t> size_{0};
+  // order: relaxed — monotonic overflow counter, read by dropped() above.
+  std::atomic<std::uint64_t> dropped_{0};
+  // Chunk slots are pre-sized (never reallocated); the owning writer fills a
+  // slot's unique_ptr before publishing any size that covers it, so readers
+  // ordered by the size_ acquire see the pointer.
+  std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
 };
 
 /// \brief Owns the per-thread lanes and the export path. Lane creation is
@@ -126,14 +171,15 @@ class TraceRecorder {
 
   TraceLane* create_lane(const std::string& thread_name);
 
-  /// \brief Every recorded event from every lane, sorted by timestamp.
-  /// Call only while no lane owner is writing (workers joined or parked).
+  /// \brief Every recorded event from every lane, sorted by timestamp. Safe
+  /// to call while lane owners are still writing: each lane contributes its
+  /// published prefix (single-writer release/acquire — see TraceLane).
   std::vector<TraceEvent> all_events() const;
   std::size_t dropped_events() const;
 
   /// \brief Chrome trace-event JSON: {"traceEvents": [...]} with a
-  /// thread_name metadata record per lane. Same quiescence requirement as
-  /// all_events().
+  /// thread_name metadata record per lane. Like all_events(), safe to call
+  /// mid-run; a complete trace still requires the workers to have finished.
   std::string chrome_json() const;
   void write(const std::string& path) const;
 

@@ -93,6 +93,10 @@ class StreamScheduler {
   std::vector<std::unique_ptr<CameraSource>> cameras_;
   std::vector<FrameQueue*> routes_;         // parallel to cameras_
   std::vector<FrameQueue*> unique_queues_;  // each routed queue once
+  // order: seq_cst (default) on the fetch_sub in produce() — the "last
+  // producer out" edge (fetch_sub returning 1) must be a total-order event so
+  // exactly one producer closes the queues; the queue state those closes
+  // touch synchronizes separately through FrameQueue's mutex.
   std::atomic<int> active_producers_{0};
   bool started_ = false;
   // Declared last: producer tasks touch every member above, so the pool must

@@ -166,7 +166,8 @@ class InferenceServer {
   obs::MetricsSnapshot metrics_snapshot() const { return stats_.registry().snapshot(); }
 
   /// \brief The trace recorder, or null when ServerConfig::trace.enabled is
-  /// false. Read spans only after run() returns (lanes are single-writer).
+  /// false. Spans may be read mid-run (lanes publish with release/acquire;
+  /// a reader sees a consistent prefix); the full trace exists after run().
   const obs::TraceRecorder* trace_recorder() const { return trace_recorder_.get(); }
   /// \brief Chrome trace-event JSON of the recorded spans (requires tracing
   /// enabled; call after run()). Loadable in Perfetto / chrome://tracing.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/common.h"
 #include "util/parallel.h"
 
 #if defined(__AVX2__)
@@ -158,20 +159,29 @@ void gemm_s8_rows(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
 
 void gemm_s8_nt(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::int64_t m,
                 std::int64_t k, std::int64_t n) {
+  SNAPPIX_CHECK(k <= kGemmS8MaxK, "gemm_s8_nt reduction depth k = "
+                                      << k << " can overflow the int32 accumulator (max "
+                                      << kGemmS8MaxK << ")");
   auto rows = [&](std::int64_t i0, std::int64_t i1) { gemm_s8_rows(a, b, c, i0, i1, k, n); };
   // Same fan-out policy as the float gemm_nn: spawning threads only pays off
   // past real work, and int32 accumulation is exact, so the partition can
-  // never change an output value.
+  // never change an output value. The threshold comparison divides instead
+  // of multiplying — m * k * n itself could overflow int64 on adversarial
+  // shapes, and signed overflow is UB.
   constexpr std::int64_t kParallelWork = 1 << 22;
-  if (m * k * n < kParallelWork) {
+  const std::int64_t row_work = std::max<std::int64_t>(1, k * n);
+  if (m < (kParallelWork + row_work - 1) / row_work) {
     rows(0, m);
     return;
   }
-  parallel_for(m, rows, /*grain=*/std::max<std::int64_t>(1, kParallelWork / (k * n)));
+  parallel_for(m, rows, /*grain=*/std::max<std::int64_t>(1, kParallelWork / row_work));
 }
 
 void gemm_s8_nt_ref(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
                     std::int64_t m, std::int64_t k, std::int64_t n) {
+  SNAPPIX_CHECK(k <= kGemmS8MaxK, "gemm_s8_nt_ref reduction depth k = "
+                                      << k << " can overflow the int32 accumulator (max "
+                                      << kGemmS8MaxK << ")");
   for (std::int64_t i = 0; i < m; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
       std::int32_t acc = 0;

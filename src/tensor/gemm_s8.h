@@ -17,10 +17,20 @@
 
 namespace snappix::detail {
 
+// Largest reduction depth the int32 accumulator provably holds: every
+// partial sum is bounded by k * 128 * 128 (int8 magnitudes are <= 128), so
+// k <= 2^31 / 2^14 keeps the scalar accumulation inside int32 — beyond it a
+// dot product could overflow, which for the SIGNED scalar accumulator is
+// undefined behavior (the AVX2 lanes would silently wrap to a different
+// answer). gemm_s8_nt and gemm_s8_nt_ref reject larger k up front; pinned by
+// GemmS8.RejectsAccumulatorOverflowDepth in tests/test_quant.cpp.
+constexpr std::int64_t kGemmS8MaxK = (std::int64_t{1} << 31) / (128 * 128) - 1;
+
 // c(m, n) = a(m, k) @ b(n, k)^T with int32 accumulation. `c` is fully
 // overwritten. AVX2 (vpmaddwd over sign-extended int8 lanes) when compiled
 // in, scalar otherwise — bit-identical either way. Rows are independent, so
 // large problems fan out across threads without changing any output.
+// Requires k <= kGemmS8MaxK (throws std::runtime_error beyond it).
 void gemm_s8_nt(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
                 std::int64_t m, std::int64_t k, std::int64_t n);
 

@@ -7,16 +7,22 @@
 namespace snappix::transport {
 
 std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
-  std::uint16_t crc = 0xFFFF;
+  // The accumulator is deliberately uint32: a uint16 operand would promote
+  // to *signed* int under the shifts below, making the bit math depend on
+  // implicit promotion (and UB on any platform where int is 16 bits).
+  // Unsigned 32-bit shifts of a value masked to 16 bits are always defined;
+  // the 0xFFFFU mask keeps each round's result exactly the CRC-16 state.
+  // Pinned by CrcMatchesSpecCheckValue (0x29B1 over "123456789") and the
+  // all-0xFF edge-case regression in tests/test_transport.cpp.
+  std::uint32_t crc = 0xFFFFU;
   for (std::size_t i = 0; i < size; ++i) {
-    crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(data[i]) << 8));
+    crc ^= static_cast<std::uint32_t>(data[i]) << 8;
     for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc & 0x8000) != 0
-                ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
-                : static_cast<std::uint16_t>(crc << 1);
+      crc = (crc & 0x8000U) != 0 ? ((crc << 1) ^ 0x1021U) : (crc << 1);
+      crc &= 0xFFFFU;
     }
   }
-  return crc;
+  return static_cast<std::uint16_t>(crc);
 }
 
 // --- header ECC --------------------------------------------------------------
@@ -60,12 +66,22 @@ bool group_parity(const bool (&codeword)[kCodewordBits + 1], int mask) {
 }
 
 // Packs the data positions of a codeword back into 24 bits.
+//
+// The load and the shift are deliberately separate statements: gcc 12.2
+// miscompiles the one-liner `data |= (codeword[pos] ? 1U : 0U) << bit` under
+// -fsanitize=bounds,shift (both in -fsanitize=undefined) — the instrumented
+// bounds check evaluates a clobbered index and the function returns garbage.
+// This shape compiles correctly under every preset; pinned by
+// HeaderEcc.CorrectsEverySingleBitFlip running in the asan CI job.
 std::uint32_t collect_data_positions(const bool (&codeword)[kCodewordBits + 1]) {
   std::uint32_t data = 0;
   int bit = 0;
   for (int pos = 1; pos <= kCodewordBits; ++pos) {
     if (!is_parity_position(pos)) {
-      data |= static_cast<std::uint32_t>(codeword[pos] ? 1U : 0U) << bit;
+      const bool set = codeword[pos];
+      if (set) {
+        data |= std::uint32_t{1} << bit;
+      }
       ++bit;
     }
   }

@@ -208,6 +208,26 @@ TEST(GemmS8, ExtremeValuesAccumulateExactly) {
   }
 }
 
+TEST(GemmS8, RejectsAccumulatorOverflowDepth) {
+  // Beyond kGemmS8MaxK a single dot product can exceed int32
+  // (127 * 127 * k > 2^31 - 1), so both kernels must refuse up front rather
+  // than return silently wrapped accumulators.
+  const std::int64_t k_bad = detail::kGemmS8MaxK + 1;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(k_bad), 1),
+      b(static_cast<std::size_t>(k_bad), 1);
+  std::vector<std::int32_t> c(1);
+  EXPECT_THROW(detail::gemm_s8_nt(a.data(), b.data(), c.data(), 1, k_bad, 1),
+               std::runtime_error);
+  EXPECT_THROW(detail::gemm_s8_nt_ref(a.data(), b.data(), c.data(), 1, k_bad, 1),
+               std::runtime_error);
+
+  // The boundary itself is serviceable — and exact: a 1 x kMaxK dot product
+  // of all-ones is just kMaxK.
+  const std::int64_t k_ok = detail::kGemmS8MaxK;
+  detail::gemm_s8_nt(a.data(), b.data(), c.data(), 1, k_ok, 1);
+  EXPECT_EQ(c[0], static_cast<std::int32_t>(k_ok));
+}
+
 // --- calibration -------------------------------------------------------------
 
 TEST(Calibration, DeterministicForFixedInputAndSeed) {

@@ -1,0 +1,578 @@
+// Race-hunting stress suite (docs/static-analysis.md). Every test here runs
+// many threads over tiny capacities to force the interleavings the unit
+// tests never hit: steal/close/shutdown collisions on FrameQueue, snapshot
+// readers racing metric writers, EngineCache miss storms across precision
+// tiers, trace export racing lane writers, and scheduler teardown mid-batch.
+// The suite is part of the regular ctest run AND the whole point of the
+// sanitizer CI jobs: a pass under -DSNAPPIX_SANITIZE=thread is the repo's
+// "TSan-clean" invariant (docs/architecture.md), so every assertion below is
+// written to hold under arbitrary interleavings — conservation laws and
+// monotonicity, not timing assumptions. Thread/iteration counts are sized so
+// the TSan run (≈10x slowdown, possibly one core) stays in seconds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ce/pattern.h"
+#include "core/snappix.h"
+#include "json_lite.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/camera.h"
+#include "runtime/engine.h"
+#include "runtime/engine_cache.h"
+#include "runtime/frame_queue.h"
+#include "runtime/scheduler.h"
+#include "runtime/server.h"
+#include "runtime/stats.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+namespace json = testing::json;
+
+using runtime::EngineCache;
+using runtime::EngineCacheConfig;
+using runtime::Frame;
+using runtime::FrameQueue;
+using runtime::InferenceServer;
+using runtime::PatternRef;
+using runtime::Precision;
+using runtime::ServerConfig;
+
+Frame tiny_frame(int camera, std::int64_t sequence) {
+  Frame frame;
+  frame.camera_id = camera;
+  frame.sequence = sequence;
+  frame.coded = Tensor::full(Shape{2, 2}, static_cast<float>(sequence));
+  return frame;
+}
+
+core::SnapPixConfig small_system_config() {
+  core::SnapPixConfig cfg;
+  cfg.image = 16;
+  cfg.frames = 8;
+  cfg.num_classes = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+data::SceneConfig small_scene() {
+  data::SceneConfig scene;
+  scene.frames = 8;
+  scene.height = 16;
+  scene.width = 16;
+  scene.num_classes = 4;
+  return scene;
+}
+
+// --- FrameQueue: producers vs consumers vs a thief on a tiny queue -----------
+
+TEST(FrameQueueStress, ProducersConsumersAndThiefConserveEveryFrame) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr std::int64_t kFramesEach = 200;
+  FrameQueue queue(2);  // tiny: every push fights for capacity
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::int64_t i = 0; i < kFramesEach; ++i) {
+        ASSERT_TRUE(queue.push(tiny_frame(p, i)));  // nobody closes mid-stream
+      }
+    });
+  }
+
+  std::mutex seen_mutex;
+  std::vector<std::pair<int, std::int64_t>> seen;
+  auto record = [&seen_mutex, &seen](const std::vector<Frame>& frames) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    for (const Frame& f : frames) {
+      seen.emplace_back(f.camera_id, f.sequence);
+    }
+  };
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers + 1);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &record] {
+      std::vector<Frame> local;
+      Frame out;
+      while (queue.pop(out)) {
+        local.push_back(out);
+      }
+      record(local);
+    });
+  }
+  // The thief steals key-pure tail runs until the queue can yield no more.
+  consumers.emplace_back([&queue, &record] {
+    std::vector<Frame> batch;
+    while (!queue.exhausted()) {
+      if (queue.steal_tail(batch, 3)) {
+        record(batch);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  // Conservation: every (camera, sequence) surfaced exactly once.
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers) * kFramesEach);
+  std::set<std::pair<int, std::int64_t>> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), seen.size());
+  EXPECT_EQ(queue.total_pushed(),
+            static_cast<std::uint64_t>(kProducers) * kFramesEach);
+  EXPECT_TRUE(queue.exhausted());
+}
+
+TEST(FrameQueueStress, CloseRacingPushPopStealNeverLosesAnAcceptedFrame) {
+  // Many short rounds so close() lands at a different interleaving each time:
+  // mid-push (producer blocked on the full queue), mid-pop, mid-steal.
+  for (int round = 0; round < 25; ++round) {
+    FrameQueue queue(1);
+    std::atomic<std::int64_t> accepted{0};  // order: relaxed tally, read after joins
+    std::atomic<std::int64_t> surfaced{0};  // order: relaxed tally, read after joins
+
+    std::thread producer([&queue, &accepted] {
+      for (std::int64_t i = 0; i < 60; ++i) {
+        if (!queue.push(tiny_frame(0, i))) {
+          break;  // closed under us: everything after is rejected too
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::thread consumer([&queue, &surfaced] {
+      Frame out;
+      while (queue.pop(out)) {
+        surfaced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::thread thief([&queue, &surfaced] {
+      std::vector<Frame> batch;
+      while (!queue.exhausted()) {
+        if (queue.steal_tail(batch, 2)) {
+          surfaced.fetch_add(static_cast<std::int64_t>(batch.size()),
+                             std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+    std::thread closer([&queue, round] {
+      // Vary the close point: immediately, after a yield, after a sleep.
+      if (round % 3 == 1) {
+        std::this_thread::yield();
+      } else if (round % 3 == 2) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      queue.close();
+    });
+
+    producer.join();
+    consumer.join();
+    thief.join();
+    closer.join();
+
+    // close() drains rather than drops: every accepted frame surfaced through
+    // pop or steal, no frame surfaced twice.
+    EXPECT_EQ(surfaced.load(std::memory_order_relaxed),
+              accepted.load(std::memory_order_relaxed))
+        << "round " << round;
+    EXPECT_TRUE(queue.exhausted());
+  }
+}
+
+// --- metrics: snapshot readers racing lock-free writers ----------------------
+
+TEST(MetricsStress, SnapshotsRacingObserversStaySaneAndEndExact) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("stress_latency_seconds");
+  obs::Counter& counter = registry.counter("stress_events_total");
+  obs::Gauge& gauge = registry.gauge("stress_depth");
+
+  constexpr int kWriters = 3;
+  constexpr int kObservationsEach = 4000;
+  // Deterministic value stream with known extremes: writer w observes
+  // (w + 1) * 1e-5 .. (w + 1) * 1e-5 * kObservationsEach.
+  const double expected_min = 1e-5;
+  const double expected_max = 1e-5 * kWriters * kObservationsEach;
+
+  std::atomic<bool> writing{true};  // order: start/stop flag for the reader loop only
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&hist, &counter, &gauge, w] {
+      for (int i = 1; i <= kObservationsEach; ++i) {
+        hist.observe((w + 1) * 1e-5 * i);
+        counter.add(1);
+        gauge.set(static_cast<double>(i));
+      }
+    });
+  }
+
+  std::thread reader([&registry, &writing, expected_max] {
+    std::uint64_t last_count = 0;
+    while (writing.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      ASSERT_EQ(snap.histograms.size(), 1U);
+      const obs::HistogramSnapshot& h = snap.histograms.front();
+      // Mid-run invariants: monotone count, finite sane statistics, ordered
+      // percentiles. (Exactness only holds after the writers join.)
+      EXPECT_GE(h.count, last_count);
+      last_count = h.count;
+      EXPECT_TRUE(std::isfinite(h.sum));
+      EXPECT_TRUE(std::isfinite(h.min));
+      EXPECT_TRUE(std::isfinite(h.max));
+      if (h.count > 0) {
+        EXPECT_LE(h.min, h.max);
+        EXPECT_GT(h.max, 0.0);
+        EXPECT_LE(h.max, expected_max);
+      }
+      EXPECT_LE(h.p50, h.p95);
+      EXPECT_LE(h.p95, h.p99);
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : writers) {
+    t.join();
+  }
+  writing.store(false, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiescent snapshot is exact — in particular min/max, whose CAS-fold
+  // protocol this test exists to pin (a lost first-observer fold shows up
+  // here as a wrong extreme).
+  const obs::MetricsSnapshot final_snap = registry.snapshot();
+  const obs::HistogramSnapshot& h = final_snap.histograms.front();
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kWriters) * kObservationsEach);
+  EXPECT_DOUBLE_EQ(h.min, expected_min);
+  EXPECT_DOUBLE_EQ(h.max, expected_max);
+  ASSERT_EQ(final_snap.counters.size(), 1U);
+  EXPECT_EQ(final_snap.counters.front().second,
+            static_cast<std::uint64_t>(kWriters) * kObservationsEach);
+}
+
+// The end-to-end version of the same contract, through the server: snapshots
+// taken MID-SERVE always render to valid JSON (json_lite is a strict parser:
+// bare nan/inf, trailing commas, and torn syntax all throw) and every
+// monotone statistic is <= its value in a quiescent post-run snapshot.
+TEST(MetricsStress, MidServeJsonSnapshotsParseAndAreMonotoneVsFinal) {
+  core::SnapPixSystem system(small_system_config());
+  ServerConfig config;
+  config.batch.max_batch = 4;
+  config.shards = 2;
+  config.queue_capacity = 4;  // small: keeps producers and workers overlapping
+  InferenceServer server(system, config);
+  for (int cam = 0; cam < 4; ++cam) {
+    server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+        cam, small_scene(), system.pattern_ref(),
+        900 + static_cast<std::uint64_t>(cam)));
+  }
+
+  std::atomic<bool> done{false};  // order: run-finished flag for the sampler loop only
+  std::vector<obs::MetricsSnapshot> mid_snaps;
+  std::thread sampler([&server, &done, &mid_snaps] {
+    while (!done.load(std::memory_order_relaxed)) {
+      obs::MetricsSnapshot snap = server.metrics_snapshot();
+      const std::string json = obs::to_json(snap);
+      EXPECT_NO_THROW(json::Parser(json).parse()) << json;
+      mid_snaps.push_back(std::move(snap));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  const std::vector<runtime::TaskResult> results = server.run(24);
+  done.store(true, std::memory_order_relaxed);
+  sampler.join();
+  EXPECT_EQ(results.size(), 4U * 24U);
+
+  const obs::MetricsSnapshot final_snap = server.metrics_snapshot();
+  EXPECT_NO_THROW(json::Parser(obs::to_json(final_snap)).parse());
+  auto counter_value = [](const obs::MetricsSnapshot& snap, const std::string& name) {
+    for (const auto& entry : snap.counters) {
+      if (entry.first == name) {
+        return entry.second;
+      }
+    }
+    return std::uint64_t{0};
+  };
+  for (const obs::MetricsSnapshot& snap : mid_snaps) {
+    for (const auto& entry : snap.counters) {
+      EXPECT_LE(entry.second, counter_value(final_snap, entry.first)) << entry.first;
+    }
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      EXPECT_LE(snap.histograms[i].count, final_snap.histograms[i].count)
+          << snap.histograms[i].name;
+    }
+  }
+  // The sampler genuinely overlapped the run (non-vacuous): the LAST mid-run
+  // sample must postdate the first serve. With 96 frames and a 300 us sample
+  // period this never fires spuriously.
+  ASSERT_FALSE(mid_snaps.empty());
+  EXPECT_GT(counter_value(final_snap, "snappix_frames_total"), 0U);
+}
+
+// --- EngineCache: miss storm on one pattern across precision tiers -----------
+
+// Minimal engine: just enough state for the cache to hand out. Building one
+// is instant, so factory calls interleave as fast as the shard lock allows.
+class StubEngine : public runtime::VitEngine {
+ public:
+  explicit StubEngine(Precision precision) : precision_(precision) {}
+
+  Tensor classify_logits(const Tensor& coded) const override {
+    return Tensor::full(Shape{coded.shape()[0], 1}, 0.0F);
+  }
+  Tensor reconstruct(const Tensor&) const override {
+    throw std::runtime_error("StubEngine: no rec head");
+  }
+  bool has_rec_head() const override { return false; }
+  Precision precision() const override { return precision_; }
+  const models::ViTConfig& config() const override { return config_; }
+
+ private:
+  Precision precision_;
+  models::ViTConfig config_;
+};
+
+TEST(EngineCacheStress, MissStormOnOnePatternAcrossTiersStaysConsistent) {
+  EngineCacheConfig config;
+  config.shards = 1;
+  config.capacity_per_shard = 1;  // fp32 and int8 entries evict each other
+  std::atomic<std::uint64_t> builds{0};  // order: relaxed tally, read after joins
+  EngineCache cache(config, [&builds](const ce::CePattern&, Precision precision) {
+    builds.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<StubEngine>(precision);
+  });
+
+  Rng rng(17);
+  const PatternRef pattern =
+      runtime::make_pattern_ref(ce::CePattern::random(8, 8, rng, 0.5F));
+  const std::uint64_t id = pattern->hash();
+
+  constexpr int kThreads = 6;
+  constexpr int kResolvesEach = 250;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &pattern, id, t] {
+      for (int i = 0; i < kResolvesEach; ++i) {
+        // Alternating tiers, offset per thread, so both tiers are always in
+        // flight and capacity 1 turns every other resolve into an eviction.
+        const Precision tier =
+            ((i + t) % 2 == 0) ? Precision::kFp32 : Precision::kInt8;
+        const auto entry = cache.resolve(id, pattern, tier);
+        ASSERT_NE(entry, nullptr);
+        EXPECT_EQ(entry->precision, tier);
+        ASSERT_NE(entry->engine, nullptr);
+        EXPECT_EQ(entry->engine->precision(), tier);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  const auto totals = cache.counters();
+  EXPECT_EQ(totals.hits + totals.misses,
+            static_cast<std::uint64_t>(kThreads) * kResolvesEach);
+  EXPECT_EQ(totals.misses, builds.load(std::memory_order_relaxed));
+  EXPECT_GE(totals.misses, 2U);  // both tiers built at least once
+  EXPECT_LE(cache.resident(), config.shards * config.capacity_per_shard);
+  EXPECT_LE(cache.max_shard_occupancy(), config.capacity_per_shard);
+  // Per-tier counters partition the totals.
+  const auto fp32 = cache.counters(Precision::kFp32);
+  const auto int8 = cache.counters(Precision::kInt8);
+  EXPECT_EQ(fp32.hits + int8.hits, totals.hits);
+  EXPECT_EQ(fp32.misses + int8.misses, totals.misses);
+}
+
+// --- trace: export racing lane writers ---------------------------------------
+
+TEST(TraceExportRaces, LaneWritersWhileExportingSeeConsistentPrefixes) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  // Crosses two chunk boundaries (kChunkEvents = 1024) AND overflows, so the
+  // race covers lazy chunk materialization and the dropped counter.
+  config.max_events_per_lane = 2500;
+  obs::TraceRecorder recorder(config);
+
+  constexpr int kLanes = 3;
+  constexpr int kEventsEach = 3000;  // 500 past capacity per lane
+  std::vector<obs::TraceLane*> lanes;
+  lanes.reserve(kLanes);
+  for (int i = 0; i < kLanes; ++i) {
+    lanes.push_back(recorder.create_lane("writer-" + std::to_string(i)));
+  }
+
+  std::atomic<bool> writing{true};  // order: start/stop flag for readers only
+  std::vector<std::thread> writers;
+  writers.reserve(kLanes);
+  for (int w = 0; w < kLanes; ++w) {
+    writers.emplace_back([lane = lanes[static_cast<std::size_t>(w)], w] {
+      for (int i = 0; i < kEventsEach; ++i) {
+        lane->add_complete("span-" + std::to_string(w), /*ts_ns=*/i + 1,
+                           /*dur_ns=*/1);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&recorder, &writing] {
+      while (writing.load(std::memory_order_relaxed)) {
+        // all_events() must observe a consistent prefix of every lane: fully
+        // written names and the per-lane monotone timestamps we wrote.
+        const std::vector<obs::TraceEvent> events = recorder.all_events();
+        std::vector<std::int64_t> last_ts(kLanes, 0);
+        for (const obs::TraceEvent& event : events) {
+          ASSERT_LT(event.tid, static_cast<std::uint64_t>(kLanes));
+          ASSERT_EQ(event.name, "span-" + std::to_string(event.tid));
+          EXPECT_GT(event.ts_ns, last_ts[event.tid]);
+          last_ts[event.tid] = event.ts_ns;
+        }
+        (void)recorder.dropped_events();
+        std::this_thread::yield();
+      }
+    });
+  }
+  // One more reader hammers the full JSON export path mid-write; the strict
+  // parser turns any torn emission into a test failure.
+  std::thread json_reader([&recorder, &writing] {
+    while (writing.load(std::memory_order_relaxed)) {
+      EXPECT_NO_THROW(json::Parser(recorder.chrome_json()).parse());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (auto& t : writers) {
+    t.join();
+  }
+  writing.store(false, std::memory_order_relaxed);
+  for (auto& t : readers) {
+    t.join();
+  }
+  json_reader.join();
+
+  // Quiescent totals are exact: capacity kept, overflow counted.
+  EXPECT_EQ(recorder.all_events().size(),
+            static_cast<std::size_t>(kLanes) * config.max_events_per_lane);
+  EXPECT_EQ(recorder.dropped_events(),
+            static_cast<std::size_t>(kLanes) *
+                (kEventsEach - config.max_events_per_lane));
+}
+
+// --- scheduler: teardown with producers mid-push -----------------------------
+
+TEST(SchedulerStress, ExternalCloseMidStreamUnblocksProducersAndTearsDown) {
+  runtime::RuntimeStats stats;
+  FrameQueue queue_a(2);
+  FrameQueue queue_b(2);
+  {
+    runtime::StreamScheduler scheduler(stats, /*threads=*/2);
+    Rng rng(23);
+    const PatternRef pattern =
+        runtime::make_pattern_ref(ce::CePattern::random(8, 8, rng, 0.5F));
+    scheduler.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+                             0, small_scene(), pattern, 101),
+                         queue_a);
+    scheduler.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+                             1, small_scene(), pattern, 102),
+                         queue_b);
+
+    // A stream far longer than the consumers will drain: both producers are
+    // guaranteed to be blocked in push() when the close lands.
+    scheduler.start(10'000);
+
+    Frame out;
+    std::size_t popped = 0;
+    for (int i = 0; i < 6; ++i) {
+      if (queue_a.pop(out)) {
+        ++popped;
+      }
+      if (queue_b.pop(out)) {
+        ++popped;
+      }
+    }
+    EXPECT_GT(popped, 0U);
+
+    queue_a.close();
+    queue_b.close();
+    scheduler.join();  // must return: blocked pushes observe the close
+    // scheduler destructor runs here, with frames still queued — teardown
+    // mid-batch must not touch the (external) queues again.
+  }
+  EXPECT_TRUE(queue_a.closed());
+  EXPECT_TRUE(queue_b.closed());
+  // Drain whatever the close stranded; both queues then report exhausted.
+  Frame out;
+  while (queue_a.pop(out)) {
+  }
+  while (queue_b.pop(out)) {
+  }
+  EXPECT_TRUE(queue_a.exhausted());
+  EXPECT_TRUE(queue_b.exhausted());
+}
+
+// --- server: full sharded run under a tiny queue, repeated -------------------
+
+// End-to-end interleaving torture: 2 shards + stealing + tracing + a tiny
+// queue capacity, repeated so shard workers, thieves, producers, and the
+// trace/metrics readers above all collide differently each round. The
+// assertion is the serving contract itself: result count and determinism.
+TEST(ServerStress, RepeatedShardedStealingRunsStayDeterministic) {
+  core::SnapPixSystem system(small_system_config());
+  std::vector<std::int64_t> reference;
+  for (int round = 0; round < 3; ++round) {
+    ServerConfig config;
+    config.batch.max_batch = 3;
+    config.shards = 2;
+    config.queue_capacity = 2;
+    config.trace.enabled = true;
+    config.trace.sample_every = 2;
+    InferenceServer server(system, config);
+    for (int cam = 0; cam < 3; ++cam) {
+      server.add_camera(std::make_unique<runtime::SyntheticCameraSource>(
+          cam, small_scene(), system.pattern_ref(),
+          400 + static_cast<std::uint64_t>(cam)));
+    }
+    const std::vector<runtime::TaskResult> results = server.run(10);
+    ASSERT_EQ(results.size(), 30U);
+    std::vector<std::int64_t> predicted;
+    predicted.reserve(results.size());
+    for (const auto& r : results) {
+      predicted.push_back(r.predicted);
+    }
+    if (round == 0) {
+      reference = predicted;
+    } else {
+      EXPECT_EQ(predicted, reference) << "round " << round;
+    }
+    EXPECT_NO_THROW(json::Parser(server.trace_json()).parse());
+  }
+}
+
+}  // namespace
+}  // namespace snappix

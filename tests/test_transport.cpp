@@ -45,6 +45,43 @@ TEST(Crc16, MatchesSpecCheckValue) {
   EXPECT_NE(transport::crc16_ccitt(flipped, sizeof(check)), 0x29B1);
 }
 
+TEST(Crc16, MatchesBitSerialReferenceOnEdgePayloads) {
+  // Bit-serial CRC-16/CCITT-FALSE reference: processes one input BIT per
+  // step, entirely in unsigned arithmetic. Any promotion/shift slip in the
+  // byte-at-a-time production code (uint16 << 8 silently promotes to signed
+  // int, UB at bit 31 without the explicit uint32 accumulator it now uses)
+  // diverges from this on dense-MSB payloads like all-0xFF.
+  const auto reference = [](const std::uint8_t* data, std::size_t size) {
+    std::uint32_t crc = 0xFFFFU;
+    for (std::size_t i = 0; i < size; ++i) {
+      for (int bit = 7; bit >= 0; --bit) {
+        const std::uint32_t in = (static_cast<std::uint32_t>(data[i]) >> bit) & 1U;
+        const std::uint32_t top = (crc >> 15) & 1U;
+        crc = (crc << 1) & 0xFFFFU;
+        if (top != in) {
+          crc ^= 0x1021U;
+        }
+      }
+    }
+    return static_cast<std::uint16_t>(crc);
+  };
+
+  // All-0xFF keeps the accumulator's top bit set on nearly every step — the
+  // exact payload shape that exercised the old signed-promotion hazard.
+  for (const std::size_t len : {1U, 2U, 15U, 64U, 257U}) {
+    const std::vector<std::uint8_t> ones(len, 0xFF);
+    EXPECT_EQ(transport::crc16_ccitt(ones.data(), len), reference(ones.data(), len))
+        << "all-0xFF length " << len;
+  }
+  // And a deterministic mixed payload for good measure.
+  std::vector<std::uint8_t> mixed(129);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    mixed[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  EXPECT_EQ(transport::crc16_ccitt(mixed.data(), mixed.size()),
+            reference(mixed.data(), mixed.size()));
+}
+
 TEST(HeaderEcc, CleanHeaderDecodesClean) {
   for (const std::uint32_t header : {0x000000U, 0xFFFFFFU, 0x300830U, 0x123456U}) {
     const std::uint8_t ecc = transport::ecc_encode(header);
