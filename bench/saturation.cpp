@@ -1,0 +1,352 @@
+// Saturation bench: does overload discipline actually hold at 3x capacity?
+//
+// Three arms over the same replay fleet (1 realtime + 5 best-effort cameras,
+// one shared pattern, 1 shard):
+//
+//   baseline    unloaded run (standard QoS, ample queue) — measures the
+//               serving capacity C (aggregate fps) that the overload arms
+//               are scaled against, and demonstrates the unloaded reference
+//               behavior: zero sheds.
+//   saturation  producers paced so the fleet OFFERS ~3x C into a tiny
+//               queue: the realtime camera offers C/5 (well under
+//               capacity), the five best-effort cameras offer ~0.56C each.
+//               Admission control must shed the excess from best-effort
+//               traffic only.
+//   drop_late   same offered load, but best-effort frames carry a deadline
+//               budget of half the full-queue wait — frames that sit behind
+//               a deep backlog expire and must be shed at dequeue, never
+//               served stale. The realtime camera keeps no deadline.
+//
+// Gates (exit non-zero on any failure):
+//   - overload was real: offered > served and best-effort sheds > 0 in both
+//     overload arms; drop_late additionally sheds > 0 frames for kDeadline
+//   - ZERO realtime sheds in every arm; the realtime camera is served in
+//     full at bounded p99 (their producer never offers more than C/5)
+//   - exact conservation per camera: offered == served + shed (the run
+//     drains before returning, so nothing hides in flight)
+//   - no starvation (saturation arm): every camera gets some service
+//   - bit identity: every served prediction equals the batch-1 unloaded
+//     reference for that replay slot — overload changes WHICH frames are
+//     answered, never the bits of an answer
+//
+// Writes BENCH_saturation.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/snappix.h"
+#include "obs/metrics.h"
+#include "runtime/camera.h"
+#include "runtime/server.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+
+constexpr int kStreamImage = 16;
+constexpr int kStreamFrames = 8;
+constexpr int kCameras = 6;       // camera 0 realtime, 1..5 best-effort
+constexpr int kBufferFrames = 8;  // replay buffer depth per camera
+
+// ReplayCameraSource with a fixed inter-frame gap: the bench's throttle for
+// dialing OFFERED load to a multiple of measured capacity. The sleep sits in
+// capture_frame, so a blocked admit (backpressure) still dominates the gap
+// for realtime/standard producers, exactly as a real sensor's frame interval
+// would.
+class PacedReplaySource : public runtime::ReplayCameraSource {
+ public:
+  PacedReplaySource(int id, runtime::PatternRef pattern, std::vector<Tensor> coded,
+                    std::chrono::microseconds gap)
+      : runtime::ReplayCameraSource(id, std::move(pattern), std::move(coded), {}),
+        gap_(gap) {}
+
+ protected:
+  runtime::Frame capture_frame() override {
+    // Absolute schedule (due_ += gap, sleep_until) rather than sleep_for:
+    // per-sleep overshoot would otherwise compound into a much lower offered
+    // rate than the arm was dialed to — against an absolute schedule the
+    // producer simply skips the sleep until it has caught back up.
+    if (gap_.count() > 0) {
+      if (due_.time_since_epoch().count() == 0) {
+        due_ = std::chrono::steady_clock::now();
+      }
+      due_ += gap_;
+      std::this_thread::sleep_until(due_);
+    }
+    return runtime::ReplayCameraSource::capture_frame();
+  }
+
+ private:
+  std::chrono::microseconds gap_;
+  std::chrono::steady_clock::time_point due_{};
+};
+
+struct ArmOutcome {
+  std::string label;
+  std::vector<std::int64_t> offered;            // per camera
+  std::map<int, std::uint64_t> served;          // per camera
+  std::map<int, std::uint64_t> shed;            // per camera (all reasons)
+  runtime::RuntimeSummary summary;
+  double wall_seconds = 0.0;
+  bool bit_identical = true;
+  std::uint64_t checked = 0;
+};
+
+double offered_fps(const ArmOutcome& arm) {
+  std::int64_t total = 0;
+  for (const std::int64_t n : arm.offered) {
+    total += n;
+  }
+  return arm.wall_seconds > 0.0 ? static_cast<double>(total) / arm.wall_seconds : 0.0;
+}
+
+std::int64_t clamp64(double value, std::int64_t lo, std::int64_t hi) {
+  const auto v = static_cast<std::int64_t>(value);
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const double duration_s = quick ? 0.6 : 1.5;      // target wall per overload arm
+  const std::int64_t baseline_frames = quick ? 40 : 80;  // per camera
+
+  bench::print_header("Saturation: QoS admission control + drop-late under 3x offered load");
+  std::printf("%d cameras (1 realtime, %d best-effort), shared pattern, 1 shard\n", kCameras,
+              kCameras - 1);
+
+  core::SnapPixConfig cfg;
+  cfg.image = kStreamImage;
+  cfg.frames = kStreamFrames;
+  cfg.num_classes = 4;
+  cfg.seed = 42;
+  core::SnapPixSystem system(cfg);
+
+  // Deterministic replay buffers + the batch-1 reference predictions every
+  // served frame is checked against (the engines are batch-invariant, so
+  // batch-1 IS the unloaded answer).
+  std::vector<std::vector<Tensor>> buffers;
+  std::vector<std::vector<std::int64_t>> reference;
+  for (int cam = 0; cam < kCameras; ++cam) {
+    Rng rng(300 + static_cast<std::uint64_t>(cam));
+    std::vector<Tensor> coded;
+    std::vector<std::int64_t> predictions;
+    for (int i = 0; i < kBufferFrames; ++i) {
+      std::vector<float> data(kStreamImage * kStreamImage);
+      for (float& v : data) {
+        v = rng.uniform(0.0F, 1.0F);
+      }
+      Tensor frame = Tensor::from_vector(std::move(data), Shape{kStreamImage, kStreamImage});
+      predictions.push_back(system.classify_coded(
+          Tensor::from_vector(frame.data(), Shape{1, kStreamImage, kStreamImage}))[0]);
+      coded.push_back(std::move(frame));
+    }
+    buffers.push_back(std::move(coded));
+    reference.push_back(std::move(predictions));
+  }
+
+  // One arm: build the fleet, run it, tally per-camera conservation and
+  // check every served bit against the reference.
+  const auto run_arm = [&](const std::string& label, std::size_t queue_capacity,
+                           runtime::QosClass fleet_qos,
+                           const std::vector<std::int64_t>& frames_per_camera,
+                           std::chrono::microseconds realtime_gap,
+                           std::chrono::microseconds best_effort_gap,
+                           std::chrono::microseconds best_effort_deadline) {
+    runtime::ServerConfig server_cfg;
+    server_cfg.batch.max_batch = 8;
+    server_cfg.shards = 1;
+    server_cfg.queue_capacity = queue_capacity;
+    server_cfg.qos = fleet_qos;
+    runtime::InferenceServer server(system, server_cfg);
+    for (int cam = 0; cam < kCameras; ++cam) {
+      auto camera = std::make_unique<PacedReplaySource>(
+          cam, system.pattern_ref(), buffers[static_cast<std::size_t>(cam)],
+          cam == 0 ? realtime_gap : best_effort_gap);
+      if (cam == 0) {
+        camera->set_qos(runtime::QosClass::kRealtime);
+      } else if (best_effort_deadline.count() > 0) {
+        camera->set_deadline_budget(best_effort_deadline);
+      }
+      server.add_camera(std::move(camera));
+    }
+
+    ArmOutcome arm;
+    arm.label = label;
+    arm.offered = frames_per_camera;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<runtime::TaskResult> results = server.run(frames_per_camera);
+    arm.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    arm.summary = server.summary();
+
+    for (const runtime::TaskResult& r : results) {
+      ++arm.served[r.camera_id];
+      ++arm.checked;
+      const std::int64_t expect =
+          reference[static_cast<std::size_t>(r.camera_id)]
+                   [static_cast<std::size_t>(r.sequence % kBufferFrames)];
+      if (r.predicted != expect) {
+        arm.bit_identical = false;
+      }
+    }
+    for (const auto& [camera_id, counters] : arm.summary.shed_cameras) {
+      arm.shed[camera_id] = counters.queue_full + counters.deadline;
+    }
+    std::printf("\n[%s] wall %.2fs  offered %.0f fps  served %llu frames "
+                "(shed: %llu queue_full, %llu deadline; %llu misses)\n",
+                arm.label.c_str(), arm.wall_seconds, offered_fps(arm),
+                static_cast<unsigned long long>(arm.summary.frames),
+                static_cast<unsigned long long>(arm.summary.shed_queue_full),
+                static_cast<unsigned long long>(arm.summary.shed_deadline),
+                static_cast<unsigned long long>(arm.summary.deadline_misses));
+    return arm;
+  };
+
+  // --- baseline: unloaded capacity --------------------------------------------
+  const ArmOutcome baseline =
+      run_arm("baseline", 64, runtime::QosClass::kStandard,
+              std::vector<std::int64_t>(kCameras, baseline_frames),
+              std::chrono::microseconds(0), std::chrono::microseconds(0),
+              std::chrono::microseconds(0));
+  const double capacity_fps =
+      std::max(50.0, std::min(200000.0, baseline.summary.aggregate_fps));
+  std::printf("measured serving capacity: %.0f fps\n", capacity_fps);
+
+  // --- overload geometry: offer ~3x capacity ----------------------------------
+  // Realtime offers C/5; each best-effort camera offers (3C - C/5)/5 = 0.56C.
+  const auto rt_gap = std::chrono::microseconds(static_cast<std::int64_t>(5e6 / capacity_fps));
+  const auto be_gap =
+      std::chrono::microseconds(static_cast<std::int64_t>(1e6 / (0.56 * capacity_fps)));
+  const std::int64_t rt_frames = clamp64(duration_s * capacity_fps / 5.0, 20, 20000);
+  const std::int64_t be_frames = clamp64(duration_s * 0.56 * capacity_fps, 20, 20000);
+  std::vector<std::int64_t> overload_offered(kCameras, be_frames);
+  overload_offered[0] = rt_frames;
+  // Drop-late budget: half the time a frame would wait behind a FULL queue,
+  // so admitted frames expire exactly when the backlog is deep.
+  constexpr std::size_t kOverloadQueue = 16;
+  const auto be_deadline = std::chrono::microseconds(
+      static_cast<std::int64_t>(0.5 * 1e6 * static_cast<double>(kOverloadQueue) / capacity_fps));
+
+  const ArmOutcome saturation =
+      run_arm("saturation", kOverloadQueue, runtime::QosClass::kBestEffort, overload_offered,
+              rt_gap, be_gap, std::chrono::microseconds(0));
+  const ArmOutcome drop_late =
+      run_arm("drop_late", kOverloadQueue, runtime::QosClass::kBestEffort, overload_offered,
+              rt_gap, be_gap, be_deadline);
+
+  // --- gates -------------------------------------------------------------------
+  bool ok = true;
+  const auto gate = [&ok](bool pass, const char* what) {
+    if (!pass) {
+      std::printf("FAIL: %s\n", what);
+      ok = false;
+    }
+    return pass;
+  };
+
+  gate(baseline.summary.shed_frames == 0, "baseline run shed frames while unloaded");
+  gate(baseline.bit_identical && baseline.checked > 0, "baseline predictions diverged");
+
+  const auto check_overload_arm = [&](const ArmOutcome& arm, bool require_progress_everywhere,
+                                      bool require_deadline_sheds) {
+    // Conservation, per camera, exactly.
+    for (int cam = 0; cam < kCameras; ++cam) {
+      const std::uint64_t served =
+          arm.served.count(cam) ? arm.served.at(cam) : 0;
+      const std::uint64_t shed = arm.shed.count(cam) ? arm.shed.at(cam) : 0;
+      if (served + shed != static_cast<std::uint64_t>(arm.offered[static_cast<std::size_t>(cam)])) {
+        std::printf("FAIL: [%s] camera %d conservation broke: %llu served + %llu shed != %lld "
+                    "offered\n",
+                    arm.label.c_str(), cam, static_cast<unsigned long long>(served),
+                    static_cast<unsigned long long>(shed),
+                    static_cast<long long>(arm.offered[static_cast<std::size_t>(cam)]));
+        ok = false;
+      }
+    }
+    gate(arm.summary.shed_realtime == 0, "realtime frames were shed");
+    gate(arm.served.count(0) != 0 &&
+             arm.served.at(0) == static_cast<std::uint64_t>(arm.offered[0]),
+         "realtime camera not served in full");
+    gate(arm.summary.shed_best_effort > 0, "overload arm shed nothing — not saturated");
+    gate(arm.summary.frames < static_cast<std::uint64_t>(arm.offered[0]) +
+                                  static_cast<std::uint64_t>(kCameras - 1) *
+                                      static_cast<std::uint64_t>(arm.offered[1]),
+         "overload arm served everything — offered load did not exceed capacity");
+    gate(arm.bit_identical && arm.checked > 0, "served predictions diverged from reference");
+    gate(arm.summary.e2e_realtime.count > 0 && arm.summary.e2e_realtime.p99_ms < 500.0,
+         "realtime p99 unbounded under overload");
+    if (require_progress_everywhere) {
+      for (int cam = 0; cam < kCameras; ++cam) {
+        if (!arm.served.count(cam) || arm.served.at(cam) == 0) {
+          std::printf("FAIL: [%s] camera %d starved\n", arm.label.c_str(), cam);
+          ok = false;
+        }
+      }
+    }
+    if (require_deadline_sheds) {
+      gate(arm.summary.shed_deadline > 0, "drop-late arm shed nothing for kDeadline");
+    }
+  };
+  check_overload_arm(saturation, /*require_progress_everywhere=*/true,
+                     /*require_deadline_sheds=*/false);
+  check_overload_arm(drop_late, /*require_progress_everywhere=*/false,
+                     /*require_deadline_sheds=*/true);
+
+  bench::print_rule();
+  std::printf("realtime p99: baseline %s ms, saturation %s ms, drop_late %s ms\n",
+              obs::json_number(baseline.summary.e2e_realtime.p99_ms).c_str(),
+              obs::json_number(saturation.summary.e2e_realtime.p99_ms).c_str(),
+              obs::json_number(drop_late.summary.e2e_realtime.p99_ms).c_str());
+
+  const auto arm_json = [&](const ArmOutcome& arm) {
+    std::int64_t offered_total = 0;
+    for (const std::int64_t n : arm.offered) {
+      offered_total += n;
+    }
+    std::string out = "{\n    \"offered\": " + std::to_string(offered_total) +
+                      ",\n    \"served\": " + std::to_string(arm.summary.frames) +
+                      ",\n    \"shed_queue_full\": " + std::to_string(arm.summary.shed_queue_full) +
+                      ",\n    \"shed_deadline\": " + std::to_string(arm.summary.shed_deadline) +
+                      ",\n    \"shed_realtime\": " + std::to_string(arm.summary.shed_realtime) +
+                      ",\n    \"deadline_misses\": " + std::to_string(arm.summary.deadline_misses) +
+                      ",\n    \"offered_fps\": " + obs::json_number(offered_fps(arm)) +
+                      ",\n    \"served_fps\": " + obs::json_number(arm.summary.aggregate_fps) +
+                      ",\n    \"wall_seconds\": " + obs::json_number(arm.wall_seconds) +
+                      ",\n    \"realtime_p99_ms\": " +
+                      obs::json_number(arm.summary.e2e_realtime.p99_ms) +
+                      ",\n    \"bit_identical\": " + (arm.bit_identical ? "true" : "false") +
+                      "\n  }";
+    return out;
+  };
+  {
+    std::ofstream json("BENCH_saturation.json");
+    json << "{\n  \"cameras\": " << kCameras << ",\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"capacity_fps\": " << obs::json_number(capacity_fps)
+         << ",\n  \"target_overload_factor\": 3.0"
+         << ",\n  \"achieved_overload_factor\": "
+         << obs::json_number(capacity_fps > 0.0 ? offered_fps(saturation) / capacity_fps : 0.0)
+         << ",\n  \"baseline\": " << arm_json(baseline)
+         << ",\n  \"saturation\": " << arm_json(saturation)
+         << ",\n  \"drop_late\": " << arm_json(drop_late)
+         << ",\n  \"gates_passed\": " << (ok ? "true" : "false") << "\n}\n";
+  }
+  std::printf("wrote BENCH_saturation.json\n");
+
+  if (ok) {
+    std::printf("all saturation gates passed\n");
+  }
+  return ok ? 0 : 1;
+}

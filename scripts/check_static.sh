@@ -62,7 +62,10 @@ $HITS"
 done
 
 # --- 3. std::atomic declarations need an adjacent '// order:' comment -------
-for f in $(find src/obs src/runtime -name '*.h' -o -name '*.cpp' | sort); do
+# The concurrency-heavy test suites are in scope too: a relaxed tally in a
+# stress test is exactly where an unjustified ordering assumption hides.
+for f in $(find src/obs src/runtime tests/test_stress.cpp tests/test_overload.cpp \
+    -name '*.h' -o -name '*.cpp' | sort); do
   HITS=$(awk '
     /\/\/.*order:/ { last_order = NR }
     # a contiguous // comment block extends an order: annotation downward,

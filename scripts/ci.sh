@@ -4,11 +4,13 @@
 #   SANITIZER=off (default)  configure, build (-Werror), run the test suite,
 #                            run the static lint gate (scripts/check_static.sh),
 #                            check the docs tree's links, then run the
-#                            streaming throughput and observability benches in
-#                            quick mode (emits BENCH_streaming.json,
-#                            BENCH_pattern_cache.json, BENCH_sharded.json,
-#                            BENCH_framed.json, BENCH_int8.json, BENCH_obs.json
-#                            and trace_obs.json in build/).
+#                            streaming throughput, observability, and
+#                            saturation benches in quick mode (emits
+#                            BENCH_streaming.json, BENCH_pattern_cache.json,
+#                            BENCH_sharded.json, BENCH_framed.json,
+#                            BENCH_int8.json, BENCH_obs.json,
+#                            BENCH_saturation.json and trace_obs.json in
+#                            build/).
 #   SANITIZER=tsan           build everything under -fsanitize=thread and run
 #                            the full test suite (the stress suite included)
 #                            with the pinned runtime options from
@@ -83,6 +85,16 @@ cat "$BUILD_DIR/BENCH_int8.json"
 (cd "$BUILD_DIR" && ./bench_obs_overhead --quick)
 echo "BENCH_obs.json:"
 cat "$BUILD_DIR/BENCH_obs.json"
+
+# Saturation bench: offers ~3x the measured serving capacity through a
+# realtime + best-effort fleet and exits non-zero if any overload invariant
+# breaks — a realtime frame shed, per-camera conservation (offered == served
+# + shed) off by even one frame, a starved camera, unbounded realtime p99,
+# the drop-late arm shedding nothing for kDeadline, or any served prediction
+# differing from the unloaded batch-1 reference (see docs/serving.md).
+(cd "$BUILD_DIR" && ./bench_saturation --quick)
+echo "BENCH_saturation.json:"
+cat "$BUILD_DIR/BENCH_saturation.json"
 
 # Independent check that the exported trace parses as JSON (the bench already
 # validates it with the in-repo parser; this cross-checks with a second

@@ -28,17 +28,32 @@ BatchAggregator::BatchAggregator(FrameQueue& queue, const BatchPolicy& policy)
   validate(policy);
 }
 
+bool BatchAggregator::take_holdback(Frame& first) {
+  if (!holdback_.has_value()) {
+    return false;
+  }
+  if (holdback_->expired(Clock::now())) {
+    // The previous batch's inference outlived the held-back frame's
+    // deadline: drop-late applies to the holdback exactly as it would have
+    // inside the queue. Accounted through the queue the frame came from.
+    queue_.shed(*holdback_, ShedReason::kDeadline);
+    holdback_.reset();
+    return false;
+  }
+  first = std::move(*holdback_);
+  holdback_.reset();
+  return true;
+}
+
 bool BatchAggregator::next_batch(std::vector<Frame>& out) {
   out.clear();
   Frame first;
-  if (holdback_.has_value()) {
-    // dequeue_time was stamped when the frame actually left the queue — the
-    // held-back wait must not absorb the previous batch's inference time.
-    first = std::move(*holdback_);
-    holdback_.reset();
-  } else if (!queue_.pop(first)) {
-    return false;
-  } else {
+  // dequeue_time was stamped when a held-back frame actually left the queue —
+  // the held-back wait must not absorb the previous batch's inference time.
+  if (!take_holdback(first)) {
+    if (!queue_.pop(first)) {
+      return false;
+    }
     first.dequeue_time = Clock::now();
   }
   fill_from(std::move(first), out);
@@ -49,17 +64,17 @@ BatchAggregator::Poll BatchAggregator::poll_batch(std::vector<Frame>& out,
                                                   Clock::time_point idle_deadline) {
   out.clear();
   Frame first;
-  if (holdback_.has_value()) {
-    first = std::move(*holdback_);
-    holdback_.reset();
-  } else if (!queue_.pop_until(first, idle_deadline)) {
+  if (take_holdback(first)) {
+    fill_from(std::move(first), out);
+    return Poll::kBatch;
+  }
+  if (!queue_.pop_until(first, idle_deadline)) {
     // pop_until conflates "timed out" with "closed and drained"; exhausted()
     // is sticky (no push can succeed after close), so checking it after the
     // fact cannot mislabel a queue that still holds frames.
     return queue_.exhausted() ? Poll::kExhausted : Poll::kIdle;
-  } else {
-    first.dequeue_time = Clock::now();
   }
+  first.dequeue_time = Clock::now();
   fill_from(std::move(first), out);
   return Poll::kBatch;
 }

@@ -86,6 +86,11 @@ class BatchAggregator {
   const BatchPolicy& policy() const { return policy_; }
 
  private:
+  // Moves the held-back frame into `first` if one exists and its deadline
+  // has not passed. An expired holdback is shed (drop-late, accounted
+  // through the queue) and false is returned, as if no holdback existed.
+  bool take_holdback(Frame& first);
+
   // Shared tail of next_batch/poll_batch: grows a batch around `first` under
   // the max_batch/max_delay policy, never crossing a key boundary.
   void fill_from(Frame first, std::vector<Frame>& out);

@@ -87,6 +87,14 @@ Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
   frame.pattern_id = pattern_id_;
   frame.task = task_;
   frame.precision = precision();
+  frame.qos = qos();
+  // Deadline at capture: the budget covers the frame's WHOLE journey
+  // (capture, transport, queueing, batching, inference) — a frame that
+  // misses it anywhere downstream is shed rather than served stale.
+  const std::chrono::microseconds budget = deadline_budget();
+  if (budget.count() > 0) {
+    frame.deadline = Clock::now() + budget;
+  }
   const int sample_every = trace_sampling();
   frame.trace_sampled = sample_every > 0 && frame.sequence % sample_every == 0;
   // 8-bit readout: a conventional pipeline ships all T slot frames, the CE
@@ -208,6 +216,15 @@ std::unique_ptr<ReplayCameraSource> ReplayCameraSource::record(CameraSource& sou
   auto replay = std::make_unique<ReplayCameraSource>(source.id(), source.pattern_ref(),
                                                      std::move(coded), std::move(labels));
   replay->set_task(source.task());
+  // Mirror the source's QoS/deadline OVERRIDES only: a replay of a camera
+  // running on fleet defaults keeps following whatever defaults its server
+  // installs, exactly like the source would.
+  if (source.qos_overridden()) {
+    replay->set_qos(source.qos());
+  }
+  if (source.deadline_budget_overridden()) {
+    replay->set_deadline_budget(source.deadline_budget());
+  }
   replay->raw_bytes_ = std::move(raw);
   replay->wire_bytes_ = std::move(wire);
   return replay;

@@ -23,6 +23,7 @@
 //                          benchmarks measure the server, not scene synthesis)
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -95,6 +96,33 @@ class CameraSource {
   bool precision_overridden() const { return precision_override_.has_value(); }
   void set_default_precision(Precision precision) { default_precision_ = precision; }
 
+  // QoS class stamped on every emitted frame (default kStandard). Same
+  // default/override split as precision: the server installs
+  // ServerConfig::qos as the fleet default at add_camera time, an explicit
+  // set_qos wins — so a fleet can run best-effort wholesale while its alarm
+  // cameras stay realtime. See docs/serving.md for the overload semantics.
+  QosClass qos() const { return qos_override_.value_or(default_qos_); }
+  void set_qos(QosClass qos) { qos_override_ = qos; }
+  bool qos_overridden() const { return qos_override_.has_value(); }
+  void set_default_qos(QosClass qos) { default_qos_ = qos; }
+
+  // Per-frame deadline budget: every emitted frame carries
+  // deadline = capture time + budget, and the runtime sheds it (drop-late)
+  // rather than serve it stale once that passes. Zero means no deadline.
+  // Same default/override split as precision/qos.
+  std::chrono::microseconds deadline_budget() const {
+    return deadline_budget_override_.value_or(default_deadline_budget_);
+  }
+  void set_deadline_budget(std::chrono::microseconds budget) {
+    deadline_budget_override_ = budget;
+  }
+  bool deadline_budget_overridden() const {
+    return deadline_budget_override_.has_value();
+  }
+  void set_default_deadline_budget(std::chrono::microseconds budget) {
+    default_deadline_budget_ = budget;
+  }
+
   // Per-camera trace sampling period: every Nth frame (sequence % N == 0) is
   // emitted with trace_sampled set; 0 samples nothing. Same default/override
   // split as precision: the server installs its TraceConfig::sample_every as
@@ -133,6 +161,10 @@ class CameraSource {
   Task task_ = Task::kClassify;
   Precision default_precision_ = Precision::kFp32;
   std::optional<Precision> precision_override_;
+  QosClass default_qos_ = QosClass::kStandard;
+  std::optional<QosClass> qos_override_;
+  std::chrono::microseconds default_deadline_budget_{0};  // 0 = no deadline
+  std::optional<std::chrono::microseconds> deadline_budget_override_;
   int default_trace_sampling_ = 0;  // 0 = tracing off for this camera
   std::optional<int> trace_sampling_override_;
   std::int64_t next_sequence_ = 0;

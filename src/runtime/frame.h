@@ -29,6 +29,38 @@ inline const char* to_string(Task task) {
   return task == Task::kClassify ? "classify" : "reconstruct";
 }
 
+// Per-camera quality-of-service class, governing what happens to a camera's
+// frames under overload. Realtime frames are never rejected at admission
+// (producers block, as before) and are never stolen into a slower shard's
+// tail; standard frames block on a full queue too but may be stolen;
+// best-effort frames are REJECTED (shed, counted) when their queue is full
+// instead of exerting backpressure — they absorb the overload so the
+// higher classes keep their latency.
+enum class QosClass : std::uint8_t { kRealtime, kStandard, kBestEffort };
+
+inline const char* to_string(QosClass qos) {
+  switch (qos) {
+    case QosClass::kRealtime:
+      return "realtime";
+    case QosClass::kStandard:
+      return "standard";
+    default:
+      return "best_effort";
+  }
+}
+
+// Why a frame was shed (dropped by the runtime, never served). kQueueFull is
+// admission control: a best-effort frame met a full queue. kDeadline is
+// drop-late: the frame's deadline expired while it waited, so serving it
+// would hand the client a stale answer. Keyed into the per-camera,
+// per-reason shed counters (snappix_shed_frames_total) and the trace's
+// "shed" events.
+enum class ShedReason : std::uint8_t { kQueueFull, kDeadline };
+
+inline const char* to_string(ShedReason reason) {
+  return reason == ShedReason::kQueueFull ? "queue_full" : "deadline";
+}
+
 // How the frame's coded image reached the server. kInMemory is the direct
 // tensor hop (no transport modeled); the framed states mirror
 // transport::RxOutcome for frames that crossed a framed MIPI link
@@ -106,6 +138,19 @@ struct Frame {
   // serving key: batches never mix precisions, and the EngineCache keeps one
   // entry per (pattern_id, precision).
   Precision precision = Precision::kFp32;
+
+  // QoS class inherited from the camera (see QosClass above). Stamped at
+  // capture; read by FrameQueue admission, the EDF dequeue policy, and the
+  // steal path (realtime frames are never stolen).
+  QosClass qos = QosClass::kStandard;
+  // Absolute serving deadline, stamped at capture as capture_start +
+  // the camera's deadline budget. time_point{} (the epoch) means "no
+  // deadline" — the frame is served whenever its turn comes. A frame whose
+  // deadline has passed is shed at dequeue (drop-late), never served stale.
+  Clock::time_point deadline{};
+
+  bool has_deadline() const { return deadline != Clock::time_point{}; }
+  bool expired(Clock::time_point now) const { return has_deadline() && deadline < now; }
 
   std::uint64_t raw_bytes = 0;   // conventional T-frame readout volume
   std::uint64_t wire_bytes = 0;  // coded-image volume actually transmitted

@@ -1,18 +1,38 @@
 // FrameQueue: bounded MPMC queue connecting camera producers to shard
-// consumers, with blocking backpressure and tail-batch work stealing.
+// consumers, with QoS admission control, deadline-aware dequeue, blocking
+// backpressure, and tail-batch work stealing.
 //
 // Multiple camera threads push concurrently; the owning shard's batch
-// aggregator pops from the head, and idle sibling shards may steal a
-// key-pure batch from the tail. When the queue is full, push() blocks — that
-// is the backpressure that keeps a slow server from being buried by fast
-// sensors (frames queue up at the edge, exactly as a real sensor's MIPI link
-// would stall). close() wakes everyone: pending pops drain the remaining
-// frames, then return false.
+// aggregator pops, and idle sibling shards may steal a key-pure batch from
+// the tail. Overload behavior is governed by each frame's QosClass:
+//
+//   kRealtime / kStandard  a full queue BLOCKS the producer — the
+//                          backpressure that keeps a slow server from being
+//                          buried by fast sensors (frames queue up at the
+//                          edge, exactly as a real sensor's MIPI link would
+//                          stall).
+//   kBestEffort            a full queue REJECTS the frame instead
+//                          (PushResult::kShed): best-effort traffic absorbs
+//                          the overload so the higher classes keep their
+//                          latency. Sheds are counted exactly and reported
+//                          through the shed observer.
+//
+// Dequeue is earliest-deadline-first (EDF): pop()/pop_until() serve the
+// frame with the soonest deadline; frames without deadlines rank behind all
+// deadlined frames and among themselves keep strict FIFO order (so queues
+// with no deadlines behave exactly as the original FIFO — the
+// batching-determinism tests rely on that). Frames whose deadline has
+// already passed are shed at dequeue (drop-late) rather than served stale;
+// shedding frees capacity, so ALL blocked producers are woken.
+//
+// close() wakes everyone: pending pops drain the remaining frames
+// (drop-late still applies), then return false.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -20,18 +40,55 @@
 
 namespace snappix::runtime {
 
+// Outcome of an admit() call. kAccepted: the frame is queued. kShed: the
+// frame was rejected by admission control (best-effort on a full queue) —
+// the producer should keep producing; the frame is counted and reported,
+// not served. kClosed: the queue closed — the runtime is shutting down and
+// the producer should stop. The kShed/kClosed split is load-bearing: a
+// producer blocked on a full queue that observes close() is NOT a shed (see
+// the counter-taxonomy regression tests).
+enum class PushResult : std::uint8_t { kAccepted, kShed, kClosed };
+
+inline const char* to_string(PushResult result) {
+  switch (result) {
+    case PushResult::kAccepted:
+      return "accepted";
+    case PushResult::kShed:
+      return "shed";
+    default:
+      return "closed";
+  }
+}
+
 class FrameQueue {
  public:
+  // Called once per shed frame (admission rejects and drop-late expiries),
+  // OUTSIDE the queue lock, on whichever thread performed the shed. The
+  // frame is dead — the observer may read it (ids, qos, timestamps) but the
+  // runtime will never serve it.
+  using ShedObserver = std::function<void(const Frame&, ShedReason)>;
+
   explicit FrameQueue(std::size_t capacity);
 
   FrameQueue(const FrameQueue&) = delete;
   FrameQueue& operator=(const FrameQueue&) = delete;
 
-  // Blocks while the queue is full. Returns false (dropping `frame`) only if
-  // the queue was closed before space became available.
-  bool push(Frame frame);
+  // QoS-aware admission. Realtime/standard frames block while the queue is
+  // full (kClosed if it closes first); best-effort frames are shed
+  // immediately on a full queue (kShed) instead of blocking. kAccepted
+  // frames will be served or counted as drop-late sheds — never lost
+  // silently.
+  PushResult admit(Frame frame);
 
-  // Blocks while the queue is empty. Returns false once closed AND drained.
+  // Legacy blocking push: admit() collapsed to a bool. Returns true when the
+  // frame was accepted; false when it was shed OR the queue closed. Kept for
+  // callers that predate QoS (all frames default to kStandard, which never
+  // sheds at admission, so for them false still means exactly "closed").
+  bool push(Frame frame) { return admit(std::move(frame)) == PushResult::kAccepted; }
+
+  // Blocks while the queue is empty. Serves the earliest-deadline frame
+  // (ties and no-deadline frames in FIFO order); sheds expired frames
+  // instead of serving them. Returns false once closed AND drained.
   bool pop(Frame& out);
 
   // Like pop(), but gives up at `deadline`; false on timeout or closed+drained.
@@ -42,12 +99,27 @@ class FrameQueue {
   // them to `out` in FIFO order (out is cleared first). The stolen run is a
   // contiguous queue suffix, so a camera's frames inside it keep their
   // sequence order, and it never mixes serving keys — the thief can serve it
-  // as one batch through one engine. Non-blocking: returns false when the
-  // queue is empty. Frees up to max_frames capacity slots, waking ALL
-  // producers blocked in push() (a single wake here would strand producers
-  // behind capacity that a steal already freed — see the shutdown-while-
-  // stealing regression tests).
+  // as one batch through one engine. Realtime frames are NEVER stolen: the
+  // run stops where a kRealtime frame starts, so a thief (by construction a
+  // slower/idler shard) cannot move latency-critical work behind its own
+  // tail. Already-expired frames inside the run are shed, not exported.
+  // Non-blocking: returns false when the queue is empty or the tail is
+  // realtime. Frees up to max_frames capacity slots, waking ALL producers
+  // blocked in admit() (a single wake here would strand producers behind
+  // capacity that a steal already freed — see the shutdown-while-stealing
+  // regression tests).
   bool steal_tail(std::vector<Frame>& out, int max_frames);
+
+  // Counts `frame` as shed for `reason` through this queue's counters and
+  // observer, WITHOUT it being queued. For external owners of dequeued
+  // frames that decide to drop them under this queue's accounting — e.g. the
+  // BatchAggregator shedding an expired holdback.
+  void shed(const Frame& frame, ShedReason reason);
+
+  // Installs the shed callback (replacing any previous one). Call before
+  // concurrent use: installation is unsynchronized against running
+  // producers/consumers.
+  void set_shed_observer(ShedObserver observer) { shed_observer_ = std::move(observer); }
 
   // Idempotent. After close(), pushes fail and pops drain whatever is left.
   void close();
@@ -60,18 +132,39 @@ class FrameQueue {
   // Sticky — no push can succeed after close() — so a true result is final.
   bool exhausted() const;
 
-  // Lifetime counters for RuntimeStats.
+  // Lifetime counters for RuntimeStats. Conservation: total_pushed ==
+  // frames served downstream + shed_expired + depth() at any quiescent
+  // point (admission sheds never enter the queue, so shed_admission is NOT
+  // part of that ledger).
   std::uint64_t total_pushed() const;
   std::size_t high_water_mark() const;
+  // Frames rejected at admission (best-effort on a full queue).
+  std::uint64_t shed_admission() const;
+  // Accepted frames later shed for missing their deadline (drop-late at
+  // pop/steal, plus external shed(..., kDeadline) calls).
+  std::uint64_t shed_expired() const;
 
  private:
+  // Index of the frame pop should serve: earliest deadline, FIFO among
+  // no-deadline frames and ties. Call with mutex_ held and frames_ non-empty.
+  std::size_t edf_index() const;
+  // Removes already-expired frames from the queue into `shed`, bumping
+  // shed_expired_. Call with mutex_ held; report_sheds() must run on the
+  // collected frames after the lock is released.
+  void collect_expired(Clock::time_point now, std::vector<Frame>& shed);
+  // Invokes the observer for every collected frame. Call WITHOUT the lock.
+  void report_sheds(const std::vector<Frame>& shed, ShedReason reason) const;
+
   const std::size_t capacity_;
+  ShedObserver shed_observer_;  // set before concurrent use, then read-only
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<Frame> frames_;
   bool closed_ = false;
   std::uint64_t total_pushed_ = 0;
+  std::uint64_t shed_admission_ = 0;
+  std::uint64_t shed_expired_ = 0;
   std::size_t high_water_ = 0;
 };
 

@@ -42,6 +42,13 @@ void StreamScheduler::register_queue(FrameQueue& queue) {
   if (std::find(unique_queues_.begin(), unique_queues_.end(), &queue) ==
       unique_queues_.end()) {
     unique_queues_.push_back(&queue);
+    // Default shed accounting: every shed (admission reject or drop-late
+    // expiry, whichever thread performs it) lands in RuntimeStats. The
+    // server replaces this with an observer that also emits trace events.
+    RuntimeStats& stats = stats_;
+    queue.set_shed_observer([&stats](const Frame& frame, ShedReason reason) {
+      stats.record_shed(frame.camera_id, frame.qos, reason);
+    });
   }
 }
 
@@ -113,8 +120,14 @@ void StreamScheduler::produce(CameraSource& camera, FrameQueue& queue, std::int6
         continue;  // counted, never enqueued: the fleet serves one fewer frame
       }
       frame.enqueue_time = Clock::now();
-      if (!queue.push(std::move(frame))) {
-        break;  // queue closed under us — runtime is shutting down
+      // QoS admission: kShed means a best-effort frame met a full queue —
+      // it was counted through the shed observer and the camera keeps
+      // streaming (overload is THIS frame's problem, not the stream's).
+      // kClosed means the runtime is shutting down; the loop ends without
+      // counting anything (a blocked producer observing close() is not a
+      // shed — the taxonomy the regression tests pin).
+      if (queue.admit(std::move(frame)) == PushResult::kClosed) {
+        break;
       }
     }
   } catch (const std::exception& e) {

@@ -61,6 +61,12 @@ void validate(const ServerConfig& config) {
        << config.calibration.frames;
     throw std::invalid_argument(os.str());
   }
+  if (config.deadline_budget.count() < 0) {
+    std::ostringstream os;
+    os << "ServerConfig.deadline_budget must be non-negative (0 = no deadlines), got "
+       << config.deadline_budget.count() << " us";
+    throw std::invalid_argument(os.str());
+  }
   validate(config.transport);
   obs::validate(config.trace);
 }
@@ -118,6 +124,7 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
       name << "shard " << i;
       shards_[i]->lane = trace_recorder_->create_lane(name.str());
     }
+    shed_lane_ = trace_recorder_->create_lane("shed");
   }
   // Every shard queue closes when the fleet drains — including queues of
   // shards no camera happens to hash to, whose workers would otherwise poll
@@ -125,12 +132,33 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
   for (const auto& shard : shards_) {
     scheduler_.register_queue(shard->queue);
   }
+  // Replace the scheduler's default shed observer with one that also emits
+  // a trace event per shed — every shed, not just sampled frames: sheds are
+  // rare by design and each one is an operational signal worth keeping.
+  for (const auto& shard : shards_) {
+    shard->queue.set_shed_observer([this](const Frame& frame, ShedReason reason) {
+      stats_.record_shed(frame.camera_id, frame.qos, reason);
+      if (shed_lane_ != nullptr) {
+        std::ostringstream args;
+        args << "\"camera\": " << frame.camera_id << ", \"sequence\": " << frame.sequence
+             << ", \"qos\": \"" << to_string(frame.qos) << "\", \"reason\": \""
+             << to_string(reason) << "\"";
+        // Sheds come from producer threads and shard workers alike; the
+        // mutex provides the exclusive-writer guarantee the lane's publish
+        // protocol requires.
+        std::lock_guard<std::mutex> lock(shed_lane_mutex_);
+        shed_lane_->add_complete("shed", trace_recorder_->now_ns(), 0, args.str());
+      }
+    });
+  }
   pixels_per_frame_ = system.config().image * system.config().image;
 }
 
 void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
   SNAPPIX_CHECK(camera != nullptr, "null camera");
   camera->set_default_precision(config_.precision);
+  camera->set_default_qos(config_.qos);
+  camera->set_default_deadline_budget(config_.deadline_budget);
   // Tracing off => default sampling 0 (no frame stamps trace_sampled); an
   // explicit set_trace_sampling on the camera still wins either way.
   camera->set_default_trace_sampling(config_.trace.enabled ? config_.trace.sample_every : 0);
@@ -266,7 +294,14 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
   for (const Frame& frame : batch) {
     stats_.record_frame_done(
         frame.raw_bytes, frame.wire_bytes,
-        std::chrono::duration<double>(infer_end - frame.capture_start).count());
+        std::chrono::duration<double>(infer_end - frame.capture_start).count(), frame.qos);
+    // A served frame that finished past its deadline is a deadline MISS —
+    // the answer was delivered, just late (distinct from a drop-late shed,
+    // where nothing was served). Drop-late catches frames that expire while
+    // queued; a frame can still expire during batch assembly or inference.
+    if (frame.has_deadline() && infer_end > frame.deadline) {
+      stats_.record_deadline_miss(frame.camera_id);
+    }
   }
   self.counters.frames += batch.size();
   ++self.counters.batches;
@@ -335,6 +370,7 @@ void InferenceServer::shard_loop(std::size_t index) {
   Shard& self = *shards_[index];
   BatchAggregator aggregator(self.queue, config_.batch);
   std::vector<Frame> batch;
+  std::vector<std::pair<std::size_t, std::size_t>> victim_order;  // (depth, shard)
   try {
     if (!config_.work_stealing || shards_.size() == 1) {
       // No one to steal from (or stealing disabled): the bounded-wait poll
@@ -355,9 +391,20 @@ void InferenceServer::shard_loop(std::size_t index) {
       }
       // Idle (or drained for good): probe the siblings for a tail batch so a
       // hot camera or pattern cannot starve the fleet while we sit here.
+      // Deepest queue first — relief goes where the backlog (and therefore
+      // the latency debt and the shed risk) is largest. Depths are a racy
+      // snapshot, which is fine: any victim with frames is a valid steal,
+      // the ordering is only a preference.
+      victim_order.clear();
+      for (std::size_t offset = 1; offset < shards_.size(); ++offset) {
+        const std::size_t v = (index + offset) % shards_.size();
+        victim_order.emplace_back(shards_[v]->queue.depth(), v);
+      }
+      std::sort(victim_order.begin(), victim_order.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
       bool stole = false;
-      for (std::size_t offset = 1; offset < shards_.size() && !stole; ++offset) {
-        Shard& victim = *shards_[(index + offset) % shards_.size()];
+      for (std::size_t i = 0; i < victim_order.size() && !stole; ++i) {
+        Shard& victim = *shards_[victim_order[i].second];
         ++self.counters.steal_attempts;
         if (victim.queue.steal_tail(batch, config_.batch.max_batch)) {
           const Clock::time_point now = Clock::now();

@@ -102,6 +102,15 @@ struct ServerConfig {
   /// => same QuantSpec => an evicted-and-rebuilt int8 entry serves
   /// bit-identical int8 results.
   QuantCalibration calibration;
+  /// Default QoS class for cameras that did not call set_qos (see
+  /// QosClass in frame.h and docs/serving.md): realtime/standard producers
+  /// block on a full shard queue, best-effort frames are shed instead.
+  QosClass qos = QosClass::kStandard;
+  /// Default per-frame deadline budget for cameras that did not call
+  /// set_deadline_budget: every frame must be SERVED within this much time
+  /// of its capture or it is shed (drop-late) instead of served stale.
+  /// Zero (default) disables deadlines. Must not be negative.
+  std::chrono::microseconds deadline_budget{0};
   /// Frame-lifecycle tracing (see docs/observability.md). When enabled, each
   /// shard worker owns a lock-free span lane; cameras sample 1-in-
   /// `trace.sample_every` frames (installed as the camera default at
@@ -219,6 +228,13 @@ class InferenceServer {
   std::unordered_map<std::uint64_t, PatternRef> patterns_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<obs::TraceRecorder> trace_recorder_;  // null when tracing off
+  /// Dedicated lane for "shed" events (null when tracing is off). Sheds
+  /// happen on producer threads AND shard workers, so the single-writer
+  /// lane protocol needs an external writer lock — shed_lane_mutex_
+  /// serializes the writes (sheds are the rare, cold path; a contended
+  /// mutex here costs nothing on the serve path).
+  obs::TraceLane* shed_lane_ = nullptr;
+  std::mutex shed_lane_mutex_;
   RuntimeStats stats_;
   StreamScheduler scheduler_;
   std::string worker_error_;  // first exception a shard worker caught

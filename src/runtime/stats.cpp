@@ -38,12 +38,23 @@ RuntimeStats::RuntimeStats()
       int8_frames_(registry_.counter("snappix_precision_frames_total{precision=\"int8\"}")),
       raw_bytes_(registry_.counter("snappix_raw_bytes_total")),
       wire_bytes_(registry_.counter("snappix_wire_bytes_total")),
+      deadline_miss_(registry_.counter("snappix_deadline_miss_total")),
       queue_high_water_(registry_.gauge("snappix_queue_high_water")) {
   for (const FlushReason reason :
        {FlushReason::kMaxBatch, FlushReason::kMaxLatency, FlushReason::kExhausted,
         FlushReason::kHoldback, FlushReason::kSteal}) {
     flush_[static_cast<std::size_t>(reason)] = &registry_.counter(
         std::string("snappix_batch_flush_total{reason=\"") + to_string(reason) + "\"}");
+  }
+  for (const QosClass qos :
+       {QosClass::kRealtime, QosClass::kStandard, QosClass::kBestEffort}) {
+    for (const ShedReason reason : {ShedReason::kQueueFull, ShedReason::kDeadline}) {
+      shed_[static_cast<std::size_t>(qos)][static_cast<std::size_t>(reason)] =
+          &registry_.counter(std::string("snappix_shed_frames_total{qos=\"") +
+                             to_string(qos) + "\",reason=\"" + to_string(reason) + "\"}");
+    }
+    e2e_qos_[static_cast<std::size_t>(qos)] = &registry_.histogram(
+        std::string("snappix_e2e_seconds{qos=\"") + to_string(qos) + "\"}");
   }
 }
 
@@ -94,12 +105,30 @@ void RuntimeStats::record_transport(int camera_id, TransportStatus status, int r
   }
 }
 
+void RuntimeStats::record_shed(int camera_id, QosClass qos, ShedReason reason) {
+  shed_[static_cast<std::size_t>(qos)][static_cast<std::size_t>(reason)]->add();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ShedCounters& c = shed_cameras_[camera_id];
+  if (reason == ShedReason::kQueueFull) {
+    ++c.queue_full;
+  } else {
+    ++c.deadline;
+  }
+}
+
+void RuntimeStats::record_deadline_miss(int camera_id) {
+  deadline_miss_.add();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_cameras_[camera_id].deadline_misses;
+}
+
 void RuntimeStats::record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
-                                     double end_to_end_seconds) {
+                                     double end_to_end_seconds, QosClass qos) {
   frames_.add();
   raw_bytes_.add(raw_bytes);
   wire_bytes_.add(wire_bytes);
   end_to_end_.observe(end_to_end_seconds);
+  e2e_qos_[static_cast<std::size_t>(qos)]->observe(end_to_end_seconds);
 }
 
 void RuntimeStats::set_queue_high_water(std::size_t depth) {
@@ -155,6 +184,27 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   out.queue_wait = summarize(queue_wait_);
   out.inference = summarize(inference_);
   out.end_to_end = summarize(end_to_end_);
+  out.e2e_realtime = summarize(*e2e_qos_[static_cast<std::size_t>(QosClass::kRealtime)]);
+  out.e2e_standard = summarize(*e2e_qos_[static_cast<std::size_t>(QosClass::kStandard)]);
+  out.e2e_best_effort =
+      summarize(*e2e_qos_[static_cast<std::size_t>(QosClass::kBestEffort)]);
+  for (const QosClass qos :
+       {QosClass::kRealtime, QosClass::kStandard, QosClass::kBestEffort}) {
+    std::uint64_t by_qos = 0;
+    for (const ShedReason reason : {ShedReason::kQueueFull, ShedReason::kDeadline}) {
+      const std::uint64_t n =
+          shed_[static_cast<std::size_t>(qos)][static_cast<std::size_t>(reason)]->value();
+      by_qos += n;
+      (reason == ShedReason::kQueueFull ? out.shed_queue_full : out.shed_deadline) += n;
+    }
+    switch (qos) {
+      case QosClass::kRealtime: out.shed_realtime = by_qos; break;
+      case QosClass::kStandard: out.shed_standard = by_qos; break;
+      case QosClass::kBestEffort: out.shed_best_effort = by_qos; break;
+    }
+  }
+  out.shed_frames = out.shed_queue_full + out.shed_deadline;
+  out.deadline_misses = deadline_miss_.value();
   out.raw_bytes = raw_bytes;
   out.wire_bytes = wire_bytes;
   out.compression_ratio =
@@ -174,6 +224,9 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
     out.steal_attempts += shard.steal_attempts;
     out.steal_successes += shard.steal_successes;
     out.stolen_frames += shard.stolen_frames;
+  }
+  for (const auto& [camera_id, counters] : shed_cameras_) {
+    out.shed_cameras.emplace_back(camera_id, counters);
   }
   for (const auto& [camera_id, counters] : transport_) {
     out.transport_cameras.emplace_back(camera_id, counters);
@@ -273,6 +326,28 @@ std::string to_string(const RuntimeSummary& s) {
       out += line;
     }
   }
+  if (s.shed_frames > 0 || s.deadline_misses > 0) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "  overload: shed %llu (queue_full %llu deadline %llu; rt %llu std %llu "
+                  "be %llu) deadline misses %llu\n",
+                  static_cast<unsigned long long>(s.shed_frames),
+                  static_cast<unsigned long long>(s.shed_queue_full),
+                  static_cast<unsigned long long>(s.shed_deadline),
+                  static_cast<unsigned long long>(s.shed_realtime),
+                  static_cast<unsigned long long>(s.shed_standard),
+                  static_cast<unsigned long long>(s.shed_best_effort),
+                  static_cast<unsigned long long>(s.deadline_misses));
+    out += line;
+    for (const auto& [camera_id, c] : s.shed_cameras) {
+      std::snprintf(line, sizeof(line),
+                    "    camera %d: queue_full %llu deadline %llu misses %llu\n", camera_id,
+                    static_cast<unsigned long long>(c.queue_full),
+                    static_cast<unsigned long long>(c.deadline),
+                    static_cast<unsigned long long>(c.deadline_misses));
+      out += line;
+    }
+  }
   if (s.transport.framed_frames > 0) {
     char line[320];
     std::snprintf(line, sizeof(line),
@@ -317,6 +392,13 @@ std::string to_json(const TransportCounters& c) {
      << ", \"missing_lines\": " << c.missing_lines
      << ", \"retransmits\": " << c.retransmits
      << ", \"dropped_frames\": " << c.dropped_frames << "}";
+  return os.str();
+}
+
+std::string to_json(const ShedCounters& c) {
+  std::ostringstream os;
+  os << "{\"queue_full\": " << c.queue_full << ", \"deadline\": " << c.deadline
+     << ", \"deadline_misses\": " << c.deadline_misses << "}";
   return os.str();
 }
 
@@ -381,6 +463,22 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
      << ", \"stolen_frames\": " << s.stolen_frames << ", \"shards\": [";
   for (std::size_t i = 0; i < s.shards.size(); ++i) {
     os << (i > 0 ? ", " : "") << to_json(s.shards[i]);
+  }
+  os << "]"
+     << ", \"shed_frames\": " << s.shed_frames
+     << ", \"shed_queue_full\": " << s.shed_queue_full
+     << ", \"shed_deadline\": " << s.shed_deadline
+     << ", \"shed_realtime\": " << s.shed_realtime
+     << ", \"shed_standard\": " << s.shed_standard
+     << ", \"shed_best_effort\": " << s.shed_best_effort
+     << ", \"deadline_misses\": " << s.deadline_misses
+     << ", \"e2e_realtime_p99_ms\": " << num(s.e2e_realtime.p99_ms)
+     << ", \"e2e_standard_p99_ms\": " << num(s.e2e_standard.p99_ms)
+     << ", \"e2e_best_effort_p99_ms\": " << num(s.e2e_best_effort.p99_ms)
+     << ", \"shed_cameras\": [";
+  for (std::size_t i = 0; i < s.shed_cameras.size(); ++i) {
+    os << (i > 0 ? ", " : "") << "{\"camera_id\": " << s.shed_cameras[i].first
+       << ", \"counters\": " << to_json(s.shed_cameras[i].second) << "}";
   }
   os << "]"
      << ", \"transport\": " << to_json(s.transport) << ", \"transport_cameras\": [";

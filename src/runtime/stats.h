@@ -104,6 +104,17 @@ struct CacheTierCounters {
   std::uint64_t evictions = 0;
 };
 
+/// \brief One camera's overload tally: frames the runtime shed instead of
+/// serving, by reason, plus deadline misses (frames that WERE served but
+/// finished after their deadline — late answers delivered, distinct from
+/// drop-late sheds). All zero for cameras that never hit overload. Summing
+/// over cameras gives the fleet totals in RuntimeSummary.
+struct ShedCounters {
+  std::uint64_t queue_full = 0;       ///< admission rejects (best-effort, full queue)
+  std::uint64_t deadline = 0;         ///< drop-late: expired before serving began
+  std::uint64_t deadline_misses = 0;  ///< served, but past the deadline
+};
+
 /// \brief One camera's framed-transport tally: how its frames fared on the
 /// wire, by FINAL outcome (a frame that recovers via retransmit counts as ok;
 /// the retries it burned show up in `retransmits`). All zero for cameras that
@@ -171,10 +182,31 @@ struct RuntimeSummary {
   TransportCounters transport;
   std::vector<std::pair<int, TransportCounters>> transport_cameras;
 
+  /// Overload totals: frames shed (never served) by reason and by QoS
+  /// class, late-served deadline misses, and the per-camera breakdown
+  /// sorted by camera id. Conservation per queue: admitted frames ==
+  /// served + shed_deadline + still queued at shutdown; queue_full sheds
+  /// never entered a queue at all.
+  std::uint64_t shed_frames = 0;      ///< total sheds (queue_full + deadline)
+  std::uint64_t shed_queue_full = 0;  ///< admission rejects
+  std::uint64_t shed_deadline = 0;    ///< drop-late expiries
+  std::uint64_t shed_realtime = 0;    ///< sheds of realtime frames (gated zero)
+  std::uint64_t shed_standard = 0;
+  std::uint64_t shed_best_effort = 0;
+  std::uint64_t deadline_misses = 0;  ///< served but late
+  std::vector<std::pair<int, ShedCounters>> shed_cameras;
+
   StageSummary capture;      ///< camera next_frame() + framed transport retries
   StageSummary queue_wait;   ///< enqueue -> pop (or steal)
   StageSummary inference;    ///< model forward per batch
   StageSummary end_to_end;   ///< capture start -> result recorded
+
+  /// end_to_end split by QoS class (counts sum to end_to_end.count when the
+  /// server records QoS; all empty under direct RuntimeStats use). The
+  /// saturation bench gates realtime p99 from e2e_realtime.
+  StageSummary e2e_realtime;
+  StageSummary e2e_standard;
+  StageSummary e2e_best_effort;
 
   std::uint64_t raw_bytes = 0;     ///< conventional readout volume
   std::uint64_t wire_bytes = 0;    ///< coded volume actually shipped
@@ -216,8 +248,19 @@ class RuntimeStats {
   /// producer loop; never for in-memory cameras.
   void record_transport(int camera_id, TransportStatus status, int retransmits,
                         bool dropped);
+  /// \brief Records one shed frame: bumps the per-(qos, reason) registry
+  /// counter (snappix_shed_frames_total{qos=...,reason=...}) and the
+  /// camera's ShedCounters row. Called by the queue shed observers the
+  /// scheduler/server install — once per shed, on whichever thread shed it.
+  void record_shed(int camera_id, QosClass qos, ShedReason reason);
+  /// \brief Records a frame that was SERVED but finished after its deadline
+  /// — a late answer delivered, distinct from a drop-late shed.
+  void record_deadline_miss(int camera_id);
+  /// \brief `qos` additionally feeds the per-class e2e histogram
+  /// (snappix_e2e_seconds{qos=...}); legacy callers without QoS default to
+  /// kStandard.
   void record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
-                         double end_to_end_seconds);
+                         double end_to_end_seconds, QosClass qos = QosClass::kStandard);
   /// \brief Raises the recorded high water to `depth` (max over calls, so the
   /// server feeds it each shard queue's own mark).
   void set_queue_high_water(std::size_t depth);
@@ -265,10 +308,13 @@ class RuntimeStats {
   obs::Counter& int8_frames_;
   obs::Counter& raw_bytes_;
   obs::Counter& wire_bytes_;
-  obs::Counter* flush_[5];  // indexed by FlushReason
+  obs::Counter* flush_[5];      // indexed by FlushReason
+  obs::Counter* shed_[3][2];    // indexed by [QosClass][ShedReason]
+  obs::Counter& deadline_miss_;
+  obs::Histogram* e2e_qos_[3];  // indexed by QosClass
   obs::Gauge& queue_high_water_;
 
-  // Cold structures: per-camera transport tallies and post-run installs.
+  // Cold structures: per-camera transport/shed tallies and post-run installs.
   mutable std::mutex mutex_;
   CacheTierCounters cache_fp32_;
   CacheTierCounters cache_int8_;
@@ -277,6 +323,7 @@ class RuntimeStats {
   std::uint64_t cache_evictions_ = 0;
   std::vector<ShardStatsView> shards_;
   std::map<int, TransportCounters> transport_;  // camera_id -> tally (sorted)
+  std::map<int, ShedCounters> shed_cameras_;    // camera_id -> tally (sorted)
 };
 
 /// \brief Renders a summary as an aligned human-readable block / flat JSON
@@ -285,6 +332,7 @@ class RuntimeStats {
 std::string to_string(const RuntimeSummary& summary);
 std::string to_json(const CacheTierCounters& counters);
 std::string to_json(const TransportCounters& counters);
+std::string to_json(const ShedCounters& counters);
 std::string to_json(const ShardStatsView& shard);
 std::string to_json(const RuntimeSummary& summary, const FleetEnergyReport& energy,
                     const std::string& label);

@@ -574,5 +574,125 @@ TEST(ServerStress, RepeatedShardedStealingRunsStayDeterministic) {
   }
 }
 
+// --- overload: admission rejection + drop-late racing close/steal ------------
+
+// The overload arm of the suite: best-effort producers hammering admission
+// rejection, deadlined frames expiring mid-flight, consumers dropping them
+// late, a thief shedding them out of stolen runs, and a close() racing all of
+// it. Under TSan this is the proof that the shed path (counter bumps +
+// observer callbacks on three different thread roles) is race-free; the
+// assertions are the exact-accounting laws, which no interleaving may bend.
+TEST(OverloadStress, ShedAccountingStaysExactUnderAdmissionExpiryAndCloseRaces) {
+  using runtime::Clock;
+  using runtime::PushResult;
+  using runtime::QosClass;
+  using runtime::ShedReason;
+
+  for (int round = 0; round < 6; ++round) {
+    FrameQueue queue(2);
+    std::atomic<std::uint64_t> observed_full{0};     // order: relaxed tally, read after joins
+    std::atomic<std::uint64_t> observed_expired{0};  // order: relaxed tally, read after joins
+    queue.set_shed_observer([&](const Frame& frame, ShedReason reason) {
+      (void)frame;
+      (reason == ShedReason::kQueueFull ? observed_full : observed_expired)
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+
+    std::atomic<std::uint64_t> accepted{0};  // order: relaxed tally, read after joins
+    std::atomic<std::uint64_t> rejected{0};  // order: relaxed tally, read after joins
+    std::atomic<std::uint64_t> surfaced{0};  // order: relaxed tally, read after joins
+    const Clock::time_point expired_at_birth = Clock::now();
+
+    constexpr int kProducers = 4;
+    constexpr std::int64_t kFramesEach = 150;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      // Producers 0-1 best-effort (half their frames pre-expired, so both
+      // shed reasons fire constantly), 2 standard, 3 realtime (stealing must
+      // route around its frames while everything else churns).
+      const QosClass qos = p <= 1   ? QosClass::kBestEffort
+                           : p == 2 ? QosClass::kStandard
+                                    : QosClass::kRealtime;
+      producers.emplace_back([&, p, qos] {
+        for (std::int64_t i = 0; i < kFramesEach; ++i) {
+          Frame frame = tiny_frame(p, i);
+          frame.qos = qos;
+          if (qos == QosClass::kBestEffort && i % 2 == 0) {
+            frame.deadline = expired_at_birth;
+          }
+          const PushResult r = queue.admit(std::move(frame));
+          if (r == PushResult::kClosed) {
+            return;  // close() raced us: stop, count nothing
+          }
+          (r == PushResult::kAccepted ? accepted : rejected)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c) {
+      consumers.emplace_back([&] {
+        Frame out;
+        while (queue.pop(out)) {
+          surfaced.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::thread thief([&] {
+      std::vector<Frame> batch;
+      while (!queue.exhausted()) {
+        if (queue.steal_tail(batch, 2)) {
+          for (const Frame& f : batch) {
+            ASSERT_NE(f.qos, QosClass::kRealtime);  // never exported by a steal
+          }
+          surfaced.fetch_add(batch.size(), std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+
+    // Rounds 0-2 close mid-stream (producers observe kClosed and bail);
+    // rounds 3-5 let every producer finish first, so both shutdown shapes
+    // get TSan coverage.
+    if (round < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      queue.close();
+      for (auto& t : producers) {
+        t.join();
+      }
+    } else {
+      for (auto& t : producers) {
+        t.join();
+      }
+      queue.close();
+    }
+    for (auto& t : consumers) {
+      t.join();
+    }
+    thief.join();
+
+    // Exact accounting, independent of the interleaving:
+    //   accepted == surfaced + drop-late sheds      (conservation)
+    //   rejected == admission sheds                  (taxonomy: closes are
+    //                                                not sheds — producers
+    //                                                that saw kClosed counted
+    //                                                nothing, and neither may
+    //                                                the queue)
+    //   observer fired once per shed, per reason
+    EXPECT_EQ(accepted.load(std::memory_order_relaxed),
+              surfaced.load(std::memory_order_relaxed) + queue.shed_expired())
+        << "round " << round;
+    EXPECT_EQ(queue.shed_admission(), rejected.load(std::memory_order_relaxed))
+        << "round " << round;
+    EXPECT_EQ(queue.total_pushed(), accepted.load(std::memory_order_relaxed))
+        << "round " << round;
+    EXPECT_EQ(observed_full.load(std::memory_order_relaxed), queue.shed_admission());
+    EXPECT_EQ(observed_expired.load(std::memory_order_relaxed), queue.shed_expired());
+    EXPECT_TRUE(queue.exhausted());
+  }
+}
+
 }  // namespace
 }  // namespace snappix
