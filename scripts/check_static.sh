@@ -14,7 +14,8 @@
 #        - no naked `new` / `delete` in src/ — ownership goes through
 #          make_unique/make_shared/containers (there is no arena allocator
 #          in-tree; if one lands, exempt its files here, not call sites)
-#        - every std::atomic member/global declared in src/obs/ and
+#        - every std::atomic member/global declared in src/obs/, src/codec/,
+#          src/transport/ and
 #          src/runtime/ carries an adjacent `// order:` comment (same line
 #          or within the 3 lines above) stating its memory-ordering
 #          argument — the happens-before reasoning is part of the code
@@ -64,7 +65,8 @@ done
 # --- 3. std::atomic declarations need an adjacent '// order:' comment -------
 # The concurrency-heavy test suites are in scope too: a relaxed tally in a
 # stress test is exactly where an unjustified ordering assumption hides.
-for f in $(find src/obs src/runtime tests/test_stress.cpp tests/test_overload.cpp \
+for f in $(find src/obs src/runtime src/codec src/transport \
+    tests/test_stress.cpp tests/test_overload.cpp \
     -name '*.h' -o -name '*.cpp' | sort); do
   HITS=$(awk '
     /\/\/.*order:/ { last_order = NR }

@@ -9,8 +9,8 @@
 #                            BENCH_streaming.json, BENCH_pattern_cache.json,
 #                            BENCH_sharded.json, BENCH_framed.json,
 #                            BENCH_int8.json, BENCH_obs.json,
-#                            BENCH_saturation.json and trace_obs.json in
-#                            build/).
+#                            BENCH_saturation.json, BENCH_codec.json and
+#                            trace_obs.json in build/).
 #   SANITIZER=tsan           build everything under -fsanitize=thread and run
 #                            the full test suite (the stress suite included)
 #                            with the pinned runtime options from
@@ -95,6 +95,17 @@ cat "$BUILD_DIR/BENCH_obs.json"
 (cd "$BUILD_DIR" && ./bench_saturation --quick)
 echo "BENCH_saturation.json:"
 cat "$BUILD_DIR/BENCH_saturation.json"
+
+# Codec frontier bench: sweeps the bit-plane wire tier across decode depths
+# and exits non-zero if the full-depth framed decode is not bit-identical to
+# the in-memory quantize round trip, if no truncated depth reaches 0.98 top-1
+# agreement with full-fidelity classification, if that rate point puts more
+# than 0.5x the raw float32 framed bytes on the wire, or if a served fleet
+# classifying from early planes diverges bitwise from the pre-truncated
+# in-memory reference (see docs/serving.md).
+(cd "$BUILD_DIR" && ./bench_codec_frontier --quick)
+echo "BENCH_codec.json:"
+cat "$BUILD_DIR/BENCH_codec.json"
 
 # Independent check that the exported trace parses as JSON (the bench already
 # validates it with the in-repo parser; this cross-checks with a second

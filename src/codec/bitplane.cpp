@@ -1,0 +1,405 @@
+#include "codec/bitplane.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace snappix::codec {
+namespace {
+
+// --- adaptive binary range coder (LZMA-style) --------------------------------
+//
+// 11-bit probabilities, shift-5 adaptation, 32-bit range with byte-wise
+// renormalization and carry propagation through a cache byte. Encoder and
+// decoder update `prob` identically, so they stay in lockstep by
+// construction.
+
+constexpr std::uint32_t kProbBits = 11;
+constexpr std::uint16_t kProbOne = 1U << kProbBits;
+constexpr std::uint16_t kProbInit = kProbOne / 2;
+constexpr int kAdaptShift = 5;
+constexpr std::uint32_t kTopValue = 1U << 24;
+
+// A range-coder stream is never shorter than its 5 flush bytes; a chunk
+// below this cannot be decoded at all.
+constexpr std::size_t kMinChunkBytes = 5;
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void encode(std::uint16_t& prob, int bit) {
+    const std::uint32_t bound = (range_ >> kProbBits) * prob;
+    if (bit == 0) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(prob + ((kProbOne - prob) >> kAdaptShift));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kAdaptShift));
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+
+  void flush() {
+    for (int i = 0; i < 5; ++i) {
+      shift_low();
+    }
+  }
+
+ private:
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000U || (low_ >> 32) != 0) {
+      std::uint8_t byte = cache_;
+      do {
+        out_.push_back(static_cast<std::uint8_t>(byte + static_cast<std::uint8_t>(low_ >> 32)));
+        byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFULL) << 8;
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFU;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  RangeDecoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {
+    next_byte();  // the encoder's initial cache byte, always skipped
+    for (int i = 0; i < 4; ++i) {
+      code_ = (code_ << 8) | next_byte();
+    }
+  }
+
+  int decode(std::uint16_t& prob) {
+    const std::uint32_t bound = (range_ >> kProbBits) * prob;
+    int bit;
+    if (code_ < bound) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(prob + ((kProbOne - prob) >> kAdaptShift));
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kAdaptShift));
+      bit = 1;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+  bool overran() const { return overran_; }
+
+ private:
+  // Past-end reads hand back zeros and raise the overrun flag instead of
+  // touching memory: a truncated or corrupt chunk decodes to garbage that
+  // the caller then discards, never to UB.
+  std::uint32_t next_byte() {
+    if (pos_ >= size_) {
+      overran_ = true;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint32_t code_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFU;
+  bool overran_ = false;
+};
+
+// --- bit-plane pass state ----------------------------------------------------
+
+// Adaptive contexts shared by every plane of one frame: significance keyed by
+// how many causal neighbors (left, above) are already significant, one sign
+// context, one refinement context.
+struct Contexts {
+  std::uint16_t significance[3] = {kProbInit, kProbInit, kProbInit};
+  std::uint16_t sign = kProbInit;
+  std::uint16_t refinement = kProbInit;
+};
+
+int magnitude_plane_count(const std::vector<std::uint16_t>& mag) {
+  std::uint16_t top = 0;
+  for (const std::uint16_t m : mag) {
+    top = m > top ? m : top;
+  }
+  int planes = 0;
+  while (top != 0) {
+    ++planes;
+    top = static_cast<std::uint16_t>(top >> 1);
+  }
+  return planes;
+}
+
+}  // namespace
+
+// --- quantization ------------------------------------------------------------
+
+QuantizedFrame quantize_frame(const Tensor& coded) {
+  if (!coded.defined() || coded.ndim() != 2) {
+    throw std::runtime_error("quantize_frame: expected a (H, W) tensor");
+  }
+  QuantizedFrame frame;
+  frame.height = coded.shape()[0];
+  frame.width = coded.shape()[1];
+  const std::vector<float>& data = coded.data();
+
+  float max_abs = 0.0F;
+  for (const float x : data) {
+    if (!std::isfinite(x)) {
+      throw std::runtime_error("quantize_frame: non-finite coded measurement");
+    }
+    const float a = std::fabs(x);
+    max_abs = a > max_abs ? a : max_abs;
+  }
+  frame.values.resize(data.size(), 0);
+  if (max_abs == 0.0F) {
+    frame.scale = 0.0F;
+    return frame;
+  }
+  frame.scale = max_abs / 32767.0F;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    long q = std::lround(data[i] / frame.scale);
+    q = q > 32767 ? 32767 : q;
+    q = q < -32767 ? -32767 : q;
+    frame.values[i] = static_cast<std::int16_t>(q);
+  }
+  return frame;
+}
+
+Tensor dequantize_frame(const QuantizedFrame& frame) {
+  std::vector<float> data(frame.values.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(frame.values[i]) * frame.scale;
+  }
+  return Tensor::from_vector(std::move(data), Shape{frame.height, frame.width});
+}
+
+// --- stream header -----------------------------------------------------------
+
+std::uint64_t PlaneStream::payload_bytes() const {
+  std::uint64_t total = 0;
+  for (const std::vector<std::uint8_t>& plane : planes) {
+    total += plane.size();
+  }
+  return total;
+}
+
+std::array<std::uint8_t, kStreamHeaderBytes> serialize_stream_header(
+    const PlaneStream& stream) {
+  std::array<std::uint8_t, kStreamHeaderBytes> header{};
+  header[0] = 'S';
+  header[1] = 'X';
+  header[2] = 1;  // version
+  header[3] = stream.plane_count;
+  header[4] = static_cast<std::uint8_t>(stream.height & 0xFF);
+  header[5] = static_cast<std::uint8_t>(stream.height >> 8);
+  header[6] = static_cast<std::uint8_t>(stream.width & 0xFF);
+  header[7] = static_cast<std::uint8_t>(stream.width >> 8);
+  std::uint32_t scale_bits = 0;
+  std::memcpy(&scale_bits, &stream.scale, sizeof(scale_bits));
+  header[8] = static_cast<std::uint8_t>(scale_bits & 0xFF);
+  header[9] = static_cast<std::uint8_t>((scale_bits >> 8) & 0xFF);
+  header[10] = static_cast<std::uint8_t>((scale_bits >> 16) & 0xFF);
+  header[11] = static_cast<std::uint8_t>((scale_bits >> 24) & 0xFF);
+  return header;
+}
+
+bool parse_stream_header(const std::uint8_t* data, std::size_t size,
+                         PlaneStream& out) {
+  if (data == nullptr || size < kStreamHeaderBytes) {
+    return false;
+  }
+  if (data[0] != 'S' || data[1] != 'X' || data[2] != 1) {
+    return false;
+  }
+  const std::uint8_t plane_count = data[3];
+  if (plane_count > kMaxBitplanes) {
+    return false;
+  }
+  const std::uint16_t height =
+      static_cast<std::uint16_t>(data[4] | (static_cast<std::uint16_t>(data[5]) << 8));
+  const std::uint16_t width =
+      static_cast<std::uint16_t>(data[6] | (static_cast<std::uint16_t>(data[7]) << 8));
+  if (height == 0 || width == 0) {
+    return false;
+  }
+  std::uint32_t scale_bits = static_cast<std::uint32_t>(data[8]) |
+                             (static_cast<std::uint32_t>(data[9]) << 8) |
+                             (static_cast<std::uint32_t>(data[10]) << 16) |
+                             (static_cast<std::uint32_t>(data[11]) << 24);
+  float scale = 0.0F;
+  std::memcpy(&scale, &scale_bits, sizeof(scale));
+  if (!std::isfinite(scale) || scale < 0.0F) {
+    return false;
+  }
+  if ((plane_count > 0) != (scale > 0.0F)) {
+    return false;  // nonzero planes need a nonzero scale and vice versa
+  }
+  out.scale = scale;
+  out.height = height;
+  out.width = width;
+  out.plane_count = plane_count;
+  return true;
+}
+
+// --- encode ------------------------------------------------------------------
+
+PlaneStream encode_bitplanes(const QuantizedFrame& frame, int max_planes) {
+  if (frame.height <= 0 || frame.width <= 0 || frame.height > 0xFFFF ||
+      frame.width > 0xFFFF ||
+      frame.values.size() !=
+          static_cast<std::size_t>(frame.height * frame.width)) {
+    throw std::runtime_error("encode_bitplanes: bad frame geometry");
+  }
+  if (max_planes < 0) {
+    throw std::runtime_error("encode_bitplanes: max_planes must be >= 0");
+  }
+
+  const std::size_t n = frame.values.size();
+  std::vector<std::uint16_t> mag(n);
+  std::vector<std::uint8_t> negative(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int v = frame.values[i];
+    mag[i] = static_cast<std::uint16_t>(v < 0 ? -v : v);
+    negative[i] = v < 0 ? 1 : 0;
+  }
+
+  PlaneStream stream;
+  stream.scale = frame.scale;
+  stream.height = static_cast<std::uint16_t>(frame.height);
+  stream.width = static_cast<std::uint16_t>(frame.width);
+  stream.plane_count = static_cast<std::uint8_t>(magnitude_plane_count(mag));
+
+  const int chunks = max_planes == 0
+                         ? stream.plane_count
+                         : (max_planes < stream.plane_count ? max_planes
+                                                            : stream.plane_count);
+  Contexts ctx;
+  std::vector<std::uint8_t> significant(n, 0);
+  const std::size_t width = static_cast<std::size_t>(frame.width);
+  for (int j = 0; j < chunks; ++j) {
+    const int bitpos = stream.plane_count - 1 - j;
+    std::vector<std::uint8_t> chunk;
+    RangeEncoder encoder(chunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int bit = (mag[i] >> bitpos) & 1;
+      if (significant[i] != 0) {
+        encoder.encode(ctx.refinement, bit);
+        continue;
+      }
+      const std::size_t col = i % width;
+      int neighbors = 0;
+      neighbors += (col > 0 && significant[i - 1] != 0) ? 1 : 0;
+      neighbors += (i >= width && significant[i - width] != 0) ? 1 : 0;
+      encoder.encode(ctx.significance[neighbors], bit);
+      if (bit != 0) {
+        encoder.encode(ctx.sign, negative[i]);
+        significant[i] = 1;
+      }
+    }
+    encoder.flush();
+    stream.planes.push_back(std::move(chunk));
+  }
+  return stream;
+}
+
+// --- decode ------------------------------------------------------------------
+
+BitplaneDecode decode_bitplanes(const PlaneStream& stream, int max_planes) {
+  if (stream.height == 0 || stream.width == 0) {
+    throw std::runtime_error("decode_bitplanes: bad stream geometry");
+  }
+  if (max_planes < 0) {
+    throw std::runtime_error("decode_bitplanes: max_planes must be >= 0");
+  }
+
+  BitplaneDecode result;
+  result.frame.scale = stream.scale;
+  result.frame.height = stream.height;
+  result.frame.width = stream.width;
+
+  const std::size_t n =
+      static_cast<std::size_t>(stream.height) * static_cast<std::size_t>(stream.width);
+  std::vector<std::uint16_t> mag(n, 0);
+  std::vector<std::uint8_t> negative(n, 0);
+  std::vector<std::uint8_t> significant(n, 0);
+  Contexts ctx;
+
+  std::size_t available = stream.planes.size();
+  if (available > stream.plane_count) {
+    available = stream.plane_count;  // chunks beyond the full depth are noise
+  }
+  std::size_t want = available;
+  if (max_planes != 0 && static_cast<std::size_t>(max_planes) < want) {
+    want = static_cast<std::size_t>(max_planes);
+  }
+
+  const std::size_t width = stream.width;
+  for (std::size_t j = 0; j < want; ++j) {
+    const std::vector<std::uint8_t>& chunk = stream.planes[j];
+    if (chunk.size() < kMinChunkBytes) {
+      break;  // cannot even hold the coder's flush tail
+    }
+    // Stage the plane so a chunk that overruns its bytes can be discarded
+    // whole: partially applied garbage must not leak into the output.
+    std::vector<std::uint16_t> mag_stage = mag;
+    std::vector<std::uint8_t> negative_stage = negative;
+    std::vector<std::uint8_t> significant_stage = significant;
+    Contexts ctx_stage = ctx;
+
+    const int bitpos = static_cast<int>(stream.plane_count) - 1 - static_cast<int>(j);
+    RangeDecoder decoder(chunk.data(), chunk.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (significant_stage[i] != 0) {
+        const int bit = decoder.decode(ctx_stage.refinement);
+        mag_stage[i] = static_cast<std::uint16_t>(mag_stage[i] | (bit << bitpos));
+        continue;
+      }
+      const std::size_t col = i % width;
+      int neighbors = 0;
+      neighbors += (col > 0 && significant_stage[i - 1] != 0) ? 1 : 0;
+      neighbors += (i >= width && significant_stage[i - width] != 0) ? 1 : 0;
+      const int bit = decoder.decode(ctx_stage.significance[neighbors]);
+      if (bit != 0) {
+        mag_stage[i] = static_cast<std::uint16_t>(mag_stage[i] | (1U << bitpos));
+        negative_stage[i] = static_cast<std::uint8_t>(decoder.decode(ctx_stage.sign));
+        significant_stage[i] = 1;
+      }
+    }
+    if (decoder.overran()) {
+      break;
+    }
+    mag = std::move(mag_stage);
+    negative = std::move(negative_stage);
+    significant = std::move(significant_stage);
+    ctx = ctx_stage;
+    ++result.decoded_planes;
+  }
+
+  result.frame.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int m = mag[i];
+    result.frame.values[i] = static_cast<std::int16_t>(negative[i] != 0 ? -m : m);
+  }
+  return result;
+}
+
+}  // namespace snappix::codec

@@ -48,17 +48,6 @@ const DctBasis& basis() {
   return b;
 }
 
-// Bits to encode a quantized coefficient magnitude (JPEG size category).
-int magnitude_bits(int value) {
-  int v = std::abs(value);
-  int bits = 0;
-  while (v != 0) {
-    ++bits;
-    v >>= 1;
-  }
-  return bits;
-}
-
 int scaled_quant(int index, int quality) {
   // libjpeg quality scaling.
   const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
@@ -67,6 +56,47 @@ int scaled_quant(int index, int quality) {
 }
 
 }  // namespace
+
+int magnitude_bits(int value) {
+  // std::abs(INT_MIN) is UB; the unsigned negation is defined for every int
+  // and yields the right magnitude (0x80000000 -> 32 bits).
+  unsigned v = value < 0 ? 0U - static_cast<unsigned>(value)
+                         : static_cast<unsigned>(value);
+  int bits = 0;
+  while (v != 0U) {
+    ++bits;
+    v >>= 1U;
+  }
+  return bits;
+}
+
+std::int64_t estimate_block_bits(const int quantized[kBlock * kBlock], int prev_dc) {
+  // DC: differential category code (~4 bits of Huffman) + offset bits.
+  std::int64_t bits = 4 + magnitude_bits(quantized[0] - prev_dc);
+  // AC in zigzag order: a run/size code (~4 bits) + magnitude bits per
+  // nonzero. JPEG's run field holds at most 15, so every full run of 16
+  // zeros before a nonzero needs a ZRL symbol (11 bits in the Annex K
+  // luminance AC table); EOB (4 bits) is spent only when zeros trail the
+  // last nonzero coefficient.
+  int run = 0;
+  for (int i = 1; i < kBlock * kBlock; ++i) {
+    const int v = quantized[kZigzag[i]];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      bits += 11;
+      run -= 16;
+    }
+    bits += 4 + magnitude_bits(v);
+    run = 0;
+  }
+  if (run > 0) {
+    bits += 4;  // EOB
+  }
+  return bits;
+}
 
 void dct_8x8(const float* input, float* output) {
   const auto& b = basis();
@@ -127,6 +157,7 @@ CodecResult jpeg_like_compress(const Tensor& image, const JpegLikeConfig& config
 
   std::vector<float> recon(image.data().size());
   std::int64_t bits = 0;
+  int prev_dc = 0;  // DC prediction runs across blocks in raster order
   float block_in[kBlock * kBlock];
   float coeffs[kBlock * kBlock];
   int quantized[kBlock * kBlock];
@@ -149,16 +180,8 @@ CodecResult jpeg_like_compress(const Tensor& image, const JpegLikeConfig& config
         quantized[i] = static_cast<int>(std::lround(coeffs[i] / static_cast<float>(q)));
         dequant[i] = static_cast<float>(quantized[i] * q);
       }
-      // Size estimate: JPEG-style zigzag run-length. Each nonzero coefficient
-      // costs ~4 bits of run/size huffman code plus its magnitude bits; a
-      // trailing end-of-block costs 4 bits.
-      for (int i = 0; i < kBlock * kBlock; ++i) {
-        const int v = quantized[kZigzag[i]];
-        if (v != 0) {
-          bits += 4 + magnitude_bits(v);
-        }
-      }
-      bits += 4;  // EOB
+      bits += estimate_block_bits(quantized, prev_dc);
+      prev_dc = quantized[0];
       idct_8x8(dequant, block_out);
       for (int y = 0; y < kBlock; ++y) {
         for (int x = 0; x < kBlock; ++x) {

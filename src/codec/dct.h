@@ -20,6 +20,18 @@ inline constexpr int kBlock = 8;
 void dct_8x8(const float* input, float* output);
 void idct_8x8(const float* input, float* output);
 
+// Bit length of |value| (the JPEG size category). Computed on the unsigned
+// magnitude, so it is well-defined for every int including INT_MIN.
+int magnitude_bits(int value);
+
+// JPEG-style entropy size estimate for one quantized 8x8 block in natural
+// (row-major) order: the DC coefficient is coded differentially against
+// `prev_dc` (category code + offset bits), each nonzero AC pays a run/size
+// code plus magnitude bits, every full run of 16 zeros before a nonzero
+// needs a ZRL symbol, and end-of-block is charged only when zeros trail the
+// last nonzero coefficient.
+std::int64_t estimate_block_bits(const int quantized[kBlock * kBlock], int prev_dc);
+
 struct JpegLikeConfig {
   // libjpeg-style quality in [1, 100]; scales the standard luminance
   // quantization table.

@@ -80,7 +80,7 @@ BatchAggregator::Poll BatchAggregator::poll_batch(std::vector<Frame>& out,
 }
 
 void BatchAggregator::fill_from(Frame first, std::vector<Frame>& out) {
-  last_key_ = BatchKey{first.pattern_id, first.task, first.precision};
+  last_key_ = BatchKey{first.pattern_id, first.task, first.precision, first.decode_depth};
   last_flush_reason_ = FlushReason::kMaxBatch;
   const Clock::time_point deadline = Clock::now() + policy_.max_delay;
   out.push_back(std::move(first));

@@ -33,17 +33,21 @@ struct BatchPolicy {
 // unusable (max_batch < 1 or negative max_delay).
 void validate(const BatchPolicy& policy);
 
-// The serving key: batches are homogeneous in pattern, task, AND precision —
-// a batch runs through ONE engine, and fp32/int8 engines are distinct
-// residents of the cache.
+// The serving key: batches are homogeneous in pattern, task, precision, AND
+// progressive-decode depth — a batch runs through ONE engine, fp32/int8
+// engines are distinct residents of the cache, and frames decoded at
+// different plane depths are different-fidelity inputs that must not mix.
+// (Depth does NOT extend the EngineCache key: the engine itself is
+// depth-agnostic, the same weights serve every depth.)
 struct BatchKey {
   std::uint64_t pattern_id = 0;
   Task task = Task::kClassify;
   Precision precision = Precision::kFp32;
+  std::uint8_t decode_depth = 0;  // configured plane cap, 0 = full depth
 
   bool matches(const Frame& frame) const {
     return frame.pattern_id == pattern_id && frame.task == task &&
-           frame.precision == precision;
+           frame.precision == precision && frame.decode_depth == decode_depth;
   }
 };
 

@@ -20,6 +20,13 @@ Frame CameraSource::next_frame() {
     // replaces frame.coded with the receiver-side reassembly anyway.
     last_coded_ = std::move(frame.coded);
     last_sequence_ = frame.sequence;
+    if (link_->config().codec) {
+      // Classify rides the truncated plane stream; reconstruct needs every
+      // plane. Set before the first attempt so retransmits reuse the depth.
+      const int planes = frame.task == Task::kClassify ? classify_codec_planes() : 0;
+      link_->set_codec_planes(planes);
+      frame.decode_depth = static_cast<std::uint8_t>(planes);
+    }
     frame.transport_start = Clock::now();
     transfer_framed(frame);
     frame.transport_end = Clock::now();
@@ -78,6 +85,8 @@ void CameraSource::transfer_framed(Frame& frame) {
   // The compression ratio therefore stays T, as in the analytic model.
   frame.wire_bytes = result.wire_bytes;
   frame.raw_bytes = result.wire_bytes * static_cast<std::uint64_t>(pattern_->slots());
+  frame.decoded_planes = result.decoded_planes;
+  frame.total_planes = result.total_planes;
 }
 
 Frame CameraSource::begin_frame(std::int64_t height, std::int64_t width) {
@@ -224,6 +233,9 @@ std::unique_ptr<ReplayCameraSource> ReplayCameraSource::record(CameraSource& sou
   }
   if (source.deadline_budget_overridden()) {
     replay->set_deadline_budget(source.deadline_budget());
+  }
+  if (source.codec_planes_overridden()) {
+    replay->set_codec_planes(source.classify_codec_planes());
   }
   replay->raw_bytes_ = std::move(raw);
   replay->wire_bytes_ = std::move(wire);

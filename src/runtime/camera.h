@@ -136,6 +136,20 @@ class CameraSource {
     default_trace_sampling_ = sample_every;
   }
 
+  // Progressive-decode depth for kClassify frames on an entropy-coded framed
+  // link (transport::LinkConfig::codec): only the top N bit-planes are
+  // transmitted and decoded for classify frames (0 = full depth), while
+  // kReconstruct frames always ride at full depth. Same default/override
+  // split as precision: the server installs ServerConfig::classify_codec_planes
+  // at add_camera time, an explicit set_codec_planes wins. Ignored on raw
+  // (non-codec) links.
+  int classify_codec_planes() const {
+    return codec_planes_override_.value_or(default_codec_planes_);
+  }
+  void set_codec_planes(int planes) { codec_planes_override_ = planes; }
+  bool codec_planes_overridden() const { return codec_planes_override_.has_value(); }
+  void set_default_codec_planes(int planes) { default_codec_planes_ = planes; }
+
  protected:
   CameraSource(int id, PatternRef pattern);
 
@@ -167,6 +181,8 @@ class CameraSource {
   std::optional<std::chrono::microseconds> deadline_budget_override_;
   int default_trace_sampling_ = 0;  // 0 = tracing off for this camera
   std::optional<int> trace_sampling_override_;
+  int default_codec_planes_ = 0;  // 0 = full depth on entropy-coded links
+  std::optional<int> codec_planes_override_;
   std::int64_t next_sequence_ = 0;
 
  private:

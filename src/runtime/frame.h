@@ -163,6 +163,17 @@ struct Frame {
   TransportStatus transport = TransportStatus::kInMemory;
   std::uint16_t retransmits = 0;  // framed re-transfers spent on this frame
 
+  // Progressive-decode depth (entropy-coded links only, all zero otherwise).
+  // `decode_depth` is the CONFIGURED plane cap the camera applied to this
+  // frame (0 = full depth) — part of the serving key, so frames decoded at
+  // different fidelity never share a batch. `decoded_planes`/`total_planes`
+  // report what the link actually achieved, for stats and tracing; they vary
+  // per frame (the bit depth depends on the frame's max magnitude) and are
+  // deliberately NOT part of the key.
+  std::uint8_t decode_depth = 0;
+  std::uint8_t decoded_planes = 0;
+  std::uint8_t total_planes = 0;
+
   // Trace context: true when this frame was selected by its camera's 1-in-N
   // trace sampling. The serving shard synthesizes the frame's full lifecycle
   // spans (capture/transport/queue_wait/batch_assembly/infer) from the

@@ -179,11 +179,13 @@ bool FrameQueue::steal_tail(std::vector<Frame>& out, int max_frames) {
     const std::uint64_t pattern_id = frames_.back().pattern_id;
     const Task task = frames_.back().task;
     const Precision precision = frames_.back().precision;
+    const std::uint8_t decode_depth = frames_.back().decode_depth;
     auto first = frames_.end();
     while (first != frames_.begin() && taken < static_cast<std::size_t>(max_frames)) {
       auto prev = std::prev(first);
       if (prev->pattern_id != pattern_id || prev->task != task ||
-          prev->precision != precision || prev->qos == QosClass::kRealtime) {
+          prev->precision != precision || prev->decode_depth != decode_depth ||
+          prev->qos == QosClass::kRealtime) {
         break;
       }
       first = prev;

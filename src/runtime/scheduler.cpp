@@ -107,8 +107,10 @@ void StreamScheduler::produce(CameraSource& camera, FrameQueue& queue, std::int6
                frame.retransmits < transport_.max_retransmits) {
           camera.retransmit(frame);
         }
+        const bool codec_link = camera.framed_link()->config().codec;
         stats_.record_transport(camera.id(), frame.transport, frame.retransmits,
-                                is_corrupt(frame.transport));
+                                is_corrupt(frame.transport), codec_link,
+                                frame.decoded_planes, frame.total_planes);
       }
       // The capture stage owns everything edge-side: scene synthesis, CE
       // encoding, and — in framed mode — every transport attempt including

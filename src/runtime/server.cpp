@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "codec/bitplane.h"
 #include "util/common.h"
 
 namespace snappix::runtime {
@@ -65,6 +66,13 @@ void validate(const ServerConfig& config) {
     std::ostringstream os;
     os << "ServerConfig.deadline_budget must be non-negative (0 = no deadlines), got "
        << config.deadline_budget.count() << " us";
+    throw std::invalid_argument(os.str());
+  }
+  if (config.classify_codec_planes < 0 ||
+      config.classify_codec_planes > codec::kMaxBitplanes) {
+    std::ostringstream os;
+    os << "ServerConfig.classify_codec_planes must be in [0, " << codec::kMaxBitplanes
+       << "] (0 = full depth), got " << config.classify_codec_planes;
     throw std::invalid_argument(os.str());
   }
   validate(config.transport);
@@ -162,6 +170,7 @@ void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
   // Tracing off => default sampling 0 (no frame stamps trace_sampled); an
   // explicit set_trace_sampling on the camera still wins either way.
   camera->set_default_trace_sampling(config_.trace.enabled ? config_.trace.sample_every : 0);
+  camera->set_default_codec_planes(config_.classify_codec_planes);
   if (camera->precision() == Precision::kInt8 &&
       config_.backend == InferenceBackend::kTapeFramework) {
     std::ostringstream os;
@@ -280,7 +289,8 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
     std::ostringstream args;
     args << "\"frames\": " << batch.size() << ", \"reason\": \"" << to_string(reason)
          << "\", \"task\": \"" << to_string(key.task) << "\", \"precision\": \""
-         << to_string(key.precision) << "\"";
+         << to_string(key.precision) << "\", \"depth\": "
+         << static_cast<int>(key.decode_depth);
     self.lane->add_complete("serve_batch", serve_start_ns,
                             trace_recorder_->now_ns() - serve_start_ns, args.str());
     emit_frame_lifecycles(*self.lane, batch, infer_start, infer_end);
@@ -413,8 +423,10 @@ void InferenceServer::shard_loop(std::size_t index) {
           }
           ++self.counters.steal_successes;
           self.counters.stolen_frames += batch.size();
-          serve_batch(self, BatchKey{batch.front().pattern_id, batch.front().task,
-                                     batch.front().precision}, batch, FlushReason::kSteal);
+          serve_batch(self,
+                      BatchKey{batch.front().pattern_id, batch.front().task,
+                               batch.front().precision, batch.front().decode_depth},
+                      batch, FlushReason::kSteal);
           stole = true;
         }
       }

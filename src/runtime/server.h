@@ -117,6 +117,15 @@ struct ServerConfig {
   /// add_camera time — set_trace_sampling on a camera overrides), and served
   /// outputs stay bit-identical. Export via trace_json()/write_trace().
   obs::TraceConfig trace;
+  /// Default progressive-decode depth for kClassify frames of cameras on
+  /// entropy-coded framed links (transport::LinkConfig::codec): only the top
+  /// N bit-planes cross the wire and are decoded for classify frames, while
+  /// kReconstruct frames always ride at full depth. 0 (default) = full depth
+  /// everywhere; must stay within [0, codec::kMaxBitplanes]. Installed as
+  /// the camera default at add_camera time — set_codec_planes on a camera
+  /// overrides. Inert for in-memory and raw framed cameras. See
+  /// docs/serving.md.
+  int classify_codec_planes = 0;
 };
 
 /// \brief Throws std::invalid_argument with a descriptive message when the

@@ -79,7 +79,8 @@ void RuntimeStats::record_precision_frames(Precision precision, std::size_t coun
 }
 
 void RuntimeStats::record_transport(int camera_id, TransportStatus status, int retransmits,
-                                    bool dropped) {
+                                    bool dropped, bool codec, int decoded_planes,
+                                    int total_planes) {
   std::lock_guard<std::mutex> lock(mutex_);
   TransportCounters& c = transport_[camera_id];
   ++c.framed_frames;
@@ -102,6 +103,11 @@ void RuntimeStats::record_transport(int camera_id, TransportStatus status, int r
   c.retransmits += static_cast<std::uint64_t>(retransmits);
   if (dropped) {
     ++c.dropped_frames;
+  }
+  if (codec) {
+    ++c.codec_frames;
+    c.codec_planes_decoded += static_cast<std::uint64_t>(decoded_planes);
+    c.codec_planes_total += static_cast<std::uint64_t>(total_planes);
   }
 }
 
@@ -237,6 +243,9 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
     out.transport.missing_lines += counters.missing_lines;
     out.transport.retransmits += counters.retransmits;
     out.transport.dropped_frames += counters.dropped_frames;
+    out.transport.codec_frames += counters.codec_frames;
+    out.transport.codec_planes_decoded += counters.codec_planes_decoded;
+    out.transport.codec_planes_total += counters.codec_planes_total;
   }
   return out;
 }
@@ -374,6 +383,14 @@ std::string to_string(const RuntimeSummary& s) {
                     static_cast<unsigned long long>(c.dropped_frames));
       out += line;
     }
+    if (s.transport.codec_frames > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  codec: frames %llu planes decoded %llu of %llu\n",
+                    static_cast<unsigned long long>(s.transport.codec_frames),
+                    static_cast<unsigned long long>(s.transport.codec_planes_decoded),
+                    static_cast<unsigned long long>(s.transport.codec_planes_total));
+      out += line;
+    }
   }
   return out;
 }
@@ -391,7 +408,10 @@ std::string to_json(const TransportCounters& c) {
      << ", \"crc_errors\": " << c.crc_errors << ", \"truncated\": " << c.truncated
      << ", \"missing_lines\": " << c.missing_lines
      << ", \"retransmits\": " << c.retransmits
-     << ", \"dropped_frames\": " << c.dropped_frames << "}";
+     << ", \"dropped_frames\": " << c.dropped_frames
+     << ", \"codec_frames\": " << c.codec_frames
+     << ", \"codec_planes_decoded\": " << c.codec_planes_decoded
+     << ", \"codec_planes_total\": " << c.codec_planes_total << "}";
   return os.str();
 }
 

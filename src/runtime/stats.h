@@ -128,6 +128,14 @@ struct TransportCounters {
   std::uint64_t missing_lines = 0;   ///< final outcome: row packets lost
   std::uint64_t retransmits = 0;     ///< framed re-transfers spent by the policy
   std::uint64_t dropped_frames = 0;  ///< corrupt after the policy: never served
+
+  /// Progressive-decode tally for frames that crossed an entropy-coded link
+  /// (all zero on raw links). `codec_planes_decoded <= codec_planes_total`;
+  /// the gap is depth deliberately left on the wire (truncated classify
+  /// frames) plus planes lost to faults.
+  std::uint64_t codec_frames = 0;         ///< frames that crossed a codec link
+  std::uint64_t codec_planes_decoded = 0; ///< bit-planes actually decoded
+  std::uint64_t codec_planes_total = 0;   ///< bit-planes the full streams held
 };
 
 /// \brief Everything a completed run reports: throughput, per-stage latency
@@ -245,9 +253,13 @@ class RuntimeStats {
   /// \brief Records one framed frame's FINAL transport fate: its last
   /// outcome (`status`), the retries the policy spent on it, and whether it
   /// was dropped instead of enqueued. Called once per framed frame by the
-  /// producer loop; never for in-memory cameras.
+  /// producer loop; never for in-memory cameras. When the frame crossed an
+  /// entropy-coded link, pass `codec = true` plus the frame's
+  /// decoded/total bit-plane counts to feed the progressive-decode tally;
+  /// raw-link callers leave the defaults.
   void record_transport(int camera_id, TransportStatus status, int retransmits,
-                        bool dropped);
+                        bool dropped, bool codec = false, int decoded_planes = 0,
+                        int total_planes = 0);
   /// \brief Records one shed frame: bumps the per-(qos, reason) registry
   /// counter (snappix_shed_frames_total{qos=...,reason=...}) and the
   /// camera's ShedCounters row. Called by the queue shed observers the

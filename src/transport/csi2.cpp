@@ -194,6 +194,42 @@ Packet CodedFramePacketizer::short_packet(std::uint8_t data_id, std::uint16_t va
                 static_cast<std::uint8_t>(value >> 8), ecc_encode(header24)};
 }
 
+WireFrame CodedFramePacketizer::packetize_codec(const Tensor& coded,
+                                                std::uint16_t frame_number,
+                                                int max_planes) const {
+  SNAPPIX_CHECK(coded.shape().ndim() == 2,
+                "packetize_codec expects a (H, W) coded frame, got rank "
+                    << coded.shape().ndim());
+  SNAPPIX_CHECK(max_planes >= 0, "max_planes " << max_planes << " negative");
+  const codec::QuantizedFrame quantized = codec::quantize_frame(coded);
+  const codec::PlaneStream stream = codec::encode_bitplanes(quantized, max_planes);
+  const std::uint8_t vc_bits = static_cast<std::uint8_t>(virtual_channel_ << 6);
+
+  WireFrame wire;
+  wire.packets.reserve(stream.planes.size() + 3);
+  wire.packets.push_back(
+      short_packet(static_cast<std::uint8_t>(vc_bits | kDtFrameStart), frame_number));
+  const auto header = codec::serialize_stream_header(stream);
+  wire.packets.push_back(long_packet(static_cast<std::uint8_t>(vc_bits | kDtCodecHeader),
+                                     header.data(),
+                                     static_cast<std::uint16_t>(header.size())));
+  std::vector<std::uint8_t> payload;
+  for (std::size_t j = 0; j < stream.planes.size(); ++j) {
+    const std::vector<std::uint8_t>& chunk = stream.planes[j];
+    SNAPPIX_CHECK(chunk.size() + 1 <= 0xFFFF,
+                  "plane chunk of " << chunk.size() << " bytes overflows the word count");
+    payload.clear();
+    payload.push_back(static_cast<std::uint8_t>(j));
+    payload.insert(payload.end(), chunk.begin(), chunk.end());
+    wire.packets.push_back(long_packet(static_cast<std::uint8_t>(vc_bits | kDtCodecPlane),
+                                       payload.data(),
+                                       static_cast<std::uint16_t>(payload.size())));
+  }
+  wire.packets.push_back(
+      short_packet(static_cast<std::uint8_t>(vc_bits | kDtFrameEnd), frame_number));
+  return wire;
+}
+
 Packet CodedFramePacketizer::long_packet(std::uint8_t data_id, const std::uint8_t* payload,
                                          std::uint16_t word_count) {
   Packet packet = short_packet(data_id, word_count);  // same 4-byte header layout
@@ -319,6 +355,114 @@ RxFrame Depacketizer::depacketize(const WireFrame& wire, std::int64_t height,
     rx.outcome = RxOutcome::kCrcError;
   } else {
     rx.outcome = RxOutcome::kOk;
+  }
+  return rx;
+}
+
+RxCodecFrame Depacketizer::depacketize_codec(const WireFrame& wire, std::int64_t height,
+                                             std::int64_t width, int max_planes) const {
+  SNAPPIX_CHECK(height >= 1 && width >= 1,
+                "depacketize_codec needs positive geometry, got " << height << "x" << width);
+  SNAPPIX_CHECK(max_planes >= 0, "max_planes " << max_planes << " negative");
+  RxCodecFrame rx;
+  bool saw_fs = false;
+  bool saw_fe = false;
+  bool truncated = false;
+  bool have_header = false;
+  codec::PlaneStream stream;
+  std::vector<std::vector<std::uint8_t>> planes(codec::kMaxBitplanes);
+  std::vector<bool> plane_seen(codec::kMaxBitplanes, false);
+
+  for (const Packet& packet : wire.packets) {
+    if (packet.size() < static_cast<std::size_t>(kHeaderBytes)) {
+      truncated = true;
+      break;
+    }
+    const std::uint32_t header24 = static_cast<std::uint32_t>(packet[0]) |
+                                   (static_cast<std::uint32_t>(packet[1]) << 8) |
+                                   (static_cast<std::uint32_t>(packet[2]) << 16);
+    const EccDecode dec = ecc_decode(header24, packet[3]);
+    if (dec.status == EccDecode::Status::kUncorrectable) {
+      ++rx.lost_packets;
+      continue;
+    }
+    if (dec.status == EccDecode::Status::kCorrected) {
+      ++rx.corrected_headers;
+    }
+    const std::uint8_t data_type = static_cast<std::uint8_t>(dec.header24 & 0x3F);
+    const std::uint16_t wc = static_cast<std::uint16_t>((dec.header24 >> 8) & 0xFFFF);
+    if (data_type < 0x10) {
+      if (data_type == kDtFrameStart) {
+        saw_fs = true;
+        rx.frame_number = wc;
+      } else if (data_type == kDtFrameEnd) {
+        saw_fe = true;
+      }
+      continue;
+    }
+    if (packet.size() < static_cast<std::size_t>(kHeaderBytes) + wc + kCrcBytes) {
+      truncated = true;
+      break;
+    }
+    const std::uint8_t* payload = packet.data() + kHeaderBytes;
+    const std::uint16_t crc_rx =
+        static_cast<std::uint16_t>(packet[static_cast<std::size_t>(kHeaderBytes) + wc]) |
+        static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(packet[static_cast<std::size_t>(kHeaderBytes) + wc + 1])
+            << 8);
+    if (crc16_ccitt(payload, wc) != crc_rx) {
+      // A damaged payload's bytes — including a plane packet's index byte —
+      // cannot be trusted; count it and discard it whole.
+      ++rx.crc_errors;
+      continue;
+    }
+    if (data_type == kDtCodecHeader) {
+      codec::PlaneStream parsed;
+      if (!have_header && codec::parse_stream_header(payload, wc, parsed) &&
+          parsed.height == static_cast<std::uint16_t>(height) &&
+          parsed.width == static_cast<std::uint16_t>(width)) {
+        stream = parsed;
+        have_header = true;
+      } else {
+        ++rx.lost_packets;  // duplicate, malformed, or wrong-geometry header
+      }
+    } else if (data_type == kDtCodecPlane) {
+      const std::uint8_t index = wc >= 1 ? payload[0] : codec::kMaxBitplanes;
+      if (wc >= 1 && index < codec::kMaxBitplanes && !plane_seen[index]) {
+        planes[index].assign(payload + 1, payload + wc);
+        plane_seen[index] = true;
+        ++rx.planes_received;
+      } else {
+        ++rx.lost_packets;
+      }
+    } else {
+      ++rx.lost_packets;  // e.g. a RAW32 row on a codec link: unusable
+    }
+  }
+
+  if (truncated || !saw_fs || !saw_fe || !have_header) {
+    rx.coded = Tensor::zeros(Shape{height, width});
+    rx.outcome = RxOutcome::kTruncated;
+    return rx;
+  }
+
+  int needed = stream.plane_count;
+  if (max_planes != 0 && max_planes < needed) {
+    needed = max_planes;
+  }
+  for (int j = 0; j < needed && plane_seen[static_cast<std::size_t>(j)]; ++j) {
+    stream.planes.push_back(std::move(planes[static_cast<std::size_t>(j)]));
+  }
+  const codec::BitplaneDecode decode = codec::decode_bitplanes(stream, needed);
+  rx.coded = codec::dequantize_frame(decode.frame);
+  rx.decoded_planes = static_cast<std::uint8_t>(decode.decoded_planes);
+  rx.total_planes = stream.plane_count;
+  if (decode.decoded_planes >= needed) {
+    rx.outcome = RxOutcome::kOk;
+  } else if (rx.crc_errors > 0) {
+    rx.outcome = RxOutcome::kCrcError;
+  } else {
+    rx.outcome = RxOutcome::kMissingLines;
   }
   return rx;
 }

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "codec/bitplane.h"
 #include "tensor/tensor.h"
 
 namespace snappix::transport {
@@ -60,6 +61,11 @@ constexpr int kCrcBytes = 2;     // long-packet footer, little-endian on the wir
 constexpr std::uint8_t kDtFrameStart = 0x00;
 constexpr std::uint8_t kDtFrameEnd = 0x01;
 constexpr std::uint8_t kDtRaw32 = 0x30;  // user-defined: one row of float32 pixels
+// Entropy-coded mode (codec/bitplane.h): one stream header packet followed by
+// one packet per bit-plane chunk. A plane packet's payload is the plane index
+// (one byte, MSB plane = 0) followed by the chunk's entropy-coded bytes.
+constexpr std::uint8_t kDtCodecHeader = 0x31;
+constexpr std::uint8_t kDtCodecPlane = 0x32;
 
 // One packet's bytes exactly as they travel the link.
 using Packet = std::vector<std::uint8_t>;
@@ -82,6 +88,14 @@ class CodedFramePacketizer {
   // (wc = W * 4, so W must stay under 16384 pixels), FE. `frame_number`
   // rides in the FS/FE short packets.
   WireFrame packetize(const Tensor& coded, std::uint16_t frame_number) const;
+
+  // Entropy-coded mode: quantizes the frame (codec::quantize_frame), encodes
+  // its bit-planes, and serializes FS, a kDtCodecHeader packet, one
+  // kDtCodecPlane packet per chunk, FE. `max_planes` > 0 truncates the
+  // TRANSMITTED stream to the top planes — the wire carries fewer bytes, not
+  // just the decoder reading fewer (0 = every plane).
+  WireFrame packetize_codec(const Tensor& coded, std::uint16_t frame_number,
+                            int max_planes = 0) const;
 
   // Building blocks, exposed so tests can pin byte-exact golden vectors.
   static Packet short_packet(std::uint8_t data_id, std::uint16_t value);
@@ -117,6 +131,23 @@ struct RxFrame {
   std::uint32_t lost_packets = 0;       // headers the ECC could not rescue
 };
 
+// Receiver-side view of one entropy-coded frame.
+struct RxCodecFrame {
+  RxOutcome outcome = RxOutcome::kTruncated;
+  // Dequantized at the decoded depth (undecoded low bits zero-filled);
+  // all-zeros when the stream was truncated. With every requested plane
+  // decoded this is bit-identical to
+  // dequantize_frame(quantize_frame(tx frame)) at the same depth.
+  Tensor coded;
+  std::uint16_t frame_number = 0;
+  std::uint8_t decoded_planes = 0;  // consecutive MSB planes decoded cleanly
+  std::uint8_t total_planes = 0;    // full bit depth from the stream header
+  std::uint32_t planes_received = 0;
+  std::uint32_t crc_errors = 0;
+  std::uint32_t corrected_headers = 0;
+  std::uint32_t lost_packets = 0;
+};
+
 class Depacketizer {
  public:
   // Reassembles a frame of known geometry. Classification:
@@ -128,6 +159,21 @@ class Depacketizer {
   // lost_packets) — on a real link it would be unparseable noise.
   RxFrame depacketize(const WireFrame& wire, std::int64_t height,
                       std::int64_t width) const;
+
+  // Entropy-coded counterpart. `max_planes` must match the transmit-side cap
+  // (0 = full depth): the receiver treats needed = min(cap, header depth)
+  // planes as required. Classification:
+  //   kTruncated     stream cut off, FS/FE missing, or no valid stream header
+  //                  for this geometry
+  //   kCrcError      a needed plane arrived damaged (payload CRC failure)
+  //   kMissingLines  a needed plane never arrived (dropped / unparseable)
+  //   kOk            every needed plane decoded cleanly; later planes may
+  //                  still be damaged without demoting the outcome
+  // Plane packets failing their CRC are discarded whole — their index byte
+  // cannot be trusted — and corrupt chunk contents end the decode at that
+  // plane instead of invoking UB (see codec/bitplane.h).
+  RxCodecFrame depacketize_codec(const WireFrame& wire, std::int64_t height,
+                                 std::int64_t width, int max_planes = 0) const;
 };
 
 }  // namespace snappix::transport

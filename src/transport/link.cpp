@@ -1,18 +1,45 @@
 #include "transport/link.h"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "codec/bitplane.h"
 
 namespace snappix::transport {
 
+namespace {
+
+void check_codec_planes(int planes) {
+  if (planes < 0 || planes > codec::kMaxBitplanes) {
+    throw std::invalid_argument("codec_planes " + std::to_string(planes) +
+                                " out of [0, " + std::to_string(codec::kMaxBitplanes) +
+                                "]");
+  }
+}
+
+}  // namespace
+
 FramedLink::FramedLink(const LinkConfig& config)
     : config_(config), packetizer_(config.virtual_channel), mipi_(config.mipi),
-      injector_(config.faults) {}
+      injector_(config.faults) {
+  check_codec_planes(config.codec_planes);
+}
+
+void FramedLink::set_codec_planes(int planes) {
+  check_codec_planes(planes);
+  config_.codec_planes = planes;
+}
 
 TransferResult FramedLink::transfer(const Tensor& coded, std::uint16_t frame_number) {
-  WireFrame wire = packetizer_.packetize(coded, frame_number);
+  WireFrame wire = config_.codec
+                       ? packetizer_.packetize_codec(coded, frame_number,
+                                                     config_.codec_planes)
+                       : packetizer_.packetize(coded, frame_number);
 
   // Account the transmit side first: every framed byte goes on the wire and
-  // costs its lane time whether or not it survives the trip.
+  // costs its lane time whether or not it survives the trip. This runs once
+  // per ATTEMPT — a retransmit of the same frame pays the wire again.
   TransferResult result;
   for (const Packet& packet : wire.packets) {
     const std::uint64_t payload =
@@ -24,7 +51,20 @@ TransferResult FramedLink::transfer(const Tensor& coded, std::uint16_t frame_num
 
   injector_.apply(wire);
 
-  RxFrame rx = depacketizer_.depacketize(wire, coded.shape()[0], coded.shape()[1]);
+  RxFrame rx;
+  if (config_.codec) {
+    RxCodecFrame codec_rx = depacketizer_.depacketize_codec(
+        wire, coded.shape()[0], coded.shape()[1], config_.codec_planes);
+    result.decoded_planes = codec_rx.decoded_planes;
+    result.total_planes = codec_rx.total_planes;
+    rx.outcome = codec_rx.outcome;
+    rx.coded = std::move(codec_rx.coded);
+    rx.crc_errors = codec_rx.crc_errors;
+    rx.corrected_headers = codec_rx.corrected_headers;
+    rx.lost_packets = codec_rx.lost_packets;
+  } else {
+    rx = depacketizer_.depacketize(wire, coded.shape()[0], coded.shape()[1]);
+  }
   result.outcome = rx.outcome;
   result.coded = std::move(rx.coded);
   result.crc_errors = rx.crc_errors;

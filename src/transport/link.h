@@ -29,6 +29,13 @@ struct LinkConfig {
   sensor::MipiConfig mipi;  // lanes + byte clock; drives the wire-time model
   FaultConfig faults;       // all-zero rates = clean link
   int virtual_channel = 0;  // stamped into every packet's DI (in [0, 3])
+  // Entropy-coded wire mode: frames travel as quantized bit-plane chunks
+  // (codec/bitplane.h) instead of raw float32 rows. `codec_planes` > 0
+  // truncates the stream at the transmitter — only the top planes are put on
+  // the wire and decoded (0 = full depth). Adjustable per frame through
+  // FramedLink::set_codec_planes (e.g. classify shallow, reconstruct deep).
+  bool codec = false;
+  int codec_planes = 0;
 };
 
 // One transfer's receiver-side view.
@@ -39,6 +46,8 @@ struct TransferResult {
   std::uint32_t crc_errors = 0;      // rows failing CRC
   std::uint32_t corrected_headers = 0;
   std::uint32_t lost_packets = 0;    // uncorrectable headers
+  std::uint8_t decoded_planes = 0;   // codec mode: planes decoded cleanly
+  std::uint8_t total_planes = 0;     // codec mode: the frame's full bit depth
 };
 
 // Lifetime outcome counters (frames classified by final receive outcome).
@@ -56,6 +65,13 @@ class FramedLink {
 
   // Serializes, accounts, (maybe) corrupts, and reassembles one coded frame.
   TransferResult transfer(const Tensor& coded, std::uint16_t frame_number);
+
+  // Adjusts the codec-mode plane cap for subsequent transfers (0 = full
+  // depth). No-op semantics on a raw (non-codec) link; retransmits of a
+  // frame reuse whatever cap is current, so callers set it before the first
+  // attempt.
+  void set_codec_planes(int planes);
+  int codec_planes() const { return config_.codec_planes; }
 
   // Byte / lane / wire-time accounting for everything transferred so far.
   const sensor::MipiCsi2Link& mipi() const { return mipi_; }

@@ -1,0 +1,277 @@
+// Property tests for the bit-plane entropy codec (codec/bitplane.h): full-
+// depth losslessness, monotone fidelity in decoded depth, truncatability at
+// every plane boundary, and safe rejection of corrupt or truncated streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "codec/bitplane.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snappix {
+namespace {
+
+using codec::BitplaneDecode;
+using codec::decode_bitplanes;
+using codec::dequantize_frame;
+using codec::encode_bitplanes;
+using codec::kMaxBitplanes;
+using codec::kStreamHeaderBytes;
+using codec::parse_stream_header;
+using codec::PlaneStream;
+using codec::quantize_frame;
+using codec::QuantizedFrame;
+using codec::serialize_stream_header;
+
+// The geometries the property sweeps cover: degenerate, odd, square, wide.
+struct Geometry {
+  std::int64_t height;
+  std::int64_t width;
+};
+constexpr Geometry kGeometries[] = {{1, 1}, {7, 5}, {16, 16}, {32, 8}, {3, 17}};
+
+double mse(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.data().size());
+}
+
+TEST(Quantize, RoundTripIsExactForRepresentableValues) {
+  // Values that are exact multiples of the scale survive the int16 round trip.
+  QuantizedFrame frame;
+  frame.scale = 0.25F;
+  frame.height = 2;
+  frame.width = 2;
+  frame.values = {100, -200, 32767, 0};
+  const Tensor deq = dequantize_frame(frame);
+  const QuantizedFrame again = quantize_frame(deq);
+  EXPECT_EQ(again.values, frame.values);
+}
+
+TEST(Quantize, AllZeroFrameHasZeroScaleAndNoPlanes) {
+  const QuantizedFrame q = quantize_frame(Tensor::zeros(Shape{4, 4}));
+  EXPECT_EQ(q.scale, 0.0F);
+  const PlaneStream stream = encode_bitplanes(q);
+  EXPECT_EQ(stream.plane_count, 0);
+  EXPECT_TRUE(stream.planes.empty());
+  const BitplaneDecode decode = decode_bitplanes(stream);
+  EXPECT_EQ(decode.decoded_planes, 0);
+  const Tensor out = dequantize_frame(decode.frame);
+  for (const float v : out.data()) {
+    EXPECT_EQ(v, 0.0F);
+  }
+}
+
+TEST(Quantize, InvalidInputsThrow) {
+  EXPECT_THROW(quantize_frame(Tensor::zeros(Shape{4})), std::exception);
+  EXPECT_THROW(quantize_frame(Tensor::zeros(Shape{2, 2, 2})), std::exception);
+  std::vector<float> bad = {1.0F, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_THROW(quantize_frame(Tensor::from_vector(bad, Shape{1, 2})), std::exception);
+}
+
+// Full-depth decode reproduces the int16 values exactly, for every geometry
+// and seed — the guarantee the framed codec path's bit-identity rests on.
+TEST(Bitplane, FullDepthIsLossless) {
+  for (const Geometry geo : kGeometries) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng rng(seed);
+      const Tensor coded =
+          Tensor::rand_uniform(Shape{geo.height, geo.width}, rng, -3.0F, 3.0F);
+      const QuantizedFrame q = quantize_frame(coded);
+      const PlaneStream stream = encode_bitplanes(q);
+      const BitplaneDecode decode = decode_bitplanes(stream);
+      EXPECT_EQ(decode.decoded_planes, static_cast<int>(stream.plane_count));
+      ASSERT_EQ(decode.frame.values.size(), q.values.size());
+      EXPECT_EQ(decode.frame.values, q.values)
+          << "lossy at geometry " << geo.height << "x" << geo.width << " seed " << seed;
+      // And therefore the dequantized floats are bit-identical to the
+      // in-memory quantize -> dequantize round trip.
+      const Tensor wire_view = dequantize_frame(decode.frame);
+      const Tensor memory_view = dequantize_frame(q);
+      EXPECT_EQ(std::memcmp(wire_view.data().data(), memory_view.data().data(),
+                            wire_view.data().size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+// Decoding more planes never increases the error: the zero-fill of undecoded
+// low bits makes per-coefficient error monotone in depth.
+TEST(Bitplane, ErrorIsMonotoneInDecodedDepth) {
+  Rng rng(42);
+  const Tensor coded = Tensor::rand_uniform(Shape{16, 16}, rng, -2.0F, 2.0F);
+  const QuantizedFrame q = quantize_frame(coded);
+  const PlaneStream stream = encode_bitplanes(q);
+  const Tensor reference = dequantize_frame(q);
+  ASSERT_GT(stream.plane_count, 2);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int depth = 1; depth <= stream.plane_count; ++depth) {
+    const BitplaneDecode decode = decode_bitplanes(stream, depth);
+    EXPECT_EQ(decode.decoded_planes, depth);
+    const double err = mse(dequantize_frame(decode.frame), reference);
+    EXPECT_LE(err, prev) << "MSE increased at depth " << depth;
+    prev = err;
+  }
+  EXPECT_EQ(prev, 0.0);  // full depth is exact
+}
+
+// Cutting the chunk list at any plane boundary decodes to exactly what a
+// depth-capped decode of the full stream produces — the property that lets
+// the transmit side truncate the wire stream without changing semantics.
+TEST(Bitplane, TruncationAtEveryPlaneBoundaryMatchesCappedDecode) {
+  Rng rng(7);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 12}, rng, -1.0F, 1.0F);
+  const QuantizedFrame q = quantize_frame(coded);
+  const PlaneStream full = encode_bitplanes(q);
+  {
+    // Depth 0: an empty chunk list decodes to all-zero magnitudes. (A cap of
+    // 0 means "all planes" by contract, so it is not part of the sweep.)
+    PlaneStream cut = full;
+    cut.planes.clear();
+    const BitplaneDecode none = decode_bitplanes(cut);
+    EXPECT_EQ(none.decoded_planes, 0);
+    for (const std::int16_t v : none.frame.values) {
+      EXPECT_EQ(v, 0);
+    }
+  }
+  for (int depth = 1; depth <= full.plane_count; ++depth) {
+    PlaneStream cut = full;
+    cut.planes.resize(static_cast<std::size_t>(depth));
+    const BitplaneDecode from_cut = decode_bitplanes(cut);
+    const BitplaneDecode from_cap = decode_bitplanes(full, depth);
+    EXPECT_EQ(from_cut.decoded_planes, depth);
+    EXPECT_EQ(from_cap.decoded_planes, depth);
+    EXPECT_EQ(from_cut.frame.values, from_cap.frame.values);
+  }
+}
+
+// Transmit-side truncation emits a byte-identical prefix of the full encode:
+// the encoder's plane chunks do not depend on how many follow them.
+TEST(Bitplane, EncodeWithCapEmitsPrefixOfFullEncode) {
+  Rng rng(11);
+  const Tensor coded = Tensor::rand_uniform(Shape{9, 9}, rng, -4.0F, 4.0F);
+  const QuantizedFrame q = quantize_frame(coded);
+  const PlaneStream full = encode_bitplanes(q);
+  ASSERT_GT(full.plane_count, 3);
+  for (int cap = 1; cap <= full.plane_count; ++cap) {
+    const PlaneStream truncated = encode_bitplanes(q, cap);
+    EXPECT_EQ(truncated.plane_count, full.plane_count);  // header keeps full depth
+    ASSERT_EQ(truncated.planes.size(), static_cast<std::size_t>(cap));
+    for (int j = 0; j < cap; ++j) {
+      EXPECT_EQ(truncated.planes[static_cast<std::size_t>(j)],
+                full.planes[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_LE(truncated.payload_bytes(), full.payload_bytes());
+  }
+}
+
+TEST(StreamHeader, SerializeParseRoundTrip) {
+  Rng rng(3);
+  const QuantizedFrame q =
+      quantize_frame(Tensor::rand_uniform(Shape{5, 6}, rng, -1.0F, 1.0F));
+  const PlaneStream stream = encode_bitplanes(q);
+  const auto bytes = serialize_stream_header(stream);
+  PlaneStream parsed;
+  ASSERT_TRUE(parse_stream_header(bytes.data(), bytes.size(), parsed));
+  EXPECT_EQ(parsed.scale, stream.scale);
+  EXPECT_EQ(parsed.height, stream.height);
+  EXPECT_EQ(parsed.width, stream.width);
+  EXPECT_EQ(parsed.plane_count, stream.plane_count);
+}
+
+TEST(StreamHeader, TruncatedHeaderIsRejected) {
+  Rng rng(4);
+  const PlaneStream stream =
+      encode_bitplanes(quantize_frame(Tensor::rand_uniform(Shape{4, 4}, rng)));
+  const auto bytes = serialize_stream_header(stream);
+  PlaneStream parsed;
+  for (std::size_t size = 0; size < kStreamHeaderBytes; ++size) {
+    EXPECT_FALSE(parse_stream_header(bytes.data(), size, parsed));
+  }
+}
+
+// Single-byte corruption fuzz: every parse either rejects the header or
+// yields structurally valid fields — never UB, never absurd geometry.
+TEST(StreamHeader, CorruptHeaderBytesNeverYieldInvalidFields) {
+  Rng rng(5);
+  const PlaneStream stream =
+      encode_bitplanes(quantize_frame(Tensor::rand_uniform(Shape{6, 6}, rng)));
+  const auto golden = serialize_stream_header(stream);
+  for (std::size_t pos = 0; pos < golden.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bytes = golden;
+      bytes[pos] = static_cast<std::uint8_t>(bytes[pos] ^ (1U << bit));
+      PlaneStream parsed;
+      if (parse_stream_header(bytes.data(), bytes.size(), parsed)) {
+        EXPECT_GT(parsed.height, 0);
+        EXPECT_GT(parsed.width, 0);
+        EXPECT_LE(parsed.plane_count, kMaxBitplanes);
+        EXPECT_TRUE(std::isfinite(parsed.scale));
+        EXPECT_GE(parsed.scale, 0.0F);
+      }
+    }
+  }
+}
+
+// Corrupt chunk bytes must never crash the decoder: it either decodes some
+// prefix or stops at the damaged plane, and every reported plane count is
+// within bounds. (On the real wire the CSI-2 CRC catches this first; the
+// decoder still has to be safe on arbitrary bytes.)
+TEST(Bitplane, CorruptChunkBytesDecodeSafely) {
+  Rng rng(6);
+  const Tensor coded = Tensor::rand_uniform(Shape{10, 10}, rng, -2.0F, 2.0F);
+  const QuantizedFrame q = quantize_frame(coded);
+  const PlaneStream full = encode_bitplanes(q);
+  ASSERT_GT(full.plane_count, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    PlaneStream damaged = full;
+    const auto plane =
+        static_cast<std::size_t>(rng.uniform_int(0, full.plane_count - 1));
+    auto& chunk = damaged.planes[plane];
+    const auto byte =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(chunk.size()) - 1));
+    chunk[byte] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const BitplaneDecode decode = decode_bitplanes(damaged);
+    EXPECT_GE(decode.decoded_planes, 0);
+    EXPECT_LE(decode.decoded_planes, static_cast<int>(full.plane_count));
+    EXPECT_EQ(decode.frame.values.size(), q.values.size());
+  }
+}
+
+// A chunk shorter than the range coder's minimum stream ends the decode at
+// that plane; earlier planes are kept.
+TEST(Bitplane, UndersizedChunkStopsDecodeCleanly) {
+  Rng rng(8);
+  const QuantizedFrame q =
+      quantize_frame(Tensor::rand_uniform(Shape{6, 6}, rng, -1.0F, 1.0F));
+  const PlaneStream full = encode_bitplanes(q);
+  ASSERT_GT(full.plane_count, 1);
+  PlaneStream damaged = full;
+  damaged.planes[1] = {0x00, 0x01};  // too short to be a range-coder stream
+  const BitplaneDecode decode = decode_bitplanes(damaged);
+  EXPECT_EQ(decode.decoded_planes, 1);
+  EXPECT_EQ(decode.frame.values,
+            decode_bitplanes(full, 1).frame.values);
+}
+
+TEST(Bitplane, InvalidArgumentsThrow) {
+  Rng rng(9);
+  const QuantizedFrame q = quantize_frame(Tensor::rand_uniform(Shape{4, 4}, rng));
+  EXPECT_THROW(encode_bitplanes(q, -1), std::exception);
+  const PlaneStream stream = encode_bitplanes(q);
+  EXPECT_THROW(decode_bitplanes(stream, -2), std::exception);
+  QuantizedFrame bad = q;
+  bad.values.pop_back();
+  EXPECT_THROW(encode_bitplanes(bad), std::exception);
+}
+
+}  // namespace
+}  // namespace snappix

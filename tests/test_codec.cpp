@@ -2,6 +2,7 @@
 // paper's Related Work section) and the conventional-capture sensor mode.
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <cmath>
 
 #include "ce/pattern.h"
@@ -15,10 +16,12 @@ namespace snappix {
 namespace {
 
 using codec::dct_8x8;
+using codec::estimate_block_bits;
 using codec::idct_8x8;
 using codec::jpeg_like_compress;
 using codec::JpegLikeConfig;
 using codec::kBlock;
+using codec::magnitude_bits;
 
 TEST(Dct, RoundTripIsIdentity) {
   Rng rng(1);
@@ -126,6 +129,61 @@ TEST_P(JpegQualitySweep, RoundTripPsnrAboveFloor) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Qualities, JpegQualitySweep, ::testing::Values(5, 25, 50, 75, 95));
+
+// --- entropy size estimator ---------------------------------------------------
+
+TEST(MagnitudeBits, MatchesJpegSizeCategories) {
+  EXPECT_EQ(magnitude_bits(0), 0);
+  EXPECT_EQ(magnitude_bits(1), 1);
+  EXPECT_EQ(magnitude_bits(-1), 1);
+  EXPECT_EQ(magnitude_bits(2), 2);
+  EXPECT_EQ(magnitude_bits(-3), 2);
+  EXPECT_EQ(magnitude_bits(255), 8);
+  EXPECT_EQ(magnitude_bits(256), 9);
+  EXPECT_EQ(magnitude_bits(-(1 << 30)), 31);
+}
+
+TEST(MagnitudeBits, ExtremeIntsAreWellDefined) {
+  // std::abs(INT_MIN) is UB; the unsigned-magnitude implementation must
+  // report 32 bits for 0x80000000 instead. Regression for the UBSan finding.
+  EXPECT_EQ(magnitude_bits(INT_MAX), 31);
+  EXPECT_EQ(magnitude_bits(INT_MIN), 32);
+  EXPECT_EQ(magnitude_bits(INT_MIN + 1), 31);
+}
+
+TEST(EstimateBlockBits, GoldenAllZeroBlock) {
+  int block[kBlock * kBlock] = {};
+  // DC differential of 0 costs the 4-bit category code alone; the all-zero
+  // AC tail is one EOB symbol.
+  EXPECT_EQ(estimate_block_bits(block, 0), 4 + 4);
+  // A nonzero predictor makes the DC difference pay magnitude bits.
+  EXPECT_EQ(estimate_block_bits(block, -5), 4 + 3 + 4);
+}
+
+TEST(EstimateBlockBits, GoldenDcDifferential) {
+  int block[kBlock * kBlock] = {};
+  block[0] = 5;
+  // diff = 5 - 2 = 3 -> category 2; EOB closes the empty AC tail.
+  EXPECT_EQ(estimate_block_bits(block, 2), 4 + 2 + 4);
+  // Identical predictor -> zero diff, category code only.
+  EXPECT_EQ(estimate_block_bits(block, 5), 4 + 4);
+}
+
+TEST(EstimateBlockBits, GoldenEarlyAcCoefficient) {
+  int block[kBlock * kBlock] = {};
+  block[1] = -3;  // zigzag position 1 is natural index 1
+  // DC 4 bits, AC run/size 4 + 2 magnitude bits, then 62 trailing zeros: EOB.
+  EXPECT_EQ(estimate_block_bits(block, 0), 4 + (4 + 2) + 4);
+}
+
+TEST(EstimateBlockBits, GoldenZrlRunsWithoutEob) {
+  int block[kBlock * kBlock] = {};
+  block[63] = 1;  // the last zigzag position: 62 zeros precede it
+  // 62 zeros = 3 full ZRL runs of 16 (11 bits each) + 14 leftover zeros
+  // folded into the run/size code; the nonzero is the final coefficient so
+  // no EOB is charged.
+  EXPECT_EQ(estimate_block_bits(block, 0), 4 + 3 * 11 + (4 + 1));
+}
 
 // --- conventional capture mode ------------------------------------------------
 

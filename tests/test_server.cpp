@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ce/encode.h"
+#include "codec/bitplane.h"
 #include "transport/link.h"
 #include "core/snappix.h"
 #include "runtime/batcher.h"
@@ -912,6 +913,126 @@ TEST(FramedServing, RetransmitPolicyRecoversEveryFrame) {
   EXPECT_EQ(summary.transport.ok_frames, 32U);
   EXPECT_EQ(summary.transport.dropped_frames, 0U);
   EXPECT_GT(summary.transport.retransmits, 0U) << "the drop rate never bit — raise it?";
+}
+
+// Progressive decode through serving: on an entropy-coded link, classify
+// frames travel as the top `classify_codec_planes` bit-planes while
+// reconstruct frames ride at full depth — and every served bit must equal an
+// in-memory reference that pre-applies the same quantize/truncate transform.
+// Truncation changes pixel fidelity, never WHICH frames are served.
+TEST(FramedServing, CodecLinkServesProgressiveDepthBitExactly) {
+  core::SnapPixSystem system(small_system_config());
+  const auto patterns = distinct_patterns(2, 97);
+  const std::int64_t frames_per_camera = 12;
+  const int depth = 6;
+
+  // Record both cameras' streams once so every arm replays identical payloads.
+  std::vector<std::vector<Tensor>> coded(2);
+  std::vector<std::vector<std::int64_t>> labels(2);
+  for (int cam = 0; cam < 2; ++cam) {
+    runtime::SyntheticCameraSource source(cam, small_scene(),
+                                          patterns[static_cast<std::size_t>(cam)],
+                                          700 + static_cast<std::uint64_t>(cam));
+    for (std::int64_t f = 0; f < frames_per_camera; ++f) {
+      Frame frame = source.next_frame();
+      coded[static_cast<std::size_t>(cam)].push_back(std::move(frame.coded));
+      labels[static_cast<std::size_t>(cam)].push_back(frame.label);
+    }
+  }
+
+  // What the codec wire should deliver for a frame shipped at `planes` depth.
+  const auto wire_view = [](const Tensor& frame, int planes) {
+    const codec::QuantizedFrame q = codec::quantize_frame(frame);
+    const codec::PlaneStream stream = codec::encode_bitplanes(q);
+    return codec::dequantize_frame(codec::decode_bitplanes(stream, planes).frame);
+  };
+
+  const auto build_fleet = [&](InferenceServer& server, bool codec_framed,
+                               const runtime::TransportPolicy* policy,
+                               double drop_rate) {
+    for (int cam = 0; cam < 2; ++cam) {
+      std::vector<Tensor> stream;
+      for (const Tensor& frame : coded[static_cast<std::size_t>(cam)]) {
+        // The reference fleet replays the wire view in memory: classify
+        // truncated at `depth`, reconstruct at full depth.
+        stream.push_back(codec_framed ? frame : wire_view(frame, cam == 0 ? depth : 0));
+      }
+      auto camera = std::make_unique<runtime::ReplayCameraSource>(
+          cam, patterns[static_cast<std::size_t>(cam)], std::move(stream),
+          labels[static_cast<std::size_t>(cam)]);
+      if (cam == 1) {
+        camera->set_task(Task::kReconstruct);
+      }
+      if (codec_framed) {
+        transport::LinkConfig link;
+        link.codec = true;
+        link.faults.packet_drop_rate = drop_rate;
+        link.faults.seed = 70 + static_cast<std::uint64_t>(cam);
+        camera->set_framed(link);
+      }
+      server.add_camera(std::move(camera));
+      (void)policy;
+    }
+  };
+
+  const auto run_fleet = [&](bool codec_framed, double drop_rate,
+                             const runtime::TransportPolicy* policy) {
+    ServerConfig config;
+    config.batch.max_batch = 4;
+    config.classify_codec_planes = depth;
+    if (policy != nullptr) {
+      config.transport = *policy;
+    }
+    InferenceServer server(system, config);
+    build_fleet(server, codec_framed, policy, drop_rate);
+    auto results = server.run(frames_per_camera);
+    return std::make_pair(std::move(results), server.summary());
+  };
+
+  const auto [reference, reference_summary] = run_fleet(false, 0.0, nullptr);
+  ASSERT_EQ(reference.size(), 24U);
+  EXPECT_EQ(reference_summary.transport.codec_frames, 0U);
+
+  const auto [served, summary] = run_fleet(true, 0.0, nullptr);
+  expect_results_identical(reference, served);
+
+  // Conservation: every framed frame crossed the codec link intact, the
+  // classify camera left depth on the wire, the reconstruct camera did not.
+  EXPECT_EQ(summary.transport.framed_frames, 24U);
+  EXPECT_EQ(summary.transport.codec_frames, 24U);
+  EXPECT_EQ(summary.transport.ok_frames, 24U);
+  EXPECT_EQ(summary.transport.dropped_frames, 0U);
+  EXPECT_GT(summary.transport.codec_planes_decoded, 0U);
+  EXPECT_LT(summary.transport.codec_planes_decoded, summary.transport.codec_planes_total);
+  ASSERT_EQ(summary.transport_cameras.size(), 2U);
+  for (const auto& [camera_id, counters] : summary.transport_cameras) {
+    EXPECT_EQ(counters.codec_frames, static_cast<std::uint64_t>(frames_per_camera))
+        << "camera " << camera_id;
+    if (camera_id == 1) {  // reconstruct: full depth, nothing truncated
+      EXPECT_EQ(counters.codec_planes_decoded, counters.codec_planes_total);
+    } else {  // classify: capped at `depth` planes per frame
+      EXPECT_LE(counters.codec_planes_decoded,
+                static_cast<std::uint64_t>(frames_per_camera) * depth);
+      EXPECT_LT(counters.codec_planes_decoded, counters.codec_planes_total);
+    }
+  }
+
+  // Under kRetransmit on a lossy link, recovery must restore the exact same
+  // served bits and the counters must stay conserved (ok + dropped == framed).
+  runtime::TransportPolicy retry;
+  retry.corrupt = runtime::TransportPolicy::Corrupt::kRetransmit;
+  retry.max_retransmits = 64;
+  const auto [recovered, lossy_summary] = run_fleet(true, 0.02, &retry);
+  expect_results_identical(reference, recovered);
+  EXPECT_EQ(lossy_summary.transport.framed_frames, 24U);
+  EXPECT_EQ(lossy_summary.transport.codec_frames, 24U);
+  EXPECT_EQ(lossy_summary.transport.ok_frames + lossy_summary.transport.dropped_frames,
+            24U);
+  EXPECT_EQ(lossy_summary.transport.dropped_frames, 0U);
+  EXPECT_GT(lossy_summary.transport.retransmits, 0U)
+      << "the drop rate never bit — raise it?";
+  EXPECT_EQ(lossy_summary.transport.codec_planes_decoded,
+            summary.transport.codec_planes_decoded);
 }
 
 TEST(FramedServing, ValidatesTransportPolicy) {

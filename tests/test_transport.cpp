@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "codec/bitplane.h"
 #include "sensor/mipi.h"
 #include "transport/csi2.h"
 #include "transport/fault.h"
@@ -430,6 +431,33 @@ TEST(FramedLinkTest, CleanTransferAccountsBytesAndOutcomes) {
   EXPECT_EQ(link.mipi().lane_bytes(1), 2 * 2U + 16 * 35U);
 }
 
+// Retransmit accounting exactness (the bugfix audit): every attempt pays the
+// wire exactly once — total bytes, per-lane bytes, and the frame counter all
+// scale linearly in the attempt count, with no double-charging and no
+// forgiveness for repeated payloads.
+TEST(FramedLinkTest, RepeatedTransfersChargeTheWireOncePerAttempt) {
+  Rng rng(37);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng);
+  LinkConfig cfg;
+  cfg.mipi.lanes = 2;
+  FramedLink link(cfg);
+  const TransferResult first = link.transfer(coded, 0);
+  ASSERT_EQ(first.outcome, RxOutcome::kOk);
+  const std::uint64_t per_attempt = first.wire_bytes;
+  const std::uint64_t lane0 = link.mipi().lane_bytes(0);
+  const std::uint64_t lane1 = link.mipi().lane_bytes(1);
+  const int attempts = 5;
+  for (int a = 1; a < attempts; ++a) {
+    const TransferResult again = link.transfer(coded, 0);  // same frame, retried
+    EXPECT_EQ(again.wire_bytes, per_attempt);
+  }
+  EXPECT_EQ(link.mipi().total_bytes(), attempts * per_attempt);
+  EXPECT_EQ(link.mipi().lane_bytes(0), attempts * lane0);
+  EXPECT_EQ(link.mipi().lane_bytes(1), attempts * lane1);
+  EXPECT_EQ(link.counters().frames, static_cast<std::uint64_t>(attempts));
+  EXPECT_EQ(link.counters().ok_frames, static_cast<std::uint64_t>(attempts));
+}
+
 TEST(FramedLinkTest, FaultyTransfersLandInOutcomeCounters) {
   Rng rng(29);
   LinkConfig cfg;
@@ -447,6 +475,185 @@ TEST(FramedLinkTest, FaultyTransfersLandInOutcomeCounters) {
             30U);
   EXPECT_LT(counters.ok_frames, 30U);  // the drop rate bit someone
   EXPECT_EQ(30U - counters.ok_frames, link.injector().stats().frames_faulted);
+}
+
+// --- entropy-coded wire mode -------------------------------------------------
+
+TEST(CodecWire, FrameStructureCarriesHeaderAndPlanePackets) {
+  Rng rng(41);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng, -1.0F, 1.0F);
+  const codec::PlaneStream stream = codec::encode_bitplanes(codec::quantize_frame(coded));
+  CodedFramePacketizer packetizer(/*virtual_channel=*/1);
+  const WireFrame wire = packetizer.packetize_codec(coded, 42);
+  // FS + stream header + one packet per plane chunk + FE.
+  ASSERT_EQ(wire.packets.size(), 3U + stream.planes.size());
+  EXPECT_EQ(wire.packets.front()[0] & 0x3F, transport::kDtFrameStart);
+  EXPECT_EQ(wire.packets.back()[0] & 0x3F, transport::kDtFrameEnd);
+  const Packet& header = wire.packets[1];
+  EXPECT_EQ(header[0] & 0x3F, transport::kDtCodecHeader);
+  EXPECT_EQ(header.size(), 4U + codec::kStreamHeaderBytes + 2U);
+  for (std::size_t p = 0; p < stream.planes.size(); ++p) {
+    const Packet& packet = wire.packets[2 + p];
+    EXPECT_EQ(packet[0] & 0x3F, transport::kDtCodecPlane);
+    EXPECT_EQ(packet[0] >> 6, 1);  // virtual channel rides along
+    // Payload: one index byte + the chunk's entropy-coded bytes.
+    EXPECT_EQ(packet.size(), 4U + 1U + stream.planes[p].size() + 2U);
+    EXPECT_EQ(packet[4], static_cast<std::uint8_t>(p));
+  }
+}
+
+TEST(CodecWire, CleanRoundTripMatchesInMemoryQuantizeExactly) {
+  Rng rng(43);
+  const Tensor coded = Tensor::rand_uniform(Shape{16, 16}, rng, -2.0F, 2.0F);
+  const Tensor reference = codec::dequantize_frame(codec::quantize_frame(coded));
+
+  CodedFramePacketizer packetizer(0);
+  Depacketizer depacketizer;
+  const WireFrame wire = packetizer.packetize_codec(coded, 7);
+  const transport::RxCodecFrame rx = depacketizer.depacketize_codec(wire, 16, 16);
+  ASSERT_EQ(rx.outcome, RxOutcome::kOk);
+  EXPECT_EQ(rx.frame_number, 7);
+  EXPECT_EQ(rx.decoded_planes, rx.total_planes);
+  ASSERT_EQ(rx.coded.shape(), reference.shape());
+  EXPECT_EQ(std::memcmp(rx.coded.data().data(), reference.data().data(),
+                        reference.data().size() * sizeof(float)),
+            0);
+
+  // Same guarantee through the clean FramedLink in codec mode.
+  LinkConfig cfg;
+  cfg.codec = true;
+  FramedLink link(cfg);
+  const TransferResult result = link.transfer(coded, 7);
+  ASSERT_EQ(result.outcome, RxOutcome::kOk);
+  EXPECT_EQ(result.decoded_planes, result.total_planes);
+  EXPECT_GT(result.total_planes, 0);
+  EXPECT_EQ(std::memcmp(result.coded.data().data(), reference.data().data(),
+                        reference.data().size() * sizeof(float)),
+            0);
+  // The entropy-coded wire beats raw float32 framing on bytes.
+  LinkConfig raw_cfg;
+  FramedLink raw_link(raw_cfg);
+  const TransferResult raw = raw_link.transfer(coded, 7);
+  EXPECT_LT(result.wire_bytes, raw.wire_bytes);
+}
+
+TEST(CodecWire, TruncatedDepthShrinksWireAndMatchesCappedDecode) {
+  Rng rng(47);
+  const Tensor coded = Tensor::rand_uniform(Shape{12, 12}, rng, -1.0F, 1.0F);
+  const codec::QuantizedFrame q = codec::quantize_frame(coded);
+  const codec::PlaneStream full_stream = codec::encode_bitplanes(q);
+  ASSERT_GT(full_stream.plane_count, 4);
+  const int depth = full_stream.plane_count / 2;
+
+  LinkConfig cfg;
+  cfg.codec = true;
+  FramedLink full_link(cfg);
+  const TransferResult full = full_link.transfer(coded, 1);
+  ASSERT_EQ(full.outcome, RxOutcome::kOk);
+
+  cfg.codec_planes = depth;
+  FramedLink capped_link(cfg);
+  const TransferResult capped = capped_link.transfer(coded, 1);
+  ASSERT_EQ(capped.outcome, RxOutcome::kOk);
+  EXPECT_EQ(capped.decoded_planes, depth);
+  EXPECT_EQ(capped.total_planes, full_stream.plane_count);
+  // Truncation is transmit-side: genuinely fewer bytes on the wire.
+  EXPECT_LT(capped.wire_bytes, full.wire_bytes);
+  // And the received pixels equal the in-memory depth-capped decode.
+  const Tensor reference =
+      codec::dequantize_frame(codec::decode_bitplanes(full_stream, depth).frame);
+  EXPECT_EQ(std::memcmp(capped.coded.data().data(), reference.data().data(),
+                        reference.data().size() * sizeof(float)),
+            0);
+
+  // The cap is adjustable per frame: resetting to full depth restores the
+  // lossless round trip on the same link.
+  capped_link.set_codec_planes(0);
+  const TransferResult restored = capped_link.transfer(coded, 2);
+  ASSERT_EQ(restored.outcome, RxOutcome::kOk);
+  EXPECT_EQ(restored.decoded_planes, restored.total_planes);
+  EXPECT_THROW(capped_link.set_codec_planes(-1), std::invalid_argument);
+  EXPECT_THROW(capped_link.set_codec_planes(codec::kMaxBitplanes + 1),
+               std::invalid_argument);
+}
+
+// Fault matrix for the codec wire: each damage class lands on its documented
+// classification, and no corruption ever crashes the decoder.
+TEST(CodecWire, FaultMatrixClassifiesDamage) {
+  Rng rng(53);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng, -1.0F, 1.0F);
+  CodedFramePacketizer packetizer(0);
+  Depacketizer depacketizer;
+  const WireFrame golden = packetizer.packetize_codec(coded, 3);
+  ASSERT_GT(golden.packets.size(), 4U);
+
+  {  // dropped frame start -> truncated
+    WireFrame wire = golden;
+    wire.packets.erase(wire.packets.begin());
+    EXPECT_EQ(depacketizer.depacketize_codec(wire, 8, 8).outcome, RxOutcome::kTruncated);
+  }
+  {  // dropped stream header -> truncated (nothing can be decoded)
+    WireFrame wire = golden;
+    wire.packets.erase(wire.packets.begin() + 1);
+    EXPECT_EQ(depacketizer.depacketize_codec(wire, 8, 8).outcome, RxOutcome::kTruncated);
+  }
+  {  // header for the wrong geometry -> truncated
+    WireFrame wire = golden;
+    const auto rx = depacketizer.depacketize_codec(wire, 4, 4);
+    EXPECT_EQ(rx.outcome, RxOutcome::kTruncated);
+  }
+  {  // dropped MSB plane packet -> missing lines (a needed plane never came)
+    WireFrame wire = golden;
+    wire.packets.erase(wire.packets.begin() + 2);
+    const auto rx = depacketizer.depacketize_codec(wire, 8, 8);
+    EXPECT_EQ(rx.outcome, RxOutcome::kMissingLines);
+    EXPECT_EQ(rx.decoded_planes, 0);
+  }
+  {  // payload bit flip in a plane packet -> CRC error, packet discarded whole
+    WireFrame wire = golden;
+    wire.packets[2][transport::kHeaderBytes + 1] ^= 0x10;
+    const auto rx = depacketizer.depacketize_codec(wire, 8, 8);
+    EXPECT_EQ(rx.outcome, RxOutcome::kCrcError);
+    EXPECT_EQ(rx.crc_errors, 1U);
+    EXPECT_EQ(rx.decoded_planes, 0);
+  }
+  {  // damage to a LATER plane than the cap requires does not demote kOk
+    WireFrame wire = golden;
+    wire.packets[wire.packets.size() - 2][transport::kHeaderBytes + 1] ^= 0x10;
+    const auto rx = depacketizer.depacketize_codec(wire, 8, 8, /*max_planes=*/1);
+    EXPECT_EQ(rx.outcome, RxOutcome::kOk);
+    EXPECT_EQ(rx.decoded_planes, 1);
+  }
+}
+
+// Seeded-injector sweep over codec frames: arbitrary corruption must always
+// produce a sane classification and bounded plane counts — never UB, never a
+// crash (the ASan/UBSan arms run this too).
+TEST(CodecWire, InjectedFaultsAlwaysClassifySafely) {
+  FaultConfig fault_cfg;
+  fault_cfg.bit_flip_per_byte = 0.004;
+  fault_cfg.packet_drop_rate = 0.06;
+  fault_cfg.lane_stall_rate = 0.03;
+  fault_cfg.seed = 61;
+  FaultInjector injector(fault_cfg);
+  CodedFramePacketizer packetizer(0);
+  Depacketizer depacketizer;
+  Rng rng(59);
+  int corrupt = 0;
+  for (int f = 0; f < 60; ++f) {
+    const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng, -1.0F, 1.0F);
+    WireFrame wire = packetizer.packetize_codec(coded, static_cast<std::uint16_t>(f));
+    const bool faulted = injector.apply(wire);
+    const auto rx = depacketizer.depacketize_codec(wire, 8, 8);
+    EXPECT_LE(rx.decoded_planes, rx.total_planes == 0 ? codec::kMaxBitplanes
+                                                      : rx.total_planes);
+    ASSERT_EQ(rx.coded.shape(), (Shape{8, 8}));
+    if (!faulted) {
+      EXPECT_EQ(rx.outcome, RxOutcome::kOk) << "clean frame " << f << " misclassified";
+    }
+    corrupt += rx.outcome != RxOutcome::kOk ? 1 : 0;
+  }
+  EXPECT_GT(corrupt, 0);  // the rates actually exercised the paths
 }
 
 }  // namespace
