@@ -1,0 +1,389 @@
+// Resilience bench: does fleet health supervision actually contain faults?
+//
+// Two arms over replay fleets with entropy-coded framed links, driven by the
+// chaos harness (tests/chaos.h):
+//
+//   degradation  4 cameras, 1 shard. Camera 0 rides through a seeded
+//                burst-noise episode spanning three observation windows; the
+//                health controller must walk it down the degradation ladder
+//                (codec depth -> int8 -> best-effort), then walk it back up
+//                hysteretically once the link clears. Cameras 1-3 stay
+//                clean the whole run.
+//   watchdog     4 cameras, 2 shards, work stealing off. Every camera homes
+//                on one shard (shared pattern); a SlowShard hook wedges that
+//                shard's worker mid-run, and the watchdog must detect the
+//                stall, re-route the fleet to the sibling, and drain the
+//                stranded queue — with camera 0 running realtime QoS.
+//
+// Gates (exit non-zero on any failure):
+//   - the ladder engaged: camera 0 steps_down > 0, and every step down was
+//     matched by a step up (steps_up == steps_down)
+//   - recovery completed: camera 0 ends kHealthy at ladder step 0, and no
+//     frame at or past the recovery deadline sequence is served degraded
+//     (recovery within 4 windows of the episode ending)
+//   - the ladder never leaks: cameras 1-3 see zero transitions, zero
+//     transport drops, and every one of their answers is bit-identical to
+//     the fault-free batch-1 reference
+//   - full fidelity means full fidelity: every camera-0 answer served at
+//     base depth + fp32 is bit-identical to the same reference
+//   - exact per-camera conservation in both arms: offered == served + shed
+//     + transport-dropped + quarantine-dropped
+//   - the stall was real and caught: watchdog_stalls >= 1, rescued frames
+//     re-routed (rerouted_frames >= 1), every frame of every camera served
+//     (nothing lost to the hang), zero realtime sheds
+//
+// Writes BENCH_resilience.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos.h"
+#include "codec/bitplane.h"
+#include "core/snappix.h"
+#include "obs/metrics.h"
+#include "runtime/camera.h"
+#include "runtime/health.h"
+#include "runtime/server.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace snappix;
+
+constexpr int kStreamImage = 16;
+constexpr int kStreamFrames = 8;
+constexpr int kCameras = 4;
+constexpr int kBufferFrames = 6;
+constexpr int kWindow = 8;  // health observation window (frames per camera)
+
+// Episode geometry for the degradation arm, in sequence numbers: windows
+// 1-3 are faulted (three bad windows = the full default ladder, never the
+// "no rungs left" quarantine), everything after is clean. With
+// recover_clean_windows = 1 the controller is back at step 0 by sequence
+// kEpisodeEnd + 3 * kWindow; one extra window of slack is the deadline.
+constexpr std::int64_t kEpisodeStart = 1 * kWindow;
+constexpr std::int64_t kEpisodeEnd = 4 * kWindow;
+constexpr std::int64_t kRecoveryDeadlineSeq = kEpisodeEnd + 4 * kWindow;
+
+struct CameraLedger {
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t transitions = 0;
+};
+
+std::map<int, CameraLedger> ledger_from(const runtime::RuntimeSummary& summary,
+                                        const std::vector<runtime::TaskResult>& results) {
+  std::map<int, CameraLedger> ledger;
+  for (const runtime::TaskResult& r : results) {
+    ++ledger[r.camera_id].served;
+  }
+  for (const auto& [camera_id, counters] : summary.shed_cameras) {
+    ledger[camera_id].shed = counters.queue_full + counters.deadline;
+  }
+  for (const auto& [camera_id, counters] : summary.transport_cameras) {
+    ledger[camera_id].dropped = counters.dropped_frames;
+  }
+  for (const auto& [camera_id, counters] : summary.health_cameras) {
+    ledger[camera_id].quarantined = counters.quarantine_drops;
+    ledger[camera_id].transitions = counters.transitions;
+  }
+  return ledger;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  // The degradation arm needs the full episode + recovery runway; quick mode
+  // only trims the healthy tail and the watchdog arm's load.
+  const std::int64_t degrade_frames = quick ? kRecoveryDeadlineSeq + 2 * kWindow
+                                            : kRecoveryDeadlineSeq + 6 * kWindow;
+  const std::int64_t watchdog_frames = quick ? 60 : 120;
+
+  bench::print_header("Resilience: degradation ladder + shard watchdog under chaos");
+  std::printf("%d cameras, entropy-coded links, episode windows [%lld, %lld), window %d\n",
+              kCameras, static_cast<long long>(kEpisodeStart),
+              static_cast<long long>(kEpisodeEnd), kWindow);
+
+  core::SnapPixConfig cfg;
+  cfg.image = kStreamImage;
+  cfg.frames = kStreamFrames;
+  cfg.num_classes = 4;
+  cfg.seed = 42;
+  core::SnapPixSystem system(cfg);
+
+  // Deterministic replay buffers + the fault-free batch-1 reference. The
+  // clean codec wire reconstructs exactly dequantize(quantize(frame)), so
+  // that round-trip IS the full-fidelity baseline every gate compares to.
+  std::vector<std::vector<Tensor>> buffers;
+  std::vector<std::vector<std::int64_t>> reference;
+  for (int cam = 0; cam < kCameras; ++cam) {
+    Rng rng(700 + static_cast<std::uint64_t>(cam));
+    std::vector<Tensor> coded;
+    std::vector<std::int64_t> predictions;
+    for (int i = 0; i < kBufferFrames; ++i) {
+      std::vector<float> data(kStreamImage * kStreamImage);
+      for (float& v : data) {
+        v = rng.uniform(0.0F, 1.0F);
+      }
+      Tensor frame = Tensor::from_vector(std::move(data), Shape{kStreamImage, kStreamImage});
+      const Tensor wire = codec::dequantize_frame(codec::quantize_frame(frame));
+      predictions.push_back(system.classify_coded(
+          Tensor::from_vector(wire.data(), Shape{1, kStreamImage, kStreamImage}))[0]);
+      coded.push_back(std::move(frame));
+    }
+    buffers.push_back(std::move(coded));
+    reference.push_back(std::move(predictions));
+  }
+
+  bool ok = true;
+  const auto gate = [&ok](bool pass, const char* what) {
+    if (!pass) {
+      std::printf("FAIL: %s\n", what);
+      ok = false;
+    }
+    return pass;
+  };
+
+  const auto expect_reference = [&](const runtime::TaskResult& r) {
+    return reference[static_cast<std::size_t>(r.camera_id)]
+                    [static_cast<std::size_t>(r.sequence % kBufferFrames)];
+  };
+
+  // --- arm 1: degradation ladder + hysteretic recovery ------------------------
+  runtime::RuntimeSummary degrade_summary;
+  runtime::CameraHealthSnapshot afflicted;
+  std::int64_t last_degraded_seq = -1;
+  bool healthy_bit_identical = true;
+  bool full_fidelity_bit_identical = true;
+  std::uint64_t full_fidelity_checked = 0;
+  double degrade_wall = 0.0;
+  {
+    runtime::ServerConfig server_cfg;
+    server_cfg.batch.max_batch = 8;
+    server_cfg.shards = 1;
+    server_cfg.queue_capacity = 64;  // unloaded: resilience, not overload
+    server_cfg.transport.corrupt = runtime::TransportPolicy::Corrupt::kRetransmit;
+    server_cfg.transport.max_retransmits = 3;
+    server_cfg.transport.backoff_initial = std::chrono::microseconds(20);
+    // NOTE: retransmit_budget stays 0 — a wall-clock budget would make the
+    // retry count (and so each link's fault-Rng stream) timing-dependent.
+    server_cfg.health.enabled = true;
+    server_cfg.health.window = kWindow;
+    server_cfg.health.degrade_error_rate = 0.25;
+    server_cfg.health.degrade_retransmit_rate = 1.0;
+    // The episode must exercise the LADDER: park the quarantine thresholds
+    // far above anything the burst can reach.
+    server_cfg.health.quarantine_error_rate = 0.99;
+    server_cfg.health.quarantine_consecutive_losses = 1000;
+    server_cfg.health.recover_clean_windows = 1;
+    runtime::InferenceServer server(system, server_cfg);
+    for (int cam = 0; cam < kCameras; ++cam) {
+      std::vector<chaos::Episode> schedule;
+      if (cam == 0) {
+        // Tuned so most attempts are corrupt (heavy retransmit traffic) and
+        // a meaningful fraction of frames stay corrupt through the retry
+        // budget — well over the degrade thresholds, under quarantine's.
+        schedule.push_back(chaos::burst(kEpisodeStart, kEpisodeEnd,
+                                        /*bit_flip_per_byte=*/0.0005,
+                                        /*packet_drop_rate=*/0.12));
+      }
+      auto camera = std::make_unique<chaos::ChaosReplaySource>(
+          cam, system.pattern_ref(), buffers[static_cast<std::size_t>(cam)],
+          std::vector<std::int64_t>{}, std::move(schedule));
+      transport::LinkConfig link;
+      link.codec = true;
+      link.faults.seed = 40 + static_cast<std::uint64_t>(cam);
+      camera->set_framed(link);
+      server.add_camera(std::move(camera));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<runtime::TaskResult> results = server.run(degrade_frames);
+    degrade_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    degrade_summary = server.summary();
+    afflicted = server.health()->snapshot(0);
+
+    for (const runtime::TaskResult& r : results) {
+      const bool full_fidelity =
+          r.decode_depth == 0 && r.precision == runtime::Precision::kFp32;
+      if (r.camera_id == 0) {
+        if (!full_fidelity) {
+          last_degraded_seq = std::max(last_degraded_seq, r.sequence);
+        } else {
+          ++full_fidelity_checked;
+          if (r.predicted != expect_reference(r)) {
+            full_fidelity_bit_identical = false;
+          }
+        }
+      } else if (r.predicted != expect_reference(r)) {
+        healthy_bit_identical = false;
+      }
+    }
+
+    const std::map<int, CameraLedger> ledger = ledger_from(degrade_summary, results);
+    for (int cam = 0; cam < kCameras; ++cam) {
+      const CameraLedger& c = ledger.count(cam) ? ledger.at(cam) : CameraLedger{};
+      if (c.served + c.shed + c.dropped + c.quarantined !=
+          static_cast<std::uint64_t>(degrade_frames)) {
+        std::printf("FAIL: [degradation] camera %d conservation broke: "
+                    "%llu served + %llu shed + %llu dropped + %llu quarantined != %lld\n",
+                    cam, static_cast<unsigned long long>(c.served),
+                    static_cast<unsigned long long>(c.shed),
+                    static_cast<unsigned long long>(c.dropped),
+                    static_cast<unsigned long long>(c.quarantined),
+                    static_cast<long long>(degrade_frames));
+        ok = false;
+      }
+      if (cam != 0) {
+        gate(c.transitions == 0, "the ladder leaked onto a healthy camera");
+        gate(c.dropped == 0, "a clean link dropped frames");
+      }
+    }
+
+    std::printf("\n[degradation] wall %.2fs  camera 0: %llu steps down, %llu up, "
+                "%llu transitions, final %s @ step %d, last degraded seq %lld\n",
+                degrade_wall, static_cast<unsigned long long>(afflicted.steps_down),
+                static_cast<unsigned long long>(afflicted.steps_up),
+                static_cast<unsigned long long>(afflicted.transitions),
+                runtime::to_string(afflicted.state), afflicted.ladder_step,
+                static_cast<long long>(last_degraded_seq));
+
+    gate(afflicted.steps_down > 0, "the burst never engaged the ladder");
+    gate(afflicted.steps_up == afflicted.steps_down,
+         "recovery did not retrace every ladder step");
+    gate(afflicted.state == runtime::HealthState::kHealthy,
+         "afflicted camera did not end kHealthy");
+    gate(afflicted.ladder_step == 0, "afflicted camera did not end at ladder step 0");
+    gate(last_degraded_seq >= 0, "no frame was ever served degraded — chaos was inert");
+    gate(last_degraded_seq < kRecoveryDeadlineSeq,
+         "recovery exceeded the 4-window deadline after the episode");
+    gate(healthy_bit_identical, "a healthy camera's answers diverged from the reference");
+    gate(full_fidelity_checked > 0 && full_fidelity_bit_identical,
+         "a full-fidelity answer from the afflicted camera diverged from the reference");
+  }
+
+  // --- arm 2: shard stall, watchdog rescue, re-route --------------------------
+  runtime::RuntimeSummary watchdog_summary;
+  bool rescue_bit_identical = true;
+  double watchdog_wall = 0.0;
+  {
+    runtime::ServerConfig server_cfg;
+    server_cfg.batch.max_batch = 4;
+    server_cfg.shards = 2;
+    server_cfg.queue_capacity = 4;
+    server_cfg.work_stealing = false;  // the rescue path, not the thief, moves frames
+    server_cfg.health.enabled = true;
+    server_cfg.health.window = kWindow;
+    server_cfg.health.watchdog.enabled = true;
+    server_cfg.health.watchdog.poll = std::chrono::milliseconds(5);
+    server_cfg.health.watchdog.stall_polls = 4;  // 20 ms >> the 2 ms batch max_delay
+    // All cameras share the system pattern and home on one shard; wedge it.
+    const std::size_t home = system.pattern_ref()->hash() % 2;
+    chaos::SlowShard slow(home, /*after_batches=*/2,
+                          std::chrono::milliseconds(quick ? 150 : 250));
+    server_cfg.before_batch = slow;
+    runtime::InferenceServer server(system, server_cfg);
+    for (int cam = 0; cam < kCameras; ++cam) {
+      auto camera = std::make_unique<runtime::ReplayCameraSource>(
+          cam, system.pattern_ref(), buffers[static_cast<std::size_t>(cam)],
+          std::vector<std::int64_t>{});
+      transport::LinkConfig link;
+      link.codec = true;
+      link.faults.seed = 80 + static_cast<std::uint64_t>(cam);
+      camera->set_framed(link);
+      if (cam == 0) {
+        camera->set_qos(runtime::QosClass::kRealtime);
+      }
+      server.add_camera(std::move(camera));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<runtime::TaskResult> results = server.run(watchdog_frames);
+    watchdog_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    watchdog_summary = server.summary();
+
+    std::map<int, std::uint64_t> served;
+    for (const runtime::TaskResult& r : results) {
+      ++served[r.camera_id];
+      if (r.predicted != expect_reference(r)) {
+        rescue_bit_identical = false;
+      }
+    }
+
+    std::printf("\n[watchdog] wall %.2fs  %llu stalls detected, %llu frames re-routed, "
+                "%llu served\n",
+                watchdog_wall,
+                static_cast<unsigned long long>(watchdog_summary.watchdog_stalls),
+                static_cast<unsigned long long>(watchdog_summary.rerouted_frames),
+                static_cast<unsigned long long>(watchdog_summary.frames));
+
+    gate(slow.stalls_left() == 0, "the injected stall never fired");
+    gate(watchdog_summary.watchdog_stalls >= 1, "the watchdog never detected the stall");
+    gate(watchdog_summary.rerouted_frames >= 1, "the rescue re-routed nothing");
+    gate(watchdog_summary.shed_realtime == 0, "realtime frames were shed during the rescue");
+    // Clean links, no overload: conservation here means EVERY offered frame
+    // of EVERY camera was served despite the hang — the stalled shard's
+    // traffic survived the re-route exactly.
+    for (int cam = 0; cam < kCameras; ++cam) {
+      if (served[cam] != static_cast<std::uint64_t>(watchdog_frames)) {
+        std::printf("FAIL: [watchdog] camera %d served %llu of %lld offered frames\n", cam,
+                    static_cast<unsigned long long>(served[cam]),
+                    static_cast<long long>(watchdog_frames));
+        ok = false;
+      }
+    }
+    gate(rescue_bit_identical, "a re-routed answer diverged from the reference");
+  }
+
+  bench::print_rule();
+  {
+    std::ofstream json("BENCH_resilience.json");
+    json << "{\n  \"cameras\": " << kCameras << ",\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"window\": " << kWindow
+         << ",\n  \"degradation\": {"
+         << "\n    \"offered_per_camera\": " << degrade_frames
+         << ",\n    \"served\": " << degrade_summary.frames
+         << ",\n    \"steps_down\": " << afflicted.steps_down
+         << ",\n    \"steps_up\": " << afflicted.steps_up
+         << ",\n    \"transitions\": " << afflicted.transitions
+         << ",\n    \"quarantine_drops\": " << afflicted.quarantine_drops
+         << ",\n    \"final_state\": \"" << runtime::to_string(afflicted.state) << "\""
+         << ",\n    \"final_ladder_step\": " << afflicted.ladder_step
+         << ",\n    \"last_degraded_sequence\": " << last_degraded_seq
+         << ",\n    \"recovery_deadline_sequence\": " << kRecoveryDeadlineSeq
+         << ",\n    \"retransmits\": " << degrade_summary.transport.retransmits
+         << ",\n    \"transport_dropped\": " << degrade_summary.transport.dropped_frames
+         << ",\n    \"healthy_bit_identical\": " << (healthy_bit_identical ? "true" : "false")
+         << ",\n    \"full_fidelity_bit_identical\": "
+         << (full_fidelity_bit_identical ? "true" : "false")
+         << ",\n    \"wall_seconds\": " << obs::json_number(degrade_wall) << "\n  }"
+         << ",\n  \"watchdog\": {"
+         << "\n    \"offered_per_camera\": " << watchdog_frames
+         << ",\n    \"served\": " << watchdog_summary.frames
+         << ",\n    \"watchdog_stalls\": " << watchdog_summary.watchdog_stalls
+         << ",\n    \"rerouted_frames\": " << watchdog_summary.rerouted_frames
+         << ",\n    \"shed_realtime\": " << watchdog_summary.shed_realtime
+         << ",\n    \"bit_identical\": " << (rescue_bit_identical ? "true" : "false")
+         << ",\n    \"wall_seconds\": " << obs::json_number(watchdog_wall) << "\n  }"
+         << ",\n  \"gates_passed\": " << (ok ? "true" : "false") << "\n}\n";
+  }
+  std::printf("wrote BENCH_resilience.json\n");
+
+  if (ok) {
+    std::printf("all resilience gates passed\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -66,7 +66,7 @@ done
 # The concurrency-heavy test suites are in scope too: a relaxed tally in a
 # stress test is exactly where an unjustified ordering assumption hides.
 for f in $(find src/obs src/runtime src/codec src/transport \
-    tests/test_stress.cpp tests/test_overload.cpp \
+    tests/test_stress.cpp tests/test_overload.cpp tests/chaos.h \
     -name '*.h' -o -name '*.cpp' | sort); do
   HITS=$(awk '
     /\/\/.*order:/ { last_order = NR }

@@ -9,8 +9,9 @@
 #                            BENCH_streaming.json, BENCH_pattern_cache.json,
 #                            BENCH_sharded.json, BENCH_framed.json,
 #                            BENCH_int8.json, BENCH_obs.json,
-#                            BENCH_saturation.json, BENCH_codec.json and
-#                            trace_obs.json in build/).
+#                            BENCH_saturation.json, BENCH_codec.json,
+#                            BENCH_resilience.json and trace_obs.json in
+#                            build/).
 #   SANITIZER=tsan           build everything under -fsanitize=thread and run
 #                            the full test suite (the stress suite included)
 #                            with the pinned runtime options from
@@ -106,6 +107,18 @@ cat "$BUILD_DIR/BENCH_saturation.json"
 (cd "$BUILD_DIR" && ./bench_codec_frontier --quick)
 echo "BENCH_codec.json:"
 cat "$BUILD_DIR/BENCH_codec.json"
+
+# Resilience bench: chaos-drives the health supervision tier and exits
+# non-zero if any resilience invariant breaks — the burst-afflicted camera
+# failing to engage the degradation ladder or to recover to full fidelity
+# within the hysteresis deadline, a healthy camera's (or a full-fidelity)
+# answer diverging from the fault-free reference, per-camera conservation
+# off by one frame, the injected shard stall going undetected, the rescue
+# re-routing nothing, or a realtime frame shed during the rescue (see
+# docs/resilience.md).
+(cd "$BUILD_DIR" && ./bench_resilience --quick)
+echo "BENCH_resilience.json:"
+cat "$BUILD_DIR/BENCH_resilience.json"
 
 # Independent check that the exported trace parses as JSON (the bench already
 # validates it with the in-repo parser; this cross-checks with a second

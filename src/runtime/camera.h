@@ -68,8 +68,11 @@ class CameraSource {
   void set_framed(const transport::LinkConfig& link);
   bool framed() const { return link_ != nullptr; }
   // The camera's link, for reading its byte/outcome/injected-fault counters;
-  // null when not framed.
+  // null when not framed. The non-const overload exists for capture-side
+  // schedule hooks (tests/chaos.h flips fault rates between captures) — it is
+  // only safe from the camera's own producer thread.
   const transport::FramedLink* framed_link() const { return link_.get(); }
+  transport::FramedLink* framed_link() { return link_.get(); }
 
   // Re-runs the framed transfer of the most recently captured frame (same
   // payload, fresh fault draws), restamping the transport fields and bumping

@@ -96,6 +96,32 @@ inline bool is_corrupt(TransportStatus status) {
          status == TransportStatus::kMissingLines;
 }
 
+// Link-health state of a camera, as tracked by the fleet HealthController
+// (runtime/health.h) from windowed transport counters. kHealthy serves at
+// the camera's configured fidelity; kDegraded has the degradation ladder
+// engaged (lower codec depth / int8 / best-effort); kQuarantined pauses
+// capture entirely for a hold period; kRecovering is stepping back up the
+// ladder on sustained clean windows. See docs/resilience.md.
+enum class HealthState : std::uint8_t {
+  kHealthy,
+  kDegraded,
+  kQuarantined,
+  kRecovering,
+};
+
+inline const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kQuarantined:
+      return "quarantined";
+    default:
+      return "recovering";
+  }
+}
+
 // Why a BatchAggregator closed a batch. Recorded per batch for the per-reason
 // counters in ShardStatsView / the metrics registry and stamped on the trace
 // span, so a latency regression can be attributed to policy (deadline

@@ -207,6 +207,39 @@ bool FrameQueue::steal_tail(std::vector<Frame>& out, int max_frames) {
   return !out.empty();
 }
 
+std::size_t FrameQueue::drain(std::vector<Frame>& out) {
+  std::size_t taken = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken = frames_.size();
+    out.reserve(out.size() + taken);
+    for (Frame& frame : frames_) {
+      out.push_back(std::move(frame));
+    }
+    frames_.clear();
+    drained_ += taken;
+  }
+  if (taken > 0) {
+    // A drain frees the whole queue at once; wake every blocked producer.
+    not_full_.notify_all();
+  }
+  return taken;
+}
+
+bool FrameQueue::force_admit(Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return false;  // frame left intact: the caller sheds it honestly
+    }
+    frames_.push_back(std::move(frame));
+    ++total_pushed_;
+    high_water_ = std::max(high_water_, frames_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
 void FrameQueue::shed(const Frame& frame, ShedReason reason) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -263,6 +296,11 @@ std::uint64_t FrameQueue::shed_admission() const {
 std::uint64_t FrameQueue::shed_expired() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return shed_expired_;
+}
+
+std::uint64_t FrameQueue::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drained_;
 }
 
 }  // namespace snappix::runtime

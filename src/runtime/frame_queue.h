@@ -110,6 +110,22 @@ class FrameQueue {
   // regression tests).
   bool steal_tail(std::vector<Frame>& out, int max_frames);
 
+  // Watchdog rescue, step 1: removes EVERY queued frame into `out` (appended
+  // in FIFO order) without serving or shedding them, and returns the count.
+  // The caller owns the frames and must re-admit them elsewhere (or shed
+  // them through a queue's shed() so the ledger stays exact). Frees the full
+  // capacity, waking all blocked producers. Drained frames leave this
+  // queue's conservation ledger through `drained()`.
+  std::size_t drain(std::vector<Frame>& out);
+
+  // Watchdog rescue, step 2: enqueues `frame` BYPASSING the capacity bound —
+  // the supervisor must never block behind a sibling's backpressure while it
+  // holds rescued frames. On success the frame is consumed (moved) and
+  // counted in total_pushed; returns false — leaving `frame` intact for the
+  // caller to shed — when the queue is closed. Not for producers: capacity
+  // is the backpressure contract; only rescue paths may overshoot it.
+  bool force_admit(Frame& frame);
+
   // Counts `frame` as shed for `reason` through this queue's counters and
   // observer, WITHOUT it being queued. For external owners of dequeued
   // frames that decide to drop them under this queue's accounting — e.g. the
@@ -133,9 +149,10 @@ class FrameQueue {
   bool exhausted() const;
 
   // Lifetime counters for RuntimeStats. Conservation: total_pushed ==
-  // frames served downstream + shed_expired + depth() at any quiescent
-  // point (admission sheds never enter the queue, so shed_admission is NOT
-  // part of that ledger).
+  // frames served downstream + shed_expired + drained + depth() at any
+  // quiescent point (admission sheds never enter the queue, so
+  // shed_admission is NOT part of that ledger; drained frames moved to a
+  // sibling queue and re-entered the ledger THERE via force_admit).
   std::uint64_t total_pushed() const;
   std::size_t high_water_mark() const;
   // Frames rejected at admission (best-effort on a full queue).
@@ -143,6 +160,8 @@ class FrameQueue {
   // Accepted frames later shed for missing their deadline (drop-late at
   // pop/steal, plus external shed(..., kDeadline) calls).
   std::uint64_t shed_expired() const;
+  // Frames removed by drain() (watchdog rescue).
+  std::uint64_t drained() const;
 
  private:
   // Index of the frame pop should serve: earliest deadline, FIFO among
@@ -165,6 +184,7 @@ class FrameQueue {
   std::uint64_t total_pushed_ = 0;
   std::uint64_t shed_admission_ = 0;
   std::uint64_t shed_expired_ = 0;
+  std::uint64_t drained_ = 0;
   std::size_t high_water_ = 0;
 };
 

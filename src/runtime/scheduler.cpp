@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/health.h"
 #include "util/common.h"
 
 namespace snappix::runtime {
@@ -18,6 +19,23 @@ void validate(const TransportPolicy& policy) {
        << policy.max_retransmits;
     throw std::invalid_argument(os.str());
   }
+  if (policy.backoff_initial.count() < 0 || policy.backoff_max.count() < 0 ||
+      policy.retransmit_budget.count() < 0) {
+    throw std::invalid_argument(
+        "TransportPolicy backoff/budget durations must be non-negative");
+  }
+  // The negated form rejects NaN multipliers too.
+  if (!(policy.backoff_multiplier >= 1.0) || policy.backoff_multiplier > 1e6) {
+    std::ostringstream os;
+    os << "TransportPolicy.backoff_multiplier must be finite and >= 1, got "
+       << policy.backoff_multiplier;
+    throw std::invalid_argument(os.str());
+  }
+  if (policy.backoff_initial.count() > 0 &&
+      policy.backoff_max < policy.backoff_initial) {
+    throw std::invalid_argument(
+        "TransportPolicy.backoff_max must be >= backoff_initial");
+  }
 }
 
 StreamScheduler::StreamScheduler(RuntimeStats& stats, int threads, TransportPolicy transport)
@@ -27,14 +45,31 @@ StreamScheduler::StreamScheduler(RuntimeStats& stats, int threads, TransportPoli
 }
 
 StreamScheduler::~StreamScheduler() {
-  // Unblock producers stuck in push() before the pool's destructor joins.
+  // Shutdown order matters: first wake producers sleeping in retransmit
+  // backoff (they re-check stopping_ and bail), THEN close the queues to
+  // unblock producers stuck in admit(). Either order alone leaves one class
+  // of producer blocked while the pool destructor tries to join it.
+  request_stop();
   close_all_queues();
+}
+
+void StreamScheduler::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
 }
 
 void StreamScheduler::close_all_queues() {
   for (FrameQueue* queue : unique_queues_) {
     queue->close();
   }
+}
+
+bool StreamScheduler::backoff_wait(std::chrono::microseconds delay) {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  return !stop_cv_.wait_for(lock, delay, [this] { return stopping_; });
 }
 
 void StreamScheduler::register_queue(FrameQueue& queue) {
@@ -56,8 +91,39 @@ void StreamScheduler::add_camera(std::unique_ptr<CameraSource> camera, FrameQueu
   SNAPPIX_CHECK(!started_, "cannot add cameras after start()");
   SNAPPIX_CHECK(camera != nullptr, "null camera");
   cameras_.push_back(std::move(camera));
-  routes_.push_back(&queue);
+  auto route = std::make_unique<Route>();
+  route->home = &queue;
+  route->current.store(&queue, std::memory_order_relaxed);
+  routes_.push_back(std::move(route));
   register_queue(queue);
+}
+
+void StreamScheduler::set_health(HealthController* health) {
+  SNAPPIX_CHECK(!started_, "cannot install a health controller after start()");
+  health_ = health;
+}
+
+std::size_t StreamScheduler::reroute(FrameQueue& from, FrameQueue& to) {
+  std::size_t moved = 0;
+  for (const std::unique_ptr<Route>& route : routes_) {
+    if (route->current.load(std::memory_order_acquire) == &from) {
+      route->current.store(&to, std::memory_order_release);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::size_t StreamScheduler::restore_routes(FrameQueue& home) {
+  std::size_t moved = 0;
+  for (const std::unique_ptr<Route>& route : routes_) {
+    if (route->home == &home &&
+        route->current.load(std::memory_order_acquire) != &home) {
+      route->current.store(&home, std::memory_order_release);
+      ++moved;
+    }
+  }
+  return moved;
 }
 
 void StreamScheduler::start(std::int64_t frames_per_camera) {
@@ -82,46 +148,87 @@ void StreamScheduler::start(const std::vector<std::int64_t>& frames_per_camera) 
   active_producers_.store(static_cast<int>(cameras_.size()));
   for (std::size_t i = 0; i < cameras_.size(); ++i) {
     CameraSource* cam = cameras_[i].get();
-    FrameQueue* queue = routes_[i];
+    Route* route = routes_[i].get();
     const std::int64_t frames = frames_per_camera[i];
-    pool_->submit([this, cam, queue, frames] { produce(*cam, *queue, frames); });
+    pool_->submit([this, cam, route, frames] { produce(*cam, *route, frames); });
   }
 }
 
-void StreamScheduler::produce(CameraSource& camera, FrameQueue& queue, std::int64_t frames) {
+void StreamScheduler::retransmit_with_backoff(CameraSource& camera, Frame& frame) {
+  // Edge-side integrity gate: a corrupt framed frame is retried (fresh fault
+  // draws over the same payload) until it recovers, the retry count runs
+  // out, or the per-frame wall-clock budget (measured from the FIRST
+  // attempt) would be blown by the next backoff sleep.
+  const Clock::time_point budget_end =
+      transport_.retransmit_budget.count() > 0
+          ? frame.transport_start + transport_.retransmit_budget
+          : Clock::time_point::max();
+  std::chrono::microseconds backoff = transport_.backoff_initial;
+  while (is_corrupt(frame.transport) &&
+         frame.retransmits < transport_.max_retransmits) {
+    if (backoff.count() > 0) {
+      if (Clock::now() + backoff > budget_end) {
+        break;  // budget exhausted: drop rather than sleep past it
+      }
+      if (!backoff_wait(backoff)) {
+        break;  // scheduler is shutting down; abandon the frame
+      }
+      const double next_us =
+          static_cast<double>(backoff.count()) * transport_.backoff_multiplier;
+      backoff = std::min(transport_.backoff_max,
+                         std::chrono::microseconds(static_cast<std::int64_t>(next_us)));
+    } else if (Clock::now() > budget_end) {
+      break;
+    }
+    camera.retransmit(frame);
+  }
+}
+
+void StreamScheduler::produce(CameraSource& camera, Route& route, std::int64_t frames) {
   // ThreadPool tasks must not throw (an escaping exception aborts the
   // process), and a producer that dies without the fetch_sub below would
   // leave the queues open forever. A failing camera therefore logs and drops
   // out; the rest of the fleet keeps streaming.
   try {
     for (std::int64_t i = 0; i < frames; ++i) {
+      // Quarantine gate: a camera the health controller has quarantined
+      // skips the capture entirely (no transfer, no retries, counted as a
+      // quarantine drop) — the whole point is to stop paying wire cost for
+      // a dead link. The iteration still consumes one frame of the camera's
+      // budget, keeping per-camera conservation exact.
+      if (health_ != nullptr && !health_->admit_capture(camera.id())) {
+        continue;
+      }
       const Clock::time_point t0 = Clock::now();
       Frame frame = camera.next_frame();
       frame.capture_start = t0;
       if (camera.framed()) {
-        // Edge-side integrity gate: a corrupt framed frame is retried (fresh
-        // fault draws over the same payload) or dropped, so the queues only
-        // ever carry intact coded images.
-        while (is_corrupt(frame.transport) &&
-               transport_.corrupt == TransportPolicy::Corrupt::kRetransmit &&
-               frame.retransmits < transport_.max_retransmits) {
-          camera.retransmit(frame);
+        if (is_corrupt(frame.transport) &&
+            transport_.corrupt == TransportPolicy::Corrupt::kRetransmit) {
+          retransmit_with_backoff(camera, frame);
         }
         const bool codec_link = camera.framed_link()->config().codec;
         stats_.record_transport(camera.id(), frame.transport, frame.retransmits,
                                 is_corrupt(frame.transport), codec_link,
                                 frame.decoded_planes, frame.total_planes);
+        if (health_ != nullptr) {
+          health_->on_frame(camera, is_corrupt(frame.transport), frame.retransmits);
+        }
       }
       // The capture stage owns everything edge-side: scene synthesis, CE
       // encoding, and — in framed mode — every transport attempt including
-      // retries, so retry storms are visible in the capture percentiles
-      // rather than silently widening the capture->e2e gap.
+      // retries and backoff sleeps, so retry storms are visible in the
+      // capture percentiles rather than silently widening the capture->e2e
+      // gap.
       frame.capture_end = Clock::now();
       stats_.record_capture(std::chrono::duration<double>(frame.capture_end - t0).count());
       if (is_corrupt(frame.transport)) {
         continue;  // counted, never enqueued: the fleet serves one fewer frame
       }
       frame.enqueue_time = Clock::now();
+      // The route is re-read per frame: the watchdog may have re-pointed
+      // this camera at a sibling shard mid-run (see reroute()).
+      FrameQueue& queue = *route.current.load(std::memory_order_acquire);
       // QoS admission: kShed means a best-effort frame met a full queue —
       // it was counted through the shed observer and the camera keeps
       // streaming (overload is THIS frame's problem, not the stream's).

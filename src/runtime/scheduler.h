@@ -16,8 +16,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "runtime/camera.h"
@@ -26,6 +29,8 @@
 #include "util/parallel.h"
 
 namespace snappix::runtime {
+
+class HealthController;
 
 // What the producer loop does with a framed frame that arrives corrupt
 // (CRC error, truncated, or missing lines). Applied per frame, edge-side,
@@ -39,10 +44,29 @@ struct TransportPolicy {
   };
   Corrupt corrupt = Corrupt::kDrop;
   int max_retransmits = 3;  // per-frame retry budget under kRetransmit
+
+  // Exponential retransmit backoff: the producer sleeps `backoff_initial`
+  // before the first retry, multiplying by `backoff_multiplier` (capped at
+  // `backoff_max`) between attempts — a degrading link gets breathing room
+  // instead of a tight retry storm. Zero initial backoff (the default)
+  // keeps the legacy immediate-retry loop. The wait is interruptible: a
+  // scheduler shutting down wakes mid-backoff producers immediately.
+  std::chrono::microseconds backoff_initial{0};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds backoff_max{5000};
+  // Per-frame wall-clock retransmit budget, measured from the frame's first
+  // transfer attempt: once spending the next backoff would exceed it, the
+  // frame is dropped rather than retried further. 0 = unlimited (the
+  // max_retransmits count is then the only bound). NOTE: a nonzero budget
+  // makes the retry COUNT timing-dependent, which advances each link's
+  // fault-Rng stream differently run to run — determinism-sensitive tests
+  // and benches should bound retries by count, not time.
+  std::chrono::microseconds retransmit_budget{0};
 };
 
 // Throws std::invalid_argument when the policy is unusable (negative
-// max_retransmits). The single validation site for both the scheduler and
+// max_retransmits, negative backoff/budget durations, a multiplier below 1
+// or non-finite). The single validation site for both the scheduler and
 // ServerConfig.
 void validate(const TransportPolicy& policy);
 
@@ -72,6 +96,22 @@ class StreamScheduler {
   void add_camera(std::unique_ptr<CameraSource> camera, FrameQueue& queue);
   std::size_t camera_count() const { return cameras_.size(); }
 
+  // Installs the fleet health controller (may be null = unsupervised). Call
+  // before start(); the controller must outlive the scheduler. Producers
+  // consult it per capture (quarantine gate) and report every framed
+  // frame's transport fate to it.
+  void set_health(HealthController* health);
+
+  // Watchdog re-routing: atomically points every camera currently routed to
+  // `from` at `to` instead (both must be registered queues), returning how
+  // many cameras moved. Safe to call mid-run from the supervisor thread;
+  // producers pick up the new route on their next frame. Frames already
+  // queued in `from` are NOT moved — drain() them separately.
+  std::size_t reroute(FrameQueue& from, FrameQueue& to);
+  // Points every camera whose HOME queue is `home` back at it (the stalled
+  // shard recovered). Returns how many cameras moved back.
+  std::size_t restore_routes(FrameQueue& home);
+
   // Launches one producer task per camera, each emitting `frames_per_camera`
   // frames. Returns immediately; every routed queue is closed when the last
   // producer finishes (or the queues were closed externally).
@@ -84,15 +124,44 @@ class StreamScheduler {
   void join();
 
  private:
-  void produce(CameraSource& camera, FrameQueue& queue, std::int64_t frames);
+  // One camera's routing slot. `home` is the add_camera() assignment;
+  // `current` is where frames actually go and is the only part the watchdog
+  // retargets mid-run.
+  struct Route {
+    FrameQueue* home = nullptr;
+    // order: producers load `current` acquire before every admit; the
+    // watchdog swaps it with release stores on reroute/restore. The
+    // pointed-to queue synchronizes its own state through its mutex — the
+    // acquire/release here only orders the route swap itself, so a producer
+    // that sees the new pointer sees a fully re-routed fleet.
+    std::atomic<FrameQueue*> current{nullptr};
+  };
+
+  void produce(CameraSource& camera, Route& route, std::int64_t frames);
+  // Runs the kRetransmit policy on a corrupt framed frame: exponential
+  // interruptible backoff between attempts, bounded by max_retransmits and
+  // (when set) the per-frame wall-clock budget.
+  void retransmit_with_backoff(CameraSource& camera, Frame& frame);
+  // Interruptible sleep for retransmit backoff; false when the scheduler is
+  // stopping (the producer must abandon the frame and exit).
+  bool backoff_wait(std::chrono::microseconds delay);
+  void request_stop();
   void close_all_queues();
 
   RuntimeStats& stats_;
   int threads_;
   TransportPolicy transport_;
+  HealthController* health_ = nullptr;  // optional; set before start()
   std::vector<std::unique_ptr<CameraSource>> cameras_;
-  std::vector<FrameQueue*> routes_;         // parallel to cameras_
-  std::vector<FrameQueue*> unique_queues_;  // each routed queue once
+  std::vector<std::unique_ptr<Route>> routes_;  // parallel to cameras_
+  std::vector<FrameQueue*> unique_queues_;      // each routed queue once
+  // Shutdown handshake for producers sleeping in retransmit backoff: the
+  // destructor sets stopping_ (under stop_mutex_) and notifies BEFORE
+  // closing the queues, so a producer mid-backoff wakes immediately instead
+  // of serving out its sleep against a dying scheduler.
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  // guarded by stop_mutex_
   // order: seq_cst (default) on the fetch_sub in produce() — the "last
   // producer out" edge (fetch_sub returning 1) must be a total-order event so
   // exactly one producer closes the queues; the queue state those closes

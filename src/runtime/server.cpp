@@ -76,6 +76,16 @@ void validate(const ServerConfig& config) {
     throw std::invalid_argument(os.str());
   }
   validate(config.transport);
+  validate(config.health);
+  if (config.health.enabled && config.backend == InferenceBackend::kTapeFramework) {
+    for (const LadderStep& step : config.health.ladder) {
+      if (step.kind == LadderStep::Kind::kInt8Precision) {
+        throw std::invalid_argument(
+            "ServerConfig.health.ladder contains an int8 rung, but the server runs "
+            "the tape backend — the tape framework has no quantized path");
+      }
+    }
+  }
   obs::validate(config.trace);
 }
 
@@ -106,7 +116,7 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
   const std::int64_t image = system.config().image;
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    auto shard = std::make_unique<Shard>(config_.queue_capacity);
+    auto shard = std::make_unique<Shard>(i, config_.queue_capacity);
     if (config_.backend == InferenceBackend::kFusedEngine) {
       shard->cache = std::make_unique<EngineCache>(
           config_.cache,
@@ -133,6 +143,17 @@ InferenceServer::InferenceServer(const core::SnapPixSystem& system,
       shards_[i]->lane = trace_recorder_->create_lane(name.str());
     }
     shed_lane_ = trace_recorder_->create_lane("shed");
+    if (config_.health.enabled) {
+      health_lane_ = trace_recorder_->create_lane("health");
+    }
+  }
+  if (config_.health.enabled) {
+    health_ = std::make_unique<HealthController>(config_.health, stats_);
+    health_->set_transition_hook(
+        [this](int camera_id, HealthState from, HealthState to, int ladder_step) {
+          trace_health_transition(camera_id, from, to, ladder_step);
+        });
+    scheduler_.set_health(health_.get());
   }
   // Every shard queue closes when the fleet drains — including queues of
   // shards no camera happens to hash to, whose workers would otherwise poll
@@ -187,7 +208,28 @@ void InferenceServer::add_camera(std::unique_ptr<CameraSource> camera) {
                           << camera->pattern_id()
                           << " — two distinct CE patterns share a pattern_id");
   FrameQueue& queue = shards_[shard_for(camera->pattern_id())]->queue;
+  // Attach AFTER the defaults above are installed: the controller snapshots
+  // the camera's effective knobs (codec planes, precision, qos) as the
+  // full-fidelity baseline the degradation ladder steps down from and the
+  // recovery path restores.
+  if (health_ != nullptr) {
+    health_->attach(*camera);
+  }
   scheduler_.add_camera(std::move(camera), queue);
+}
+
+void InferenceServer::trace_health_transition(int camera_id, HealthState from,
+                                              HealthState to, int ladder_step) {
+  if (health_lane_ == nullptr) {
+    return;
+  }
+  std::ostringstream args;
+  args << "\"camera\": " << camera_id << ", \"from\": \"" << to_string(from)
+       << "\", \"to\": \"" << to_string(to) << "\", \"ladder_step\": " << ladder_step;
+  // Transitions fire on producer threads; the mutex provides the lane's
+  // exclusive-writer guarantee (same pattern as the shed lane).
+  std::lock_guard<std::mutex> lock(health_lane_mutex_);
+  health_lane_->add_complete("health_transition", trace_recorder_->now_ns(), 0, args.str());
 }
 
 const EngineCache* InferenceServer::engine_cache(std::size_t shard) const {
@@ -208,6 +250,11 @@ bool InferenceServer::fleet_exhausted(std::size_t index) const {
 
 void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
                                   std::vector<Frame>& batch, FlushReason reason) {
+  // Chaos hook first: an injected stall here models a shard hung BEFORE
+  // serving, which is exactly the window the watchdog must cover.
+  if (config_.before_batch) {
+    config_.before_batch(self.index, key, batch.size());
+  }
   for (const Frame& frame : batch) {
     stats_.record_queue_wait(
         std::chrono::duration<double>(frame.dequeue_time - frame.enqueue_time).count());
@@ -260,6 +307,7 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
       result.task = Task::kClassify;
       result.pattern_id = key.pattern_id;
       result.precision = key.precision;
+      result.decode_depth = key.decode_depth;
       result.predicted = predicted[i];
       result.label = batch[i].label;
       self.results.push_back(std::move(result));
@@ -275,6 +323,7 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
       result.task = Task::kReconstruct;
       result.pattern_id = key.pattern_id;
       result.precision = key.precision;
+      result.decode_depth = key.decode_depth;
       result.label = batch[i].label;
       const auto begin = video.data().begin() + static_cast<std::int64_t>(i) * frame_elems;
       result.reconstruction = Tensor::from_vector(
@@ -322,6 +371,8 @@ void InferenceServer::serve_batch(Shard& self, const BatchKey& key,
     case FlushReason::kHoldback: ++self.counters.flush_holdback; break;
     case FlushReason::kSteal: ++self.counters.flush_steal; break;
   }
+  // A completed batch is the strongest liveness signal there is.
+  self.heartbeat.fetch_add(1, std::memory_order_relaxed);
 }
 
 void InferenceServer::emit_frame_lifecycles(obs::TraceLane& lane,
@@ -386,11 +437,16 @@ void InferenceServer::shard_loop(std::size_t index) {
       // No one to steal from (or stealing disabled): the bounded-wait poll
       // loop would only add idle wakeups every steal_poll. Block properly.
       while (aggregator.next_batch(batch)) {
+        self.heartbeat.fetch_add(1, std::memory_order_relaxed);
         serve_batch(self, aggregator.last_key(), batch, aggregator.last_flush_reason());
       }
       return;
     }
     for (;;) {
+      // Every pass through the loop is a beat: the watchdog distinguishes a
+      // worker that is polling (alive, queue just slow to fill) from one
+      // wedged inside a serve (no beats while its queue backs up).
+      self.heartbeat.fetch_add(1, std::memory_order_relaxed);
       // Own queue first: a shard prefers the patterns routed to it, keeping
       // its cache view hot.
       const BatchAggregator::Poll poll =
@@ -459,6 +515,91 @@ void InferenceServer::shard_loop(std::size_t index) {
   }
 }
 
+void InferenceServer::watchdog_loop() {
+  const WatchdogConfig& wd = config_.health.watchdog;
+  std::vector<std::uint64_t> last(shards_.size(), 0);
+  std::vector<int> stale(shards_.size(), 0);
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(wd.poll);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const std::uint64_t beat = shard.heartbeat.load(std::memory_order_relaxed);
+      if (beat != last[i]) {
+        last[i] = beat;
+        stale[i] = 0;
+        if (shard.stalled.load(std::memory_order_relaxed)) {
+          // The worker came back (the stall was a long batch, not a death):
+          // route its cameras home so its cache view warms back up. Frames
+          // already rescued stay with the sibling — moving them again would
+          // only add latency.
+          shard.stalled.store(false, std::memory_order_relaxed);
+          scheduler_.restore_routes(shard.queue);
+        }
+        continue;
+      }
+      // A silent worker is only a stall if it is sitting on work it could
+      // serve: an empty or closed queue gives an idle worker nothing to beat
+      // about (the blocking no-steal path parks in next_batch).
+      if (shard.queue.exhausted() || shard.queue.depth() == 0) {
+        stale[i] = 0;
+        continue;
+      }
+      if (shard.stalled.load(std::memory_order_relaxed)) {
+        // Still hung: re-drain. A producer that was blocked in admit() when
+        // the first rescue swept the queue may have landed one more frame
+        // before it observed the new route.
+        rescue_shard(i);
+      } else if (++stale[i] >= wd.stall_polls) {
+        shard.stalled.store(true, std::memory_order_relaxed);
+        stats_.record_watchdog_stall(i);
+        rescue_shard(i);
+      }
+    }
+  }
+}
+
+void InferenceServer::rescue_shard(std::size_t index) {
+  Shard& stalled = *shards_[index];
+  // Healthiest sibling = live, open, shallowest queue: relief must not land
+  // on another shard that is itself drowning or already declared dead.
+  std::size_t target = index;
+  std::size_t best_depth = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == index || shards_[i]->stalled.load(std::memory_order_relaxed) ||
+        shards_[i]->queue.closed()) {
+      continue;
+    }
+    const std::size_t depth = shards_[i]->queue.depth();
+    if (target == index || depth < best_depth) {
+      target = i;
+      best_depth = depth;
+    }
+  }
+  if (target == index) {
+    return;  // no live sibling; nothing to rescue toward
+  }
+  Shard& sibling = *shards_[target];
+  // Route FIRST, then drain: the other order lets producers refill the
+  // stalled queue between the sweep and the swap, stranding frames behind a
+  // dead worker.
+  scheduler_.reroute(stalled.queue, sibling.queue);
+  std::vector<Frame> rescued;
+  stalled.queue.drain(rescued);
+  if (rescued.empty()) {
+    return;
+  }
+  // force_admit bypasses the sibling's capacity bound — the supervisor must
+  // never block in admit() while it holds every rescued frame. A closed
+  // sibling (shutdown race) sheds the frame through the sibling's ledger so
+  // conservation stays exact: drained == force-admitted + shed.
+  for (Frame& frame : rescued) {
+    if (!sibling.queue.force_admit(frame)) {
+      sibling.queue.shed(frame, ShedReason::kDeadline);
+    }
+  }
+  stats_.record_rerouted_frames(rescued.size());
+}
+
 std::vector<TaskResult> InferenceServer::run(std::int64_t frames_per_camera) {
   return run(std::vector<std::int64_t>(camera_count(), frames_per_camera));
 }
@@ -479,6 +620,13 @@ std::vector<TaskResult> InferenceServer::run(
   const Clock::time_point run_start = Clock::now();
   scheduler_.start(frames_per_camera);
 
+  // The watchdog needs siblings to re-route to, so it only runs with > 1
+  // shard. It starts before the workers and stops after they join: the whole
+  // worker lifetime is supervised.
+  std::thread watchdog;
+  if (config_.health.enabled && config_.health.watchdog.enabled && shards_.size() > 1) {
+    watchdog = std::thread([this] { watchdog_loop(); });
+  }
   std::vector<std::thread> workers;
   workers.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -486,6 +634,10 @@ std::vector<TaskResult> InferenceServer::run(
   }
   for (std::thread& worker : workers) {
     worker.join();
+  }
+  if (watchdog.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog.join();
   }
   scheduler_.join();
   wall_seconds_ = std::chrono::duration<double>(Clock::now() - run_start).count();

@@ -41,8 +41,10 @@
 ///                   concurrent forwards.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -55,6 +57,7 @@
 #include "runtime/camera.h"
 #include "runtime/engine_cache.h"
 #include "runtime/frame_queue.h"
+#include "runtime/health.h"
 #include "runtime/scheduler.h"
 #include "runtime/stats.h"
 
@@ -126,6 +129,19 @@ struct ServerConfig {
   /// overrides. Inert for in-memory and raw framed cameras. See
   /// docs/serving.md.
   int classify_codec_planes = 0;
+  /// Fleet health supervision (off by default — see docs/resilience.md):
+  /// per-camera link-health state machine + degradation ladder driven by
+  /// windowed transport counters, and (when health.watchdog.enabled and
+  /// shards > 1) a supervisor thread that detects hung shard workers and
+  /// re-routes their cameras to siblings. Healthy cameras' served bits stay
+  /// bit-identical whether supervision is on or off.
+  HealthConfig health;
+  /// Test/chaos hook: invoked on the shard worker at the top of every
+  /// serve_batch call, BEFORE inference, with (shard index, batch key, batch
+  /// size). Injected sleeps here simulate a slow or hung shard for the
+  /// watchdog to catch. Null (default) = no-op; must be thread-safe (all
+  /// shard workers call it concurrently). Never affects served bits.
+  std::function<void(std::size_t, const BatchKey&, std::size_t)> before_batch;
 };
 
 /// \brief Throws std::invalid_argument with a descriptive message when the
@@ -142,6 +158,10 @@ struct TaskResult {
   Task task = Task::kClassify;
   std::uint64_t pattern_id = 0;
   Precision precision = Precision::kFp32;  ///< tier that served the frame
+  /// Progressive-decode depth the frame was served at (0 = full depth).
+  /// Lets resilience harnesses tell full-fidelity results (base depth +
+  /// precision) from ladder-degraded ones.
+  std::uint8_t decode_depth = 0;
 
   /// kClassify: predicted class (argmax of the AR head's logits).
   std::int64_t predicted = -1;
@@ -195,6 +215,9 @@ class InferenceServer {
 
   const RuntimeStats& stats() const { return stats_; }
   const ServerConfig& config() const { return config_; }
+  /// \brief The fleet health controller, or null when ServerConfig::health is
+  /// disabled. Snapshots (state, ladder step, counters) are safe mid-run.
+  const HealthController* health() const { return health_.get(); }
   /// \brief Shard `shard`'s private cache view; null when serving through the
   /// tape backend.
   const EngineCache* engine_cache(std::size_t shard = 0) const;
@@ -204,12 +227,23 @@ class InferenceServer {
   /// counters and result rows (touched lock-free by exactly one worker
   /// during a run, merged after the join).
   struct Shard {
-    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    explicit Shard(std::size_t shard_index, std::size_t queue_capacity)
+        : index(shard_index), queue(queue_capacity) {}
+    std::size_t index;
     FrameQueue queue;
     std::unique_ptr<EngineCache> cache;  // null for kTapeFramework
     obs::TraceLane* lane = nullptr;      // null when tracing is off
     ShardStatsView counters;
     std::vector<TaskResult> results;
+    // order: relaxed — a pure liveness counter. The worker bumps it every
+    // loop iteration; the watchdog only compares successive reads for
+    // INEQUALITY (progress vs. stall), so no ordering with the work itself
+    // is needed.
+    std::atomic<std::uint64_t> heartbeat{0};
+    // order: relaxed — only the watchdog thread reads AND writes it (the
+    // single-supervisor protocol); it exists so a recovered shard is routed
+    // home exactly once.
+    std::atomic<bool> stalled{false};
   };
 
   std::size_t shard_for(std::uint64_t pattern_id) const {
@@ -228,6 +262,23 @@ class InferenceServer {
   /// True when no shard queue can ever yield another frame to `index`'s
   /// worker: its own queue is exhausted and every sibling queue is too.
   bool fleet_exhausted(std::size_t index) const;
+  /// Supervisor loop (own thread, only when health.watchdog.enabled and
+  /// shards > 1): polls each shard's heartbeat; a worker that holds a
+  /// non-empty open queue without beating for `stall_polls` polls is declared
+  /// stalled — its cameras are re-routed to the least-loaded live sibling and
+  /// its queued frames drained over with exact conservation. A stalled shard
+  /// that beats again is routed home. See docs/resilience.md.
+  void watchdog_loop();
+  /// Re-routes shard `index`'s cameras and drains its queued frames to the
+  /// healthiest sibling. Idempotent per stall (re-drains catch frames a
+  /// blocked producer landed after the first sweep).
+  void rescue_shard(std::size_t index);
+
+  /// Emits a "health_transition" instant onto health_lane_ (no-op when
+  /// tracing is off). Runs on producer threads via the controller's
+  /// transition hook, hence the serializing mutex.
+  void trace_health_transition(int camera_id, HealthState from, HealthState to,
+                               int ladder_step);
 
   const core::SnapPixSystem& system_;
   ServerConfig config_;
@@ -244,8 +295,21 @@ class InferenceServer {
   /// mutex here costs nothing on the serve path).
   obs::TraceLane* shed_lane_ = nullptr;
   std::mutex shed_lane_mutex_;
+  /// Lane for health state transitions (null when tracing is off). Written
+  /// by producer threads through the transition hook; the mutex serializes
+  /// them (transitions are rare by construction — hysteresis bounds their
+  /// rate to once per window).
+  obs::TraceLane* health_lane_ = nullptr;
+  std::mutex health_lane_mutex_;
   RuntimeStats stats_;
+  /// Built before scheduler_ (producers consult it) and destroyed after the
+  /// scheduler joins its producers; null when config_.health.enabled is off.
+  std::unique_ptr<HealthController> health_;
   StreamScheduler scheduler_;
+  // order: release by run() after the shard workers join (everything the
+  // watchdog must not outlive is quiescent), acquire in the watchdog poll
+  // loop — the one cross-thread handshake that stops the supervisor.
+  std::atomic<bool> watchdog_stop_{false};
   std::string worker_error_;  // first exception a shard worker caught
   std::mutex worker_error_mutex_;
   double wall_seconds_ = 0.0;

@@ -128,6 +128,52 @@ void RuntimeStats::record_deadline_miss(int camera_id) {
   ++shed_cameras_[camera_id].deadline_misses;
 }
 
+void RuntimeStats::record_health_transition(int camera_id, HealthState from,
+                                            HealthState to) {
+  // Cold path (a handful of events per run at most): labeled counters are
+  // resolved by name on demand instead of pre-building the 4x4 matrix.
+  registry_.counter(std::string("snappix_health_transitions_total{from=\"") +
+                    to_string(from) + "\",to=\"" + to_string(to) + "\"}")
+      .add();
+  registry_.gauge(std::string("snappix_camera_health{camera=\"") +
+                  std::to_string(camera_id) + "\"}")
+      .set(static_cast<double>(to));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++health_cameras_[camera_id].transitions;
+}
+
+void RuntimeStats::record_ladder_step(int camera_id, bool down, int step) {
+  registry_.counter(std::string("snappix_ladder_steps_total{direction=\"") +
+                    (down ? "down" : "up") + "\"}")
+      .add();
+  registry_.gauge(std::string("snappix_camera_ladder_step{camera=\"") +
+                  std::to_string(camera_id) + "\"}")
+      .set(static_cast<double>(step));
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthCounters& c = health_cameras_[camera_id];
+  ++(down ? c.steps_down : c.steps_up);
+}
+
+void RuntimeStats::record_quarantine_drop(int camera_id) {
+  registry_.counter("snappix_quarantine_drops_total").add();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++health_cameras_[camera_id].quarantine_drops;
+}
+
+void RuntimeStats::record_watchdog_stall(std::size_t shard) {
+  registry_.counter(std::string("snappix_watchdog_stalls_total{shard=\"") +
+                    std::to_string(shard) + "\"}")
+      .add();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++watchdog_stalls_;
+}
+
+void RuntimeStats::record_rerouted_frames(std::size_t count) {
+  registry_.counter("snappix_watchdog_rerouted_frames_total").add(count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  rerouted_frames_ += count;
+}
+
 void RuntimeStats::record_frame_done(std::uint64_t raw_bytes, std::uint64_t wire_bytes,
                                      double end_to_end_seconds, QosClass qos) {
   frames_.add();
@@ -233,6 +279,15 @@ RuntimeSummary RuntimeStats::summary(double wall_seconds) const {
   }
   for (const auto& [camera_id, counters] : shed_cameras_) {
     out.shed_cameras.emplace_back(camera_id, counters);
+  }
+  out.watchdog_stalls = watchdog_stalls_;
+  out.rerouted_frames = rerouted_frames_;
+  for (const auto& [camera_id, counters] : health_cameras_) {
+    out.health_cameras.emplace_back(camera_id, counters);
+    out.health_transitions += counters.transitions;
+    out.ladder_steps_down += counters.steps_down;
+    out.ladder_steps_up += counters.steps_up;
+    out.quarantine_drops += counters.quarantine_drops;
   }
   for (const auto& [camera_id, counters] : transport_) {
     out.transport_cameras.emplace_back(camera_id, counters);
@@ -357,6 +412,28 @@ std::string to_string(const RuntimeSummary& s) {
       out += line;
     }
   }
+  if (s.health_transitions > 0 || s.watchdog_stalls > 0) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "  health: transitions %llu ladder down %llu up %llu quarantine drops "
+                  "%llu; watchdog stalls %llu rerouted %llu\n",
+                  static_cast<unsigned long long>(s.health_transitions),
+                  static_cast<unsigned long long>(s.ladder_steps_down),
+                  static_cast<unsigned long long>(s.ladder_steps_up),
+                  static_cast<unsigned long long>(s.quarantine_drops),
+                  static_cast<unsigned long long>(s.watchdog_stalls),
+                  static_cast<unsigned long long>(s.rerouted_frames));
+    out += line;
+    for (const auto& [camera_id, c] : s.health_cameras) {
+      std::snprintf(line, sizeof(line),
+                    "    camera %d: transitions %llu down %llu up %llu quarantine %llu\n",
+                    camera_id, static_cast<unsigned long long>(c.transitions),
+                    static_cast<unsigned long long>(c.steps_down),
+                    static_cast<unsigned long long>(c.steps_up),
+                    static_cast<unsigned long long>(c.quarantine_drops));
+      out += line;
+    }
+  }
   if (s.transport.framed_frames > 0) {
     char line[320];
     std::snprintf(line, sizeof(line),
@@ -399,6 +476,14 @@ std::string to_json(const CacheTierCounters& c) {
   std::ostringstream os;
   os << "{\"hits\": " << c.hits << ", \"misses\": " << c.misses
      << ", \"evictions\": " << c.evictions << "}";
+  return os.str();
+}
+
+std::string to_json(const HealthCounters& c) {
+  std::ostringstream os;
+  os << "{\"transitions\": " << c.transitions << ", \"steps_down\": " << c.steps_down
+     << ", \"steps_up\": " << c.steps_up
+     << ", \"quarantine_drops\": " << c.quarantine_drops << "}";
   return os.str();
 }
 
@@ -505,6 +590,17 @@ std::string to_json(const RuntimeSummary& s, const FleetEnergyReport& energy,
   for (std::size_t i = 0; i < s.transport_cameras.size(); ++i) {
     os << (i > 0 ? ", " : "") << "{\"camera_id\": " << s.transport_cameras[i].first
        << ", \"counters\": " << to_json(s.transport_cameras[i].second) << "}";
+  }
+  os << "]"
+     << ", \"health_transitions\": " << s.health_transitions
+     << ", \"ladder_steps_down\": " << s.ladder_steps_down
+     << ", \"ladder_steps_up\": " << s.ladder_steps_up
+     << ", \"quarantine_drops\": " << s.quarantine_drops
+     << ", \"watchdog_stalls\": " << s.watchdog_stalls
+     << ", \"rerouted_frames\": " << s.rerouted_frames << ", \"health_cameras\": [";
+  for (std::size_t i = 0; i < s.health_cameras.size(); ++i) {
+    os << (i > 0 ? ", " : "") << "{\"camera_id\": " << s.health_cameras[i].first
+       << ", \"counters\": " << to_json(s.health_cameras[i].second) << "}";
   }
   os << "]"
      << ", \"energy_conventional_j\": " << num(energy.conventional_j)

@@ -115,6 +115,16 @@ struct ShedCounters {
   std::uint64_t deadline_misses = 0;  ///< served, but past the deadline
 };
 
+/// \brief One camera's health-supervision tally (runtime/health.h): state
+/// transitions, degradation-ladder traffic, and captures skipped while
+/// quarantined. All zero for cameras never supervised or never degraded.
+struct HealthCounters {
+  std::uint64_t transitions = 0;       ///< health state changes
+  std::uint64_t steps_down = 0;        ///< ladder rungs engaged (degradations)
+  std::uint64_t steps_up = 0;          ///< ladder rungs released (recoveries)
+  std::uint64_t quarantine_drops = 0;  ///< captures skipped while quarantined
+};
+
 /// \brief One camera's framed-transport tally: how its frames fared on the
 /// wire, by FINAL outcome (a frame that recovers via retransmit counts as ok;
 /// the retries it burned show up in `retransmits`). All zero for cameras that
@@ -204,6 +214,19 @@ struct RuntimeSummary {
   std::uint64_t deadline_misses = 0;  ///< served but late
   std::vector<std::pair<int, ShedCounters>> shed_cameras;
 
+  /// Fleet-health supervision totals (runtime/health.h; all zero when the
+  /// controller is disabled), plus the per-camera breakdown sorted by id.
+  /// Conservation with supervision on: offered == served + shed +
+  /// transport dropped_frames + quarantine_drops (+ frames still queued at
+  /// shutdown).
+  std::uint64_t health_transitions = 0;
+  std::uint64_t ladder_steps_down = 0;
+  std::uint64_t ladder_steps_up = 0;
+  std::uint64_t quarantine_drops = 0;
+  std::uint64_t watchdog_stalls = 0;   ///< shard-stall detections
+  std::uint64_t rerouted_frames = 0;   ///< frames drained + re-admitted by the watchdog
+  std::vector<std::pair<int, HealthCounters>> health_cameras;
+
   StageSummary capture;      ///< camera next_frame() + framed transport retries
   StageSummary queue_wait;   ///< enqueue -> pop (or steal)
   StageSummary inference;    ///< model forward per batch
@@ -268,6 +291,23 @@ class RuntimeStats {
   /// \brief Records a frame that was SERVED but finished after its deadline
   /// — a late answer delivered, distinct from a drop-late shed.
   void record_deadline_miss(int camera_id);
+  /// \brief Records a camera health-state transition (runtime/health.h):
+  /// bumps snappix_health_transitions_total{from=...,to=...}, sets the
+  /// camera's snappix_camera_health gauge, and the per-camera tally. Called
+  /// by the HealthController on the camera's producer thread.
+  void record_health_transition(int camera_id, HealthState from, HealthState to);
+  /// \brief Records a degradation-ladder move to `step` rungs engaged
+  /// (`down` = a degradation, else a recovery step): bumps
+  /// snappix_ladder_steps_total{direction=...} and sets the camera's
+  /// snappix_camera_ladder_step gauge.
+  void record_ladder_step(int camera_id, bool down, int step);
+  /// \brief Records one capture skipped because its camera is quarantined.
+  void record_quarantine_drop(int camera_id);
+  /// \brief Records the watchdog declaring shard `shard` stalled.
+  void record_watchdog_stall(std::size_t shard);
+  /// \brief Records `count` frames the watchdog drained from a stalled shard
+  /// and re-admitted into a sibling's queue.
+  void record_rerouted_frames(std::size_t count);
   /// \brief `qos` additionally feeds the per-class e2e histogram
   /// (snappix_e2e_seconds{qos=...}); legacy callers without QoS default to
   /// kStandard.
@@ -336,6 +376,9 @@ class RuntimeStats {
   std::vector<ShardStatsView> shards_;
   std::map<int, TransportCounters> transport_;  // camera_id -> tally (sorted)
   std::map<int, ShedCounters> shed_cameras_;    // camera_id -> tally (sorted)
+  std::map<int, HealthCounters> health_cameras_;  // camera_id -> tally (sorted)
+  std::uint64_t watchdog_stalls_ = 0;
+  std::uint64_t rerouted_frames_ = 0;
 };
 
 /// \brief Renders a summary as an aligned human-readable block / flat JSON
@@ -343,6 +386,7 @@ class RuntimeStats {
 /// artifacts). The JSON carries the per-shard views as a "shards" array.
 std::string to_string(const RuntimeSummary& summary);
 std::string to_json(const CacheTierCounters& counters);
+std::string to_json(const HealthCounters& counters);
 std::string to_json(const TransportCounters& counters);
 std::string to_json(const ShedCounters& counters);
 std::string to_json(const ShardStatsView& shard);

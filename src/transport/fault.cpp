@@ -8,7 +8,9 @@ namespace snappix::transport {
 
 void validate(const FaultConfig& config) {
   const auto check_rate = [](const char* name, double rate) {
-    if (rate < 0.0 || rate > 1.0) {
+    // The negated >=/<= form rejects NaN too: `NaN < 0.0 || NaN > 1.0` is
+    // false, so the naive check waves a NaN rate straight into bernoulli().
+    if (!(rate >= 0.0 && rate <= 1.0)) {
       std::ostringstream os;
       os << "FaultConfig." << name << " must be a probability in [0, 1], got " << rate;
       throw std::invalid_argument(os.str());
@@ -30,6 +32,14 @@ const FaultConfig& validated(const FaultConfig& config) {
 
 FaultInjector::FaultInjector(const FaultConfig& config)
     : config_(validated(config)), rng_(config.seed) {}
+
+void FaultInjector::set_rates(const FaultConfig& config) {
+  validate(config);
+  config_.bit_flip_per_byte = config.bit_flip_per_byte;
+  config_.packet_drop_rate = config.packet_drop_rate;
+  config_.lane_stall_rate = config.lane_stall_rate;
+  // config_.seed stays: the Rng stream continues where it was.
+}
 
 bool FaultInjector::apply(WireFrame& wire) {
   ++stats_.frames;

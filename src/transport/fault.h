@@ -35,7 +35,8 @@ struct FaultConfig {
   }
 };
 
-// Throws std::invalid_argument when a rate is outside [0, 1].
+// Throws std::invalid_argument when a rate is outside [0, 1] or non-finite
+// (NaN/inf never reach the bernoulli draws).
 void validate(const FaultConfig& config);
 
 struct FaultStats {
@@ -54,6 +55,13 @@ class FaultInjector {
   // Returns true when at least one fault touched this frame. With all rates
   // zero this is a counted no-op.
   bool apply(WireFrame& wire);
+
+  // Swaps the fault RATES mid-stream (validated; `config.seed` is ignored)
+  // while KEEPING the Rng where it is — a chaos schedule's episodes stay a
+  // pure function of the injector's original seed plus the sequence of
+  // rates/frames it saw, never of wall-clock time. The mechanism behind
+  // tests/chaos.h burst-noise episodes and camera flapping.
+  void set_rates(const FaultConfig& config);
 
   const FaultStats& stats() const { return stats_; }
   const FaultConfig& config() const { return config_; }

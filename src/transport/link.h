@@ -38,6 +38,14 @@ struct LinkConfig {
   int codec_planes = 0;
 };
 
+// Throws std::invalid_argument when the link cannot exist: fault rates
+// outside [0, 1] or non-finite, zero (or > 8) MIPI lanes, a non-positive or
+// non-finite byte clock, a virtual channel outside [0, 3], or a codec plane
+// cap exceeding the stream's total planes (codec::kMaxBitplanes). The single
+// validation site for FramedLink construction and every config that embeds a
+// LinkConfig.
+void validate(const LinkConfig& config);
+
 // One transfer's receiver-side view.
 struct TransferResult {
   RxOutcome outcome = RxOutcome::kTruncated;
@@ -72,6 +80,11 @@ class FramedLink {
   // attempt.
   void set_codec_planes(int planes);
   int codec_planes() const { return config_.codec_planes; }
+
+  // Swaps the fault rates for subsequent transfers (validated; the
+  // injector's Rng stream continues — see FaultInjector::set_rates). Drives
+  // the chaos harness's burst-noise episodes and link flapping.
+  void set_faults(const FaultConfig& faults);
 
   // Byte / lane / wire-time accounting for everything transferred so far.
   const sensor::MipiCsi2Link& mipi() const { return mipi_; }

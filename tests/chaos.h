@@ -1,0 +1,156 @@
+// Cross-layer chaos harness: seeded fault schedules for resilience tests and
+// bench/resilience.cpp.
+//
+// Two injection surfaces, both deterministic:
+//
+//   ChaosReplaySource  a ReplayCameraSource whose framed link's fault rates
+//                      follow a per-sequence-number episode schedule
+//                      (burst-noise windows, camera flapping). Rates swap via
+//                      FaultInjector::set_rates, which keeps the Rng where it
+//                      is — the whole fault history stays a pure function of
+//                      the link seed + schedule, never of wall-clock time.
+//   SlowShard          a ServerConfig::before_batch hook that wedges one
+//                      shard's worker inside serve_batch for a configured
+//                      stall, after a configured number of clean batches —
+//                      the hung-shard scenario the watchdog must catch.
+//
+// Header-only and test-local on purpose: production code must never depend
+// on the chaos vocabulary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/batcher.h"
+#include "runtime/camera.h"
+#include "transport/fault.h"
+
+namespace snappix::chaos {
+
+// One window of a camera's frame sequence ([start, end) by sequence number)
+// during which its link runs with `faults` instead of the clean baseline.
+// Overlapping episodes resolve to the first match in schedule order.
+struct Episode {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  transport::FaultConfig faults;
+};
+
+// A burst-noise episode: every fault class elevated at once for [start, end).
+inline Episode burst(std::int64_t start, std::int64_t end, double bit_flip_per_byte,
+                     double packet_drop_rate, double lane_stall_rate = 0.0) {
+  Episode episode;
+  episode.start = start;
+  episode.end = end;
+  episode.faults.bit_flip_per_byte = bit_flip_per_byte;
+  episode.faults.packet_drop_rate = packet_drop_rate;
+  episode.faults.lane_stall_rate = lane_stall_rate;
+  return episode;
+}
+
+// A flapping camera: `cycles` alternating bad/clean windows of `period`
+// frames each, starting bad at `start`.
+inline std::vector<Episode> flapping(std::int64_t start, std::int64_t period, int cycles,
+                                     const transport::FaultConfig& faults) {
+  std::vector<Episode> schedule;
+  schedule.reserve(static_cast<std::size_t>(cycles));
+  for (int c = 0; c < cycles; ++c) {
+    Episode episode;
+    episode.start = start + 2 * c * period;
+    episode.end = episode.start + period;
+    episode.faults = faults;
+    schedule.push_back(episode);
+  }
+  return schedule;
+}
+
+// Replay camera whose framed link follows an episode schedule. Outside every
+// episode the link runs CLEAN (all rates zero), so frames outside episodes
+// are bit-identical to a fault-free run of the same replay buffer — the
+// invariant the resilience gates check. The rate swap happens on the
+// camera's own producer thread, right before the capture, which is the only
+// thread allowed to touch the link.
+class ChaosReplaySource : public runtime::ReplayCameraSource {
+ public:
+  ChaosReplaySource(int id, runtime::PatternRef pattern, std::vector<Tensor> coded,
+                    std::vector<std::int64_t> labels, std::vector<Episode> schedule)
+      : ReplayCameraSource(id, std::move(pattern), std::move(coded), std::move(labels)),
+        schedule_(std::move(schedule)) {}
+
+ protected:
+  runtime::Frame capture_frame() override {
+    if (framed()) {
+      transport::FaultConfig rates;  // default-constructed = clean
+      for (const Episode& episode : schedule_) {
+        if (next_sequence_ >= episode.start && next_sequence_ < episode.end) {
+          rates = episode.faults;
+          break;
+        }
+      }
+      framed_link()->set_faults(rates);
+    }
+    return ReplayCameraSource::capture_frame();
+  }
+
+ private:
+  std::vector<Episode> schedule_;
+};
+
+// before_batch hook that stalls one shard: after `after_batches` batches have
+// started on the target shard, the next `stalls` batches on it each sleep
+// `stall` before serving. Copyable (ServerConfig::before_batch is a
+// std::function) — copies share one state block, so the budget is global.
+// Never touches frame payloads: served bits are unaffected by construction.
+class SlowShard {
+ public:
+  SlowShard(std::size_t shard, int after_batches, std::chrono::milliseconds stall,
+            int stalls = 1)
+      : state_(std::make_shared<State>()) {
+    state_->shard = shard;
+    state_->after = after_batches;
+    state_->stall = stall;
+    state_->remaining.store(stalls, std::memory_order_relaxed);
+  }
+
+  void operator()(std::size_t shard, const runtime::BatchKey& /*key*/,
+                  std::size_t /*frames*/) const {
+    State& state = *state_;
+    if (shard != state.shard) {
+      return;
+    }
+    if (state.seen.fetch_add(1, std::memory_order_relaxed) < state.after) {
+      return;
+    }
+    // Claim one stall from the budget; losing the CAS race means another
+    // batch on this shard already took it.
+    int remaining = state.remaining.load(std::memory_order_relaxed);
+    while (remaining > 0 &&
+           !state.remaining.compare_exchange_weak(remaining, remaining - 1,
+                                                  std::memory_order_relaxed)) {
+    }
+    if (remaining > 0) {
+      std::this_thread::sleep_for(state.stall);
+    }
+  }
+
+  int stalls_left() const { return state_->remaining.load(std::memory_order_relaxed); }
+
+ private:
+  struct State {
+    std::size_t shard = 0;
+    int after = 0;
+    std::chrono::milliseconds stall{0};
+    // order: relaxed — both counters only gate the injected sleep; no data
+    // is published through them and overshoot by a racing batch is harmless.
+    std::atomic<int> seen{0};
+    std::atomic<int> remaining{0};
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace snappix::chaos

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -24,6 +25,8 @@
 #include <vector>
 
 #include "ce/pattern.h"
+#include "chaos.h"
+#include "codec/bitplane.h"
 #include "core/snappix.h"
 #include "json_lite.h"
 #include "obs/metrics.h"
@@ -32,9 +35,11 @@
 #include "runtime/engine.h"
 #include "runtime/engine_cache.h"
 #include "runtime/frame_queue.h"
+#include "runtime/health.h"
 #include "runtime/scheduler.h"
 #include "runtime/server.h"
 #include "runtime/stats.h"
+#include "transport/link.h"
 #include "util/rng.h"
 
 namespace snappix {
@@ -691,6 +696,264 @@ TEST(OverloadStress, ShedAccountingStaysExactUnderAdmissionExpiryAndCloseRaces) 
     EXPECT_EQ(observed_full.load(std::memory_order_relaxed), queue.shed_admission());
     EXPECT_EQ(observed_expired.load(std::memory_order_relaxed), queue.shed_expired());
     EXPECT_TRUE(queue.exhausted());
+  }
+}
+
+// --- scheduler: teardown mid-retransmit-backoff and while quarantined --------
+
+// An 8x8 replay camera on an all-drop framed link: every transfer is corrupt,
+// so under kRetransmit its producer lives inside the retry loop.
+std::unique_ptr<runtime::ReplayCameraSource> dead_link_replay_camera(int id) {
+  Rng rng(40 + static_cast<std::uint64_t>(id));
+  std::vector<float> data(64);
+  for (float& v : data) {
+    v = rng.uniform(0.0F, 1.0F);
+  }
+  std::vector<Tensor> coded;
+  coded.push_back(Tensor::from_vector(std::move(data), Shape{8, 8}));
+  auto camera = std::make_unique<runtime::ReplayCameraSource>(
+      id, runtime::make_pattern_ref(ce::CePattern::long_exposure(8, 8)),
+      std::move(coded), std::vector<std::int64_t>{});
+  transport::LinkConfig link;
+  link.faults.packet_drop_rate = 1.0;
+  link.faults.seed = 900 + static_cast<std::uint64_t>(id);
+  camera->set_framed(link);
+  return camera;
+}
+
+// Shutdown order 1: the scheduler is destroyed while both producers are
+// asleep mid-retransmit-backoff and the queues are still open. The destructor
+// must wake the sleepers first (request_stop) and only then close the queues;
+// a woken producer abandons the frame instead of sleeping out the remaining
+// 250 ms x frames of backoff schedule, so teardown is prompt and every frame
+// of the budget is still accounted for.
+TEST(SchedulerStress, DestructionMidRetransmitBackoffWakesProducersAndTearsDown) {
+  constexpr std::int64_t kFrames = 300;
+  runtime::RuntimeStats stats;
+  FrameQueue queue(4);
+  {
+    runtime::TransportPolicy policy;
+    policy.corrupt = runtime::TransportPolicy::Corrupt::kRetransmit;
+    policy.max_retransmits = 10'000;
+    policy.backoff_initial = std::chrono::milliseconds(250);
+    policy.backoff_max = std::chrono::seconds(2);
+    runtime::StreamScheduler scheduler(stats, /*threads=*/2, policy);
+    scheduler.add_camera(dead_link_replay_camera(0), queue);
+    scheduler.add_camera(dead_link_replay_camera(1), queue);
+    scheduler.start(kFrames);
+    // Let both producers take their first corrupt frame and park in backoff.
+    // Transport is recorded only after the retry loop ends, and ending it
+    // pre-stop would take 10'000 retries under an ever-growing backoff — so
+    // a zero count here proves both producers are parked inside the loop.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(stats.summary(1.0).transport.framed_frames, 0U);
+    // Destructor runs here: queues still open, producers mid-backoff.
+  }
+  EXPECT_TRUE(queue.closed());
+  // Post-stop iterations degrade to one un-slept transfer each, so the full
+  // budget drains fast and exactly: every frame was offered, none recovered.
+  const runtime::RuntimeSummary summary = stats.summary(1.0);
+  EXPECT_EQ(summary.transport.framed_frames, static_cast<std::uint64_t>(2 * kFrames));
+  EXPECT_EQ(summary.transport.dropped_frames, static_cast<std::uint64_t>(2 * kFrames));
+  Frame out;
+  EXPECT_FALSE(queue.pop(out));  // nothing ever survived the dead links
+}
+
+// Shutdown order 2: the queues are closed externally FIRST (mid-stream, with
+// one camera quarantined by the health controller and one healthy camera
+// blocked in admit()), and the scheduler is destroyed afterwards. The
+// quarantined producer keeps burning its budget as counted quarantine drops
+// and must never wedge teardown; the blocked producer observes the close.
+TEST(SchedulerStress, ExternalCloseThenDestructionWhileQuarantinedTearsDown) {
+  constexpr std::int64_t kFrames = 2000;
+  runtime::RuntimeStats stats;
+  runtime::HealthConfig health_config;
+  health_config.enabled = true;
+  health_config.window = 4;
+  health_config.quarantine_consecutive_losses = 2;
+  health_config.quarantine_hold = 1 << 20;  // longer than the budget: stays down
+  runtime::HealthController health(health_config, stats);
+  FrameQueue queue(4);
+  {
+    runtime::TransportPolicy policy;
+    policy.corrupt = runtime::TransportPolicy::Corrupt::kRetransmit;
+    policy.max_retransmits = 4;
+    policy.backoff_initial = std::chrono::microseconds(50);
+    runtime::StreamScheduler scheduler(stats, /*threads=*/2, policy);
+    // Camera 0: dead link, quarantined after two consecutive losses.
+    auto dead = dead_link_replay_camera(0);
+    health.attach(*dead);
+    scheduler.add_camera(std::move(dead), queue);
+    // Camera 1: synthetic, in-memory, healthy — exists to be blocked in
+    // admit() on the tiny queue when the external close lands.
+    Rng rng(29);
+    auto clean = std::make_unique<runtime::SyntheticCameraSource>(
+        1, small_scene(),
+        runtime::make_pattern_ref(ce::CePattern::random(8, 8, rng, 0.5F)), 104);
+    health.attach(*clean);
+    scheduler.add_camera(std::move(clean), queue);
+    scheduler.set_health(&health);
+    scheduler.start(kFrames);
+
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (health.state(0) != runtime::HealthState::kQuarantined) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "camera 0 never reached quarantine";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    queue.close();  // external close first; destructor (stop + re-close) second
+  }
+  EXPECT_TRUE(queue.closed());
+  // The quarantined camera's whole budget is accounted for: the frames that
+  // reached the wire before quarantine plus every capture skipped after it.
+  const runtime::CameraHealthSnapshot snapshot = health.snapshot(0);
+  EXPECT_EQ(snapshot.state, runtime::HealthState::kQuarantined);
+  EXPECT_GT(snapshot.quarantine_drops, 0U);
+  const runtime::RuntimeSummary summary = stats.summary(1.0);
+  std::uint64_t camera0_framed = 0;
+  for (const auto& [camera_id, counters] : summary.transport_cameras) {
+    if (camera_id == 0) {
+      camera0_framed = counters.framed_frames;
+    }
+  }
+  EXPECT_EQ(camera0_framed + snapshot.quarantine_drops,
+            static_cast<std::uint64_t>(kFrames));
+}
+
+// --- chaos: burst faults + a stalled shard in one sharded run ----------------
+
+// The cross-layer chaos arm (tests/chaos.h): a 2-shard server with health
+// supervision and the watchdog enabled, one camera riding through a
+// burst-noise episode on an entropy-coded link, and the fleet's home shard
+// wedged mid-run by a SlowShard hook so the watchdog must detect the stall
+// and re-route live traffic to the sibling. Work stealing is off so the
+// rescue path — not the thief — is what moves the frames. The assertions are
+// the resilience laws: exact per-camera conservation across served / shed /
+// transport-dropped / quarantine-dropped, bit-identity of every answer from
+// the healthy cameras (the ladder only ever touches the afflicted camera),
+// and the stall actually being caught. Under TSan this is the proof that the
+// health controller, watchdog rescue, and producer reroute protocol are
+// race-free against the serving fabric.
+TEST(ChaosStress, BurstFaultsAndStalledShardRescueConserveEveryFrame) {
+  core::SnapPixSystem system(small_system_config());
+  constexpr int kCameras = 4;
+  constexpr int kBufferFrames = 6;
+  constexpr std::int64_t kFramesPerCamera = 60;
+
+  // Replay buffers + unloaded batch-1 references, computed over the codec
+  // wire's quantize->dequantize round-trip (a clean full-depth codec link
+  // reconstructs exactly that).
+  std::vector<std::vector<Tensor>> buffers;
+  std::vector<std::vector<std::int64_t>> reference;
+  for (int cam = 0; cam < kCameras; ++cam) {
+    Rng rng(100 + static_cast<std::uint64_t>(cam));
+    std::vector<Tensor> coded;
+    std::vector<std::int64_t> predictions;
+    for (int i = 0; i < kBufferFrames; ++i) {
+      std::vector<float> data(16 * 16);
+      for (float& v : data) {
+        v = rng.uniform(0.0F, 1.0F);
+      }
+      Tensor frame = Tensor::from_vector(std::move(data), Shape{16, 16});
+      const Tensor wire = codec::dequantize_frame(codec::quantize_frame(frame));
+      const Tensor batch1 = Tensor::from_vector(wire.data(), Shape{1, 16, 16});
+      predictions.push_back(system.classify_coded(batch1)[0]);
+      coded.push_back(std::move(frame));
+    }
+    buffers.push_back(std::move(coded));
+    reference.push_back(std::move(predictions));
+  }
+
+  ServerConfig config;
+  config.batch.max_batch = 4;
+  config.shards = 2;
+  config.queue_capacity = 4;
+  config.work_stealing = false;
+  config.transport.corrupt = runtime::TransportPolicy::Corrupt::kRetransmit;
+  config.transport.max_retransmits = 2;
+  config.transport.backoff_initial = std::chrono::microseconds(20);
+  config.health.enabled = true;
+  config.health.window = 8;
+  config.health.watchdog.enabled = true;
+  config.health.watchdog.poll = std::chrono::milliseconds(5);
+  config.health.watchdog.stall_polls = 4;  // 20 ms >> the 2 ms batch max_delay
+  // All cameras share the system pattern, so the whole fleet homes on one
+  // shard — wedge exactly that one; the sibling only ever sees rescue
+  // traffic. The 250 ms stall dwarfs the 20 ms detection threshold.
+  const std::size_t home = system.pattern_ref()->hash() % 2;
+  chaos::SlowShard slow(home, /*after_batches=*/2, std::chrono::milliseconds(250));
+  config.before_batch = slow;
+
+  InferenceServer server(system, config);
+  for (int cam = 0; cam < kCameras; ++cam) {
+    std::vector<chaos::Episode> schedule;
+    if (cam == 0) {
+      // Sequences [8, 24): heavy packet loss — corrupt beyond the retry
+      // budget, driving camera 0's controller off kHealthy.
+      schedule.push_back(chaos::burst(8, 24, /*bit_flip_per_byte=*/0.005,
+                                      /*packet_drop_rate=*/0.5));
+    }
+    auto camera = std::make_unique<chaos::ChaosReplaySource>(
+        cam, system.pattern_ref(), buffers[static_cast<std::size_t>(cam)],
+        std::vector<std::int64_t>{}, std::move(schedule));
+    transport::LinkConfig link;
+    link.codec = true;
+    link.faults.seed = 500 + static_cast<std::uint64_t>(cam);
+    camera->set_framed(link);
+    server.add_camera(std::move(camera));
+  }
+
+  const std::vector<runtime::TaskResult> results = server.run(kFramesPerCamera);
+  const runtime::RuntimeSummary summary = server.summary();
+
+  // The stall fired and the watchdog caught it.
+  EXPECT_EQ(slow.stalls_left(), 0);
+  EXPECT_GE(summary.watchdog_stalls, 1U);
+
+  // Bit-identity: cameras 1-3 never left full fidelity, so every answer
+  // matches the unloaded baseline no matter which shard served it.
+  std::map<int, std::uint64_t> served;
+  for (const runtime::TaskResult& r : results) {
+    ++served[r.camera_id];
+    if (r.camera_id == 0) {
+      continue;  // the ladder may have lowered the afflicted camera's fidelity
+    }
+    ASSERT_EQ(r.predicted,
+              reference[static_cast<std::size_t>(r.camera_id)]
+                       [static_cast<std::size_t>(r.sequence % kBufferFrames)])
+        << "camera " << r.camera_id << " sequence " << r.sequence;
+  }
+
+  std::map<int, std::uint64_t> shed;
+  for (const auto& [camera_id, counters] : summary.shed_cameras) {
+    shed[camera_id] = counters.queue_full + counters.deadline;
+  }
+  std::map<int, std::uint64_t> dropped;
+  for (const auto& [camera_id, counters] : summary.transport_cameras) {
+    dropped[camera_id] = counters.dropped_frames;
+  }
+  std::map<int, std::uint64_t> quarantined;
+  std::map<int, std::uint64_t> transitions;
+  for (const auto& [camera_id, counters] : summary.health_cameras) {
+    quarantined[camera_id] = counters.quarantine_drops;
+    transitions[camera_id] = counters.transitions;
+  }
+
+  // The chaos was real: the burst drove camera 0's state machine, and only
+  // camera 0's — the episode never leaks sideways.
+  EXPECT_GE(transitions[0], 1U);
+  for (int cam = 1; cam < kCameras; ++cam) {
+    EXPECT_EQ(transitions[cam], 0U) << "camera " << cam;
+    EXPECT_EQ(dropped[cam], 0U) << "camera " << cam;
+  }
+
+  // Exact per-camera conservation: offered == served + shed + dropped on the
+  // wire + dropped in quarantine, for the afflicted and healthy alike,
+  // across stall, rescue, and recovery.
+  for (int cam = 0; cam < kCameras; ++cam) {
+    EXPECT_EQ(served[cam] + shed[cam] + dropped[cam] + quarantined[cam],
+              static_cast<std::uint64_t>(kFramesPerCamera))
+        << "camera " << cam;
   }
 }
 

@@ -5,11 +5,15 @@
 // Depacketizer outcome), and the FramedLink's byte/lane/outcome accounting.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include "codec/bitplane.h"
+#include "runtime/camera.h"
+#include "runtime/frame.h"
 #include "sensor/mipi.h"
 #include "transport/csi2.h"
 #include "transport/fault.h"
@@ -654,6 +658,172 @@ TEST(CodecWire, InjectedFaultsAlwaysClassifySafely) {
     corrupt += rx.outcome != RxOutcome::kOk ? 1 : 0;
   }
   EXPECT_GT(corrupt, 0);  // the rates actually exercised the paths
+}
+
+// --- construction validation -------------------------------------------------
+
+// Every unusable LinkConfig/FaultConfig field is rejected with
+// std::invalid_argument at construction — including NaN/inf rates, which a
+// naive `rate < 0 || rate > 1` check lets straight through to the bernoulli
+// draws.
+TEST(LinkValidation, RejectsNonFiniteAndOutOfRangeFaultRates) {
+  FaultConfig bad;
+  bad.bit_flip_per_byte = std::nan("");
+  EXPECT_THROW(transport::validate(bad), std::invalid_argument);
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+
+  bad = FaultConfig{};
+  bad.packet_drop_rate = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(transport::validate(bad), std::invalid_argument);
+
+  bad = FaultConfig{};
+  bad.lane_stall_rate = -0.25;
+  EXPECT_THROW(transport::validate(bad), std::invalid_argument);
+
+  // set_rates goes through the same gate: a running injector cannot be
+  // flipped to garbage mid-chaos-schedule.
+  FaultInjector injector{FaultConfig{}};
+  FaultConfig nan_rates;
+  nan_rates.bit_flip_per_byte = std::nan("");
+  EXPECT_THROW(injector.set_rates(nan_rates), std::invalid_argument);
+}
+
+TEST(LinkValidation, RejectsUnusableLinkGeometry) {
+  const LinkConfig good;
+  EXPECT_NO_THROW(transport::validate(good));
+
+  LinkConfig bad;
+  bad.mipi.lanes = 0;
+  EXPECT_THROW(transport::validate(bad), std::invalid_argument);
+  // The FramedLink constructor throws the SAME type for the same reason —
+  // construction order must not let an inner component reject it first with
+  // a different exception.
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+
+  bad = LinkConfig{};
+  bad.mipi.lanes = 9;
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+
+  bad = LinkConfig{};
+  bad.mipi.byte_clock_hz = 0.0;
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+  bad.mipi.byte_clock_hz = std::nan("");
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+
+  bad = LinkConfig{};
+  bad.virtual_channel = 4;
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+
+  bad = LinkConfig{};
+  bad.codec = true;
+  bad.codec_planes = codec::kMaxBitplanes + 1;
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+
+  bad = LinkConfig{};
+  bad.faults.packet_drop_rate = 2.0;
+  EXPECT_THROW(FramedLink{bad}, std::invalid_argument);
+}
+
+TEST(LinkValidation, SetFaultsSwapsRatesButKeepsSeedAndRngStream) {
+  Rng rng(67);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng, -1.0F, 1.0F);
+
+  LinkConfig cfg;
+  cfg.faults.packet_drop_rate = 1.0;
+  cfg.faults.seed = 99;
+  FramedLink link(cfg);
+  EXPECT_NE(link.transfer(coded, 0).outcome, RxOutcome::kOk);
+
+  FaultConfig clean;
+  clean.seed = 12345;  // ignored: the running injector keeps its own stream
+  link.set_faults(clean);
+  EXPECT_EQ(link.config().faults.packet_drop_rate, 0.0);
+  EXPECT_EQ(link.config().faults.seed, 99U);
+  EXPECT_EQ(link.transfer(coded, 1).outcome, RxOutcome::kOk);
+
+  FaultConfig bad;
+  bad.bit_flip_per_byte = -1.0;
+  EXPECT_THROW(link.set_faults(bad), std::invalid_argument);
+}
+
+// --- codec-header damage under retransmit ------------------------------------
+
+// A CRC-failed kDtCodecHeader packet is classified kTruncated (the stream
+// header's bytes cannot be trusted, so nothing downstream is decodable) and
+// counted as a CRC error — the classification TransportPolicy::kRetransmit
+// keys the retry on.
+TEST(CodecWire, CrcFailedHeaderPacketIsTruncatedAndCounted) {
+  Rng rng(71);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng, -1.0F, 1.0F);
+  CodedFramePacketizer packetizer(0);
+  Depacketizer depacketizer;
+  WireFrame wire = packetizer.packetize_codec(coded, 5);
+  ASSERT_EQ(wire.packets[1][0] & 0x3F, transport::kDtCodecHeader);
+
+  wire.packets[1][transport::kHeaderBytes] ^= 0x01;  // first payload byte
+  const auto rx = depacketizer.depacketize_codec(wire, 8, 8);
+  EXPECT_EQ(rx.outcome, RxOutcome::kTruncated);
+  EXPECT_EQ(rx.crc_errors, 1U);
+  EXPECT_EQ(rx.decoded_planes, 0);
+}
+
+// Retransmit recovery end to end: a camera on a seeded lossy codec link whose
+// first transfer arrives corrupt recovers bit-identically through
+// CameraSource::retransmit, and the frame's wire accounting charges every
+// attempt — corrupt ones included — exactly once.
+TEST(CodecWire, RetransmitRecoversBitIdenticallyAndChargesEveryAttempt) {
+  Rng rng(73);
+  const Tensor coded = Tensor::rand_uniform(Shape{8, 8}, rng, -1.0F, 1.0F);
+  const Tensor reference = codec::dequantize_frame(codec::quantize_frame(coded));
+
+  // The clean wire cost of this frame, for the accounting check below.
+  LinkConfig clean_cfg;
+  clean_cfg.codec = true;
+  FramedLink clean_link(clean_cfg);
+  const std::uint64_t clean_bytes = clean_link.transfer(coded, 0).wire_bytes;
+  ASSERT_GT(clean_bytes, 0U);
+
+  // Find a seed whose FIRST transfer corrupts and whose retries recover
+  // within budget — purely deterministic given the seed, so the test never
+  // flakes; the scan just avoids hand-tuning a magic constant.
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !exercised; ++seed) {
+    LinkConfig cfg;
+    cfg.codec = true;
+    cfg.faults.bit_flip_per_byte = 0.01;
+    cfg.faults.packet_drop_rate = 0.05;
+    cfg.faults.seed = seed;
+    runtime::ReplayCameraSource camera(0, ce::CePattern::long_exposure(8, 8),
+                                       std::vector<Tensor>{coded},
+                                       std::vector<std::int64_t>{});
+    camera.set_framed(cfg);
+
+    runtime::Frame frame = camera.next_frame();
+    if (!runtime::is_corrupt(frame.transport)) {
+      continue;  // this seed's first attempt was clean; try another
+    }
+    int attempts = 1;
+    while (runtime::is_corrupt(frame.transport) && frame.retransmits < 8) {
+      camera.retransmit(frame);
+      ++attempts;
+    }
+    if (runtime::is_corrupt(frame.transport)) {
+      continue;  // still dead after 8 retries; try another seed
+    }
+    exercised = true;
+    EXPECT_GE(frame.retransmits, 1);
+    EXPECT_EQ(attempts, frame.retransmits + 1);
+    // Bit-identity: the recovered payload equals the in-memory quantize round
+    // trip — damage from the failed attempts must not leak into the frame.
+    ASSERT_EQ(frame.coded.shape(), reference.shape());
+    EXPECT_EQ(std::memcmp(frame.coded.data().data(), reference.data().data(),
+                          reference.data().size() * sizeof(float)),
+              0);
+    // Wire accounting: every attempt crossed the wire and cost its bytes.
+    EXPECT_EQ(frame.wire_bytes,
+              clean_bytes * static_cast<std::uint64_t>(attempts));
+  }
+  ASSERT_TRUE(exercised) << "no seed in [1, 64] produced corrupt-then-recovered";
 }
 
 }  // namespace
